@@ -1,0 +1,289 @@
+//! Behavioral adder models.
+
+use std::fmt;
+
+fn mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1 << bits) - 1
+    }
+}
+
+/// An unsigned adder over two `bits`-wide operands producing a
+/// `bits + 1`-wide (possibly approximate) sum.
+pub trait Adder {
+    /// Operand width in bits.
+    fn bits(&self) -> u32;
+
+    /// The (possibly approximate) sum. Operands are masked to
+    /// [`Adder::bits`].
+    fn add(&self, a: u64, b: u64) -> u64;
+
+    /// Architecture name for reports.
+    fn name(&self) -> &str;
+
+    /// The exact sum of the masked operands.
+    fn exact(&self, a: u64, b: u64) -> u64 {
+        (a & mask(self.bits())) + (b & mask(self.bits()))
+    }
+
+    /// Signed error `exact − approximate`.
+    fn error(&self, a: u64, b: u64) -> i64 {
+        self.exact(a, b) as i64 - self.add(a, b) as i64
+    }
+}
+
+impl<A: Adder + ?Sized> Adder for &A {
+    fn bits(&self) -> u32 {
+        (**self).bits()
+    }
+    fn add(&self, a: u64, b: u64) -> u64 {
+        (**self).add(a, b)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<A: Adder + ?Sized> Adder for Box<A> {
+    fn bits(&self) -> u32 {
+        (**self).bits()
+    }
+    fn add(&self, a: u64, b: u64) -> u64 {
+        (**self).add(a, b)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+macro_rules! adder_common {
+    () => {
+        fn bits(&self) -> u32 {
+            self.bits
+        }
+        fn name(&self) -> &str {
+            &self.name
+        }
+    };
+}
+
+/// The exact reference adder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactAdder {
+    bits: u32,
+    name: String,
+}
+
+impl ExactAdder {
+    /// Creates an exact `bits`-wide adder.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 63`.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=63).contains(&bits), "width out of range");
+        ExactAdder {
+            bits,
+            name: format!("add{bits}"),
+        }
+    }
+}
+
+impl Adder for ExactAdder {
+    adder_common!();
+    fn add(&self, a: u64, b: u64) -> u64 {
+        (a & mask(self.bits)) + (b & mask(self.bits))
+    }
+}
+
+/// Truncated adder: the low `k` result bits are forced to zero and no
+/// carry enters the upper part (the low operand bits are simply not
+/// wired).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruncatedAdder {
+    bits: u32,
+    k: u32,
+    name: String,
+}
+
+impl TruncatedAdder {
+    /// Creates the adder with `k` truncated low bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k < bits <= 63`.
+    #[must_use]
+    pub fn new(bits: u32, k: u32) -> Self {
+        assert!((1..=63).contains(&bits) && k < bits, "bad configuration");
+        TruncatedAdder {
+            bits,
+            k,
+            name: format!("trunc_add{bits}_{k}"),
+        }
+    }
+}
+
+impl Adder for TruncatedAdder {
+    adder_common!();
+    fn add(&self, a: u64, b: u64) -> u64 {
+        let m = !mask(self.k);
+        ((a & mask(self.bits) & m) + (b & mask(self.bits) & m)) & !mask(self.k)
+    }
+}
+
+/// The lower-OR adder (LOA): result bits below `k` are the bitwise OR
+/// of the operands (a cheap, one-LUT-per-bit approximation of a sum
+/// digit) and the upper part adds exactly with no carry-in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerOrAdder {
+    bits: u32,
+    k: u32,
+    name: String,
+}
+
+impl LowerOrAdder {
+    /// Creates the adder with `k` OR-approximated low bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k <= bits <= 63`.
+    #[must_use]
+    pub fn new(bits: u32, k: u32) -> Self {
+        assert!((1..=63).contains(&bits) && k <= bits, "bad configuration");
+        LowerOrAdder {
+            bits,
+            k,
+            name: format!("loa{bits}_{k}"),
+        }
+    }
+
+    /// Number of OR-approximated low bits.
+    #[must_use]
+    pub fn lower_bits(&self) -> u32 {
+        self.k
+    }
+}
+
+impl Adder for LowerOrAdder {
+    adder_common!();
+    fn add(&self, a: u64, b: u64) -> u64 {
+        let (a, b) = (a & mask(self.bits), b & mask(self.bits));
+        let low = (a | b) & mask(self.k);
+        let high = (a >> self.k) + (b >> self.k);
+        low | (high << self.k)
+    }
+}
+
+/// The carry-free adder: per-bit XOR, all carries dropped — the
+/// per-column operation of the paper's `Cc` summation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CarryFreeAdder {
+    bits: u32,
+    name: String,
+}
+
+impl CarryFreeAdder {
+    /// Creates a `bits`-wide carry-free adder.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 63`.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=63).contains(&bits), "width out of range");
+        CarryFreeAdder {
+            bits,
+            name: format!("cfree_add{bits}"),
+        }
+    }
+}
+
+impl Adder for CarryFreeAdder {
+    adder_common!();
+    fn add(&self, a: u64, b: u64) -> u64 {
+        (a ^ b) & mask(self.bits)
+    }
+}
+
+impl fmt::Display for ExactAdder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_is_exact() {
+        let a = ExactAdder::new(8);
+        for x in (0..256).step_by(7) {
+            for y in (0..256).step_by(11) {
+                assert_eq!(a.add(x, y), x + y);
+                assert_eq!(a.error(x, y), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn loa_degenerate_cases() {
+        // k = 0 is exact; k = bits is a pure OR.
+        let exact = LowerOrAdder::new(8, 0);
+        let all_or = LowerOrAdder::new(8, 8);
+        for x in (0..256).step_by(5) {
+            for y in (0..256).step_by(3) {
+                assert_eq!(exact.add(x, y), x + y);
+                assert_eq!(all_or.add(x, y), x | y);
+            }
+        }
+    }
+
+    #[test]
+    fn loa_error_bounded_by_low_part() {
+        let a = LowerOrAdder::new(8, 4);
+        for x in 0..256u64 {
+            for y in 0..256u64 {
+                let e = a.error(x, y);
+                // OR underestimates each low column by at most its
+                // carry chain: |error| < 2^(k+1).
+                assert!(e.abs() < 32, "x={x} y={y} e={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_zeroes_low_bits() {
+        let a = TruncatedAdder::new(8, 3);
+        for x in 0..256u64 {
+            for y in 0..256u64 {
+                assert_eq!(a.add(x, y) & 7, 0);
+                assert!(a.error(x, y) >= 0, "only underestimates");
+                assert!(a.error(x, y) < 16, "x={x} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn carry_free_is_xor() {
+        let a = CarryFreeAdder::new(8);
+        assert_eq!(a.add(0b1010, 0b0110), 0b1100);
+        assert_eq!(a.add(255, 255), 0);
+    }
+
+    #[test]
+    fn loa_is_never_smaller_than_or_of_low_bits() {
+        // LOA's low part dominates both operands' low bits.
+        let a = LowerOrAdder::new(8, 4);
+        for x in (0..256u64).step_by(3) {
+            for y in (0..256u64).step_by(7) {
+                let low = a.add(x, y) & 0xF;
+                assert_eq!(low & (x & 0xF), x & 0xF & low);
+                assert_eq!(low, (x | y) & 0xF);
+            }
+        }
+    }
+}

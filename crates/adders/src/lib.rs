@@ -1,0 +1,37 @@
+//! # axmul-adders
+//!
+//! Approximate adders on the LUT/carry-chain fabric. The paper's
+//! partial-product summation is itself an (accurate or approximate)
+//! addition problem, and its related work (\[4\], \[5\], \[8\], \[9\],
+//! \[11\]) is dominated by approximate adders; this crate provides the
+//! classic designs on the same substrate, each with a behavioral model
+//! and a structural netlist proven equivalent:
+//!
+//! * [`ExactAdder`] — carry-chain ripple adder (the reference).
+//! * [`TruncatedAdder`] — the `k` low result bits forced to zero.
+//! * [`LowerOrAdder`] — the LOA: low `k` bits OR'd bitwise (no carry
+//!   into the accurate upper part), the workhorse of low-power
+//!   approximate DSP datapaths.
+//! * [`CarryFreeAdder`] — per-bit XOR with all carries dropped: the
+//!   degenerate end of the spectrum, and exactly the per-column
+//!   operation of the paper's `Cc` summation (Fig. 6).
+//!
+//! ```
+//! use axmul_adders::{Adder, ExactAdder, LowerOrAdder};
+//!
+//! let exact = ExactAdder::new(8);
+//! assert_eq!(exact.add(200, 100), 300);
+//! let loa = LowerOrAdder::new(8, 4);
+//! assert_eq!(loa.add(0b0000_1111, 0b0000_0001), 0b0000_1111); // low OR
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod behavioral;
+mod stats;
+mod structural;
+
+pub use behavioral::{Adder, CarryFreeAdder, ExactAdder, LowerOrAdder, TruncatedAdder};
+pub use stats::AdderStats;
+pub use structural::{carry_free_adder_netlist, exact_adder_netlist, loa_netlist};

@@ -1,0 +1,119 @@
+//! Error characterization for adders, mirroring the multiplier metrics.
+
+use std::fmt;
+
+use crate::behavioral::Adder;
+
+/// Exhaustive error statistics of an approximate adder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdderStats {
+    /// Adder name.
+    pub name: String,
+    /// Operand pairs evaluated (`4^bits`).
+    pub samples: u64,
+    /// Pairs with nonzero error.
+    pub error_occurrences: u64,
+    /// Largest error magnitude.
+    pub max_error: i64,
+    /// Mean error magnitude over all samples (MED).
+    pub avg_error: f64,
+    /// Mean of `|error| / exact` over nonzero exact sums.
+    pub avg_relative_error: f64,
+}
+
+impl AdderStats {
+    /// Exhaustively characterizes `a` over its full operand space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand space exceeds 2³² pairs.
+    #[must_use]
+    pub fn exhaustive(a: &(impl Adder + ?Sized)) -> Self {
+        let bits = a.bits();
+        assert!(bits <= 12, "exhaustive adder sweep limited to 12 bits");
+        let top = 1u64 << bits;
+        let mut occ = 0u64;
+        let mut max = 0i64;
+        let mut sum = 0u128;
+        let mut rel = 0.0f64;
+        for x in 0..top {
+            for y in 0..top {
+                let e = a.error(x, y).abs();
+                if e != 0 {
+                    occ += 1;
+                    sum += e as u128;
+                    let exact = a.exact(x, y);
+                    if exact != 0 {
+                        rel += e as f64 / exact as f64;
+                    }
+                    max = max.max(e);
+                }
+            }
+        }
+        let samples = top * top;
+        AdderStats {
+            name: a.name().to_string(),
+            samples,
+            error_occurrences: occ,
+            max_error: max,
+            avg_error: sum as f64 / samples as f64,
+            avg_relative_error: rel / samples as f64,
+        }
+    }
+}
+
+impl fmt::Display for AdderStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: max |e| {}, avg {:.4}, avg rel {:.6}, {} / {} erroneous",
+            self.name,
+            self.max_error,
+            self.avg_error,
+            self.avg_relative_error,
+            self.error_occurrences,
+            self.samples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavioral::{CarryFreeAdder, ExactAdder, LowerOrAdder, TruncatedAdder};
+
+    #[test]
+    fn exact_has_no_errors() {
+        let s = AdderStats::exhaustive(&ExactAdder::new(6));
+        assert_eq!(s.error_occurrences, 0);
+        assert_eq!(s.max_error, 0);
+    }
+
+    #[test]
+    fn loa_beats_truncation_at_equal_k() {
+        // The LOA's OR recovers most of the low-part magnitude that
+        // truncation throws away.
+        let loa = AdderStats::exhaustive(&LowerOrAdder::new(8, 4));
+        let trunc = AdderStats::exhaustive(&TruncatedAdder::new(8, 4));
+        assert!(loa.avg_error < trunc.avg_error);
+        assert!(loa.max_error <= trunc.max_error + 1);
+    }
+
+    #[test]
+    fn error_grows_with_k() {
+        let mut last = -1.0f64;
+        for k in [0u32, 2, 4, 6, 8] {
+            let s = AdderStats::exhaustive(&LowerOrAdder::new(8, k));
+            assert!(s.avg_error >= last, "k={k}");
+            last = s.avg_error;
+        }
+    }
+
+    #[test]
+    fn carry_free_is_the_worst() {
+        let cfree = AdderStats::exhaustive(&CarryFreeAdder::new(8));
+        let loa = AdderStats::exhaustive(&LowerOrAdder::new(8, 8));
+        assert!(cfree.avg_error > loa.avg_error);
+        assert!(cfree.max_error > 255, "drops the whole carry structure");
+    }
+}

@@ -1,0 +1,156 @@
+//! Structural netlists of the adders, on the same fabric as the
+//! multipliers.
+
+use axmul_fabric::{Init, Netlist, NetlistBuilder};
+
+/// Exact `bits`-wide carry-chain adder: one XOR LUT per bit plus the
+/// chain; output is `bits + 1` wide.
+///
+/// # Panics
+///
+/// Panics unless `1 <= bits <= 32`.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_adders::exact_adder_netlist;
+///
+/// let nl = exact_adder_netlist(8);
+/// assert_eq!(nl.lut_count(), 8);
+/// assert_eq!(nl.eval(&[200, 100])?, vec![300]);
+/// # Ok::<(), axmul_fabric::FabricError>(())
+/// ```
+#[must_use]
+pub fn exact_adder_netlist(bits: u32) -> Netlist {
+    assert!((1..=32).contains(&bits), "width out of range");
+    let mut bld = NetlistBuilder::new(format!("add{bits}"));
+    let a = bld.inputs("a", bits as usize);
+    let b = bld.inputs("b", bits as usize);
+    let zero = bld.constant(false);
+    let mut props = Vec::new();
+    for i in 0..bits as usize {
+        let (o6, _) = bld.lut2(Init::XOR2, a[i], b[i]);
+        props.push(o6);
+    }
+    let (mut sums, cout) = bld.carry_chain(zero, &props, &a);
+    sums.push(cout);
+    bld.output_bus("s", &sums);
+    bld.finish().expect("adder netlist is well-formed")
+}
+
+/// Lower-OR adder netlist: `k` OR LUTs for the low part, an exact
+/// carry-chain adder for the upper part (no carry between them).
+///
+/// LUT count: `bits` (k OR LUTs + bits−k XOR LUTs) — same as the exact
+/// adder; the savings are in the shorter carry chain and, on the
+/// device, the freed chain stages.
+///
+/// # Panics
+///
+/// Panics unless `k <= bits <= 32` and `bits >= 1`.
+#[must_use]
+pub fn loa_netlist(bits: u32, k: u32) -> Netlist {
+    assert!((1..=32).contains(&bits) && k <= bits, "bad configuration");
+    let mut bld = NetlistBuilder::new(format!("loa{bits}_{k}"));
+    let a = bld.inputs("a", bits as usize);
+    let b = bld.inputs("b", bits as usize);
+    let zero = bld.constant(false);
+    let mut out = Vec::new();
+    for i in 0..k as usize {
+        let (o6, _) = bld.lut2(Init::OR2, a[i], b[i]);
+        out.push(o6);
+    }
+    if k < bits {
+        let mut props = Vec::new();
+        let mut gens = Vec::new();
+        for i in k as usize..bits as usize {
+            let (o6, _) = bld.lut2(Init::XOR2, a[i], b[i]);
+            props.push(o6);
+            gens.push(a[i]);
+        }
+        let (sums, cout) = bld.carry_chain(zero, &props, &gens);
+        out.extend(sums);
+        out.push(cout);
+    } else {
+        out.push(zero);
+    }
+    bld.output_bus("s", &out);
+    bld.finish().expect("loa netlist is well-formed")
+}
+
+/// Carry-free adder netlist: one XOR LUT per bit, no chain at all.
+///
+/// # Panics
+///
+/// Panics unless `1 <= bits <= 32`.
+#[must_use]
+pub fn carry_free_adder_netlist(bits: u32) -> Netlist {
+    assert!((1..=32).contains(&bits), "width out of range");
+    let mut bld = NetlistBuilder::new(format!("cfree_add{bits}"));
+    let a = bld.inputs("a", bits as usize);
+    let b = bld.inputs("b", bits as usize);
+    let mut out = Vec::new();
+    for i in 0..bits as usize {
+        let (o6, _) = bld.lut2(Init::XOR2, a[i], b[i]);
+        out.push(o6);
+    }
+    bld.output_bus("s", &out);
+    bld.finish().expect("carry-free netlist is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavioral::{Adder, CarryFreeAdder, ExactAdder, LowerOrAdder};
+    use axmul_fabric::sim::for_each_operand_pair;
+    use axmul_fabric::timing::{analyze, DelayModel};
+
+    #[test]
+    fn exact_matches_behavioral() {
+        let nl = exact_adder_netlist(8);
+        let m = ExactAdder::new(8);
+        for_each_operand_pair(&nl, |a, b, out| {
+            assert_eq!(out[0], m.add(a, b), "a={a} b={b}");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn loa_matches_behavioral_all_splits() {
+        for k in [0u32, 2, 4, 7, 8] {
+            let nl = loa_netlist(8, k);
+            let m = LowerOrAdder::new(8, k);
+            for_each_operand_pair(&nl, |a, b, out| {
+                assert_eq!(out[0], m.add(a, b), "k={k} a={a} b={b}");
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn carry_free_matches_behavioral() {
+        let nl = carry_free_adder_netlist(8);
+        let m = CarryFreeAdder::new(8);
+        for_each_operand_pair(&nl, |a, b, out| {
+            assert_eq!(out[0], m.add(a, b), "a={a} b={b}");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn approximation_shortens_the_critical_path() {
+        let model = DelayModel::virtex7();
+        let exact = analyze(&exact_adder_netlist(16), &model).critical_path_ns;
+        let loa = analyze(&loa_netlist(16, 8), &model).critical_path_ns;
+        let cfree = analyze(&carry_free_adder_netlist(16), &model).critical_path_ns;
+        assert!(loa < exact, "LOA {loa:.2} vs exact {exact:.2}");
+        assert!(cfree < loa, "carry-free {cfree:.2} vs LOA {loa:.2}");
+    }
+
+    #[test]
+    fn chain_usage_shrinks_with_k() {
+        assert_eq!(exact_adder_netlist(16).carry4_count(), 4);
+        assert_eq!(loa_netlist(16, 8).carry4_count(), 2);
+        assert_eq!(carry_free_adder_netlist(16).carry4_count(), 0);
+    }
+}

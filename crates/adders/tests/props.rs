@@ -1,0 +1,83 @@
+//! Property-based tests of the adder invariants.
+
+use axmul_adders::{
+    carry_free_adder_netlist, exact_adder_netlist, loa_netlist, Adder, CarryFreeAdder,
+    ExactAdder, LowerOrAdder, TruncatedAdder,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The exact adder is exact at every width.
+    #[test]
+    fn exact_adds(bits in 1u32..32, a in any::<u64>(), b in any::<u64>()) {
+        let m = ExactAdder::new(bits);
+        let mask = (1u64 << bits) - 1;
+        prop_assert_eq!(m.add(a, b), (a & mask) + (b & mask));
+    }
+
+    /// LOA error bounds: |error| < 2^(k+1), and the upper part is
+    /// never corrupted beyond the single lost carry.
+    #[test]
+    fn loa_error_bounds(bits in 2u32..20, k_frac in 0u32..100, a in any::<u64>(), b in any::<u64>()) {
+        let k = k_frac % (bits + 1);
+        let m = LowerOrAdder::new(bits, k);
+        let e = m.error(a, b);
+        prop_assert!(e.unsigned_abs() < 1u64 << (k + 1), "k={} e={}", k, e);
+        // Upper bits differ from exact by at most one unit at 2^k.
+        let mask = (1u64 << bits) - 1;
+        let exact_hi = ((a & mask) + (b & mask)) >> k;
+        let got_hi = m.add(a, b) >> k;
+        prop_assert!(exact_hi.abs_diff(got_hi) <= 1);
+    }
+
+    /// The truncated adder only underestimates and its result is
+    /// always a multiple of 2^k.
+    #[test]
+    fn truncated_properties(bits in 2u32..20, k_frac in 0u32..100, a in any::<u64>(), b in any::<u64>()) {
+        let k = k_frac % bits;
+        let m = TruncatedAdder::new(bits, k);
+        let r = m.add(a, b);
+        prop_assert_eq!(r % (1 << k), 0);
+        prop_assert!(m.error(a, b) >= 0);
+        prop_assert!(m.error(a, b) < 1i64 << (k + 1));
+    }
+
+    /// The carry-free adder is its own inverse: adding `b` twice
+    /// cancels (XOR structure).
+    #[test]
+    fn carry_free_is_involutive(bits in 1u32..32, a in any::<u64>(), b in any::<u64>()) {
+        let m = CarryFreeAdder::new(bits);
+        prop_assert_eq!(m.add(m.add(a, b), b), a & ((1u64 << bits) - 1));
+    }
+
+    /// Structural netlists equal behavioral models on random operands
+    /// at random widths and splits.
+    #[test]
+    fn netlists_match_behavioral(bits in 1u32..14, k_frac in 0u32..100, a in any::<u64>(), b in any::<u64>()) {
+        let mask = (1u64 << bits) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let exact = exact_adder_netlist(bits);
+        prop_assert_eq!(exact.eval(&[a, b]).unwrap()[0], ExactAdder::new(bits).add(a, b));
+        let k = k_frac % (bits + 1);
+        let loa = loa_netlist(bits, k);
+        prop_assert_eq!(loa.eval(&[a, b]).unwrap()[0], LowerOrAdder::new(bits, k).add(a, b));
+        let cfree = carry_free_adder_netlist(bits);
+        prop_assert_eq!(cfree.eval(&[a, b]).unwrap()[0], CarryFreeAdder::new(bits).add(a, b));
+    }
+
+    /// Commutativity holds for every adder in the library.
+    #[test]
+    fn adders_commute(bits in 2u32..16, a in any::<u64>(), b in any::<u64>()) {
+        let designs: Vec<Box<dyn Adder>> = vec![
+            Box::new(ExactAdder::new(bits)),
+            Box::new(LowerOrAdder::new(bits, bits / 2)),
+            Box::new(TruncatedAdder::new(bits, bits / 2)),
+            Box::new(CarryFreeAdder::new(bits)),
+        ];
+        for m in designs {
+            prop_assert_eq!(m.add(a, b), m.add(b, a), "{}", m.name());
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The Table 1 mapping: implementing the Reed-Solomon and JPEG encoder
+//! datapaths on a Virtex-7-class device with DSP blocks enabled and
+//! disabled.
+//!
+//! The model captures the two effects the paper's motivation rests on:
+//!
+//! * hard DSP blocks live in fixed columns, so reaching them costs
+//!   general routing that grows with how many columns the design
+//!   spans — which is why the Reed-Solomon encoder (22 tiny constant
+//!   GF multipliers the tools nevertheless push into DSPs) gets
+//!   *slower* with DSPs enabled;
+//! * a multiplier-rich design like the JPEG encoder (ROM-fed generic
+//!   16×16 products in the DCT and quantizer) consumes ~56 % of the
+//!   device's DSP blocks, and its LUT-only fallback both bloats area
+//!   and slows down from routing congestion.
+//!
+//! Base LUT counts and pre/post-multiplier path segments are sized to
+//! the reference RTL scale (the paper's opencores.org designs);
+//! everything else — multiplier areas, delays, routing and congestion —
+//! comes from the fabric cost models.
+
+use axmul_baselines::csa_tree_mult_netlist;
+use axmul_fabric::cost::{AppCost, CostModel, MultImpl};
+use axmul_fabric::timing::{analyze, DelayModel};
+
+/// How a multiplier inventory entry is realized in soft logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultKind {
+    /// A constant GF(2⁸) multiplier: a small XOR network.
+    GaloisConstant,
+    /// A generic integer multiplier (operand × ROM coefficient).
+    Integer,
+}
+
+/// One class of multipliers inside a datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultInventory {
+    /// Number of instances.
+    pub count: u32,
+    /// First operand width.
+    pub a_bits: u32,
+    /// Second operand width.
+    pub b_bits: u32,
+    /// Realization class.
+    pub kind: MultKind,
+}
+
+/// A datapath to be mapped onto the device in either multiplier style.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppDatapath {
+    /// Application name (Table 1 row).
+    pub name: String,
+    /// LUTs of the multiplier-independent logic.
+    pub base_luts: u32,
+    /// Critical path that bypasses every multiplier (ns).
+    pub base_delay_ns: f64,
+    /// Logic delay feeding the critical multiplier (ns).
+    pub pre_mult_ns: f64,
+    /// Logic delay after the critical multiplier (ns).
+    pub post_mult_ns: f64,
+    /// Multiplier inventory.
+    pub mults: Vec<MultInventory>,
+}
+
+impl AppDatapath {
+    /// The RS(255,239) encoder of [`crate::reed_solomon`]: an LFSR with
+    /// one constant GF(2⁸) multiplier per generator tap (the synthesis
+    /// run of the reference RTL maps 22 of them to DSPs).
+    #[must_use]
+    pub fn reed_solomon_encoder() -> Self {
+        AppDatapath {
+            name: "Reed-Solomon Encoder".to_string(),
+            base_luts: 2826,
+            base_delay_ns: 4.36,
+            pre_mult_ns: 0.6,
+            post_mult_ns: 0.8,
+            mults: vec![MultInventory {
+                count: 22,
+                a_bits: 8,
+                b_bits: 8,
+                kind: MultKind::GaloisConstant,
+            }],
+        }
+    }
+
+    /// The JPEG encoder of [`crate::jpeg`] with three parallel block
+    /// pipelines: per pipeline, 176 DCT products (11 per 1-D butterfly
+    /// × 8 vectors × 2 passes), 32 quantizer products and 2
+    /// scale/level products — 630 ROM-fed 16×16 multipliers in total.
+    #[must_use]
+    pub fn jpeg_encoder() -> Self {
+        AppDatapath {
+            name: "JPEG Encoder".to_string(),
+            base_luts: 4200,
+            base_delay_ns: 6.2,
+            pre_mult_ns: 1.0,
+            post_mult_ns: 1.0,
+            mults: vec![MultInventory {
+                count: 630,
+                a_bits: 16,
+                b_bits: 16,
+                kind: MultKind::Integer,
+            }],
+        }
+    }
+
+    /// Maps the datapath with the chosen multiplier implementation.
+    #[must_use]
+    pub fn implement(
+        &self,
+        cost: &CostModel,
+        delay: &DelayModel,
+        style: MultImpl,
+    ) -> AppCost {
+        // Inner (pad-free) delay model for soft multipliers.
+        let inner = DelayModel {
+            t_input: 0.0,
+            t_output: 0.0,
+            ..*delay
+        };
+        let mut luts = self.base_luts;
+        let mut dsps = 0u32;
+        let mut worst_mult_path = 0.0f64;
+        for inv in &self.mults {
+            match style {
+                MultImpl::Dsp => {
+                    dsps += inv.count;
+                }
+                MultImpl::Lut => {
+                    let (area, t) = match inv.kind {
+                        MultKind::GaloisConstant => {
+                            // A constant GF(2^8) multiplier is 8 XOR
+                            // trees over <= 8 taps: ~2 LUTs and two
+                            // logic levels after cross-output sharing.
+                            (2, 2.0 * (delay.t_lut + delay.t_net))
+                        }
+                        MultKind::Integer => {
+                            let nl = csa_tree_mult_netlist(inv.a_bits, inv.b_bits);
+                            let t = analyze(&nl, &inner).critical_path_ns;
+                            (nl.lut_count() as u32, t)
+                        }
+                    };
+                    luts += inv.count * area;
+                    worst_mult_path = worst_mult_path.max(t);
+                }
+            }
+        }
+        if style == MultImpl::Dsp && !self.mults.is_empty() {
+            worst_mult_path = cost.dsp_mult_delay(dsps);
+        }
+        let mult_path = if self.mults.is_empty() {
+            0.0
+        } else {
+            self.pre_mult_ns + worst_mult_path + self.post_mult_ns
+        };
+        let raw = self.base_delay_ns.max(mult_path);
+        let congested = raw * cost_congestion(cost, luts);
+        AppCost {
+            critical_path_ns: congested,
+            luts,
+            dsp_blocks: dsps,
+        }
+    }
+}
+
+/// Routing-congestion multiplier: past ~25 % LUT utilization, critical
+/// paths stretch as the router detours (cf. Kuon & Rose's FPGA/ASIC gap
+/// measurements).
+fn cost_congestion(cost: &CostModel, luts: u32) -> f64 {
+    let util = f64::from(luts) / f64::from(cost.device.luts);
+    1.0 + 0.35 * (util - 0.25).max(0.0)
+}
+
+/// Produces the full Table 1: each application in both implementation
+/// styles, `(name, dsp_enabled, dsp_disabled)`.
+#[must_use]
+pub fn table1(cost: &CostModel, delay: &DelayModel) -> Vec<(String, AppCost, AppCost)> {
+    [
+        AppDatapath::reed_solomon_encoder(),
+        AppDatapath::jpeg_encoder(),
+    ]
+    .into_iter()
+    .map(|app| {
+        let dsp = app.implement(cost, delay, MultImpl::Dsp);
+        let lut = app.implement(cost, delay, MultImpl::Lut);
+        (app.name, dsp, lut)
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models() -> (CostModel, DelayModel) {
+        (CostModel::virtex7(), DelayModel::virtex7())
+    }
+
+    #[test]
+    fn reed_solomon_is_slower_with_dsps() {
+        // Table 1's headline: 5.115 ns with DSPs vs 4.358 ns without.
+        let (cost, delay) = models();
+        let app = AppDatapath::reed_solomon_encoder();
+        let dsp = app.implement(&cost, &delay, MultImpl::Dsp);
+        let lut = app.implement(&cost, &delay, MultImpl::Lut);
+        assert!(
+            dsp.critical_path_ns > lut.critical_path_ns,
+            "DSP {:.3} should exceed LUT {:.3}",
+            dsp.critical_path_ns,
+            lut.critical_path_ns
+        );
+        assert_eq!(dsp.dsp_blocks, 22);
+        assert_eq!(lut.dsp_blocks, 0);
+        // LUT-only costs only a handful of extra LUTs.
+        assert!(lut.luts - dsp.luts < 100);
+    }
+
+    #[test]
+    fn jpeg_exhausts_dsp_budget() {
+        // Table 1: 631 DSPs = 56% of the 7VX330T.
+        let (cost, delay) = models();
+        let app = AppDatapath::jpeg_encoder();
+        let dsp = app.implement(&cost, &delay, MultImpl::Dsp);
+        let util = cost.device.dsp_utilization(dsp.dsp_blocks);
+        assert!((util - 0.5625).abs() < 0.01, "utilization {util}");
+    }
+
+    #[test]
+    fn jpeg_lut_fallback_is_slower_and_huge() {
+        let (cost, delay) = models();
+        let app = AppDatapath::jpeg_encoder();
+        let dsp = app.implement(&cost, &delay, MultImpl::Dsp);
+        let lut = app.implement(&cost, &delay, MultImpl::Lut);
+        assert_eq!(lut.dsp_blocks, 0);
+        assert!(
+            lut.critical_path_ns > dsp.critical_path_ns,
+            "LUT {:.3} should exceed DSP {:.3} (congestion)",
+            lut.critical_path_ns,
+            dsp.critical_path_ns
+        );
+        assert!(lut.luts > 50_000, "LUT-only JPEG is enormous: {}", lut.luts);
+        assert!(
+            lut.luts < cost.device.luts,
+            "still fits the device: {}",
+            lut.luts
+        );
+    }
+
+    #[test]
+    fn table1_has_both_rows() {
+        let (cost, delay) = models();
+        let t = table1(&cost, &delay);
+        assert_eq!(t.len(), 2);
+        assert!(t[0].0.contains("Reed-Solomon"));
+        assert!(t[1].0.contains("JPEG"));
+    }
+
+    #[test]
+    fn congestion_kicks_in_above_quarter_utilization() {
+        let (cost, _) = models();
+        assert_eq!(cost_congestion(&cost, 1000), 1.0);
+        assert!(cost_congestion(&cost, 180_000) > 1.15);
+    }
+}

@@ -1,0 +1,259 @@
+//! Arithmetic in GF(2⁸) with the primitive polynomial
+//! `x⁸ + x⁴ + x³ + x² + 1` (0x11D), the field used by CCSDS/DVB-style
+//! Reed-Solomon codes.
+//!
+//! Multiplication is table-driven (exp/log), which is also how the
+//! hardware encoder's *variable* multipliers would be built; the
+//! encoder itself only needs *constant* multipliers, which synthesize
+//! to small XOR networks — the crux of Table 1's Reed-Solomon row.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Sub};
+
+/// The primitive polynomial (without the x⁸ term): 0x1D.
+pub const POLY: u16 = 0x11D;
+
+/// An element of GF(2⁸).
+///
+/// # Examples
+///
+/// ```
+/// use axmul_apps::gf256::Gf256;
+///
+/// let a = Gf256::new(0x53);
+/// let b = Gf256::new(0xCA);
+/// assert_eq!((a + b).value(), 0x53 ^ 0xCA);  // addition is XOR
+/// assert_eq!(a * a.inverse(), Gf256::ONE);   // multiplicative inverse
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Gf256(u8);
+
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The primitive element α (= 2).
+    pub const ALPHA: Gf256 = Gf256(2);
+
+    /// Wraps a byte as a field element.
+    #[must_use]
+    pub const fn new(value: u8) -> Self {
+        Gf256(value)
+    }
+
+    /// The underlying byte.
+    #[must_use]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// α raised to `power` (mod the field order 255).
+    #[must_use]
+    pub fn alpha_pow(power: u32) -> Self {
+        Gf256(tables().exp[(power % 255) as usize])
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero (which has no inverse).
+    #[must_use]
+    pub fn inverse(self) -> Self {
+        assert!(self.0 != 0, "zero has no multiplicative inverse");
+        let t = tables();
+        Gf256(t.exp[255 - t.log[self.0 as usize] as usize])
+    }
+
+    /// `self` raised to `power`.
+    #[must_use]
+    pub fn pow(self, power: u32) -> Self {
+        if self.0 == 0 {
+            return if power == 0 { Gf256::ONE } else { Gf256::ZERO };
+        }
+        let t = tables();
+        let l = u64::from(t.log[self.0 as usize]) * u64::from(power);
+        Gf256(t.exp[(l % 255) as usize])
+    }
+}
+
+impl Add for Gf256 {
+    type Output = Gf256;
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf256 {
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for Gf256 {
+    type Output = Gf256;
+    /// Subtraction equals addition in characteristic 2.
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        self + rhs
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let t = tables();
+        Gf256(t.exp[t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize])
+    }
+}
+
+impl MulAssign for Gf256 {
+    fn mul_assign(&mut self, rhs: Gf256) {
+        *self = *self * rhs;
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#04X}", self.0)
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(v: u8) -> Self {
+        Gf256(v)
+    }
+}
+
+impl From<Gf256> for u8 {
+    fn from(v: Gf256) -> u8 {
+        v.0
+    }
+}
+
+/// Bit-serial ("Russian peasant") multiplication — the structural
+/// definition the table-driven fast path must agree with.
+#[must_use]
+pub fn mul_slow(a: u8, b: u8) -> u8 {
+    let mut acc: u16 = 0;
+    let mut a = u16::from(a);
+    let mut b = b;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a <<= 1;
+        if a & 0x100 != 0 {
+            a ^= POLY;
+        }
+        b >>= 1;
+    }
+    acc as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_mul_equals_bit_serial_exhaustively() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(
+                    (Gf256::new(a) * Gf256::new(b)).value(),
+                    mul_slow(a, b),
+                    "a={a:#x} b={b:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn field_axioms_hold_on_samples() {
+        let elems: Vec<Gf256> = (0..=255).step_by(7).map(Gf256::new).collect();
+        for &a in &elems {
+            for &b in &elems {
+                assert_eq!(a * b, b * a, "commutativity");
+                assert_eq!(a + b, b + a);
+                for &c in &elems {
+                    assert_eq!((a * b) * c, a * (b * c), "associativity");
+                    assert_eq!(a * (b + c), a * b + a * c, "distributivity");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverses_are_inverses() {
+        for v in 1..=255u8 {
+            let a = Gf256::new(v);
+            assert_eq!(a * a.inverse(), Gf256::ONE, "v={v:#x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn zero_has_no_inverse() {
+        let _ = Gf256::ZERO.inverse();
+    }
+
+    #[test]
+    fn alpha_generates_the_field() {
+        let mut seen = [false; 256];
+        for p in 0..255 {
+            let v = Gf256::alpha_pow(p).value();
+            assert!(!seen[v as usize], "alpha^{p} repeats");
+            seen[v as usize] = true;
+        }
+        assert!(!seen[0], "powers of alpha never hit zero");
+    }
+
+    #[test]
+    fn pow_consistency() {
+        let a = Gf256::new(0x1D);
+        let mut acc = Gf256::ONE;
+        for p in 0..20 {
+            assert_eq!(a.pow(p), acc);
+            acc *= a;
+        }
+        assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+        assert_eq!(Gf256::ZERO.pow(5), Gf256::ZERO);
+    }
+
+    #[test]
+    fn subtraction_is_addition() {
+        let a = Gf256::new(0xAB);
+        let b = Gf256::new(0x42);
+        assert_eq!(a - b, a + b);
+    }
+}

@@ -1,0 +1,153 @@
+//! MSB-first bit I/O for the entropy-coded segment.
+
+/// Accumulates bits MSB-first into a byte vector.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_apps::jpeg::BitWriter;
+///
+/// let mut w = BitWriter::new();
+/// w.write(0b101, 3);
+/// w.write(0b1, 1);
+/// let bytes = w.finish();
+/// assert_eq!(bytes, vec![0b1011_1111]); // padded with 1s like JPEG
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    current: u8,
+    filled: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends the `count` low bits of `value`, MSB-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn write(&mut self, value: u32, count: u32) {
+        assert!(count <= 32, "at most 32 bits per write");
+        for i in (0..count).rev() {
+            self.current = (self.current << 1) | ((value >> i) & 1) as u8;
+            self.filled += 1;
+            if self.filled == 8 {
+                self.bytes.push(self.current);
+                self.current = 0;
+                self.filled = 0;
+            }
+        }
+    }
+
+    /// Number of bits written so far.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.filled as usize
+    }
+
+    /// Pads the final byte with 1-bits (the JPEG convention) and
+    /// returns the byte stream.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            let pad = 8 - self.filled;
+            self.current = (self.current << pad) | ((1u16 << pad) - 1) as u8;
+            self.bytes.push(self.current);
+        }
+        self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads one bit; `None` at end of stream.
+    pub fn bit(&mut self) -> Option<u32> {
+        let byte = self.bytes.get(self.pos / 8)?;
+        let bit = (byte >> (7 - self.pos % 8)) & 1;
+        self.pos += 1;
+        Some(u32::from(bit))
+    }
+
+    /// Reads `count` bits MSB-first; `None` if the stream is exhausted.
+    pub fn bits(&mut self, count: u32) -> Option<u32> {
+        let mut v = 0u32;
+        for _ in 0..count {
+            v = (v << 1) | self.bit()?;
+        }
+        Some(v)
+    }
+
+    /// Bits consumed so far.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_various_widths() {
+        let mut w = BitWriter::new();
+        let fields = [(0x1u32, 1u32), (0x2A, 6), (0xFFFF, 16), (0, 3), (0x155, 9)];
+        for &(v, n) in &fields {
+            w.write(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            let mask = ((1u64 << n) - 1) as u32;
+            assert_eq!(r.bits(n), Some(v & mask));
+        }
+    }
+
+    #[test]
+    fn writer_pads_with_ones() {
+        let mut w = BitWriter::new();
+        w.write(0, 2);
+        assert_eq!(w.finish(), vec![0b0011_1111]);
+    }
+
+    #[test]
+    fn empty_writer_produces_nothing() {
+        assert!(BitWriter::new().finish().is_empty());
+        assert_eq!(BitWriter::new().bit_len(), 0);
+    }
+
+    #[test]
+    fn reader_ends_cleanly() {
+        let mut r = BitReader::new(&[0xA5]);
+        assert_eq!(r.bits(8), Some(0xA5));
+        assert_eq!(r.bit(), None);
+        assert_eq!(r.bits(4), None);
+    }
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        w.write(0b1111, 4);
+        assert_eq!(w.bit_len(), 4);
+        w.write(0b11111, 5);
+        assert_eq!(w.bit_len(), 9);
+    }
+}

@@ -1,0 +1,199 @@
+//! Fixed-point 8×8 forward and inverse DCT.
+//!
+//! The hardware datapath this models multiplies 13-bit cosine constants
+//! against sample data — the wide constant multiplications that consume
+//! DSP blocks in Table 1's JPEG row. The software model uses the same
+//! row-column decomposition with 13-bit fixed-point weights and
+//! round-to-nearest shifts.
+
+const SCALE_BITS: u32 = 13;
+
+// w[u][x] = C(u)/2 * cos((2x+1) u pi / 16), scaled by 2^13.
+fn weights() -> &'static [[i32; 8]; 8] {
+    use std::sync::OnceLock;
+    static W: OnceLock<[[i32; 8]; 8]> = OnceLock::new();
+    W.get_or_init(|| {
+        let mut w = [[0i32; 8]; 8];
+        for (u, row) in w.iter_mut().enumerate() {
+            let cu = if u == 0 {
+                1.0 / f64::sqrt(2.0)
+            } else {
+                1.0
+            };
+            for (x, val) in row.iter_mut().enumerate() {
+                let angle = (2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0;
+                *val = (cu / 2.0 * angle.cos() * f64::from(1 << SCALE_BITS)).round() as i32;
+            }
+        }
+        w
+    })
+}
+
+fn dct_1d(input: &[i32; 8]) -> [i32; 8] {
+    let w = weights();
+    let mut out = [0i32; 8];
+    for (u, o) in out.iter_mut().enumerate() {
+        let mut acc = 0i64;
+        for x in 0..8 {
+            acc += i64::from(input[x]) * i64::from(w[u][x]);
+        }
+        *o = ((acc + (1 << (SCALE_BITS - 1))) >> SCALE_BITS) as i32;
+    }
+    out
+}
+
+fn idct_1d(input: &[i32; 8]) -> [i32; 8] {
+    let w = weights();
+    let mut out = [0i32; 8];
+    for (x, o) in out.iter_mut().enumerate() {
+        let mut acc = 0i64;
+        for u in 0..8 {
+            acc += i64::from(input[u]) * i64::from(w[u][x]);
+        }
+        *o = ((acc + (1 << (SCALE_BITS - 1))) >> SCALE_BITS) as i32;
+    }
+    out
+}
+
+/// Forward 2-D DCT of a level-shifted 8×8 block (row-major), producing
+/// coefficients in the range a JPEG quantizer expects (DC ≈ 8 × mean).
+///
+/// # Examples
+///
+/// ```
+/// use axmul_apps::jpeg::fdct_2d;
+///
+/// let flat = [100i32; 64];
+/// let coefs = fdct_2d(&flat);
+/// assert_eq!(coefs[0], 800);                  // DC = 8 * 100
+/// assert!(coefs[1..].iter().all(|&c| c == 0)); // no AC energy
+/// ```
+#[must_use]
+pub fn fdct_2d(block: &[i32; 64]) -> [i32; 64] {
+    let mut tmp = [0i32; 64];
+    for r in 0..8 {
+        let row: [i32; 8] = std::array::from_fn(|c| block[r * 8 + c]);
+        let out = dct_1d(&row);
+        tmp[r * 8..r * 8 + 8].copy_from_slice(&out);
+    }
+    let mut result = [0i32; 64];
+    for c in 0..8 {
+        let col: [i32; 8] = std::array::from_fn(|r| tmp[r * 8 + c]);
+        let out = dct_1d(&col);
+        for r in 0..8 {
+            result[r * 8 + c] = out[r];
+        }
+    }
+    result
+}
+
+/// Inverse 2-D DCT, returning level-shifted samples.
+#[must_use]
+pub fn idct_2d(coefs: &[i32; 64]) -> [i32; 64] {
+    let mut tmp = [0i32; 64];
+    for c in 0..8 {
+        let col: [i32; 8] = std::array::from_fn(|r| coefs[r * 8 + c]);
+        let out = idct_1d(&col);
+        for r in 0..8 {
+            tmp[r * 8 + c] = out[r];
+        }
+    }
+    let mut result = [0i32; 64];
+    for r in 0..8 {
+        let row: [i32; 8] = std::array::from_fn(|c| tmp[r * 8 + c]);
+        let out = idct_1d(&row);
+        result[r * 8..r * 8 + 8].copy_from_slice(&out);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_fdct(block: &[i32; 64]) -> [f64; 64] {
+        let mut out = [0.0f64; 64];
+        for v in 0..8 {
+            for u in 0..8 {
+                let cu = if u == 0 { 1.0 / f64::sqrt(2.0) } else { 1.0 };
+                let cv = if v == 0 { 1.0 / f64::sqrt(2.0) } else { 1.0 };
+                let mut acc = 0.0;
+                for y in 0..8 {
+                    for x in 0..8 {
+                        acc += f64::from(block[y * 8 + x])
+                            * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0)
+                                .cos()
+                            * ((2.0 * y as f64 + 1.0) * v as f64 * std::f64::consts::PI / 16.0)
+                                .cos();
+                    }
+                }
+                out[v * 8 + u] = 0.25 * cu * cv * acc;
+            }
+        }
+        out
+    }
+
+    fn test_block(seed: i32) -> [i32; 64] {
+        std::array::from_fn(|i| ((i as i32 * 37 + seed * 101) % 256) - 128)
+    }
+
+    #[test]
+    fn fixed_point_matches_float_reference() {
+        for seed in 0..8 {
+            let block = test_block(seed);
+            let fixed = fdct_2d(&block);
+            let float = reference_fdct(&block);
+            for i in 0..64 {
+                assert!(
+                    (f64::from(fixed[i]) - float[i]).abs() <= 2.0,
+                    "seed {seed} coef {i}: {} vs {}",
+                    fixed[i],
+                    float[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dc_of_flat_block_is_8x_mean() {
+        let block = [-50i32; 64];
+        let coefs = fdct_2d(&block);
+        // Fixed-point shifts floor toward -inf, so negatives may be
+        // one LSB off the ideal 8x mean.
+        assert!((coefs[0] - -400).abs() <= 1, "{}", coefs[0]);
+        assert_eq!(fdct_2d(&[100i32; 64])[0], 800);
+    }
+
+    #[test]
+    fn round_trip_is_near_lossless() {
+        for seed in 0..8 {
+            let block = test_block(seed);
+            let back = idct_2d(&fdct_2d(&block));
+            for i in 0..64 {
+                assert!(
+                    (block[i] - back[i]).abs() <= 2,
+                    "seed {seed} sample {i}: {} vs {}",
+                    block[i],
+                    back[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pure_cosine_concentrates_energy() {
+        // A horizontal cosine at frequency u=2 should put (almost) all
+        // energy into coefficient (v=0, u=2).
+        let block: [i32; 64] = std::array::from_fn(|i| {
+            let x = i % 8;
+            (100.0 * ((2.0 * x as f64 + 1.0) * 2.0 * std::f64::consts::PI / 16.0).cos()) as i32
+        });
+        let coefs = fdct_2d(&block);
+        let main = coefs[2].abs();
+        for (i, &c) in coefs.iter().enumerate() {
+            if i != 2 {
+                assert!(c.abs() < main / 8, "leakage at {i}: {c} vs main {main}");
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The standard JPEG luminance Huffman tables (Annex K, Tables K.3 and
+//! K.5), built from their canonical `BITS`/`HUFFVAL` specification, plus
+//! the amplitude size-category coding shared by DC and AC symbols.
+
+use std::collections::HashMap;
+
+use super::bits::{BitReader, BitWriter};
+
+/// A canonical JPEG Huffman table: encode (symbol → code) and decode
+/// (bit-by-bit walk).
+#[derive(Debug, Clone)]
+pub struct HuffmanTable {
+    // symbol -> (code, length)
+    encode: HashMap<u8, (u32, u32)>,
+    // (code, length) -> symbol
+    decode: HashMap<(u32, u32), u8>,
+    max_len: u32,
+}
+
+impl HuffmanTable {
+    /// Builds a table from the JPEG `BITS` array (number of codes of
+    /// each length 1..=16) and the `HUFFVAL` symbol list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specification is inconsistent (wrong symbol count
+    /// or code overflow).
+    #[must_use]
+    pub fn from_spec(bits: &[u8; 16], values: &[u8]) -> Self {
+        let total: usize = bits.iter().map(|&b| b as usize).sum();
+        assert_eq!(total, values.len(), "BITS/HUFFVAL mismatch");
+        let mut encode = HashMap::new();
+        let mut decode = HashMap::new();
+        let mut code = 0u32;
+        let mut k = 0usize;
+        let mut max_len = 0;
+        for (len_minus_1, &count) in bits.iter().enumerate() {
+            let len = len_minus_1 as u32 + 1;
+            for _ in 0..count {
+                assert!(code < (1 << len), "canonical code overflow");
+                let sym = values[k];
+                encode.insert(sym, (code, len));
+                decode.insert((code, len), sym);
+                code += 1;
+                k += 1;
+                max_len = len;
+            }
+            code <<= 1;
+        }
+        HuffmanTable {
+            encode,
+            decode,
+            max_len,
+        }
+    }
+
+    /// Writes the code for `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol is not in the table.
+    pub fn write(&self, w: &mut BitWriter, symbol: u8) {
+        let (code, len) = self.encode[&symbol];
+        w.write(code, len);
+    }
+
+    /// Decodes one symbol; `None` on truncated input or invalid code.
+    pub fn read(&self, r: &mut BitReader<'_>) -> Option<u8> {
+        let mut code = 0u32;
+        for len in 1..=self.max_len {
+            code = (code << 1) | r.bit()?;
+            if let Some(&sym) = self.decode.get(&(code, len)) {
+                return Some(sym);
+            }
+        }
+        None
+    }
+
+    /// Number of symbols in the table.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.encode.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.encode.is_empty()
+    }
+}
+
+/// The standard luminance DC table (Annex K, Table K.3).
+#[must_use]
+pub fn luma_dc() -> HuffmanTable {
+    let bits: [u8; 16] = [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0];
+    let values: [u8; 12] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+    HuffmanTable::from_spec(&bits, &values)
+}
+
+/// The standard luminance AC table (Annex K, Table K.5). Symbols are
+/// `(run << 4) | size`, plus `0x00` (end-of-block) and `0xF0` (ZRL).
+#[must_use]
+pub fn luma_ac() -> HuffmanTable {
+    let bits: [u8; 16] = [0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 125];
+    let values: [u8; 162] = [
+        0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61,
+        0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08, 0x23, 0x42, 0xB1, 0xC1, 0x15, 0x52,
+        0xD1, 0xF0, 0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0A, 0x16, 0x17, 0x18, 0x19, 0x1A, 0x25,
+        0x26, 0x27, 0x28, 0x29, 0x2A, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44, 0x45,
+        0x46, 0x47, 0x48, 0x49, 0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5A, 0x63, 0x64,
+        0x65, 0x66, 0x67, 0x68, 0x69, 0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7A, 0x83,
+        0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99,
+        0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6,
+        0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5, 0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2, 0xD3,
+        0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1, 0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8,
+        0xE9, 0xEA, 0xF1, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8, 0xF9, 0xFA,
+    ];
+    HuffmanTable::from_spec(&bits, &values)
+}
+
+/// Lazily-constructed shared luminance DC table.
+pub static LUMA_DC: std::sync::LazyLock<HuffmanTable> = std::sync::LazyLock::new(luma_dc);
+/// Lazily-constructed shared luminance AC table.
+pub static LUMA_AC: std::sync::LazyLock<HuffmanTable> = std::sync::LazyLock::new(luma_ac);
+
+/// The JPEG size category of an amplitude: the bit length of `|v|`
+/// (category 0 is the value 0).
+#[must_use]
+pub fn size_category(v: i32) -> u32 {
+    32 - v.unsigned_abs().leading_zeros()
+}
+
+/// Writes an amplitude in JPEG's one's-complement-style variable-length
+/// form: `size_category` bits, negatives offset by `2^size − 1`.
+pub fn write_amplitude(w: &mut BitWriter, v: i32) {
+    let size = size_category(v);
+    if size == 0 {
+        return;
+    }
+    let bits = if v >= 0 {
+        v as u32
+    } else {
+        (v + (1 << size) - 1) as u32
+    };
+    w.write(bits, size);
+}
+
+/// Reads back an amplitude of the given size category.
+pub fn read_amplitude(r: &mut BitReader<'_>, size: u32) -> Option<i32> {
+    if size == 0 {
+        return Some(0);
+    }
+    let bits = r.bits(size)?;
+    // MSB set -> positive; else negative offset form.
+    if bits >> (size - 1) & 1 == 1 {
+        Some(bits as i32)
+    } else {
+        Some(bits as i32 - (1 << size) + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_table_known_codes() {
+        // Annex K: DC category 0 -> 00 (2 bits), category 2 -> 011.
+        let t = luma_dc();
+        assert_eq!(t.len(), 12);
+        let mut w = BitWriter::new();
+        t.write(&mut w, 0);
+        assert_eq!(w.bit_len(), 2);
+        let mut w = BitWriter::new();
+        t.write(&mut w, 11);
+        assert_eq!(w.bit_len(), 9, "category 11 is the 9-bit code");
+    }
+
+    #[test]
+    fn ac_table_has_162_symbols_and_known_lengths() {
+        let t = luma_ac();
+        assert_eq!(t.len(), 162);
+        // EOB (0x00) is 4 bits; ZRL (0xF0) is 11 bits.
+        let mut w = BitWriter::new();
+        t.write(&mut w, 0x00);
+        assert_eq!(w.bit_len(), 4);
+        let mut w = BitWriter::new();
+        t.write(&mut w, 0xF0);
+        assert_eq!(w.bit_len(), 11);
+    }
+
+    #[test]
+    fn all_symbols_round_trip() {
+        for table in [luma_dc(), luma_ac()] {
+            let mut w = BitWriter::new();
+            let mut symbols: Vec<u8> = table.encode.keys().copied().collect();
+            symbols.sort_unstable();
+            for &s in &symbols {
+                table.write(&mut w, s);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &s in &symbols {
+                assert_eq!(table.read(&mut r), Some(s));
+            }
+        }
+    }
+
+    #[test]
+    fn codes_are_prefix_free() {
+        for table in [luma_dc(), luma_ac()] {
+            let codes: Vec<(u32, u32)> = table.encode.values().copied().collect();
+            for (i, &(c1, l1)) in codes.iter().enumerate() {
+                for &(c2, l2) in &codes[i + 1..] {
+                    let (short, slen, long, llen) =
+                        if l1 <= l2 { (c1, l1, c2, l2) } else { (c2, l2, c1, l1) };
+                    assert!(
+                        !(llen > slen && (long >> (llen - slen)) == short),
+                        "{c1:b}/{l1} prefixes {c2:b}/{l2}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_categories() {
+        assert_eq!(size_category(0), 0);
+        assert_eq!(size_category(1), 1);
+        assert_eq!(size_category(-1), 1);
+        assert_eq!(size_category(2), 2);
+        assert_eq!(size_category(-3), 2);
+        assert_eq!(size_category(255), 8);
+        assert_eq!(size_category(-1024), 11);
+    }
+
+    #[test]
+    fn amplitudes_round_trip() {
+        for v in [-2047, -1024, -255, -3, -1, 0, 1, 2, 3, 127, 1024, 2047] {
+            let mut w = BitWriter::new();
+            write_amplitude(&mut w, v);
+            let size = size_category(v);
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(read_amplitude(&mut r, size), Some(v), "v={v}");
+        }
+    }
+}

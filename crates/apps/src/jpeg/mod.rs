@@ -1,0 +1,35 @@
+//! A JPEG encoder core — the second application of the paper's
+//! Table 1.
+//!
+//! The pipeline implements the heart of a baseline JPEG encoder for
+//! grayscale images: level shift, fixed-point 2-D DCT, quality-scaled
+//! quantization, zigzag reordering, and run-length/size-category
+//! entropy coding with the standard (Annex K) luminance Huffman tables.
+//! A full inverse path (entropy decode, dequantize, IDCT) exists so the
+//! encoder can be validated end-to-end by round-trip PSNR.
+//!
+//! It produces the entropy-coded segment, not a JFIF container — the
+//! hardware case study concerns the datapath (where the multipliers
+//! live), not file framing.
+//!
+//! ```
+//! use axmul_apps::jpeg::{decode_gray, encode_gray};
+//!
+//! let pixels: Vec<u8> = (0..64 * 64).map(|i| (i % 251) as u8).collect();
+//! let jpeg = encode_gray(64, 64, &pixels, 75)?;
+//! assert!(jpeg.bytes.len() < pixels.len()); // it actually compresses
+//! let back = decode_gray(&jpeg)?;
+//! # Ok::<(), axmul_apps::jpeg::JpegError>(())
+//! ```
+
+mod bits;
+mod dct;
+mod encoder;
+mod huffman;
+mod quant;
+
+pub use bits::{BitReader, BitWriter};
+pub use dct::{fdct_2d, idct_2d};
+pub use encoder::{decode_gray, encode_gray, EncodedImage, JpegError};
+pub use huffman::{HuffmanTable, LUMA_AC, LUMA_DC};
+pub use quant::{dequantize, quantize, quant_table, BASE_LUMA_QUANT, ZIGZAG};

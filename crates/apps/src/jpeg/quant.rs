@@ -1,0 +1,142 @@
+//! Quantization and zigzag reordering (JPEG Annex K).
+
+/// The standard luminance quantization matrix (Annex K, Table K.1),
+/// row-major.
+pub const BASE_LUMA_QUANT: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// The zigzag scan order: `ZIGZAG[k]` is the row-major index of the
+/// `k`-th coefficient in scan order.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, //
+    17, 24, 32, 25, 18, 11, 4, 5, //
+    12, 19, 26, 33, 40, 48, 41, 34, //
+    27, 20, 13, 6, 7, 14, 21, 28, //
+    35, 42, 49, 56, 57, 50, 43, 36, //
+    29, 22, 15, 23, 30, 37, 44, 51, //
+    58, 59, 52, 45, 38, 31, 39, 46, //
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Builds the quality-scaled quantization table using the IJG quality
+/// convention (`quality` in 1..=100; 50 = the base table).
+///
+/// # Panics
+///
+/// Panics unless `1 <= quality <= 100`.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_apps::jpeg::quant_table;
+///
+/// assert_eq!(quant_table(50)[0], 16); // base table at quality 50
+/// assert!(quant_table(90)[0] < 16);   // finer steps at high quality
+/// assert!(quant_table(10)[0] > 16);   // coarser at low quality
+/// ```
+#[must_use]
+pub fn quant_table(quality: u8) -> [u16; 64] {
+    assert!((1..=100).contains(&quality), "quality must be 1..=100");
+    let scale: u32 = if quality < 50 {
+        5000 / u32::from(quality)
+    } else {
+        200 - 2 * u32::from(quality)
+    };
+    let mut table = [0u16; 64];
+    for (t, &base) in table.iter_mut().zip(BASE_LUMA_QUANT.iter()) {
+        *t = ((u32::from(base) * scale + 50) / 100).clamp(1, 255) as u16;
+    }
+    table
+}
+
+/// Quantizes DCT coefficients: `round(coef / q)` with round-half-away.
+#[must_use]
+pub fn quantize(coefs: &[i32; 64], table: &[u16; 64]) -> [i16; 64] {
+    std::array::from_fn(|i| {
+        let q = i32::from(table[i]);
+        let c = coefs[i];
+        let half = q / 2;
+        let r = if c >= 0 { (c + half) / q } else { -((-c + half) / q) };
+        r as i16
+    })
+}
+
+/// Reverses quantization.
+#[must_use]
+pub fn dequantize(levels: &[i16; 64], table: &[u16; 64]) -> [i32; 64] {
+    std::array::from_fn(|i| i32::from(levels[i]) * i32::from(table[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &z in &ZIGZAG {
+            assert!(!seen[z], "duplicate index {z}");
+            seen[z] = true;
+        }
+        // Scan starts at DC and moves along the first anti-diagonal.
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn zigzag_walks_anti_diagonals() {
+        // Manhattan "diagonal index" (row + col) is non-decreasing in
+        // steps of at most 1.
+        for w in ZIGZAG.windows(2) {
+            let d0 = w[0] / 8 + w[0] % 8;
+            let d1 = w[1] / 8 + w[1] % 8;
+            assert!(d1 == d0 || d1 == d0 + 1, "{} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn quality_scaling_monotone() {
+        let q10 = quant_table(10);
+        let q50 = quant_table(50);
+        let q95 = quant_table(95);
+        for i in 0..64 {
+            assert!(q10[i] >= q50[i]);
+            assert!(q50[i] >= q95[i]);
+            assert!(q95[i] >= 1);
+        }
+        assert_eq!(q50, BASE_LUMA_QUANT);
+    }
+
+    #[test]
+    fn quantize_rounds_to_nearest() {
+        let mut coefs = [0i32; 64];
+        coefs[0] = 24; // q = 16 -> 1.5 rounds away to 2
+        coefs[1] = -17; // q = 11 -> -1.54 rounds to -2
+        coefs[2] = 4; // q = 10 -> 0.4 rounds to 0
+        let q = quantize(&coefs, &BASE_LUMA_QUANT);
+        assert_eq!(q[0], 2);
+        assert_eq!(q[1], -2);
+        assert_eq!(q[2], 0);
+    }
+
+    #[test]
+    fn quantize_dequantize_bounds_error() {
+        let coefs: [i32; 64] = std::array::from_fn(|i| (i as i32 - 32) * 13);
+        let table = quant_table(75);
+        let back = dequantize(&quantize(&coefs, &table), &table);
+        for i in 0..64 {
+            assert!(
+                (coefs[i] - back[i]).abs() <= i32::from(table[i] / 2) + 1,
+                "coef {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # axmul-apps
+//!
+//! The Table 1 motivational case study of the DAC'18 paper: two real
+//! encoder applications implemented from scratch, plus the device-level
+//! mapping that contrasts their DSP-enabled and LUT-only FPGA
+//! implementations.
+//!
+//! * [`gf256`] — GF(2⁸) arithmetic (the Reed-Solomon substrate).
+//! * [`reed_solomon`] — a systematic RS(255,239) encoder with syndrome
+//!   verification.
+//! * [`jpeg`] — a JPEG encoder core: level shift, 2-D integer DCT,
+//!   quantization, zigzag, and run-length/size-category entropy coding,
+//!   with an inverse path for round-trip testing.
+//! * [`casestudy`] — the resource/latency mapping reproducing Table 1's
+//!   shape: the Reed-Solomon encoder gets *slower* when its small
+//!   constant multipliers are forced into DSP blocks (column routing
+//!   dominates), while the JPEG encoder consumes ~56 % of the device's
+//!   DSP blocks.
+//!
+//! ```
+//! use axmul_apps::reed_solomon::RsEncoder;
+//!
+//! let enc = RsEncoder::rs_255_239();
+//! let data = vec![7u8; 239];
+//! let codeword = enc.encode(&data);
+//! assert_eq!(codeword.len(), 255);
+//! assert!(enc.syndromes_zero(&codeword));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod casestudy;
+pub mod gf256;
+pub mod jpeg;
+pub mod reed_solomon;

@@ -1,0 +1,220 @@
+//! A systematic Reed-Solomon encoder over GF(2⁸) — the first
+//! application of the paper's Table 1.
+//!
+//! The encoder is the classic LFSR structure: the message is divided by
+//! the generator polynomial `g(x) = Π (x − α^{fcr+i})`, and the
+//! remainder becomes the parity. In hardware each LFSR tap is a
+//! *constant* GF multiplier (a small XOR network), which is exactly why
+//! forcing them into DSP blocks (Table 1, "DSP Blocks Enabled") buys
+//! nothing and costs routing latency.
+
+use crate::gf256::Gf256;
+
+/// A systematic RS(n, k) encoder over GF(2⁸) (`n = 255`).
+///
+/// # Examples
+///
+/// ```
+/// use axmul_apps::reed_solomon::RsEncoder;
+///
+/// let enc = RsEncoder::new(16, 0); // RS(255,239), like the case study
+/// let msg: Vec<u8> = (0..239).map(|i| i as u8).collect();
+/// let cw = enc.encode(&msg);
+/// assert_eq!(&cw[..239], &msg[..]); // systematic
+/// assert!(enc.syndromes_zero(&cw));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsEncoder {
+    generator: Vec<Gf256>, // monic, degree = parity count
+    first_consecutive_root: u32,
+}
+
+impl RsEncoder {
+    /// Creates an encoder with `parity` check symbols and first
+    /// consecutive root `α^fcr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= parity <= 254`.
+    #[must_use]
+    pub fn new(parity: usize, fcr: u32) -> Self {
+        assert!((1..=254).contains(&parity), "parity out of range");
+        // g(x) = prod_{i=0}^{parity-1} (x - alpha^{fcr+i})
+        let mut g = vec![Gf256::ONE];
+        for i in 0..parity {
+            let root = Gf256::alpha_pow(fcr + i as u32);
+            let mut next = vec![Gf256::ZERO; g.len() + 1];
+            for (j, &c) in g.iter().enumerate() {
+                next[j] += c * root; // (x - r): r = -r in GF(2^8)
+                next[j + 1] += c;
+            }
+            g = next;
+        }
+        RsEncoder {
+            generator: g,
+            first_consecutive_root: fcr,
+        }
+    }
+
+    /// The standard RS(255, 239) configuration used by the Table 1
+    /// case study (16 parity symbols, fcr = 0).
+    #[must_use]
+    pub fn rs_255_239() -> Self {
+        RsEncoder::new(16, 0)
+    }
+
+    /// Number of parity symbols.
+    #[must_use]
+    pub fn parity(&self) -> usize {
+        self.generator.len() - 1
+    }
+
+    /// Message length `k = 255 − parity`.
+    #[must_use]
+    pub fn message_len(&self) -> usize {
+        255 - self.parity()
+    }
+
+    /// The generator polynomial coefficients, lowest degree first
+    /// (monic: the last coefficient is 1). These are the constant
+    /// multiplier coefficients of the hardware LFSR.
+    #[must_use]
+    pub fn generator(&self) -> &[Gf256] {
+        &self.generator
+    }
+
+    /// Systematically encodes `message` (length `k`), returning the
+    /// `n = 255`-byte codeword `message ‖ parity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message.len() != self.message_len()`.
+    #[must_use]
+    pub fn encode(&self, message: &[u8]) -> Vec<u8> {
+        assert_eq!(
+            message.len(),
+            self.message_len(),
+            "message must be exactly k symbols"
+        );
+        let p = self.parity();
+        // LFSR division: shift message in, MSB-first.
+        let mut reg = vec![Gf256::ZERO; p];
+        for &m in message {
+            let feedback = Gf256::new(m) + reg[p - 1];
+            for i in (1..p).rev() {
+                reg[i] = reg[i - 1] + feedback * self.generator[i];
+            }
+            reg[0] = feedback * self.generator[0];
+        }
+        let mut cw = message.to_vec();
+        // Highest-degree register first (remainder coefficients).
+        cw.extend(reg.iter().rev().map(|g| g.value()));
+        cw
+    }
+
+    /// Evaluates all syndromes `S_i = c(α^{fcr+i})`; a valid codeword
+    /// has every syndrome zero.
+    #[must_use]
+    pub fn syndromes_zero(&self, codeword: &[u8]) -> bool {
+        self.syndromes(codeword).iter().all(|s| *s == Gf256::ZERO)
+    }
+
+    /// Computes the syndrome vector of a received word.
+    #[must_use]
+    pub fn syndromes(&self, codeword: &[u8]) -> Vec<Gf256> {
+        (0..self.parity())
+            .map(|i| {
+                let x = Gf256::alpha_pow(self.first_consecutive_root + i as u32);
+                // Horner evaluation, highest-degree coefficient first.
+                codeword
+                    .iter()
+                    .fold(Gf256::ZERO, |acc, &c| acc * x + Gf256::new(c))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_monic_with_correct_degree() {
+        let enc = RsEncoder::rs_255_239();
+        assert_eq!(enc.generator().len(), 17);
+        assert_eq!(*enc.generator().last().unwrap(), Gf256::ONE);
+        assert_eq!(enc.parity(), 16);
+        assert_eq!(enc.message_len(), 239);
+    }
+
+    #[test]
+    fn generator_roots_are_consecutive_alpha_powers() {
+        let enc = RsEncoder::new(8, 1);
+        for i in 0..8 {
+            let root = Gf256::alpha_pow(1 + i);
+            let val = enc
+                .generator()
+                .iter()
+                .enumerate()
+                .fold(Gf256::ZERO, |acc, (j, &c)| acc + c * root.pow(j as u32));
+            assert_eq!(val, Gf256::ZERO, "g(alpha^{}) != 0", 1 + i);
+        }
+    }
+
+    #[test]
+    fn codewords_have_zero_syndromes() {
+        let enc = RsEncoder::rs_255_239();
+        for seed in 0..5u64 {
+            let msg: Vec<u8> = (0..239)
+                .map(|i| (i as u64 * 131 + seed * 17 + 3).wrapping_mul(251) as u8)
+                .collect();
+            let cw = enc.encode(&msg);
+            assert_eq!(cw.len(), 255);
+            assert_eq!(&cw[..239], &msg[..], "systematic prefix");
+            assert!(enc.syndromes_zero(&cw), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn corrupted_codewords_fail_syndrome_check() {
+        let enc = RsEncoder::rs_255_239();
+        let msg = vec![0xA5u8; 239];
+        let cw = enc.encode(&msg);
+        for pos in [0usize, 100, 238, 239, 254] {
+            let mut bad = cw.clone();
+            bad[pos] ^= 0x01;
+            assert!(!enc.syndromes_zero(&bad), "flip at {pos} undetected");
+        }
+    }
+
+    #[test]
+    fn all_zero_message_has_zero_parity() {
+        let enc = RsEncoder::rs_255_239();
+        let cw = enc.encode(&[0u8; 239]);
+        assert!(cw.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn small_code_parity_matches_polynomial_division() {
+        // RS(255, 251) with 4 parity symbols: verify against direct
+        // polynomial remainder computation.
+        let enc = RsEncoder::new(4, 0);
+        let msg: Vec<u8> = (0..251).map(|i| i as u8).collect();
+        let cw = enc.encode(&msg);
+        // Direct long division of msg * x^4 by g(x).
+        let mut dividend: Vec<Gf256> = msg.iter().map(|&m| Gf256::new(m)).collect();
+        dividend.extend([Gf256::ZERO; 4]);
+        let g = enc.generator();
+        for i in 0..251 {
+            let coef = dividend[i];
+            if coef != Gf256::ZERO {
+                for (j, &gc) in g.iter().enumerate() {
+                    // g is lowest-first; align highest degree at i.
+                    dividend[i + 4 - j] += coef * gc;
+                }
+            }
+        }
+        let remainder: Vec<u8> = dividend[251..].iter().map(|g| g.value()).collect();
+        assert_eq!(&cw[251..], &remainder[..]);
+    }
+}

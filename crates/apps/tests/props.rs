@@ -1,0 +1,122 @@
+//! Property-based tests of the application substrates.
+
+use axmul_apps::gf256::{mul_slow, Gf256};
+use axmul_apps::jpeg::{
+    decode_gray, dequantize, encode_gray, fdct_2d, idct_2d, quant_table, quantize, BitReader,
+    BitWriter,
+};
+use axmul_apps::reed_solomon::RsEncoder;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Field laws hold for arbitrary elements.
+    #[test]
+    fn gf256_field_laws(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        let (x, y, z) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
+        prop_assert_eq!(x * y, y * x);
+        prop_assert_eq!((x * y) * z, x * (y * z));
+        prop_assert_eq!(x * (y + z), x * y + x * z);
+        prop_assert_eq!((x * y).value(), mul_slow(a, b));
+        prop_assert_eq!(x + x, Gf256::ZERO, "characteristic 2");
+        if a != 0 {
+            prop_assert_eq!(x * x.inverse(), Gf256::ONE);
+        }
+    }
+
+    /// Every encoded Reed-Solomon codeword passes the syndrome check;
+    /// every single-symbol corruption fails it.
+    #[test]
+    fn rs_detects_corruption(msg in prop::collection::vec(any::<u8>(), 239), pos in 0usize..255, flip in 1u8..=255) {
+        let enc = RsEncoder::rs_255_239();
+        let cw = enc.encode(&msg);
+        prop_assert!(enc.syndromes_zero(&cw));
+        let mut bad = cw.clone();
+        bad[pos] ^= flip;
+        prop_assert!(!enc.syndromes_zero(&bad));
+    }
+
+    /// RS encoding is linear over GF(2⁸): encode(m1 ^ m2) =
+    /// encode(m1) ^ encode(m2) (XOR is field addition).
+    #[test]
+    fn rs_is_linear(m1 in prop::collection::vec(any::<u8>(), 239), m2 in prop::collection::vec(any::<u8>(), 239)) {
+        let enc = RsEncoder::rs_255_239();
+        let sum: Vec<u8> = m1.iter().zip(&m2).map(|(a, b)| a ^ b).collect();
+        let cw_sum = enc.encode(&sum);
+        let xor_cw: Vec<u8> = enc
+            .encode(&m1)
+            .iter()
+            .zip(enc.encode(&m2))
+            .map(|(a, b)| a ^ b)
+            .collect();
+        prop_assert_eq!(cw_sum, xor_cw);
+    }
+
+    /// The fixed-point DCT round-trips arbitrary level-shifted blocks
+    /// within 2 LSBs.
+    #[test]
+    fn dct_roundtrip(samples in prop::collection::vec(-128i32..128, 64)) {
+        let block: [i32; 64] = samples.try_into().unwrap();
+        let back = idct_2d(&fdct_2d(&block));
+        for i in 0..64 {
+            prop_assert!((block[i] - back[i]).abs() <= 2, "sample {}", i);
+        }
+    }
+
+    /// Quantization error is bounded by half the step size.
+    #[test]
+    fn quantization_error_bound(coefs in prop::collection::vec(-2047i32..2048, 64), quality in 1u8..=100) {
+        let block: [i32; 64] = coefs.try_into().unwrap();
+        let table = quant_table(quality);
+        let back = dequantize(&quantize(&block, &table), &table);
+        for i in 0..64 {
+            prop_assert!((block[i] - back[i]).abs() <= i32::from(table[i]) / 2 + 1, "coef {}", i);
+        }
+    }
+
+    /// Bit I/O round-trips arbitrary field sequences.
+    #[test]
+    fn bits_roundtrip(fields in prop::collection::vec((any::<u32>(), 1u32..=24), 1..40)) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &fields {
+            w.write(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            let mask = ((1u64 << n) - 1) as u32;
+            prop_assert_eq!(r.bits(n), Some(v & mask));
+        }
+    }
+
+    /// The JPEG encoder round-trips arbitrary images without panicking
+    /// and with bounded block-level distortion at high quality.
+    #[test]
+    fn jpeg_roundtrip(w in 8usize..40, h in 8usize..40, seed in any::<u64>()) {
+        // Smooth-ish content (random DC per region) so quality 90 must
+        // reconstruct well.
+        let mut s = seed;
+        let pixels: Vec<u8> = (0..w * h)
+            .map(|i| {
+                let (x, y) = (i % w, i / w);
+                s = s.wrapping_mul(25214903917).wrapping_add(11);
+                let base = 40 + ((x / 8 + y / 8) * 29 % 150) as i32;
+                (base + ((s >> 60) as i32 - 8)).clamp(0, 255) as u8
+            })
+            .collect();
+        let enc = encode_gray(w, h, &pixels, 90).unwrap();
+        let dec = decode_gray(&enc).unwrap();
+        prop_assert_eq!(dec.len(), pixels.len());
+        let sse: u64 = pixels
+            .iter()
+            .zip(&dec)
+            .map(|(&a, &b)| {
+                let d = i64::from(a) - i64::from(b);
+                (d * d) as u64
+            })
+            .sum();
+        let mse = sse as f64 / pixels.len() as f64;
+        prop_assert!(mse < 150.0, "mse {}", mse);
+    }
+}

@@ -1,0 +1,392 @@
+//! An EvoApprox8b-style library of approximate 8×8 multipliers.
+//!
+//! The paper's Figs. 9–10 place the proposed designs against the
+//! EvoApprox8b library \[17\] of evolutionary-synthesized approximate
+//! multipliers, observing that most of its (ASIC-)Pareto-optimal points
+//! collapse when mapped to LUT fabrics. The original library's C models
+//! are not vendored here; instead this module generates a structured
+//! cloud of approximate 8×8 designs spanning the same accuracy/area
+//! space, each with **both** a behavioral model and a real structural
+//! netlist on the fabric:
+//!
+//! * quadrant hybrids — each of the four 4×4 partial products uses an
+//!   exact, proposed-approximate, Kulkarni, or Rehman kernel, combined
+//!   with accurate or carry-free summation;
+//! * partial-product truncation — array multipliers that *omit* the
+//!   low-weight partial-product bits (the classic hardware truncation,
+//!   which unlike the paper's `Mult(8,4)` also loses low-column
+//!   carries).
+//!
+//! Because every design is a real netlist, the Pareto analysis runs on
+//! measured LUT counts and STA delays, exactly like the proposed
+//! designs — which is the fair version of the paper's observation.
+
+use std::fmt;
+
+use axmul_core::behavioral::{approx_4x4, Summation};
+use axmul_core::structural::{approx_4x4_netlist, combine_partial_products, compose_netlist};
+use axmul_core::{mask_for, Multiplier};
+use axmul_fabric::{Init, NetId, Netlist, NetlistBuilder};
+
+use crate::kulkarni::{kulkarni_2x2, kulkarni_kernel_netlist};
+use crate::rehman::{rehman_2x2, rehman_kernel_netlist};
+use crate::vivado::array_mult_netlist;
+
+/// The 4×4 kernel used by one quadrant of a hybrid design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Exact 4×4 array multiplier (13 LUTs).
+    Exact,
+    /// The proposed approximate 4×4 (12 LUTs, Table 3).
+    Proposed,
+    /// Kulkarni 2×2 kernels composed to 4×4.
+    Kulkarni,
+    /// Rehman (W) 2×2 kernels composed to 4×4.
+    Rehman,
+}
+
+impl Kernel {
+    fn letter(self) -> char {
+        match self {
+            Kernel::Exact => 'E',
+            Kernel::Proposed => 'P',
+            Kernel::Kulkarni => 'K',
+            Kernel::Rehman => 'W',
+        }
+    }
+
+    fn multiply(self, a: u64, b: u64) -> u64 {
+        let (a, b) = (a & 0xF, b & 0xF);
+        match self {
+            Kernel::Exact => a * b,
+            Kernel::Proposed => approx_4x4(a, b),
+            Kernel::Kulkarni => compose2(kulkarni_2x2, a, b),
+            Kernel::Rehman => compose2(rehman_2x2, a, b),
+        }
+    }
+
+    fn netlist(self) -> Netlist {
+        match self {
+            Kernel::Exact => array_mult_netlist(4, 4),
+            Kernel::Proposed => approx_4x4_netlist(),
+            Kernel::Kulkarni => {
+                compose_netlist(&kulkarni_kernel_netlist(), 4, Summation::Accurate)
+                    .expect("4 is a valid width")
+            }
+            Kernel::Rehman => compose_netlist(&rehman_kernel_netlist(), 4, Summation::Accurate)
+                .expect("4 is a valid width"),
+        }
+    }
+}
+
+// Builds a 4x4 product from a 2x2 kernel with exact summation.
+fn compose2(kernel: fn(u64, u64) -> u64, a: u64, b: u64) -> u64 {
+    let ll = kernel(a & 3, b & 3);
+    let hl = kernel(a >> 2, b & 3);
+    let lh = kernel(a & 3, b >> 2);
+    let hh = kernel(a >> 2, b >> 2);
+    ll + ((hl + lh) << 2) + (hh << 4)
+}
+
+/// One member of the generated library: a concrete approximate 8×8
+/// multiplier with a behavioral model and a structural netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvoDesign {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    /// Quadrant kernels [LL, HL, LH, HH] + summation strategy.
+    Hybrid([Kernel; 4], Summation),
+    /// Array multiplier omitting partial-product bits below `drop`.
+    PpTruncated(u32),
+}
+
+impl EvoDesign {
+    /// A quadrant-hybrid design.
+    #[must_use]
+    pub fn hybrid(quads: [Kernel; 4], summation: Summation) -> Self {
+        let letters: String = quads.iter().map(|k| k.letter()).collect();
+        let tag = match summation {
+            Summation::Accurate => "acc",
+            Summation::CarryFree => "cfree",
+        };
+        EvoDesign {
+            name: format!("evo8_{letters}_{tag}"),
+            shape: Shape::Hybrid(quads, summation),
+        }
+    }
+
+    /// A partial-product-truncated array design dropping PP bits below
+    /// weight `drop` (`1..=8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= drop <= 8`.
+    #[must_use]
+    pub fn pp_truncated(drop: u32) -> Self {
+        assert!((1..=8).contains(&drop));
+        EvoDesign {
+            name: format!("evo8_trunc{drop}"),
+            shape: Shape::PpTruncated(drop),
+        }
+    }
+
+    /// Builds the structural netlist of this design.
+    #[must_use]
+    pub fn netlist(&self) -> Netlist {
+        match self.shape {
+            Shape::Hybrid(quads, summation) => {
+                let mut bld = NetlistBuilder::new(self.name.clone());
+                let a = bld.inputs("a", 8);
+                let b = bld.inputs("b", 8);
+                let (al, ah) = a.split_at(4);
+                let (bl, bh) = b.split_at(4);
+                let subs: Vec<Netlist> = quads.iter().map(|k| k.netlist()).collect();
+                let ll = bld.instantiate(&subs[0], &[al, bl]).remove(0);
+                let hl = bld.instantiate(&subs[1], &[ah, bl]).remove(0);
+                let lh = bld.instantiate(&subs[2], &[al, bh]).remove(0);
+                let hh = bld.instantiate(&subs[3], &[ah, bh]).remove(0);
+                let p = combine_partial_products(&mut bld, &ll, &hl, &lh, &hh, summation);
+                bld.output_bus("p", &p);
+                bld.finish().expect("hybrid netlist is well-formed")
+            }
+            Shape::PpTruncated(drop) => pp_truncated_netlist_impl(8, 8, drop),
+        }
+    }
+}
+
+impl Multiplier for EvoDesign {
+    fn a_bits(&self) -> u32 {
+        8
+    }
+    fn b_bits(&self) -> u32 {
+        8
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        let (a, b) = (a & 0xFF, b & 0xFF);
+        match self.shape {
+            Shape::Hybrid(q, summation) => {
+                let ll = q[0].multiply(a & 0xF, b & 0xF);
+                let hl = q[1].multiply(a >> 4, b & 0xF);
+                let lh = q[2].multiply(a & 0xF, b >> 4);
+                let hh = q[3].multiply(a >> 4, b >> 4);
+                match summation {
+                    Summation::Accurate => ll + ((hl + lh) << 4) + (hh << 8),
+                    Summation::CarryFree => {
+                        let low = ll & 0xF;
+                        let mid = ((ll >> 4) ^ hl ^ lh ^ ((hh & 0xF) << 4)) & 0xFF;
+                        let high = hh >> 4;
+                        low | (mid << 4) | (high << 12)
+                    }
+                }
+            }
+            Shape::PpTruncated(drop) => pp_truncated_multiply(a, b, 8, drop),
+        }
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for EvoDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Behavioral model of partial-product truncation: every `a_i·b_j` term
+/// with `i + j < drop` is omitted from the sum.
+#[must_use]
+pub fn pp_truncated_multiply(a: u64, b: u64, bits: u32, drop: u32) -> u64 {
+    let (a, b) = (a & mask_for(bits), b & mask_for(bits));
+    let mut sum = 0u64;
+    for j in 0..bits {
+        if b >> j & 1 == 1 {
+            // Keep only the a-bits whose column weight reaches `drop`.
+            let keep_from = drop.saturating_sub(j);
+            let row = a & !mask_for(keep_from.min(bits));
+            sum += row << j;
+        }
+    }
+    sum
+}
+
+/// Structural array multiplier omitting PP bits below weight `drop` —
+/// the hardware idiom of a truncated multiplier (unlike
+/// [`crate::Truncated`], which zeroes the LSBs of the *exact* product,
+/// this drops the low partial-product columns and their carries).
+///
+/// # Panics
+///
+/// Panics unless `drop < wa + wb`.
+#[must_use]
+pub fn pp_truncated_netlist(wa: u32, wb: u32, drop: u32) -> Netlist {
+    assert!(drop < wa + wb, "cannot drop the whole product");
+    pp_truncated_netlist_impl(wa, wb, drop)
+}
+
+fn pp_truncated_netlist_impl(wa: u32, wb: u32, drop: u32) -> Netlist {
+    let mut bld = NetlistBuilder::new(format!("pp_trunc_{wa}x{wb}_d{drop}"));
+    let a = bld.inputs("a", wa as usize);
+    let b = bld.inputs("b", wb as usize);
+    let zero = bld.constant(false);
+    let one = bld.constant(true);
+    // acc holds product bits from weight `drop` upward, indexed by
+    // absolute weight.
+    let mut acc: Vec<NetId> = vec![zero; drop as usize];
+    let pp_add = Init::from_dual(
+        |i| ((i & 1) == 1) ^ ((i >> 1 & 1 == 1) && (i >> 2 & 1 == 1)),
+        |i| (i >> 1 & 1 == 1) && (i >> 2 & 1 == 1),
+    );
+    for j in 0..wb {
+        let keep_from = drop.saturating_sub(j).min(wa);
+        let lo = (j + keep_from) as usize; // lowest absolute weight of this row
+        let hi = (j + wa) as usize;
+        if keep_from >= wa {
+            continue; // row entirely truncated
+        }
+        let mut props = Vec::new();
+        let mut gens = Vec::new();
+        let upper = acc.len().max(hi);
+        for k in lo..upper {
+            if k < hi {
+                let ai = a[(k as u32 - j) as usize];
+                if k < acc.len() {
+                    let (o6, o5) = bld.lut6_2(pp_add, [acc[k], ai, b[j as usize], zero, zero, one]);
+                    props.push(o6);
+                    gens.push(o5);
+                } else {
+                    let (o6, _) = bld.lut2(Init::AND2, ai, b[j as usize]);
+                    props.push(o6);
+                    gens.push(zero);
+                }
+            } else {
+                props.push(acc[k]);
+                gens.push(zero);
+            }
+        }
+        let (sums, cout) = bld.carry_chain(zero, &props, &gens);
+        acc.truncate(lo);
+        acc.extend(sums);
+        if acc.len() < (wa + wb) as usize {
+            acc.push(cout);
+        }
+    }
+    acc.resize((wa + wb) as usize, zero);
+    bld.output_bus("p", &acc);
+    bld.finish().expect("pp-truncated netlist is well-formed")
+}
+
+/// Generates the full library: 8 truncation levels plus a spread of
+/// quadrant hybrids (36 designs total).
+#[must_use]
+pub fn library() -> Vec<EvoDesign> {
+    use Kernel::{Exact as E, Kulkarni as K, Proposed as P, Rehman as W};
+    let mut out: Vec<EvoDesign> = (1..=8).map(EvoDesign::pp_truncated).collect();
+    let hybrids: [[Kernel; 4]; 14] = [
+        [E, E, E, E],
+        [P, E, E, E],
+        [E, P, P, E],
+        [P, P, P, E],
+        [P, P, P, P],
+        [K, E, E, E],
+        [K, K, K, E],
+        [K, K, K, K],
+        [W, E, E, E],
+        [W, W, W, E],
+        [W, W, W, W],
+        [K, P, P, E],
+        [W, P, P, E],
+        [P, K, W, E],
+    ];
+    for quads in hybrids {
+        out.push(EvoDesign::hybrid(quads, Summation::Accurate));
+        out.push(EvoDesign::hybrid(quads, Summation::CarryFree));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmul_fabric::sim::for_each_operand_pair;
+
+    #[test]
+    fn library_has_unique_names() {
+        let lib = library();
+        assert_eq!(lib.len(), 36);
+        let mut names: Vec<&str> = lib.iter().map(Multiplier::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 36);
+    }
+
+    #[test]
+    fn exact_hybrid_with_accurate_summation_is_exact() {
+        let d = EvoDesign::hybrid([Kernel::Exact; 4], Summation::Accurate);
+        for a in (0..256u64).step_by(7) {
+            for b in (0..256u64).step_by(11) {
+                assert_eq!(d.multiply(a, b), a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn proposed_hybrid_equals_ca_cc() {
+        use axmul_core::behavioral::{Ca, Cc};
+        let ca = Ca::new(8).unwrap();
+        let da = EvoDesign::hybrid([Kernel::Proposed; 4], Summation::Accurate);
+        let cc = Cc::new(8).unwrap();
+        let dc = EvoDesign::hybrid([Kernel::Proposed; 4], Summation::CarryFree);
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                assert_eq!(da.multiply(a, b), ca.multiply(a, b), "acc a={a} b={b}");
+                assert_eq!(dc.multiply(a, b), cc.multiply(a, b), "cfree a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn netlists_match_behavioral_for_sampled_designs() {
+        use Kernel::{Exact as E, Kulkarni as K, Proposed as P, Rehman as W};
+        let picks = [
+            EvoDesign::hybrid([P, K, W, E], Summation::Accurate),
+            EvoDesign::hybrid([K, K, K, E], Summation::CarryFree),
+            EvoDesign::pp_truncated(4),
+            EvoDesign::pp_truncated(1),
+        ];
+        for d in picks {
+            let nl = d.netlist();
+            for_each_operand_pair(&nl, |a, b, out| {
+                assert_eq!(out[0], d.multiply(a, b), "{} a={a} b={b}", d.name());
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn pp_truncation_only_underestimates_and_saves_area() {
+        let full = EvoDesign::pp_truncated(1);
+        let heavy = EvoDesign::pp_truncated(6);
+        for a in (0..256u64).step_by(5) {
+            for b in (0..256u64).step_by(3) {
+                assert!(heavy.multiply(a, b) <= a * b);
+                assert!(heavy.multiply(a, b) <= full.multiply(a, b) + 2);
+            }
+        }
+        assert!(heavy.netlist().lut_count() < full.netlist().lut_count());
+    }
+
+    #[test]
+    fn truncation_area_monotone() {
+        let mut last = usize::MAX;
+        for drop in 1..=8 {
+            let luts = EvoDesign::pp_truncated(drop).netlist().lut_count();
+            assert!(luts <= last, "drop={drop}: {luts} > {last}");
+            last = luts;
+        }
+    }
+}

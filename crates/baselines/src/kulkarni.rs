@@ -1,0 +1,188 @@
+//! The paper's baseline **K**: Kulkarni et al., *"Trading Accuracy for
+//! Power with an Underdesigned Multiplier Architecture"* (VLSID 2011).
+//!
+//! The elementary block is a 2×2 multiplier that is exact everywhere
+//! except `3 × 3 → 7` (binary `111` instead of `1001`), which lets the
+//! whole product fit in three bits. Higher orders are built recursively
+//! with exact summation. The paper's Table 5 statistics for the 8×8
+//! instance derive in closed form and are asserted by tests here:
+//! maximum error `2·85² = 14 450` (only at `255×255`), mean error
+//! `85²/8 = 903.125`, `175² = 30 625` error occurrences.
+
+use axmul_core::behavioral::{Recursive, Summation};
+use axmul_core::structural::compose_netlist;
+use axmul_core::{Multiplier, WidthError};
+use axmul_fabric::{Init, Netlist, NetlistBuilder};
+
+/// The Kulkarni 2×2 kernel: exact except `3×3 → 7`.
+#[must_use]
+pub fn kulkarni_2x2(a: u64, b: u64) -> u64 {
+    let (a, b) = (a & 3, b & 3);
+    if a == 3 && b == 3 {
+        7
+    } else {
+        a * b
+    }
+}
+
+/// The Kulkarni approximate multiplier at `bits`×`bits`
+/// (`bits` ∈ {2, 4, 8, 16, 32}).
+///
+/// # Examples
+///
+/// ```
+/// use axmul_baselines::Kulkarni;
+/// use axmul_core::Multiplier;
+///
+/// let k = Kulkarni::new(8)?;
+/// assert_eq!(k.multiply(3, 3), 7);      // kernel approximation
+/// assert_eq!(k.multiply(146, 73), 10658); // exact without 3-digit pairs
+/// # Ok::<(), axmul_core::WidthError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Kulkarni {
+    inner: Recursive<fn(u64, u64) -> u64>,
+}
+
+impl Kulkarni {
+    /// Creates the `bits`×`bits` Kulkarni multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthError`] unless `bits` is a power of two in
+    /// `2..=32`.
+    pub fn new(bits: u32) -> Result<Self, WidthError> {
+        Ok(Kulkarni {
+            inner: Recursive::new("K", bits, 2, kulkarni_2x2 as fn(u64, u64) -> u64, Summation::Accurate)?,
+        })
+    }
+}
+
+impl Multiplier for Kulkarni {
+    fn a_bits(&self) -> u32 {
+        self.inner.a_bits()
+    }
+    fn b_bits(&self) -> u32 {
+        self.inner.b_bits()
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        self.inner.multiply(a, b)
+    }
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// The Kulkarni 2×2 kernel as a netlist: two `LUT6_2`s.
+///
+/// `P1`/`P0` share one fractured LUT (`O6 = A1B0 ∨ A0B1`,
+/// `O5 = A0B0`), `P2`/`P3` the other (`O6 = A1B1`, `P3 = 0` — the bit
+/// the approximation deletes).
+#[must_use]
+pub fn kulkarni_kernel_netlist() -> Netlist {
+    let mut bld = NetlistBuilder::new("kulkarni2x2");
+    let a = bld.inputs("a", 2);
+    let b = bld.inputs("b", 2);
+    let zero = bld.constant(false);
+    let one = bld.constant(true);
+    // Pins [I0..I5] = [a0, a1, b0, b1, 0, 1].
+    let bitat = |i: u8, k: u8| i >> k & 1 == 1;
+    let i01 = Init::from_dual(
+        |i| (bitat(i, 1) && bitat(i, 2)) || (bitat(i, 0) && bitat(i, 3)),
+        |i| bitat(i, 0) && bitat(i, 2),
+    );
+    let (p1, p0) = bld.lut6_2(i01, [a[0], a[1], b[0], b[1], zero, one]);
+    let i2 = Init::from_fn(|i| bitat(i, 1) && bitat(i, 3));
+    let p2 = bld.lut6(i2, [a[0], a[1], b[0], b[1], zero, zero]);
+    bld.output_bus("p", &[p0, p1, p2, zero]);
+    bld.finish().expect("kulkarni kernel is well-formed")
+}
+
+/// Structural Kulkarni multiplier netlist at `bits`×`bits`, composed
+/// recursively with the same accurate ternary-adder summation as the
+/// proposed `Ca` designs (a *favorable* mapping for the baseline —
+/// any FPGA disadvantage it shows is architectural, not an artifact of
+/// a sloppy port).
+///
+/// # Errors
+///
+/// Returns [`WidthError`] unless `bits` is a power of two in `2..=32`.
+pub fn kulkarni_netlist(bits: u32) -> Result<Netlist, WidthError> {
+    compose_netlist(&kulkarni_kernel_netlist(), bits, Summation::Accurate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmul_fabric::sim::for_each_operand_pair;
+
+    #[test]
+    fn kernel_truth_table() {
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                let want = if a == 3 && b == 3 { 7 } else { a * b };
+                assert_eq!(kulkarni_2x2(a, b), want);
+            }
+        }
+    }
+
+    #[test]
+    fn table5_statistics_exact() {
+        let k = Kulkarni::new(8).unwrap();
+        let mut occ = 0u64;
+        let mut max = 0i64;
+        let mut max_occ = 0u64;
+        let mut sum = 0i64;
+        let mut rel = 0.0f64;
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                let e = k.error(a, b);
+                assert!(e >= 0, "K only under-estimates");
+                if e != 0 {
+                    occ += 1;
+                    sum += e;
+                    rel += e as f64 / (a * b) as f64;
+                    if e > max {
+                        max = e;
+                        max_occ = 1;
+                    } else if e == max {
+                        max_occ += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(max, 14450);
+        assert_eq!(max_occ, 1);
+        assert_eq!(occ, 30625);
+        assert!((sum as f64 / 65536.0 - 903.125).abs() < 1e-9);
+        assert!((rel / 65536.0 - 0.032549).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kernel_netlist_matches_behavioral() {
+        let nl = kulkarni_kernel_netlist();
+        assert_eq!(nl.lut_count(), 2);
+        for_each_operand_pair(&nl, |a, b, out| {
+            assert_eq!(out[0], kulkarni_2x2(a, b), "a={a} b={b}");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn recursive_netlist_matches_behavioral_8x8() {
+        let nl = kulkarni_netlist(8).unwrap();
+        let k = Kulkarni::new(8).unwrap();
+        for_each_operand_pair(&nl, |a, b, out| {
+            assert_eq!(out[0], k.multiply(a, b), "a={a} b={b}");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn kulkarni_area_exceeds_proposed() {
+        // The paper's architectural point: the ASIC-friendly 2x2 kernel
+        // maps poorly to LUT6 fabrics — K needs more LUTs than Ca.
+        let k8 = kulkarni_netlist(8).unwrap().lut_count();
+        assert!(k8 > 57, "K 8x8 uses {k8} LUTs, Ca uses 57");
+    }
+}

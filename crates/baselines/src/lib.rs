@@ -1,0 +1,54 @@
+//! # axmul-baselines
+//!
+//! Every comparison point of the DAC'18 paper's evaluation, implemented
+//! from scratch on the same behavioral/structural foundations as the
+//! proposed designs:
+//!
+//! * [`Kulkarni`] (the paper's **K** \[6\]) — the underdesigned 2×2
+//!   multiplier of Kulkarni et al. (VLSID'11), `3×3 → 7`, built
+//!   recursively with accurate summation.
+//! * [`RehmanW`] (the paper's **W** \[19\]) — the architectural-space
+//!   approximate multiplier of Rehman et al. (ICCAD'16). Its 2×2 kernel
+//!   errs by −1 at `(1,1)`, `(1,3)` and `(3,1)`; this kernel is derived
+//!   from (and exactly reproduces) every W column of the paper's
+//!   Table 5.
+//! * [`Truncated`] — precision-reduced multipliers with the `k` least
+//!   significant product bits forced to zero (the paper's truncated
+//!   4×4 and `Mult(8,4)`).
+//! * [`VivadoIp`] — accurate soft-logic multipliers standing in for the
+//!   Xilinx LogiCORE multiplier IP \[20\] in its area-optimized and
+//!   speed-optimized configurations, with structural netlists for
+//!   area/latency/energy characterization.
+//! * [`evo`] — an EvoApprox8b-style library \[17\] of parameterized
+//!   approximate 8×8 designs populating the Pareto clouds of
+//!   Figs. 9–10.
+//!
+//! ```
+//! use axmul_baselines::{Kulkarni, RehmanW, Truncated};
+//! use axmul_core::Multiplier;
+//!
+//! let k = Kulkarni::new(8)?;
+//! assert_eq!(k.multiply(255, 255), 255 * 255 - 14450); // Table 5 max error
+//! let w = RehmanW::new(8)?;
+//! assert_eq!(w.multiply(85, 85), 85 * 85 - 7225);      // Table 5 max error
+//! let t = Truncated::new(8, 4);
+//! assert_eq!(t.multiply(3, 5), 0); // 15 truncates to 0
+//! # Ok::<(), axmul_core::WidthError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod drum;
+pub mod evo;
+pub use evo::pp_truncated_netlist;
+mod kulkarni;
+mod rehman;
+mod truncated;
+mod vivado;
+
+pub use drum::Drum;
+pub use kulkarni::{kulkarni_kernel_netlist, kulkarni_netlist, Kulkarni};
+pub use rehman::{rehman_kernel_netlist, rehman_netlist, RehmanW};
+pub use truncated::Truncated;
+pub use vivado::{array_mult_netlist, csa_tree_mult_netlist, IpOpt, VivadoIp};

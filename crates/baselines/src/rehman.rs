@@ -1,0 +1,202 @@
+//! The paper's baseline **W**: Rehman et al., *"Architectural-Space
+//! Exploration of Approximate Multipliers"* (ICCAD 2016).
+//!
+//! No source for the exact configuration the DAC'18 paper synthesized
+//! is available, but its elementary block is uniquely determined by the
+//! published Table 5 statistics:
+//!
+//! * maximum error `7225 = 85²` ⇒ every 2×2 sub-block errs by exactly
+//!   `1` in the same direction simultaneously at the maximum;
+//! * exactly `31 = 2·16 − 1` maximum-error cases ⇒ operands whose
+//!   2-bit digits are all drawn from `{1, 3}` on one side and all `1`
+//!   on the other (16 + 16 − 1 combinations);
+//! * mean error `1354.6875 = (3/16)·85²` ⇒ the kernel errs by 1 in
+//!   exactly 3 of its 16 input combinations.
+//!
+//! Together these force the kernel: `1×1 → 0`, `1×3 → 2`, `3×1 → 2`,
+//! exact elsewhere (i.e. the kernel computes
+//! `p = a·b − [a odd ∧ b odd ∧ ¬(a₁∧b₁)]`, dropping `P0` unless both
+//! operands are 3). Tests assert the full Table 5 row.
+
+use axmul_core::behavioral::{Recursive, Summation};
+use axmul_core::structural::compose_netlist;
+use axmul_core::{Multiplier, WidthError};
+use axmul_fabric::{Init, Netlist, NetlistBuilder};
+
+/// The W 2×2 kernel: `1×1 → 0`, `1×3 → 2`, `3×1 → 2`, exact elsewhere.
+#[must_use]
+pub fn rehman_2x2(a: u64, b: u64) -> u64 {
+    let (a, b) = (a & 3, b & 3);
+    match (a, b) {
+        (1, 1) => 0,
+        (1, 3) | (3, 1) => 2,
+        _ => a * b,
+    }
+}
+
+/// The Rehman (W) approximate multiplier at `bits`×`bits`
+/// (`bits` ∈ {2, 4, 8, 16, 32}).
+///
+/// # Examples
+///
+/// ```
+/// use axmul_baselines::RehmanW;
+/// use axmul_core::Multiplier;
+///
+/// let w = RehmanW::new(8)?;
+/// assert_eq!(w.multiply(1, 1), 0);   // the kernel's signature error
+/// assert_eq!(w.multiply(170, 170), 28900); // exact when no digit pairs up 1-with-odd
+/// # Ok::<(), axmul_core::WidthError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RehmanW {
+    inner: Recursive<fn(u64, u64) -> u64>,
+}
+
+impl RehmanW {
+    /// Creates the `bits`×`bits` W multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthError`] unless `bits` is a power of two in
+    /// `2..=32`.
+    pub fn new(bits: u32) -> Result<Self, WidthError> {
+        Ok(RehmanW {
+            inner: Recursive::new("W", bits, 2, rehman_2x2 as fn(u64, u64) -> u64, Summation::Accurate)?,
+        })
+    }
+}
+
+impl Multiplier for RehmanW {
+    fn a_bits(&self) -> u32 {
+        self.inner.a_bits()
+    }
+    fn b_bits(&self) -> u32 {
+        self.inner.b_bits()
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        self.inner.multiply(a, b)
+    }
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// The W 2×2 kernel as a netlist: two fractured `LUT6_2`s.
+///
+/// `O6/O5` pairs: (`P1 = A1B0 ⊕ A0B1`, `P0 = A0A1B0B1`) and
+/// (`P2 = A1B1∧¬(A0∧B0)`, `P3 = A0A1B0B1`).
+#[must_use]
+pub fn rehman_kernel_netlist() -> Netlist {
+    let mut bld = NetlistBuilder::new("rehman2x2");
+    let a = bld.inputs("a", 2);
+    let b = bld.inputs("b", 2);
+    let zero = bld.constant(false);
+    let one = bld.constant(true);
+    let bitat = |i: u8, k: u8| i >> k & 1 == 1;
+    let and4 = |i: u8| bitat(i, 0) && bitat(i, 1) && bitat(i, 2) && bitat(i, 3);
+    let lo = Init::from_dual(
+        |i| (bitat(i, 1) && bitat(i, 2)) ^ (bitat(i, 0) && bitat(i, 3)),
+        and4,
+    );
+    let (p1, p0) = bld.lut6_2(lo, [a[0], a[1], b[0], b[1], zero, one]);
+    let hi = Init::from_dual(
+        |i| bitat(i, 1) && bitat(i, 3) && !(bitat(i, 0) && bitat(i, 2)),
+        and4,
+    );
+    let (p2, p3) = bld.lut6_2(hi, [a[0], a[1], b[0], b[1], zero, one]);
+    bld.output_bus("p", &[p0, p1, p2, p3]);
+    bld.finish().expect("rehman kernel is well-formed")
+}
+
+/// Structural W multiplier netlist at `bits`×`bits`, composed with the
+/// same accurate ternary-adder summation as the proposed designs.
+///
+/// # Errors
+///
+/// Returns [`WidthError`] unless `bits` is a power of two in `2..=32`.
+pub fn rehman_netlist(bits: u32) -> Result<Netlist, WidthError> {
+    compose_netlist(&rehman_kernel_netlist(), bits, Summation::Accurate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmul_fabric::sim::for_each_operand_pair;
+
+    #[test]
+    fn kernel_truth_table() {
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                let want = match (a, b) {
+                    (1, 1) => 0,
+                    (1, 3) | (3, 1) => 2,
+                    _ => a * b,
+                };
+                assert_eq!(rehman_2x2(a, b), want, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn table5_statistics_exact() {
+        let w = RehmanW::new(8).unwrap();
+        let mut occ = 0u64;
+        let mut max = 0i64;
+        let mut max_occ = 0u64;
+        let mut sum = 0i64;
+        let mut rel = 0.0f64;
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                let e = w.error(a, b);
+                assert!(e >= 0, "W only under-estimates");
+                if e != 0 {
+                    occ += 1;
+                    sum += e;
+                    rel += e as f64 / (a * b) as f64;
+                    if e > max {
+                        max = e;
+                        max_occ = 1;
+                    } else if e == max {
+                        max_occ += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(max, 7225);
+        assert_eq!(max_occ, 31);
+        assert_eq!(occ, 53375);
+        assert!((sum as f64 / 65536.0 - 1354.6875).abs() < 1e-9);
+        assert!((rel / 65536.0 - 0.1438777).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_error_operands_are_the_expected_family() {
+        // 0x55 (digits all 1) against any operand with digits in {1,3}.
+        let w = RehmanW::new(8).unwrap();
+        assert_eq!(w.error(0x55, 0x55), 7225);
+        assert_eq!(w.error(0x55, 0xFF), 7225);
+        assert_eq!(w.error(0xDD, 0x55), 7225);
+        assert_ne!(w.error(0xFF, 0xFF), 7225, "3x3 digits are exact");
+    }
+
+    #[test]
+    fn kernel_netlist_matches_behavioral() {
+        let nl = rehman_kernel_netlist();
+        assert_eq!(nl.lut_count(), 2);
+        for_each_operand_pair(&nl, |a, b, out| {
+            assert_eq!(out[0], rehman_2x2(a, b), "a={a} b={b}");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn recursive_netlist_matches_behavioral_8x8() {
+        let nl = rehman_netlist(8).unwrap();
+        let w = RehmanW::new(8).unwrap();
+        for_each_operand_pair(&nl, |a, b, out| {
+            assert_eq!(out[0], w.multiply(a, b), "a={a} b={b}");
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,132 @@
+//! Precision-reduced ("truncated") multipliers: the exact product with
+//! the `k` least significant bits rounded to zero.
+//!
+//! The paper compares against a truncated 4×4 (3 LSBs zeroed) in Fig. 7
+//! and `Mult(8,4)` (4 LSBs zeroed) in Table 5, noting that despite its
+//! low average relative error, `Mult(8,4)`'s high resource usage and
+//! huge number of maximum-error occurrences (2 048) filter it out of
+//! the Pareto front.
+
+use axmul_core::{mask_for, Multiplier};
+
+/// A `bits`×`bits` multiplier whose product has the `lsbs` least
+/// significant bits forced to zero.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_baselines::Truncated;
+/// use axmul_core::Multiplier;
+///
+/// let m = Truncated::new(8, 4); // the paper's Mult(8,4)
+/// assert_eq!(m.multiply(15, 15), 224); // 225 & !15
+/// assert_eq!(m.error(15, 15), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Truncated {
+    bits: u32,
+    lsbs: u32,
+    name: String,
+}
+
+impl Truncated {
+    /// Creates the truncated multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 32, or if `lsbs` is not
+    /// smaller than the `2·bits` product width.
+    #[must_use]
+    pub fn new(bits: u32, lsbs: u32) -> Self {
+        assert!(bits > 0 && bits <= 32, "operand width out of range");
+        assert!(lsbs < 2 * bits, "cannot truncate the whole product");
+        Truncated {
+            bits,
+            lsbs,
+            name: format!("Mult({bits},{lsbs})"),
+        }
+    }
+
+    /// Number of zeroed product LSBs.
+    #[must_use]
+    pub fn lsbs(&self) -> u32 {
+        self.lsbs
+    }
+}
+
+impl Multiplier for Truncated {
+    fn a_bits(&self) -> u32 {
+        self.bits
+    }
+    fn b_bits(&self) -> u32 {
+        self.bits
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        ((a & mask_for(self.bits)) * (b & mask_for(self.bits))) & !mask_for(self.lsbs)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mult_8_4_matches_table5() {
+        let m = Truncated::new(8, 4);
+        let mut occ = 0u64;
+        let mut max = 0i64;
+        let mut max_occ = 0u64;
+        let mut sum = 0i64;
+        let mut rel = 0.0f64;
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                let e = m.error(a, b);
+                assert!((0..16).contains(&e));
+                if e != 0 {
+                    occ += 1;
+                    sum += e;
+                    rel += e as f64 / (a * b) as f64;
+                    if e > max {
+                        max = e;
+                        max_occ = 1;
+                    } else if e == max {
+                        max_occ += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(max, 15);
+        assert_eq!(max_occ, 2048);
+        assert_eq!(occ, 53248);
+        assert!((sum as f64 / 65536.0 - 6.5).abs() < 1e-9);
+        // Table 5 prints 0.0037; the exact value is 0.003768.
+        assert!((rel / 65536.0 - 0.0037).abs() < 1e-4);
+    }
+
+    #[test]
+    fn truncated_4x4_with_3_lsbs() {
+        let m = Truncated::new(4, 3);
+        assert_eq!(m.multiply(3, 3), 8); // 9 & !7
+        assert_eq!(m.multiply(15, 15), 224); // 225 & !7
+        assert_eq!(m.name(), "Mult(4,3)");
+    }
+
+    #[test]
+    fn zero_truncation_is_exact() {
+        let m = Truncated::new(8, 0);
+        for a in (0..256u64).step_by(17) {
+            for b in (0..256u64).step_by(13) {
+                assert_eq!(m.error(a, b), 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate")]
+    fn rejects_total_truncation() {
+        let _ = Truncated::new(4, 8);
+    }
+}

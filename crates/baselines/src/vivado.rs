@@ -1,0 +1,426 @@
+//! Accurate soft-logic multipliers standing in for the Xilinx LogiCORE
+//! Multiplier IP \[20\] (the paper's normalization baseline for Fig. 7
+//! and the accurate reference of the Pareto analyses).
+//!
+//! The real IP is generated RTL synthesized by Vivado; here the two
+//! optimization goals are modeled structurally:
+//!
+//! * **Area-optimized** ([`IpOpt::Area`]) — a carry-chain array
+//!   multiplier that accumulates one partial-product row at a time.
+//!   Minimal LUTs, long serial carry-chain path.
+//! * **Speed-optimized** ([`IpOpt::Speed`]) — row-pairs reduced by a
+//!   tree of carry-chain ternary adders. More LUTs, shallow delay.
+//!
+//! Both variants carry the IP's genericity cost: `mult_gen` is natively
+//! signed, so an unsigned `N×N` request is built as a zero-extended
+//! `(N+1)×(N+1)` datapath. [`array_mult_netlist`] exposes the
+//! *unpadded* array as the hand-optimized accurate reference.
+
+use axmul_core::structural::ternary_add;
+use axmul_core::{mask_for, Multiplier};
+use axmul_fabric::{Init, NetId, Netlist, NetlistBuilder};
+
+/// Optimization goal of the emulated multiplier IP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpOpt {
+    /// Minimize LUTs (serial row accumulation).
+    Area,
+    /// Minimize delay (ternary reduction tree).
+    Speed,
+}
+
+/// An accurate `bits×bits` multiplier emulating the Vivado multiplier
+/// IP. Behaviorally exact; structurally characterized via
+/// [`VivadoIp::netlist`].
+///
+/// # Examples
+///
+/// ```
+/// use axmul_baselines::{IpOpt, VivadoIp};
+/// use axmul_core::Multiplier;
+///
+/// let ip = VivadoIp::new(8, IpOpt::Speed);
+/// assert_eq!(ip.multiply(250, 199), 49750);
+/// let nl = ip.netlist();
+/// // The generic IP datapath costs more LUTs than the proposed Ca (57):
+/// assert!(nl.lut_count() > 57);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VivadoIp {
+    bits: u32,
+    opt: IpOpt,
+    name: String,
+}
+
+impl VivadoIp {
+    /// Creates the IP model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 31 (the padded product
+    /// must fit `u64`).
+    #[must_use]
+    pub fn new(bits: u32, opt: IpOpt) -> Self {
+        assert!(bits > 0 && bits < 32, "operand width out of range");
+        let tag = match opt {
+            IpOpt::Area => "Area",
+            IpOpt::Speed => "Speed",
+        };
+        VivadoIp {
+            bits,
+            opt,
+            name: format!("VivadoIP-{tag} {bits}x{bits}"),
+        }
+    }
+
+    /// The optimization goal.
+    #[must_use]
+    pub fn opt(&self) -> IpOpt {
+        self.opt
+    }
+
+    /// Builds the structural netlist of this IP configuration (with the
+    /// signed-support zero padding the real core instantiates).
+    #[must_use]
+    pub fn netlist(&self) -> Netlist {
+        let w = self.bits;
+        match self.opt {
+            IpOpt::Area => padded(w, |bld, a, b| build_array(bld, a, b)),
+            IpOpt::Speed => padded(w, |bld, a, b| build_csa_tree(bld, a, b)),
+        }
+    }
+}
+
+impl Multiplier for VivadoIp {
+    fn a_bits(&self) -> u32 {
+        self.bits
+    }
+    fn b_bits(&self) -> u32 {
+        self.bits
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        (a & mask_for(self.bits)) * (b & mask_for(self.bits))
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Builds an exact unsigned `wa×wb` array multiplier: merged
+/// partial-product/adder LUTs, one carry chain per accumulated row.
+/// This is the *hand-optimized* accurate reference:
+/// `1 + (wb−1)·wa` LUTs (57 for 8×8).
+///
+/// # Panics
+///
+/// Panics unless `1 <= wa, wb` and `wa + wb <= 64`.
+#[must_use]
+pub fn array_mult_netlist(wa: u32, wb: u32) -> Netlist {
+    assert!(wa >= 1 && wb >= 1 && wa + wb <= 64);
+    let mut bld = NetlistBuilder::new(format!("array_{wa}x{wb}"));
+    let a = bld.inputs("a", wa as usize);
+    let b = bld.inputs("b", wb as usize);
+    let p = build_array(&mut bld, &a, &b);
+    bld.output_bus("p", &p);
+    bld.finish().expect("array multiplier is well-formed")
+}
+
+/// Builds an exact unsigned `wa×wb` multiplier with row-pair partial
+/// products reduced by a ternary-adder tree (the speed-optimized
+/// datapath shape).
+///
+/// # Panics
+///
+/// Panics unless `1 <= wa, wb` and `wa + wb <= 64`.
+#[must_use]
+pub fn csa_tree_mult_netlist(wa: u32, wb: u32) -> Netlist {
+    assert!(wa >= 1 && wb >= 1 && wa + wb <= 64);
+    let mut bld = NetlistBuilder::new(format!("csa_tree_{wa}x{wb}"));
+    let a = bld.inputs("a", wa as usize);
+    let b = bld.inputs("b", wb as usize);
+    let p = build_csa_tree(&mut bld, &a, &b);
+    bld.output_bus("p", &p);
+    bld.finish().expect("csa tree multiplier is well-formed")
+}
+
+/// Wraps a `build` function with the IP's zero-extension: operands grow
+/// by one (constant-zero) bit, the datapath is built at the padded
+/// width, and the product is trimmed back.
+fn padded(bits: u32, build: impl Fn(&mut NetlistBuilder, &[NetId], &[NetId]) -> Vec<NetId>) -> Netlist {
+    let mut bld = NetlistBuilder::new(format!("vivado_ip_{bits}x{bits}"));
+    let a = bld.inputs("a", bits as usize);
+    let b = bld.inputs("b", bits as usize);
+    let zero = bld.constant(false);
+    let mut ap = a.clone();
+    ap.push(zero);
+    let mut bp = b.clone();
+    bp.push(zero);
+    let p = build(&mut bld, &ap, &bp);
+    bld.output_bus("p", &p[..2 * bits as usize]);
+    bld.finish().expect("padded multiplier is well-formed")
+}
+
+// LUT INIT for a merged PP/adder bit with I5 = 1:
+// O6 (upper half) = I0 XOR (I1 AND I2), O5 (lower) = I1 AND I2.
+fn pp_add_init() -> Init {
+    Init::from_dual(
+        |i| ((i & 1) == 1) ^ ((i >> 1 & 1 == 1) && (i >> 2 & 1 == 1)),
+        |i| (i >> 1 & 1 == 1) && (i >> 2 & 1 == 1),
+    )
+}
+
+// LUT INIT for the first merged row with I5 = 1:
+// O6 (upper) = (I0 AND I1) XOR (I2 AND I3), O5 (lower) = I0 AND I1.
+fn row1_init() -> Init {
+    let andp = |i: u8, x: u8, y: u8| (i >> x & 1 == 1) && (i >> y & 1 == 1);
+    Init::from_dual(|i| andp(i, 0, 1) ^ andp(i, 2, 3), |i| andp(i, 0, 1))
+}
+
+/// Serial array accumulation: exact, `1 + (wb−1)·wa` LUTs.
+fn build_array(bld: &mut NetlistBuilder, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+    let wa = a.len();
+    let wb = b.len();
+    let zero = bld.constant(false);
+    let one = bld.constant(true);
+    // Bit 0 of the product.
+    let p0 = {
+        let (o6, _) = bld.lut2(Init::AND2, a[0], b[0]);
+        o6
+    };
+    if wb == 1 {
+        // Degenerate: product = A & b0.
+        let mut p = vec![p0];
+        for &ai in &a[1..] {
+            let (o6, _) = bld.lut2(Init::AND2, ai, b[0]);
+            p.push(o6);
+        }
+        return p;
+    }
+    // Merged first two rows: acc = A·b0 + 2·A·b1.
+    let mut props = Vec::with_capacity(wa);
+    let mut gens = Vec::with_capacity(wa);
+    for i in 0..wa {
+        let ahi = if i + 1 < wa { a[i + 1] } else { zero };
+        // O6 = (a_i & b1) XOR (a_{i+1} & b0); O5 = a_i & b1.
+        let (o6, o5) = bld.lut6_2(row1_init(), [a[i], b[1], ahi, b[0], zero, one]);
+        props.push(o6);
+        gens.push(o5);
+    }
+    let (sums, cout) = bld.carry_chain(zero, &props, &gens);
+    let mut acc = vec![p0];
+    acc.extend(sums);
+    acc.push(cout);
+
+    // Remaining rows, one carry chain each.
+    for j in 2..wb {
+        let mut props = Vec::new();
+        let mut gens = Vec::new();
+        let upper = acc.len().max(j + wa);
+        for k in j..upper {
+            if k < j + wa {
+                let ai = a[k - j];
+                if k < acc.len() {
+                    let (o6, o5) =
+                        bld.lut6_2(pp_add_init(), [acc[k], ai, b[j], zero, zero, one]);
+                    props.push(o6);
+                    gens.push(o5);
+                } else {
+                    let (o6, _) = bld.lut2(Init::AND2, ai, b[j]);
+                    props.push(o6);
+                    gens.push(zero);
+                }
+            } else {
+                // Carry ripples through untouched accumulator bits.
+                props.push(acc[k]);
+                gens.push(zero);
+            }
+        }
+        let (sums, cout) = bld.carry_chain(zero, &props, &gens);
+        acc.truncate(j);
+        acc.extend(sums);
+        if acc.len() < wa + wb {
+            acc.push(cout);
+        }
+    }
+    acc.truncate(wa + wb);
+    acc
+}
+
+/// Row-pair partial products reduced by a ternary-adder tree.
+fn build_csa_tree(bld: &mut NetlistBuilder, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+    let wa = a.len();
+    let wb = b.len();
+    let zero = bld.constant(false);
+    let one = bld.constant(true);
+    // Row r = A·b_{2r} + 2·A·b_{2r+1}, at weight offset 2r.
+    struct Row {
+        offset: usize,
+        bits: Vec<NetId>,
+    }
+    let mut rows = Vec::new();
+    for r in 0..wb.div_ceil(2) {
+        let b_lo = b[2 * r];
+        let b_hi = if 2 * r + 1 < wb { b[2 * r + 1] } else { zero };
+        let mut props = Vec::with_capacity(wa + 1);
+        let mut gens = Vec::with_capacity(wa + 1);
+        // Weight i within the row pairs a_i·b_lo with a_{i-1}·b_hi.
+        for i in 0..=wa {
+            let cur = if i < wa { a[i] } else { zero };
+            let prev = if i > 0 { a[i - 1] } else { zero };
+            // O6 = (cur & b_lo) XOR (prev & b_hi); O5 = prev & b_hi.
+            let (o6, o5) = bld.lut6_2(row1_init(), [prev, b_hi, cur, b_lo, zero, one]);
+            props.push(o6);
+            gens.push(o5);
+        }
+        let (sums, cout) = bld.carry_chain(zero, &props, &gens);
+        let mut bits = sums;
+        bits.push(cout);
+        rows.push(Row {
+            offset: 2 * r,
+            bits,
+        });
+    }
+    // Reduce rows three at a time with ternary adders until one remains.
+    while rows.len() > 1 {
+        let mut next = Vec::new();
+        let mut iter = rows.into_iter();
+        loop {
+            let Some(r0) = iter.next() else { break };
+            let r1 = iter.next();
+            let r2 = iter.next();
+            if r1.is_none() {
+                next.push(r0);
+                continue;
+            }
+            let base = r0.offset.min(r1.as_ref().map_or(usize::MAX, |r| r.offset));
+            let base = base.min(r2.as_ref().map_or(usize::MAX, |r| r.offset));
+            let place = |row: &Option<Row>, width: usize| -> Vec<Option<NetId>> {
+                let mut v = vec![None; width];
+                if let Some(row) = row {
+                    for (k, &n) in row.bits.iter().enumerate() {
+                        let pos = row.offset - base + k;
+                        if pos < width {
+                            v[pos] = Some(n);
+                        }
+                    }
+                }
+                v
+            };
+            let top = [Some(&r0), r1.as_ref(), r2.as_ref()]
+                .iter()
+                .flatten()
+                .map(|r| r.offset + r.bits.len())
+                .max()
+                .unwrap_or(0);
+            let width = (top - base) + 2;
+            let r0 = Some(r0);
+            let (x, y, z) = (place(&r0, width), place(&r1, width), place(&r2, width));
+            let sums = ternary_add(bld, &x, &y, &z, width);
+            next.push(Row {
+                offset: base,
+                bits: sums,
+            });
+        }
+        rows = next;
+    }
+    let last = rows.pop().expect("at least one row");
+    let mut p = vec![zero; wa + wb];
+    for (k, &n) in last.bits.iter().enumerate() {
+        let pos = last.offset + k;
+        if pos < p.len() {
+            p[pos] = n;
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmul_fabric::sim::for_each_operand_pair;
+    use axmul_fabric::timing::{analyze, DelayModel};
+
+    #[test]
+    fn array_multiplier_exact_8x8() {
+        let nl = array_mult_netlist(8, 8);
+        for_each_operand_pair(&nl, |a, b, out| {
+            assert_eq!(out[0], a * b, "a={a} b={b}");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn array_multiplier_exact_odd_widths() {
+        let nl = array_mult_netlist(5, 3);
+        for_each_operand_pair(&nl, |a, b, out| {
+            assert_eq!(out[0], a * b, "a={a} b={b}");
+        })
+        .unwrap();
+        let nl1 = array_mult_netlist(4, 1);
+        for_each_operand_pair(&nl1, |a, b, out| {
+            assert_eq!(out[0], a * b, "a={a} b={b}");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn array_lut_count_formula() {
+        // 1 + (wb-1)*wa merged PP/adder LUTs.
+        assert_eq!(array_mult_netlist(8, 8).lut_count(), 57);
+        assert_eq!(array_mult_netlist(4, 4).lut_count(), 13);
+    }
+
+    #[test]
+    fn csa_tree_exact_8x8() {
+        let nl = csa_tree_mult_netlist(8, 8);
+        for_each_operand_pair(&nl, |a, b, out| {
+            assert_eq!(out[0], a * b, "a={a} b={b}");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn csa_tree_exact_odd_widths() {
+        let nl = csa_tree_mult_netlist(7, 5);
+        for_each_operand_pair(&nl, |a, b, out| {
+            assert_eq!(out[0], a * b, "a={a} b={b}");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn ip_variants_exact_8x8() {
+        for opt in [IpOpt::Area, IpOpt::Speed] {
+            let ip = VivadoIp::new(8, opt);
+            let nl = ip.netlist();
+            for_each_operand_pair(&nl, |a, b, out| {
+                assert_eq!(out[0], a * b, "{opt:?} a={a} b={b}");
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn speed_variant_is_faster_and_bigger() {
+        let model = DelayModel::virtex7();
+        let area = VivadoIp::new(8, IpOpt::Area).netlist();
+        let speed = VivadoIp::new(8, IpOpt::Speed).netlist();
+        let t_area = analyze(&area, &model).critical_path_ns;
+        let t_speed = analyze(&speed, &model).critical_path_ns;
+        assert!(
+            t_speed < t_area,
+            "speed {t_speed:.2}ns should beat area {t_area:.2}ns"
+        );
+        assert!(speed.lut_count() >= area.lut_count());
+    }
+
+    #[test]
+    fn proposed_beats_ip_on_area() {
+        // The headline Fig. 7 relation at 8x8: Ca (57 LUTs) is smaller
+        // than both IP variants.
+        for opt in [IpOpt::Area, IpOpt::Speed] {
+            let luts = VivadoIp::new(8, opt).netlist().lut_count();
+            assert!(luts > 57, "{opt:?} IP has {luts} LUTs");
+        }
+    }
+}

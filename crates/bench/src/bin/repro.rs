@@ -1,0 +1,67 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment>...
+//! repro all
+//! repro list
+//! ```
+
+use std::process::ExitCode;
+
+use axmul_bench::experiments;
+
+const EXPERIMENTS: &[(&str, fn() -> String, &str)] = &[
+    ("table1", experiments::table1, "RS/JPEG encoders, DSP vs LUT"),
+    ("fig1", experiments::fig1, "ASIC vs FPGA gains of W and K"),
+    ("table2", experiments::table2, "error cases of the proposed 4x4"),
+    ("table3", experiments::table3, "published INIT values, verified"),
+    ("table4", experiments::table4, "area & latency of Ca/Cc"),
+    ("table5", experiments::table5, "8x8 error analysis"),
+    ("fig7", experiments::fig7, "area/latency/EDP gains"),
+    ("fig8", experiments::fig8, "bit accuracy + error PMFs"),
+    ("fig9", experiments::fig9, "Pareto: error vs area"),
+    ("fig10", experiments::fig10, "Pareto: error vs latency"),
+    ("table6", experiments::table6, "SUSAN PSNR (incl. swapped)"),
+    ("fig12", experiments::fig12, "SUSAN operand histogram"),
+    ("susan-area", experiments::susan_area, "accelerator-level area gain"),
+    ("ablate-cc-depth", experiments::ablate_cc_depth, "carry-free depth"),
+    ("ablate-4x2-trunc", experiments::ablate_4x2_trunc, "truncated bit choice"),
+    ("ablate-elem", experiments::ablate_elem, "elementary block choice"),
+    ("ablate-swap", experiments::ablate_swap, "operand orientation"),
+    ("ablate-cfree-op", experiments::ablate_cfree_op, "XOR vs OR columns"),
+    ("ext-correction", experiments::ext_correction, "switchable error correction"),
+    ("ext-adders", experiments::ext_adders, "approximate adder substrate"),
+    ("ext-signed", experiments::ext_signed, "signed operation"),
+];
+
+fn usage() {
+    eprintln!("usage: repro <experiment>... | all | list");
+    eprintln!("experiments:");
+    for (name, _, what) in EXPERIMENTS {
+        eprintln!("  {name:<18} {what}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+    for arg in &args {
+        match arg.as_str() {
+            "all" => print!("{}", experiments::all()),
+            "list" => usage(),
+            name => match EXPERIMENTS.iter().find(|(n, _, _)| *n == name) {
+                Some((_, run, _)) => print!("{}", run()),
+                None => {
+                    eprintln!("unknown experiment `{name}`");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,237 @@
+//! Extension experiments beyond the paper's evaluation: the §5.2
+//! error-correction circuit made concrete, the approximate-adder
+//! substrate, and the carry-free column operator choice.
+
+use axmul_adders::{
+    carry_free_adder_netlist, exact_adder_netlist, loa_netlist, AdderStats, CarryFreeAdder,
+    ExactAdder, LowerOrAdder, TruncatedAdder,
+};
+use axmul_core::behavioral::{approx_4x4, Ca};
+use axmul_core::correction::{correctable_4x4_netlist, CorrectableApprox4x4};
+use axmul_core::structural::approx_4x4_netlist;
+use axmul_core::{Multiplier, Signed};
+use axmul_fabric::timing::{analyze, DelayModel};
+use axmul_metrics::ErrorStats;
+
+use crate::report::{f, Table};
+
+/// **Extension: switchable error correction (§5.2).** The paper notes
+/// that few-distinct-error architectures admit cheap on/off correction;
+/// this measures the concrete corrector for the elementary block.
+#[must_use]
+pub fn ext_correction() -> String {
+    let model = DelayModel::virtex7();
+    let base = approx_4x4_netlist();
+    let corr = correctable_4x4_netlist();
+    let mut t = Table::new(
+        "Extension: switchable error correction on the 4x4 block",
+        &["configuration", "LUTs", "CARRY4s", "ns", "ARE"],
+    );
+    let on = CorrectableApprox4x4::new(true);
+    let off = CorrectableApprox4x4::new(false);
+    let are = |m: &dyn Multiplier| ErrorStats::exhaustive(&m).avg_relative_error;
+    t.row_owned(vec![
+        "plain approximate".to_string(),
+        base.lut_count().to_string(),
+        base.carry4_count().to_string(),
+        f(analyze(&base, &model).critical_path_ns, 3),
+        format!("{:.6}", are(&off)),
+    ]);
+    t.row_owned(vec![
+        "correctable (en=0)".to_string(),
+        corr.lut_count().to_string(),
+        corr.carry4_count().to_string(),
+        f(analyze(&corr, &model).critical_path_ns, 3),
+        format!("{:.6}", are(&off)),
+    ]);
+    t.row_owned(vec![
+        "correctable (en=1)".to_string(),
+        corr.lut_count().to_string(),
+        corr.carry4_count().to_string(),
+        f(analyze(&corr, &model).critical_path_ns, 3),
+        format!("{:.6}", are(&on)),
+    ]);
+    let mut s = t.render();
+    s.push_str(
+        "three extra LUTs and one extra chain buy run-time exactness — \
+         cheap because the error set is a single condition (Fig. 8)\n",
+    );
+    s
+}
+
+/// **Extension: the approximate-adder substrate.** Error/area/latency
+/// of the classic approximate adders on the same fabric.
+#[must_use]
+pub fn ext_adders() -> String {
+    let model = DelayModel::virtex7();
+    let mut t = Table::new(
+        "Extension: approximate 12-bit adders",
+        &["adder", "LUTs", "CARRY4s", "ns", "max |e|", "avg |e|"],
+    );
+    let exact = ExactAdder::new(12);
+    let designs: Vec<(Box<dyn axmul_adders::Adder>, axmul_fabric::Netlist)> = vec![
+        (Box::new(exact), exact_adder_netlist(12)),
+        (Box::new(LowerOrAdder::new(12, 4)), loa_netlist(12, 4)),
+        (Box::new(LowerOrAdder::new(12, 6)), loa_netlist(12, 6)),
+        (Box::new(CarryFreeAdder::new(12)), carry_free_adder_netlist(12)),
+    ];
+    for (m, nl) in &designs {
+        let stats = AdderStats::exhaustive(m);
+        t.row_owned(vec![
+            m.name().to_string(),
+            nl.lut_count().to_string(),
+            nl.carry4_count().to_string(),
+            f(analyze(nl, &model).critical_path_ns, 3),
+            stats.max_error.to_string(),
+            f(stats.avg_error, 3),
+        ]);
+    }
+    // Truncated adder has no netlist variant worth building (it is the
+    // exact adder minus wires); report behaviorally.
+    let trunc = AdderStats::exhaustive(&TruncatedAdder::new(12, 6));
+    t.row_owned(vec![
+        trunc.name.clone(),
+        "6".to_string(),
+        "2".to_string(),
+        "-".to_string(),
+        trunc.max_error.to_string(),
+        f(trunc.avg_error, 3),
+    ]);
+    let mut s = t.render();
+    s.push_str(
+        "the LOA keeps the error bounded at a fraction of the chain \
+         length, for the same LUT count as the exact adder; the \
+         carry-free end of the spectrum is the paper's Cc column \
+         operation\n",
+    );
+    s
+}
+
+/// **Ablation: the carry-free column operator.** Fig. 6 combines three
+/// partial-product columns without carries; XOR (the sum digit) and OR
+/// are both one LUT — which is the right choice?
+#[must_use]
+pub fn ablate_cfree_op() -> String {
+    // Behavioral Cc variant at 8x8 with OR columns instead of XOR.
+    struct OrCc;
+    impl Multiplier for OrCc {
+        fn a_bits(&self) -> u32 {
+            8
+        }
+        fn b_bits(&self) -> u32 {
+            8
+        }
+        fn multiply(&self, a: u64, b: u64) -> u64 {
+            or_cc(a & 0xFF, b & 0xFF)
+        }
+        fn name(&self) -> &str {
+            "Cc-OR 8x8"
+        }
+    }
+    fn or_cc(a: u64, b: u64) -> u64 {
+        let (al, ah, bl, bh) = (a & 0xF, a >> 4, b & 0xF, b >> 4);
+        let ll = approx_4x4(al, bl);
+        let hl = approx_4x4(ah, bl);
+        let lh = approx_4x4(al, bh);
+        let hh = approx_4x4(ah, bh);
+        let low = ll & 0xF;
+        let mid = ((ll >> 4) | hl | lh | ((hh & 0xF) << 4)) & 0xFF;
+        low | (mid << 4) | ((hh >> 4) << 12)
+    }
+    let xor = axmul_core::behavioral::Cc::new(8).expect("valid");
+    let mut t = Table::new(
+        "Ablation: carry-free column operator (8x8)",
+        &["operator", "ARE", "max |e|", "signed bias"],
+    );
+    for (name, m) in [("XOR (paper)", &xor as &dyn Multiplier), ("OR", &OrCc)] {
+        let s = ErrorStats::exhaustive(&m);
+        let mut bias = 0i64;
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                bias += m.error(a, b);
+            }
+        }
+        t.row_owned(vec![
+            name.to_string(),
+            format!("{:.6}", s.avg_relative_error),
+            s.max_error.to_string(),
+            (bias / 65536).to_string(),
+        ]);
+    }
+    let mut s = t.render();
+    s.push_str(
+        "a genuine finding: OR columns (which saturate instead of \
+         cancelling when two partial products overlap) roughly halve \
+         both the ARE and the worst case at identical LUT cost — the \
+         paper's XOR is the natural sum digit but not the accuracy \
+         optimum of the one-LUT column family\n",
+    );
+    s
+}
+
+/// **Extension: signed operation.** The asymmetric error carries over
+/// to two's-complement datapaths through the sign-magnitude adapter.
+#[must_use]
+pub fn ext_signed() -> String {
+    let m = Signed::new(Ca::new(8).expect("valid"));
+    let mut occ = 0u64;
+    let mut max = 0i64;
+    for a in -128i64..=127 {
+        for b in -128i64..=127 {
+            let e = (m.exact_signed(a, b) - m.multiply_signed(a, b)).abs();
+            if e != 0 {
+                occ += 1;
+                max = max.max(e);
+            }
+        }
+    }
+    let mut t = Table::new(
+        "Extension: signed Ca 8x8 via the sign-magnitude adapter",
+        &["metric", "value"],
+    );
+    t.row_owned(vec!["error occurrences".to_string(), occ.to_string()]);
+    t.row_owned(vec!["max |error|".to_string(), max.to_string()]);
+    t.row_owned(vec![
+        "example".to_string(),
+        format!("-13 x -13 -> {} (exact 169)", m.multiply_signed(-13, -13)),
+    ]);
+    let mut s = t.render();
+    s.push_str(
+        "magnitudes route through the unsigned core, so the unsigned \
+         error profile (Table 5) is inherited wholesale\n",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correction_table_shows_exactness() {
+        let s = ext_correction();
+        assert!(s.contains("0.000000"), "en=1 row must be exact:\n{s}");
+        assert!(s.contains("15"), "13 + detector + chain LUTs");
+    }
+
+    #[test]
+    fn adder_table_has_all_rows() {
+        let s = ext_adders();
+        for name in ["add12", "loa12_4", "loa12_6", "cfree_add12", "trunc_add12_6"] {
+            assert!(s.contains(name), "{name} missing:\n{s}");
+        }
+    }
+
+    #[test]
+    fn cfree_operator_tradeoff() {
+        let s = ablate_cfree_op();
+        assert!(s.contains("XOR (paper)"));
+        assert!(s.contains("OR"));
+    }
+
+    #[test]
+    fn signed_extension_inherits_unsigned_errors() {
+        let s = ext_signed();
+        assert!(s.contains("161"), "{s}");
+    }
+}

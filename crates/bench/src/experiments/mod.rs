@@ -1,0 +1,42 @@
+//! One function per paper artifact. Every function is pure (returns a
+//! report string) so the `repro` binary, tests, and Criterion benches
+//! can all drive the same code.
+
+mod ablations;
+mod extensions;
+mod figures;
+mod tables;
+
+pub use ablations::{ablate_4x2_trunc, ablate_cc_depth, ablate_elem, ablate_swap};
+pub use extensions::{ablate_cfree_op, ext_adders, ext_correction, ext_signed};
+pub use figures::{fig1, fig10, fig12, fig7, fig8, fig9};
+pub use tables::{susan_area, table1, table2, table3, table4, table5, table6};
+
+/// Runs every experiment in paper order and concatenates the reports.
+#[must_use]
+pub fn all() -> String {
+    [
+        table1(),
+        fig1(),
+        table2(),
+        table3(),
+        table4(),
+        table5(),
+        fig7(),
+        fig8(),
+        fig9(),
+        fig10(),
+        table6(),
+        fig12(),
+        susan_area(),
+        ablate_cc_depth(),
+        ablate_4x2_trunc(),
+        ablate_elem(),
+        ablate_swap(),
+        ablate_cfree_op(),
+        ext_correction(),
+        ext_adders(),
+        ext_signed(),
+    ]
+    .join("\n")
+}

@@ -1,0 +1,34 @@
+//! # axmul-bench
+//!
+//! The experiment harness that regenerates **every table and figure**
+//! of the DAC'18 paper. Each experiment is a library function returning
+//! a formatted report (so it is unit-testable and reusable from both
+//! the `repro` binary and the Criterion benches):
+//!
+//! | Paper artifact | Function |
+//! |---|---|
+//! | Table 1 (RS/JPEG, DSP vs LUT) | [`experiments::table1`] |
+//! | Fig. 1 (ASIC vs FPGA gains of W, K) | [`experiments::fig1`] |
+//! | Table 2 (4×4 error cases) | [`experiments::table2`] |
+//! | Table 3 (INIT values, verified) | [`experiments::table3`] |
+//! | Table 4 (area & latency of Ca/Cc) | [`experiments::table4`] |
+//! | Table 5 (8×8 error analysis) | [`experiments::table5`] |
+//! | Fig. 7 (area/latency/EDP gains) | [`experiments::fig7`] |
+//! | Fig. 8 (bit accuracy + error PMFs) | [`experiments::fig8`] |
+//! | Fig. 9 (Pareto: error vs area) | [`experiments::fig9`] |
+//! | Fig. 10 (Pareto: error vs latency) | [`experiments::fig10`] |
+//! | Table 6 / Fig. 11 (SUSAN PSNR) | [`experiments::table6`] |
+//! | Fig. 12 (operand histogram) | [`experiments::fig12`] |
+//! | §5.2 (accelerator area gain) | [`experiments::susan_area`] |
+//!
+//! Ablations of the design choices called out in `DESIGN.md` live in
+//! [`experiments`] as the `ablate_*` functions.
+//!
+//! Run everything with `cargo run -p axmul-bench --bin repro --release -- all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod roster;

@@ -1,0 +1,327 @@
+//! Command implementations. Everything returns strings/artifacts so the
+//! logic is testable; `main` only does process plumbing.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use axmul_core::Multiplier;
+use axmul_fabric::area::AreaReport;
+use axmul_fabric::export::{to_verilog, to_vhdl};
+use axmul_fabric::power::{measure, uniform_stimulus, EnergyModel};
+use axmul_fabric::timing::{analyze, DelayModel};
+use axmul_metrics::ErrorStats;
+use axmul_susan::{susan_smooth, synthetic_test_image, Image, SusanParams};
+
+use crate::arch::{Arch, ALL};
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Bad command line (message explains).
+    Usage(String),
+    /// A file could not be read or written.
+    Io(std::io::Error),
+    /// Width unsupported by the chosen architecture.
+    Width(axmul_core::WidthError),
+    /// Unknown architecture name.
+    Arch(crate::arch::ParseArchError),
+    /// A PGM file failed to parse.
+    Image(axmul_susan::ParseImageError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Width(e) => write!(f, "{e}"),
+            CliError::Arch(e) => write!(f, "{e}"),
+            CliError::Image(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+impl From<axmul_core::WidthError> for CliError {
+    fn from(e: axmul_core::WidthError) -> Self {
+        CliError::Width(e)
+    }
+}
+impl From<crate::arch::ParseArchError> for CliError {
+    fn from(e: crate::arch::ParseArchError) -> Self {
+        CliError::Arch(e)
+    }
+}
+impl From<axmul_susan::ParseImageError> for CliError {
+    fn from(e: axmul_susan::ParseImageError) -> Self {
+        CliError::Image(e)
+    }
+}
+
+/// Parsed `--key value` options.
+struct Opts(HashMap<String, String>);
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--").or_else(|| key.strip_prefix('-')) else {
+                return Err(CliError::Usage(format!("unexpected argument `{key}`")));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("`{key}` needs a value")))?;
+            map.insert(name.to_string(), value.clone());
+        }
+        Ok(Opts(map))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+
+    fn arch(&self) -> Result<Arch, CliError> {
+        Ok(self
+            .get("arch")
+            .ok_or_else(|| CliError::Usage("missing --arch".to_string()))?
+            .parse::<Arch>()?)
+    }
+
+    fn bits(&self) -> Result<u32, CliError> {
+        self.get("bits").map_or(Ok(8), |v| {
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("bad --bits `{v}`")))
+        })
+    }
+}
+
+/// Runs one CLI invocation. `args` excludes the program name. Returns
+/// the text to print on stdout; file outputs (`-o`) are written as a
+/// side effect.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad usage, unsupported widths, or I/O
+/// failures.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(usage());
+    };
+    let opts = Opts::parse(rest)?;
+    match cmd.as_str() {
+        "list" => Ok(list()),
+        "generate" => generate(&opts),
+        "characterize" => characterize(&opts),
+        "stats" => stats(&opts),
+        "smooth" => smooth(&opts),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn usage() -> String {
+    "axmul — FPGA-optimized approximate multiplier library (DAC'18 reproduction)\n\
+     \n\
+     commands:\n\
+     \x20 list                                         available architectures\n\
+     \x20 generate    --arch A --bits N [--format verilog|vhdl] [-o FILE]\n\
+     \x20 characterize --arch A --bits N               area / timing / energy\n\
+     \x20 stats       --arch A --bits N [--samples M]  error statistics\n\
+     \x20 smooth      --arch A [--width W --height H] [--input in.pgm] [-o out.pgm]\n"
+        .to_string()
+}
+
+fn list() -> String {
+    let mut out = String::from("architectures:\n");
+    for (_, name, what) in ALL {
+        out.push_str(&format!("  {name:<10} {what}\n"));
+    }
+    out
+}
+
+fn generate(opts: &Opts) -> Result<String, CliError> {
+    let arch = opts.arch()?;
+    let bits = opts.bits()?;
+    let nl = arch.netlist(bits)?;
+    let rtl = match opts.get("format").unwrap_or("verilog") {
+        "verilog" | "v" => to_verilog(&nl),
+        "vhdl" | "vhd" => to_vhdl(&nl),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown format `{other}` (verilog|vhdl)"
+            )))
+        }
+    };
+    if let Some(path) = opts.get("o") {
+        std::fs::write(path, &rtl)?;
+        Ok(format!(
+            "wrote {path}: {} ({} LUTs, {} CARRY4s)\n",
+            nl.name(),
+            nl.lut_count(),
+            nl.carry4_count()
+        ))
+    } else {
+        Ok(rtl)
+    }
+}
+
+fn characterize(opts: &Opts) -> Result<String, CliError> {
+    let arch = opts.arch()?;
+    let bits = opts.bits()?;
+    let nl = arch.netlist(bits)?;
+    let area = AreaReport::of(&nl);
+    let delay = DelayModel::virtex7();
+    let timing = analyze(&nl, &delay);
+    let stim = uniform_stimulus(&nl, 2000, 0xDAC18);
+    let energy = measure(&nl, &EnergyModel::virtex7(), &delay, &stim)
+        .expect("generated netlists simulate");
+    Ok(format!(
+        "{} at {bits}x{bits}\n  area:   {area}\n  timing: {timing}\n  \
+         energy: {:.3} units/op, EDP {:.3}\n",
+        arch, energy.energy_per_op, energy.edp
+    ))
+}
+
+fn stats(opts: &Opts) -> Result<String, CliError> {
+    let arch = opts.arch()?;
+    let bits = opts.bits()?;
+    let m = arch.behavioral(bits)?;
+    let s = if m.a_bits() + m.b_bits() <= 24 {
+        ErrorStats::exhaustive(&m)
+    } else {
+        let samples = opts
+            .get("samples")
+            .map_or(Ok(1_000_000u64), |v| {
+                v.parse()
+                    .map_err(|_| CliError::Usage(format!("bad --samples `{v}`")))
+            })?;
+        ErrorStats::sampled(&m, samples, 7)
+    };
+    Ok(format!(
+        "{s}\n  error probability {:.6}, NMED {:.3e}\n",
+        s.error_probability, s.normalized_mean_error_distance
+    ))
+}
+
+fn smooth(opts: &Opts) -> Result<String, CliError> {
+    let arch = opts.arch()?;
+    let m = arch.behavioral(8)?;
+    let img: Image = match opts.get("input") {
+        Some(path) => std::fs::read_to_string(path)?.parse()?,
+        None => {
+            let w = opts.get("width").map_or(Ok(128), |v| {
+                v.parse()
+                    .map_err(|_| CliError::Usage(format!("bad --width `{v}`")))
+            })?;
+            let h = opts.get("height").map_or(Ok(128), |v| {
+                v.parse()
+                    .map_err(|_| CliError::Usage(format!("bad --height `{v}`")))
+            })?;
+            synthetic_test_image(w, h, 11)
+        }
+    };
+    let params = SusanParams::default();
+    let out = susan_smooth(&img, &params, &m);
+    let golden = susan_smooth(&img, &params, &axmul_core::Exact::new(8, 8));
+    let psnr = golden.psnr(&out);
+    let mut msg = format!(
+        "smoothed {}x{} with {}: PSNR vs exact datapath = {psnr:.2} dB\n",
+        img.width(),
+        img.height(),
+        m.name()
+    );
+    if let Some(path) = opts.get("o") {
+        std::fs::write(path, out.to_pgm())?;
+        msg.push_str(&format!("wrote {path}\n"));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = args.iter().map(|s| (*s).to_string()).collect();
+        run(&v)
+    }
+
+    #[test]
+    fn list_shows_every_arch() {
+        let out = run_str(&["list"]).unwrap();
+        for (_, name, _) in ALL {
+            assert!(out.contains(name), "{name} missing:\n{out}");
+        }
+    }
+
+    #[test]
+    fn generate_verilog_to_stdout() {
+        let out = run_str(&["generate", "--arch", "ca", "--bits", "8"]).unwrap();
+        assert!(out.contains("module"));
+        assert!(out.contains("LUT6_2"));
+        assert_eq!(out.matches("LUT6_2 #").count(), 57);
+    }
+
+    #[test]
+    fn generate_vhdl() {
+        let out =
+            run_str(&["generate", "--arch", "approx4x4", "--bits", "4", "--format", "vhdl"])
+                .unwrap();
+        assert!(out.contains("entity"));
+        assert!(out.contains("UNISIM"));
+    }
+
+    #[test]
+    fn characterize_reports_area_and_timing() {
+        let out = run_str(&["characterize", "--arch", "cc", "--bits", "8"]).unwrap();
+        assert!(out.contains("56 LUTs"));
+        assert!(out.contains("critical path"));
+        assert!(out.contains("EDP"));
+    }
+
+    #[test]
+    fn stats_exhaustive_for_8_bits() {
+        let out = run_str(&["stats", "--arch", "k", "--bits", "8"]).unwrap();
+        assert!(out.contains("14450"), "{out}");
+        assert!(out.contains("30625"), "{out}");
+    }
+
+    #[test]
+    fn smooth_synthetic() {
+        let out =
+            run_str(&["smooth", "--arch", "ca", "--width", "32", "--height", "24"]).unwrap();
+        assert!(out.contains("PSNR"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(matches!(run_str(&["generate"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_str(&["generate", "--arch", "nope"]),
+            Err(CliError::Arch(_))
+        ));
+        assert!(matches!(
+            run_str(&["generate", "--arch", "ca", "--bits", "9"]),
+            Err(CliError::Width(_))
+        ));
+        assert!(matches!(
+            run_str(&["frobnicate"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn default_bits_is_8() {
+        let out = run_str(&["characterize", "--arch", "ca"]).unwrap();
+        assert!(out.contains("8x8"));
+        assert!(out.contains("57 LUTs"));
+    }
+}

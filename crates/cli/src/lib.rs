@@ -1,0 +1,24 @@
+//! # axmul-cli
+//!
+//! The user-facing generator for the approximate-multiplier library —
+//! the role the paper's downloadable HDL archive plays, as a tool:
+//!
+//! ```text
+//! axmul list
+//! axmul generate   --arch ca --bits 8 --format verilog -o ca_8x8.v
+//! axmul characterize --arch cc --bits 16
+//! axmul stats      --arch w --bits 8
+//! axmul smooth     --width 128 --height 128 --arch ca -o out.pgm
+//! ```
+//!
+//! The library half ([`Arch`], [`run`]) is exposed so the command logic
+//! is unit-testable without spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arch;
+mod commands;
+
+pub use arch::{Arch, ParseArchError};
+pub use commands::{run, CliError};

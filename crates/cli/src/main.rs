@@ -1,0 +1,18 @@
+//! `axmul` — generate, characterize and exercise the approximate
+//! multiplier library from the command line.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match axmul_cli::run(&args) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("axmul: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

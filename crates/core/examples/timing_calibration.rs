@@ -1,0 +1,25 @@
+//! Prints STA results of the Ca/Cc netlists against the paper's
+//! Table 4 latencies, for delay-model calibration.
+
+use axmul_core::structural::{ca_netlist, cc_netlist};
+use axmul_fabric::timing::{analyze, DelayModel};
+
+fn main() {
+    let model = DelayModel::virtex7();
+    let paper_ca = [5.846, 7.746, 10.765];
+    let paper_cc = [5.846, 6.946, 7.613];
+    for (i, bits) in [4u32, 8, 16].into_iter().enumerate() {
+        let ca = analyze(&ca_netlist(bits).unwrap(), &model).critical_path_ns;
+        let cc = analyze(&cc_netlist(bits).unwrap(), &model).critical_path_ns;
+        println!(
+            "{bits:>2}x{bits:<2}  Ca model {ca:6.3} paper {:6.3} ({:+5.1}%)   Cc model {cc:6.3} paper {:6.3} ({:+5.1}%)",
+            paper_ca[i],
+            (ca / paper_ca[i] - 1.0) * 100.0,
+            paper_cc[i],
+            (cc / paper_cc[i] - 1.0) * 100.0,
+        );
+    }
+}
+
+#[allow(dead_code)]
+fn debug_arrivals() {}

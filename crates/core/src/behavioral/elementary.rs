@@ -1,0 +1,382 @@
+//! The elementary 4×2 and 4×4 multiplier modules (paper §3).
+
+use crate::mul::mask;
+use crate::Multiplier;
+
+/// Computes the six product bits of an *accurate* 4×2 multiplication
+/// using the optimized logic equations (1)–(6) of the paper, rather
+/// than integer arithmetic.
+///
+/// `a` is the 4-bit multiplicand `A3..A0`, `b` the 2-bit multiplier
+/// `B1..B0`. Returns `[P0, P1, P2, P3, P4, P5]`.
+///
+/// This function exists to validate the paper's equations: a unit test
+/// proves it equals `a * b` for all 64 operand combinations, and the
+/// Table 3 INIT derivation builds on the same equations.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::behavioral::accurate_4x2_product_bits;
+/// let p = accurate_4x2_product_bits(0b1111, 0b11); // 15 * 3 = 45
+/// let value: u64 = p.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
+/// assert_eq!(value, 45);
+/// ```
+#[must_use]
+pub fn accurate_4x2_product_bits(a: u64, b: u64) -> [bool; 6] {
+    let a0 = a & 1 == 1;
+    let a1 = a >> 1 & 1 == 1;
+    let a2 = a >> 2 & 1 == 1;
+    let a3 = a >> 3 & 1 == 1;
+    let b0 = b & 1 == 1;
+    let b1 = b >> 1 & 1 == 1;
+
+    // Eq. (1)
+    let p0 = b0 && a0;
+    // Eq. (2)
+    let p1 = (!b1 && b0 && a1) || (b1 && !b0 && a0) || (b1 && !a1 && a0) || (b0 && a1 && !a0);
+    // Eq. (3)
+    let p2 = (!b1 && b0 && a2)
+        || (b1 && !b0 && a1)
+        || (b0 && a2 && !a1)
+        || (b1 && !a2 && a1 && !a0)
+        || (b1 && a2 && a1 && a0);
+    // Eq. (4). The paper's text prints the last term as "B0 A3 A1 A0";
+    // the prime on A0 is lost in transcription — with A0 unprimed the
+    // equation misses the minterm a=1010, b=11 (10·3 = 30 has P3 = 1)
+    // and wrongly covers a=1011, b=11 (11·3 = 33 has P3 = 0). A unit
+    // test proves this corrected form equals integer multiplication.
+    let p3 = (!b1 && b0 && a3)
+        || (b1 && !b0 && a2)
+        || (b1 && !a3 && a2 && !a1)
+        || (b0 && a3 && !a2 && !a1)
+        || (b1 && b0 && !a3 && !a2 && a1 && a0)
+        || (b0 && a3 && a2 && a1)
+        || (b0 && a3 && a1 && !a0);
+    // Eq. (5)
+    let p4 = (b1 && !b0 && a3)
+        || (b1 && a3 && !a2 && !a1)
+        || (b1 && a3 && !a2 && !a0)
+        || (b1 && b0 && !a3 && a2 && a1);
+    // Eq. (6)
+    let p5 = (b1 && b0 && a3 && a2) || (b1 && b0 && a3 && a1 && a0);
+
+    [p0, p1, p2, p3, p4, p5]
+}
+
+/// The approximate 4×2 product: the accurate product with `P0`
+/// truncated to zero (§3.1).
+///
+/// Truncating `P0` is the unique single-bit approximation that packs
+/// all remaining product bits into one slice (4 LUTs): `P1` and `P2`
+/// share five inputs and fit one `LUT6_2`, and the error is bounded by
+/// 1 for every input combination.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::behavioral::approx_4x2;
+/// assert_eq!(approx_4x2(15, 3), 44); // 45 with P0 dropped
+/// assert_eq!(approx_4x2(15, 2), 30); // even products are exact
+/// ```
+#[must_use]
+pub fn approx_4x2(a: u64, b: u64) -> u64 {
+    ((a & 0xF) * (b & 0x3)) & !1
+}
+
+/// The approximate 4×4 product built from two approximate 4×2
+/// multipliers with *accurate* summation of the partial products — the
+/// 16-LUT design point of §3.2 (black box of Fig. 3).
+///
+/// Both `PP0 = A·B[1:0]` and `PP1 = A·B[3:2]` lose their `P0`; the
+/// summation itself is exact. Average relative error 0.049, error
+/// probability 0.375 under uniform inputs (asserted by tests).
+#[must_use]
+pub fn approx_4x4_accsum(a: u64, b: u64) -> u64 {
+    let a = a & 0xF;
+    let b = b & 0xF;
+    approx_4x2(a, b & 3) + (approx_4x2(a, b >> 2) << 2)
+}
+
+/// The proposed optimized approximate 4×4 product (§3.2, Tables 2–3).
+///
+/// FPGA-specific optimizations — recovering a LUT from the implicit
+/// computation of `PP1⟨4⟩`/`PP1⟨5⟩` and spending it on accurate `P0`
+/// and `P2` — reduce the error cases to exactly **six input pairs**,
+/// each with fixed error magnitude **8** on product bit `P3`.
+///
+/// The closed form: with `PP0 = A·B[1:0]` and `PP1 = A·B[3:2]`, the
+/// result is `A·B − 8` iff `PP0⟨2⟩ ∧ PP0⟨3⟩ ∧ PP1⟨0⟩ ∧ PP1⟨1⟩`
+/// (the three-operand column at bit 3 saturates and only the carry
+/// *generate* is computed correctly), else `A·B` exactly.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::behavioral::approx_4x4;
+/// assert_eq!(approx_4x4(13, 13), 161); // Table 2: 169 - 8
+/// assert_eq!(approx_4x4(7, 6), 34);    // Table 2: 42 - 8
+/// assert_eq!(approx_4x4(6, 7), 42);    // asymmetric: swapped is exact
+/// ```
+#[must_use]
+pub fn approx_4x4(a: u64, b: u64) -> u64 {
+    let a = a & 0xF;
+    let b = b & 0xF;
+    let pp0 = a * (b & 3);
+    let pp1 = a * (b >> 2);
+    let saturated =
+        pp0 >> 2 & 1 == 1 && pp0 >> 3 & 1 == 1 && pp1 & 1 == 1 && pp1 >> 1 & 1 == 1;
+    a * b - if saturated { 8 } else { 0 }
+}
+
+/// One erroneous input pair of an elementary multiplier, in the layout
+/// of the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ErrorCase {
+    /// The multiplier operand (`B`).
+    pub multiplier: u64,
+    /// The multiplicand operand (`A`).
+    pub multiplicand: u64,
+    /// The true product.
+    pub actual: u64,
+    /// The approximate result.
+    pub computed: u64,
+    /// `actual - computed`.
+    pub difference: i64,
+}
+
+/// The elementary approximate 4×2 multiplier as a [`Multiplier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Approx4x2;
+
+impl Approx4x2 {
+    /// Creates the approximate 4×2 multiplier.
+    #[must_use]
+    pub fn new() -> Self {
+        Approx4x2
+    }
+}
+
+impl Multiplier for Approx4x2 {
+    fn a_bits(&self) -> u32 {
+        4
+    }
+    fn b_bits(&self) -> u32 {
+        2
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        approx_4x2(a, b)
+    }
+    fn name(&self) -> &str {
+        "Approx4x2"
+    }
+}
+
+/// The 16-LUT approximate 4×4 multiplier (accurate summation of two
+/// approximate 4×2 partial products) as a [`Multiplier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Approx4x4AccSum;
+
+impl Approx4x4AccSum {
+    /// Creates the accurate-summation approximate 4×4 multiplier.
+    #[must_use]
+    pub fn new() -> Self {
+        Approx4x4AccSum
+    }
+}
+
+impl Multiplier for Approx4x4AccSum {
+    fn a_bits(&self) -> u32 {
+        4
+    }
+    fn b_bits(&self) -> u32 {
+        4
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        approx_4x4_accsum(a, b)
+    }
+    fn name(&self) -> &str {
+        "Approx4x4AccSum"
+    }
+}
+
+/// The proposed optimized approximate 4×4 multiplier (12 LUTs, six
+/// error cases of magnitude 8) as a [`Multiplier`].
+///
+/// This is the elementary block of every `Ca`/`Cc` design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Approx4x4;
+
+impl Approx4x4 {
+    /// Creates the proposed approximate 4×4 multiplier.
+    #[must_use]
+    pub fn new() -> Self {
+        Approx4x4
+    }
+
+    /// Enumerates all erroneous input pairs, reproducing Table 2 of the
+    /// paper (six cases, each with difference 8).
+    #[must_use]
+    pub fn error_cases() -> Vec<ErrorCase> {
+        let m = Approx4x4::new();
+        let mut cases = Vec::new();
+        for b in 0..16u64 {
+            for a in 0..16u64 {
+                let diff = m.error(a, b);
+                if diff != 0 {
+                    cases.push(ErrorCase {
+                        multiplier: b,
+                        multiplicand: a,
+                        actual: a * b,
+                        computed: m.multiply(a, b),
+                        difference: diff,
+                    });
+                }
+            }
+        }
+        cases
+    }
+}
+
+impl Multiplier for Approx4x4 {
+    fn a_bits(&self) -> u32 {
+        4
+    }
+    fn b_bits(&self) -> u32 {
+        4
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        approx_4x4(a, b)
+    }
+    fn name(&self) -> &str {
+        "Approx4x4"
+    }
+}
+
+/// Masks helper re-export for sibling modules.
+#[allow(unused)]
+pub(crate) fn mask_bits(bits: u32) -> u64 {
+    mask(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_equations_equal_integer_multiply() {
+        for a in 0..16u64 {
+            for b in 0..4u64 {
+                let bits = accurate_4x2_product_bits(a, b);
+                let value: u64 = bits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| (x as u64) << i)
+                    .sum();
+                assert_eq!(value, a * b, "equations (1)-(6) at a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn p0_p1_p2_depend_only_on_low_bits() {
+        // The paper packs P1/P2 into one LUT6_2 because P0..P2 depend
+        // only on A0..A2, B0, B1.
+        for a in 0..16u64 {
+            for b in 0..4u64 {
+                let base = accurate_4x2_product_bits(a, b);
+                let with_a3 = accurate_4x2_product_bits(a ^ 8, b);
+                assert_eq!(base[0], with_a3[0]);
+                assert_eq!(base[1], with_a3[1]);
+                assert_eq!(base[2], with_a3[2]);
+            }
+        }
+    }
+
+    #[test]
+    fn approx_4x2_error_is_exactly_a0_and_b0() {
+        // 75% accuracy, max error 1 (paper §3.1).
+        let mut errors = 0;
+        for a in 0..16u64 {
+            for b in 0..4u64 {
+                let e = a * b - approx_4x2(a, b);
+                assert!(e <= 1);
+                let expect = (a & 1 == 1 && b & 1 == 1) as u64;
+                assert_eq!(e, expect);
+                errors += e;
+            }
+        }
+        assert_eq!(errors, 16, "25% of the 64 combinations err by 1");
+    }
+
+    #[test]
+    fn accsum_matches_paper_statistics() {
+        // §3.2: average relative error 0.049, error probability 0.375.
+        let mut occurrences = 0u64;
+        let mut rel = 0.0f64;
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let e = a * b - approx_4x4_accsum(a, b);
+                if e != 0 {
+                    occurrences += 1;
+                    rel += e as f64 / (a * b) as f64;
+                }
+            }
+        }
+        assert_eq!(occurrences, 96, "error probability 96/256 = 0.375");
+        let are = rel / 256.0;
+        assert!((are - 0.049).abs() < 5e-4, "ARE {are} != 0.049");
+    }
+
+    #[test]
+    fn table2_reproduced_exactly() {
+        // (multiplier, multiplicand, actual, computed, diff)
+        let expected = [
+            (5u64, 15u64, 75u64, 67u64),
+            (6, 7, 42, 34),
+            (6, 15, 90, 82),
+            (7, 15, 105, 97),
+            (13, 13, 169, 161),
+            (15, 5, 75, 67),
+        ];
+        let mut cases = Approx4x4::error_cases();
+        cases.sort_by_key(|c| (c.multiplier, c.multiplicand));
+        assert_eq!(cases.len(), 6, "exactly six error cases");
+        for (case, (b, a, actual, computed)) in cases.iter().zip(expected) {
+            assert_eq!(case.multiplier, b);
+            assert_eq!(case.multiplicand, a);
+            assert_eq!(case.actual, actual);
+            assert_eq!(case.computed, computed);
+            assert_eq!(case.difference, 8, "fixed error magnitude 8");
+        }
+    }
+
+    #[test]
+    fn highlighted_swaps_are_exact() {
+        // Paper: the highlighted Table 2 inputs produce no error with
+        // multiplier and multiplicand mutually swapped.
+        let m = Approx4x4::new();
+        // (6,7) errs; (7,6) is exact.
+        assert_eq!(m.error(7, 6), 8);
+        assert_eq!(m.error(6, 7), 0);
+        // (13,13) is symmetric: erroneous both ways.
+        assert_eq!(m.error(13, 13), 8);
+    }
+
+    #[test]
+    fn operands_are_masked() {
+        let m = Approx4x4::new();
+        assert_eq!(m.multiply(0x1F, 0x12), Approx4x4::new().multiply(0xF, 0x2));
+    }
+
+    #[test]
+    fn error_magnitude_is_always_8_or_0() {
+        let m = Approx4x4::new();
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let e = m.error(a, b);
+                assert!(e == 0 || e == 8, "a={a} b={b} e={e}");
+            }
+        }
+    }
+}

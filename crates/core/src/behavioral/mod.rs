@@ -1,0 +1,15 @@
+//! Bit-exact behavioral models of the paper's multiplier architectures.
+//!
+//! These are the closed-form "golden" models: fast enough for exhaustive
+//! characterization and application-level simulation, and proven
+//! equivalent to the structural LUT netlists (see [`crate::structural`])
+//! by exhaustive tests.
+
+mod elementary;
+mod recursive;
+
+pub use elementary::{
+    accurate_4x2_product_bits, approx_4x2, approx_4x4, approx_4x4_accsum, Approx4x2, Approx4x4,
+    Approx4x4AccSum, ErrorCase,
+};
+pub use recursive::{Ca, Cc, Recursive, Summation};

@@ -1,0 +1,466 @@
+//! Recursive construction of higher-order multipliers (paper §4).
+//!
+//! A `2M×2M` multiplier decomposes into four `M×M` partial products
+//! (Fig. 5a):
+//!
+//! ```text
+//! A·B = AL·BL + (AH·BL + AL·BH)·2^M + AH·BH·2^2M
+//! ```
+//!
+//! The paper explores two ways of summing them:
+//!
+//! * **Accurate summation ([`Summation::Accurate`], designs `Ca`)** —
+//!   the three overlapping partial products are added exactly with
+//!   carry-chain ternary adders (Fig. 5b).
+//! * **Carry-free summation ([`Summation::CarryFree`], designs `Cc`)** —
+//!   overlapping bits are combined per column *without any carries*
+//!   (3-input XOR per bit, Fig. 6); the bottom `M` and top `M` product
+//!   bits need no addition at all.
+
+use std::fmt;
+
+use crate::behavioral::elementary::approx_4x4;
+use crate::mul::mask;
+use crate::{Multiplier, WidthError};
+
+/// Partial-product summation strategy for recursive multipliers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Summation {
+    /// Exact addition of the four partial products (the `Ca` family).
+    Accurate,
+    /// Column-wise carry-free (XOR) combination of overlapping bits
+    /// (the `Cc` family). Bits `[0, M)` pass `AL·BL` through and bits
+    /// `[3M, 4M)` pass the top of `AH·BH` through unchanged.
+    CarryFree,
+}
+
+impl fmt::Display for Summation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Summation::Accurate => f.write_str("accurate"),
+            Summation::CarryFree => f.write_str("carry-free"),
+        }
+    }
+}
+
+fn check_width(bits: u32, kernel_bits: u32) -> Result<(), WidthError> {
+    let ok = bits >= kernel_bits
+        && bits <= 32
+        && bits.is_power_of_two()
+        && kernel_bits.is_power_of_two()
+        && kernel_bits >= 2;
+    if ok {
+        Ok(())
+    } else {
+        Err(WidthError { bits })
+    }
+}
+
+fn recurse(
+    kernel: &dyn Fn(u64, u64) -> u64,
+    kernel_bits: u32,
+    bits: u32,
+    summation: Summation,
+    a: u64,
+    b: u64,
+) -> u64 {
+    if bits == kernel_bits {
+        return kernel(a, b);
+    }
+    let m = bits / 2;
+    let lo = mask(m);
+    let (al, ah) = (a & lo, a >> m);
+    let (bl, bh) = (b & lo, b >> m);
+    let ll = recurse(kernel, kernel_bits, m, summation, al, bl);
+    let hl = recurse(kernel, kernel_bits, m, summation, ah, bl);
+    let lh = recurse(kernel, kernel_bits, m, summation, al, bh);
+    let hh = recurse(kernel, kernel_bits, m, summation, ah, bh);
+    match summation {
+        Summation::Accurate => ll + ((hl + lh) << m) + (hh << (2 * m)),
+        Summation::CarryFree => {
+            // Fig. 6: per-column combination without carry-outs.
+            // Bits [0, m): LL only. Bits [m, 3m): LL-high ^ HL ^ LH ^
+            // HH-low (each column has at most three contributors plus
+            // HH from bit 2m up). Bits [3m, 4m): HH-high only.
+            let low = ll & lo;
+            let mid = ((ll >> m) ^ hl ^ lh ^ ((hh & lo) << m)) & mask(2 * m);
+            let high = hh >> m;
+            low | (mid << m) | (high << (3 * m))
+        }
+    }
+}
+
+/// A recursive multiplier over an arbitrary elementary kernel.
+///
+/// This is the generic machinery behind [`Ca`] and [`Cc`]; it is public
+/// so that the baselines crate can express the Kulkarni and Rehman
+/// multipliers (2×2 kernels, accurate summation) and so that ablation
+/// experiments can mix kernels and summation strategies.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::behavioral::{Recursive, Summation};
+/// use axmul_core::Multiplier;
+///
+/// // An exact 16x16 multiplier from an exact 2x2 kernel.
+/// let m = Recursive::new("Grid", 16, 2, |a, b| a * b, Summation::Accurate)?;
+/// assert_eq!(m.multiply(1234, 567), 1234 * 567);
+/// assert_eq!(m.name(), "Grid 16x16");
+/// # Ok::<(), axmul_core::WidthError>(())
+/// ```
+#[derive(Clone)]
+pub struct Recursive<F> {
+    kernel: F,
+    kernel_bits: u32,
+    bits: u32,
+    summation: Summation,
+    name: String,
+}
+
+impl<F: Fn(u64, u64) -> u64> Recursive<F> {
+    /// Builds a `bits`×`bits` multiplier from `kernel_bits`-wide
+    /// elementary blocks combined with the given summation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthError`] unless `bits` and `kernel_bits` are
+    /// powers of two with `2 <= kernel_bits <= bits <= 32`.
+    pub fn new(
+        family: &str,
+        bits: u32,
+        kernel_bits: u32,
+        kernel: F,
+        summation: Summation,
+    ) -> Result<Self, WidthError> {
+        check_width(bits, kernel_bits)?;
+        Ok(Recursive {
+            kernel,
+            kernel_bits,
+            bits,
+            summation,
+            name: format!("{family} {bits}x{bits}"),
+        })
+    }
+
+    /// The summation strategy in use.
+    #[must_use]
+    pub fn summation(&self) -> Summation {
+        self.summation
+    }
+}
+
+impl<F> fmt::Debug for Recursive<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recursive")
+            .field("name", &self.name)
+            .field("bits", &self.bits)
+            .field("kernel_bits", &self.kernel_bits)
+            .field("summation", &self.summation)
+            .finish()
+    }
+}
+
+impl<F: Fn(u64, u64) -> u64> Multiplier for Recursive<F> {
+    fn a_bits(&self) -> u32 {
+        self.bits
+    }
+    fn b_bits(&self) -> u32 {
+        self.bits
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        recurse(
+            &self.kernel,
+            self.kernel_bits,
+            self.bits,
+            self.summation,
+            a & mask(self.bits),
+            b & mask(self.bits),
+        )
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The paper's `Ca` design: all sub-multipliers are the proposed
+/// approximate 4×4 block; partial products are summed **accurately**
+/// with carry-chain ternary adders.
+///
+/// Published 8×8 error profile (Table 5, asserted by tests): maximum
+/// error 2 312, average error 54.1875, average relative error 0.0029,
+/// 5 482 error occurrences, 14 maximum-error occurrences.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::behavioral::Ca;
+/// use axmul_core::Multiplier;
+///
+/// let m = Ca::new(16)?;
+/// assert_eq!(m.multiply(40000, 50000), 2_000_000_000); // usually exact
+/// # Ok::<(), axmul_core::WidthError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ca {
+    bits: u32,
+    name: String,
+}
+
+impl Ca {
+    /// Creates a `bits`×`bits` Ca multiplier (`bits` ∈ {4, 8, 16, 32}).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthError`] for other widths.
+    pub fn new(bits: u32) -> Result<Self, WidthError> {
+        check_width(bits, 4)?;
+        Ok(Ca {
+            bits,
+            name: format!("Ca {bits}x{bits}"),
+        })
+    }
+
+    /// Operand width.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+}
+
+impl Multiplier for Ca {
+    fn a_bits(&self) -> u32 {
+        self.bits
+    }
+    fn b_bits(&self) -> u32 {
+        self.bits
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        recurse(
+            &approx_4x4,
+            4,
+            self.bits,
+            Summation::Accurate,
+            a & mask(self.bits),
+            b & mask(self.bits),
+        )
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The paper's `Cc` design: the same approximate 4×4 sub-multipliers as
+/// [`Ca`], but with the **highly-inaccurate carry-free summation** of
+/// Fig. 6 at every recursion level, trading accuracy for area/latency.
+///
+/// Published 8×8 error profile (Table 5, asserted by tests): maximum
+/// error 8 288 occurring exactly once, average error 1 592.265, average
+/// relative error 0.1294, 52 731 error occurrences.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::behavioral::Cc;
+/// use axmul_core::Multiplier;
+///
+/// let m = Cc::new(8)?;
+/// // Carry-free summation can lose inter-column carries:
+/// assert!(m.multiply(255, 255) <= 255 * 255);
+/// # Ok::<(), axmul_core::WidthError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cc {
+    bits: u32,
+    name: String,
+}
+
+impl Cc {
+    /// Creates a `bits`×`bits` Cc multiplier (`bits` ∈ {4, 8, 16, 32}).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthError`] for other widths.
+    pub fn new(bits: u32) -> Result<Self, WidthError> {
+        check_width(bits, 4)?;
+        Ok(Cc {
+            bits,
+            name: format!("Cc {bits}x{bits}"),
+        })
+    }
+
+    /// Operand width.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+}
+
+impl Multiplier for Cc {
+    fn a_bits(&self) -> u32 {
+        self.bits
+    }
+    fn b_bits(&self) -> u32 {
+        self.bits
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        recurse(
+            &approx_4x4,
+            4,
+            self.bits,
+            Summation::CarryFree,
+            a & mask(self.bits),
+            b & mask(self.bits),
+        )
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table5_stats(m: &dyn Multiplier) -> (i64, f64, f64, u64, u64) {
+        let mut occ = 0u64;
+        let mut max = 0i64;
+        let mut max_occ = 0u64;
+        let mut sum = 0i64;
+        let mut rel = 0.0f64;
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                let e = m.error(a, b).abs();
+                if e != 0 {
+                    occ += 1;
+                    sum += e;
+                    rel += e as f64 / (a * b) as f64;
+                    if e > max {
+                        max = e;
+                        max_occ = 1;
+                    } else if e == max {
+                        max_occ += 1;
+                    }
+                }
+            }
+        }
+        (max, sum as f64 / 65536.0, rel / 65536.0, occ, max_occ)
+    }
+
+    #[test]
+    fn ca8_matches_table5_exactly() {
+        let m = Ca::new(8).unwrap();
+        let (max, avg, are, occ, max_occ) = table5_stats(&m);
+        assert_eq!(max, 2312);
+        assert!((avg - 54.1875).abs() < 1e-9);
+        assert!((are - 0.002917).abs() < 2e-6);
+        assert_eq!(occ, 5482);
+        assert_eq!(max_occ, 14);
+    }
+
+    #[test]
+    fn cc8_matches_table5_exactly() {
+        let m = Cc::new(8).unwrap();
+        let (max, avg, are, occ, max_occ) = table5_stats(&m);
+        assert_eq!(max, 8288);
+        assert!((avg - 1592.265).abs() < 1e-3);
+        assert!((are - 0.129390).abs() < 1e-6);
+        assert_eq!(occ, 52731);
+        assert_eq!(max_occ, 1);
+    }
+
+    #[test]
+    fn ca_max_error_composes_from_sub_blocks() {
+        // Max error = 8 + 2*8*16 + 8*256 = 2312: every sub-block errs.
+        assert_eq!(8 + 2 * 8 * 16 + 8 * 256, 2312);
+        let m = Ca::new(8).unwrap();
+        // (multiplier 13, multiplicand 13) errs in the elementary block,
+        // so 0xDD * 0xDD must collect the error in all four quadrants.
+        assert_eq!(m.error(0xDD, 0xDD), 2312);
+    }
+
+    #[test]
+    fn ca_with_4_bits_is_the_elementary_block() {
+        let m = Ca::new(4).unwrap();
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(m.multiply(a, b), approx_4x4(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn ca16_error_bound() {
+        // Each of the 16 elementary blocks can err by at most 8 at its
+        // weight; the exact sum bound for 16x16 is 8 * (sum of weights).
+        let weights: u64 = (0..4)
+            .flat_map(|i| (0..4).map(move |j| 1u64 << (4 * (i + j))))
+            .sum();
+        let bound = 8 * weights;
+        let m = Ca::new(16).unwrap();
+        let mut worst = 0i64;
+        // Operands built from erroneous nibble pairs maximize error.
+        for &a in &[0xDDDDu64, 0xFFFF, 0xF5F5, 0xDFDF] {
+            for &b in &[0xDDDDu64, 0xFFFF, 0x5F5F, 0xDFDF] {
+                worst = worst.max(m.error(a, b));
+            }
+        }
+        assert_eq!(worst, bound as i64, "0xDDDD x 0xDDDD errs everywhere");
+    }
+
+    #[test]
+    fn cc_never_overestimates_by_more_than_dropped_carries() {
+        // Cc only drops carries and elementary -8s, so result <= exact.
+        let m = Cc::new(8).unwrap();
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                assert!(m.multiply(a, b) <= a * b, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_operands_are_exact_everywhere() {
+        for bits in [4u32, 8, 16, 32] {
+            let ca = Ca::new(bits).unwrap();
+            let cc = Cc::new(bits).unwrap();
+            let top = mask(bits);
+            for m in [&ca as &dyn Multiplier, &cc as &dyn Multiplier] {
+                assert_eq!(m.multiply(0, top), 0);
+                assert_eq!(m.multiply(top, 0), 0);
+                assert_eq!(m.multiply(1, 1), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_widths_rejected() {
+        assert!(Ca::new(3).is_err());
+        assert!(Ca::new(6).is_err());
+        assert!(Ca::new(2).is_err(), "below the 4-bit kernel");
+        assert!(Ca::new(64).is_err(), "product would overflow u64");
+        assert!(Cc::new(12).is_err());
+    }
+
+    #[test]
+    fn generic_recursive_with_exact_kernel_is_exact() {
+        let m = Recursive::new("X", 8, 2, |a, b| a * b, Summation::Accurate).unwrap();
+        for a in (0..256u64).step_by(7) {
+            for b in (0..256u64).step_by(5) {
+                assert_eq!(m.multiply(a, b), a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn summation_display() {
+        assert_eq!(Summation::Accurate.to_string(), "accurate");
+        assert_eq!(Summation::CarryFree.to_string(), "carry-free");
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert_eq!(Ca::new(16).unwrap().name(), "Ca 16x16");
+        assert_eq!(Cc::new(8).unwrap().name(), "Cc 8x8");
+    }
+}

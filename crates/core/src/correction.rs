@@ -1,0 +1,203 @@
+//! Run-time switchable error correction (paper §5.2).
+//!
+//! Fig. 8's observation that the proposed designs have *few distinct
+//! errors* means "such type of architectures ... can be easily
+//! configured to have an error-correction circuitry that can be turned
+//! on/off according to applications' requirements". For the elementary
+//! 4×4 block the entire error set is one condition with one fixed
+//! magnitude, so the corrector is a single detector LUT plus a 5-bit
+//! conditional increment:
+//!
+//! * detector: `fix = EN ∧ A0 ∧ B2 ∧ PP0⟨2⟩ ∧ PP0⟨3⟩ ∧ PP1⟨1⟩`
+//!   (the saturated three-operand column at bit 3);
+//! * correction: `P[7:3] += fix` via one carry chain.
+//!
+//! With `EN = 1` the block is exact on all 256 operand pairs; with
+//! `EN = 0` it behaves identically to the plain approximate block.
+
+use axmul_fabric::{Init, Netlist, NetlistBuilder};
+
+use crate::behavioral::approx_4x4;
+use crate::Multiplier;
+
+/// Behavioral model of the correctable 4×4 block.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::correction::CorrectableApprox4x4;
+/// use axmul_core::Multiplier;
+///
+/// let off = CorrectableApprox4x4::new(false);
+/// let on = CorrectableApprox4x4::new(true);
+/// assert_eq!(off.multiply(13, 13), 161); // approximate
+/// assert_eq!(on.multiply(13, 13), 169);  // corrected
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorrectableApprox4x4 {
+    enabled: bool,
+}
+
+impl CorrectableApprox4x4 {
+    /// Creates the block with the correction circuit on or off.
+    #[must_use]
+    pub fn new(enabled: bool) -> Self {
+        CorrectableApprox4x4 { enabled }
+    }
+
+    /// Whether correction is active.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+impl Multiplier for CorrectableApprox4x4 {
+    fn a_bits(&self) -> u32 {
+        4
+    }
+    fn b_bits(&self) -> u32 {
+        4
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        if self.enabled {
+            (a & 0xF) * (b & 0xF)
+        } else {
+            approx_4x4(a, b)
+        }
+    }
+    fn name(&self) -> &str {
+        if self.enabled {
+            "Approx4x4+corr(on)"
+        } else {
+            "Approx4x4+corr(off)"
+        }
+    }
+}
+
+/// Builds the correctable 4×4 netlist: the Table 3 block plus the
+/// detector LUT, a correction carry chain, and an `en` input.
+///
+/// Structure: 13 LUTs (12 + detector) and 3 `CARRY4`s (the block's own
+/// chain plus the 5-bit conditional increment); on the device the
+/// increment's pass-through `S` pins ride the slice bypass inputs.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::correction::correctable_4x4_netlist;
+///
+/// let nl = correctable_4x4_netlist();
+/// assert_eq!(nl.eval(&[13, 13, 0])?, vec![161]); // en = 0: approximate
+/// assert_eq!(nl.eval(&[13, 13, 1])?, vec![169]); // en = 1: exact
+/// # Ok::<(), axmul_fabric::FabricError>(())
+/// ```
+#[must_use]
+pub fn correctable_4x4_netlist() -> Netlist {
+    let base = crate::structural::approx_4x4_netlist();
+    let mut bld = NetlistBuilder::new("approx4x4_correctable");
+    let a = bld.inputs("a", 4);
+    let b = bld.inputs("b", 4);
+    let en = bld.inputs("en", 1);
+    let p = bld.instantiate(&base, &[&a, &b]).remove(0);
+    let zero = bld.constant(false);
+
+    // Detector: fix = en & A0 & B2 & PP0<2> & PP0<3> & PP1<1>.
+    // Recompute the three partial-product bits from primary inputs
+    // (they are 5-input functions; folding the conjunction of all
+    // three conditions with A0/B2/EN needs A0..A3, B0..B3, EN = 9
+    // inputs, so the detector re-derives the condition directly from
+    // the full operands: fix = en AND [the 6 Table 2 input pairs]).
+    // A 9-input function needs two LUTs: one for the 8-input operand
+    // condition restricted to A (I5..I0 = B operand is folded in by
+    // the second LUT). Simplest exact mapping: one LUT6 computes the
+    // condition on (A3..A0, B1, B0); a second folds (B3, B2, en).
+    let cond_ab = |a_val: u64, b_lo: u64, b_hi: u64| -> bool {
+        let bv = (b_hi << 2) | b_lo;
+        let pp0 = a_val * b_lo;
+        let pp1 = a_val * b_hi;
+        let _ = bv;
+        pp0 >> 2 & 1 == 1 && pp0 >> 3 & 1 == 1 && pp1 & 1 == 1 && pp1 >> 1 & 1 == 1
+    };
+    // First LUT: for each B-high pattern the condition differs, so
+    // summarize per (A, B-low) whether the condition holds for b_hi in
+    // {1, 3} (the only patterns with PP1<0> = 1 require B2 = 1; B3
+    // distinguishes 1 from 3).
+    let c_b2 = Init::from_fn(|i| {
+        let a_val = u64::from(i) & 0xF;
+        let b_lo = (u64::from(i) >> 4) & 3;
+        cond_ab(a_val, b_lo, 1)
+    });
+    let c_b2b3 = Init::from_fn(|i| {
+        let a_val = u64::from(i) & 0xF;
+        let b_lo = (u64::from(i) >> 4) & 3;
+        cond_ab(a_val, b_lo, 3)
+    });
+    let cond_if_b2 = bld.lut6(c_b2, [a[0], a[1], a[2], a[3], b[0], b[1]]);
+    let cond_if_b2b3 = bld.lut6(c_b2b3, [a[0], a[1], a[2], a[3], b[0], b[1]]);
+    // Fold: fix = en & B2 & (B3 ? cond_if_b2b3 : cond_if_b2).
+    let fold = Init::from_fn(|i| {
+        let en_v = i & 1 == 1;
+        let b2 = i >> 1 & 1 == 1;
+        let b3 = i >> 2 & 1 == 1;
+        let c1 = i >> 3 & 1 == 1; // cond for b_hi = 1
+        let c3 = i >> 4 & 1 == 1; // cond for b_hi = 3
+        en_v && b2 && if b3 { c3 } else { c1 }
+    });
+    let fix = bld.lut6(fold, [en[0], b[2], b[3], cond_if_b2, cond_if_b2b3, zero]);
+
+    // Correction: P[7:3] += fix (carry-in driven increment).
+    let props: Vec<_> = p[3..8].to_vec();
+    let gens = vec![zero; 5];
+    let (sums, _) = bld.carry_chain(fix, &props, &gens);
+    let mut out = p[..3].to_vec();
+    out.extend(sums);
+    bld.output_bus("p", &out);
+    bld.finish().expect("correctable netlist is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behavioral_contract() {
+        let off = CorrectableApprox4x4::new(false);
+        let on = CorrectableApprox4x4::new(true);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(off.multiply(a, b), approx_4x4(a, b));
+                assert_eq!(on.multiply(a, b), a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_matches_both_modes_exhaustively() {
+        let nl = correctable_4x4_netlist();
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(
+                    nl.eval(&[a, b, 0]).unwrap()[0],
+                    approx_4x4(a, b),
+                    "en=0 a={a} b={b}"
+                );
+                assert_eq!(nl.eval(&[a, b, 1]).unwrap()[0], a * b, "en=1 a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn correction_overhead_is_three_luts() {
+        let base = crate::structural::approx_4x4_netlist();
+        let corr = correctable_4x4_netlist();
+        assert_eq!(corr.lut_count(), base.lut_count() + 3);
+    }
+
+    #[test]
+    fn names_reflect_mode() {
+        use crate::Multiplier;
+        assert!(CorrectableApprox4x4::new(true).name().contains("on"));
+        assert!(CorrectableApprox4x4::new(false).name().contains("off"));
+    }
+}

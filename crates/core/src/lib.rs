@@ -1,0 +1,57 @@
+//! # axmul-core
+//!
+//! The primary contribution of the DAC'18 paper *"Area-Optimized
+//! Low-Latency Approximate Multipliers for FPGA-based Hardware
+//! Accelerators"* (Ullah, Rehman, Prabakaran, Kriebel, Hanif, Shafique,
+//! Kumar), in two coupled representations.
+//!
+//! ## Behavioral models ([`behavioral`])
+//!
+//! Closed-form, bit-exact models of every architecture the paper
+//! proposes:
+//!
+//! * [`behavioral::Approx4x2`] — the elementary 4×2 multiplier with
+//!   product bit `P0` truncated (fits one slice: 4 LUTs).
+//! * [`behavioral::Approx4x4AccSum`] — two approximate 4×2 multipliers
+//!   with accurate partial-product summation (the 16-LUT reference
+//!   point of §3.2).
+//! * [`behavioral::Approx4x4`] — the proposed optimized, asymmetric
+//!   4×4 multiplier: 12 LUTs, exactly six erroneous input pairs, fixed
+//!   error magnitude 8 (Tables 2 and 3).
+//! * [`behavioral::Ca`] / [`behavioral::Cc`] — recursive 2M×2M
+//!   multipliers with accurate (Ca) or carry-free approximate (Cc)
+//!   summation of the approximate partial products (Figs. 5 and 6).
+//! * [`Swapped`] — operand-swapped variants (the paper's `Cas`/`Ccs`),
+//!   exploiting the asymmetry of the elementary block.
+//!
+//! ## Structural netlists ([`structural`])
+//!
+//! The same architectures as LUT6_2/CARRY4 netlists on the
+//! [`axmul_fabric`] fabric model, including the paper's published
+//! Table 3 INIT values verbatim. Tests prove structural ≡ behavioral
+//! exhaustively.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use axmul_core::behavioral::{Approx4x4, Ca};
+//! use axmul_core::Multiplier;
+//!
+//! let m = Approx4x4::new();
+//! assert_eq!(m.multiply(6, 7), 42);  // exact for most inputs...
+//! assert_eq!(m.multiply(7, 6), 34);  // ...but 7·6 -> 42-8 (Table 2)
+//!
+//! let ca8 = Ca::new(8)?;
+//! assert_eq!(ca8.multiply(200, 100), 20000); // usually exact
+//! # Ok::<(), axmul_core::WidthError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavioral;
+pub mod correction;
+mod mul;
+pub mod structural;
+
+pub use mul::{mask_for, Exact, Multiplier, Signed, Swapped, WidthError};

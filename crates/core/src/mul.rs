@@ -1,0 +1,412 @@
+use std::fmt;
+
+/// Error returned when constructing a multiplier with an unsupported
+/// operand width.
+///
+/// The recursive constructions of the paper require power-of-two widths
+/// of at least 4 bits (4, 8, 16, 32, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WidthError {
+    /// The rejected width.
+    pub bits: u32,
+}
+
+impl fmt::Display for WidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unsupported operand width {} (need a power of two >= 4, <= 32)",
+            self.bits
+        )
+    }
+}
+
+impl std::error::Error for WidthError {}
+
+/// An unsigned integer multiplier with fixed operand widths.
+///
+/// This is the interface every architecture in the library — proposed,
+/// baseline, exact — implements, and the interface the error-metrics
+/// engine, the SUSAN accelerator, and the benchmark harness consume.
+///
+/// Operands wider than the declared widths are truncated (masked) to
+/// the declared widths, so `multiply` never panics on value range.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::{Exact, Multiplier};
+///
+/// let m = Exact::new(8, 8);
+/// assert_eq!(m.multiply(255, 255), 65025);
+/// assert_eq!(m.error(255, 255), 0);
+/// ```
+pub trait Multiplier {
+    /// Width of the first (multiplicand, `A`) operand in bits.
+    fn a_bits(&self) -> u32;
+
+    /// Width of the second (multiplier, `B`) operand in bits.
+    fn b_bits(&self) -> u32;
+
+    /// Computes the (possibly approximate) product of `a` and `b`.
+    ///
+    /// Operands are masked to [`Multiplier::a_bits`] /
+    /// [`Multiplier::b_bits`] bits first.
+    fn multiply(&self, a: u64, b: u64) -> u64;
+
+    /// Short architecture name, e.g. `"Ca 8x8"`, used in reports.
+    fn name(&self) -> &str;
+
+    /// The exact product of the masked operands.
+    fn exact(&self, a: u64, b: u64) -> u64 {
+        (a & mask(self.a_bits())) * (b & mask(self.b_bits()))
+    }
+
+    /// Signed error `exact - approximate` for the given operands.
+    ///
+    /// Positive means the approximate result is *smaller* than the true
+    /// product (the convention of the paper's Table 2 "Difference"
+    /// column).
+    fn error(&self, a: u64, b: u64) -> i64 {
+        self.exact(a, b) as i64 - self.multiply(a, b) as i64
+    }
+}
+
+/// Bit mask with the low `bits` bits set (saturating at 64 bits).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(axmul_core::mask_for(4), 0xF);
+/// assert_eq!(axmul_core::mask_for(64), u64::MAX);
+/// ```
+#[must_use]
+pub const fn mask_for(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+pub(crate) use mask_for as mask;
+
+impl<M: Multiplier + ?Sized> Multiplier for &M {
+    fn a_bits(&self) -> u32 {
+        (**self).a_bits()
+    }
+    fn b_bits(&self) -> u32 {
+        (**self).b_bits()
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        (**self).multiply(a, b)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<M: Multiplier + ?Sized> Multiplier for Box<M> {
+    fn a_bits(&self) -> u32 {
+        (**self).a_bits()
+    }
+    fn b_bits(&self) -> u32 {
+        (**self).b_bits()
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        (**self).multiply(a, b)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// The exact (error-free) multiplier; the reference every approximate
+/// design is characterized against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exact {
+    a_bits: u32,
+    b_bits: u32,
+    name: String,
+}
+
+impl Exact {
+    /// Creates an exact `a_bits`×`b_bits` multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a width is 0 or the product would overflow `u64`
+    /// (`a_bits + b_bits > 64`).
+    #[must_use]
+    pub fn new(a_bits: u32, b_bits: u32) -> Self {
+        assert!(a_bits > 0 && b_bits > 0, "widths must be nonzero");
+        assert!(a_bits + b_bits <= 64, "product must fit in u64");
+        Exact {
+            a_bits,
+            b_bits,
+            name: format!("Exact {a_bits}x{b_bits}"),
+        }
+    }
+}
+
+impl Multiplier for Exact {
+    fn a_bits(&self) -> u32 {
+        self.a_bits
+    }
+    fn b_bits(&self) -> u32 {
+        self.b_bits
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        (a & mask(self.a_bits)) * (b & mask(self.b_bits))
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Operand-swapping adapter: `Swapped(m).multiply(a, b) == m.multiply(b, a)`.
+///
+/// The paper's proposed 4×4 block is *asymmetric*: its error cases
+/// depend on which operand plays multiplicand. Section 5 exploits this
+/// by swapping operands (`Cas`, `Ccs`) when the application's operand
+/// distribution favors it, improving SUSAN PSNR from 33.7 dB to
+/// 59.1 dB.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::behavioral::Approx4x4;
+/// use axmul_core::{Multiplier, Swapped};
+///
+/// let m = Approx4x4::new();
+/// let ms = Swapped::new(m.clone());
+/// assert_eq!(m.multiply(7, 6), 34);  // erroneous orientation
+/// assert_eq!(ms.multiply(7, 6), 42); // swapped: exact
+/// assert_eq!(ms.name(), "Approx4x4s");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Swapped<M> {
+    inner: M,
+    name: String,
+}
+
+impl<M: Multiplier> Swapped<M> {
+    /// Wraps `inner`, swapping its operands. The name gains an `s`
+    /// suffix on the architecture token (`"Ca 8x8"` → `"Cas 8x8"`).
+    #[must_use]
+    pub fn new(inner: M) -> Self {
+        let name = match inner.name().split_once(' ') {
+            Some((arch, rest)) => format!("{arch}s {rest}"),
+            None => format!("{}s", inner.name()),
+        };
+        Swapped { inner, name }
+    }
+
+    /// Returns the wrapped multiplier.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+impl<M: Multiplier> Multiplier for Swapped<M> {
+    fn a_bits(&self) -> u32 {
+        self.inner.b_bits()
+    }
+    fn b_bits(&self) -> u32 {
+        self.inner.a_bits()
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        self.inner.multiply(b, a)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Signed-arithmetic adapter: drives an unsigned approximate core with
+/// operand magnitudes and reapplies the sign — the standard way the
+/// paper's unsigned library extends to two's-complement datapaths
+/// (as its authors later did in their follow-up signed library).
+///
+/// An `n`-bit signed operand has magnitude at most `2^(n-1)`, which
+/// fits the same `n`-bit unsigned core.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::behavioral::Ca;
+/// use axmul_core::Signed;
+///
+/// let m = Signed::new(Ca::new(8)?);
+/// assert_eq!(m.multiply_signed(-100, 3), -300);
+/// assert_eq!(m.multiply_signed(-13, -13), 169 - 8); // approximation carries over
+/// # Ok::<(), axmul_core::WidthError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signed<M> {
+    inner: M,
+    name: String,
+}
+
+impl<M: Multiplier> Signed<M> {
+    /// Wraps an unsigned core.
+    #[must_use]
+    pub fn new(inner: M) -> Self {
+        let name = format!("signed {}", inner.name());
+        Signed { inner, name }
+    }
+
+    /// Signed operand range of the first operand:
+    /// `-(2^(n-1)) ..= 2^(n-1) - 1`.
+    #[must_use]
+    pub fn a_range(&self) -> (i64, i64) {
+        let h = 1i64 << (self.inner.a_bits() - 1);
+        (-h, h - 1)
+    }
+
+    /// Signed operand range of the second operand.
+    #[must_use]
+    pub fn b_range(&self) -> (i64, i64) {
+        let h = 1i64 << (self.inner.b_bits() - 1);
+        (-h, h - 1)
+    }
+
+    /// Computes the (possibly approximate) signed product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand is outside its two's-complement range.
+    #[must_use]
+    pub fn multiply_signed(&self, a: i64, b: i64) -> i64 {
+        let (alo, ahi) = self.a_range();
+        let (blo, bhi) = self.b_range();
+        assert!((alo..=ahi).contains(&a), "a = {a} out of [{alo}, {ahi}]");
+        assert!((blo..=bhi).contains(&b), "b = {b} out of [{blo}, {bhi}]");
+        let mag = self.inner.multiply(a.unsigned_abs(), b.unsigned_abs()) as i64;
+        if (a < 0) != (b < 0) {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// The exact signed product.
+    #[must_use]
+    pub fn exact_signed(&self, a: i64, b: i64) -> i64 {
+        a * b
+    }
+
+    /// The wrapped unsigned core.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Adapter name (`"signed <core>"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_masks_operands() {
+        let m = Exact::new(4, 4);
+        assert_eq!(m.multiply(0x1F, 2), 30, "0x1F masks to 0xF");
+        assert_eq!(m.exact(0x1F, 2), 30);
+        assert_eq!(m.error(0x1F, 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit in u64")]
+    fn exact_rejects_overflowing_widths() {
+        let _ = Exact::new(40, 40);
+    }
+
+    #[test]
+    fn swapped_swaps() {
+        #[derive(Debug)]
+        struct Sub;
+        impl Multiplier for Sub {
+            fn a_bits(&self) -> u32 {
+                4
+            }
+            fn b_bits(&self) -> u32 {
+                2
+            }
+            fn multiply(&self, a: u64, b: u64) -> u64 {
+                (a & 0xF).wrapping_sub(b & 3) // deliberately asymmetric
+            }
+            fn name(&self) -> &str {
+                "Sub 4x2"
+            }
+        }
+        let s = Swapped::new(Sub);
+        assert_eq!(s.a_bits(), 2);
+        assert_eq!(s.b_bits(), 4);
+        assert_eq!(s.multiply(1, 5), 4); // = Sub.multiply(5, 1)
+        assert_eq!(s.name(), "Subs 4x2");
+    }
+
+    #[test]
+    fn trait_objects_and_refs_work() {
+        let m = Exact::new(8, 8);
+        let r: &dyn Multiplier = &m;
+        assert_eq!(r.multiply(3, 4), 12);
+        let b: Box<dyn Multiplier> = Box::new(m);
+        assert_eq!(b.multiply(5, 5), 25);
+        assert_eq!((&b).name(), "Exact 8x8");
+    }
+
+    #[test]
+    fn width_error_display() {
+        let e = WidthError { bits: 5 };
+        assert!(e.to_string().contains("5"));
+    }
+
+    #[test]
+    fn mask_is_correct() {
+        assert_eq!(mask(0), 0);
+        assert_eq!(mask(4), 0xF);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn signed_exact_core_is_exact_everywhere() {
+        let m = Signed::new(Exact::new(8, 8));
+        for a in -128i64..=127 {
+            for b in -128i64..=127 {
+                assert_eq!(m.multiply_signed(a, b), a * b, "{a}x{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_error_magnitude_matches_unsigned() {
+        use crate::behavioral::Approx4x4;
+        let m = Signed::new(Approx4x4::new());
+        // (-7) * 6: magnitude path hits the (7, 6) error case.
+        assert_eq!(m.multiply_signed(-7, 6), -(42 - 8));
+        assert_eq!(m.multiply_signed(7, -6), -(42 - 8));
+        assert_eq!(m.multiply_signed(-7, -6), 42 - 8);
+        assert_eq!(m.multiply_signed(-6, 7), -42, "swapped magnitudes exact");
+    }
+
+    #[test]
+    fn signed_full_range_including_minimum() {
+        let m = Signed::new(Exact::new(8, 8));
+        assert_eq!(m.a_range(), (-128, 127));
+        assert_eq!(m.multiply_signed(-128, -128), 16384);
+        assert_eq!(m.multiply_signed(-128, 127), -16256);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn signed_rejects_out_of_range() {
+        let m = Signed::new(Exact::new(8, 8));
+        let _ = m.multiply_signed(128, 0);
+    }
+}

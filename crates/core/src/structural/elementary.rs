@@ -1,0 +1,165 @@
+//! Structural netlists of the elementary 4×2 block and the
+//! accurate-summation 4×4 reference design of §3.2.
+
+use axmul_fabric::{Init, NetId, Netlist, NetlistBuilder};
+
+use super::table3::TABLE3;
+
+/// Builds the approximate 4×2 multiplier netlist: exactly **4 LUTs**
+/// (one slice), the paper's motivation for the whole architecture.
+///
+/// `P0` is truncated (constant 0); `P1`/`P2` share one `LUT6_2`
+/// (they depend on the same five variables `A0..A2, B0, B1`); `P3`,
+/// `P4`, `P5` take one LUT each. The INIT values are the first four
+/// rows of Table 3, which encode exactly these product-bit equations.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::structural::approx_4x2_netlist;
+///
+/// let nl = approx_4x2_netlist();
+/// assert_eq!(nl.lut_count(), 4);
+/// assert_eq!(nl.eval(&[15, 3])?, vec![44]); // 45 with P0 dropped
+/// # Ok::<(), axmul_fabric::FabricError>(())
+/// ```
+#[must_use]
+pub fn approx_4x2_netlist() -> Netlist {
+    let mut bld = NetlistBuilder::new("approx4x2");
+    let a = bld.inputs("a", 4);
+    let b = bld.inputs("b", 2);
+    let (p, _) = build_approx_4x2(&mut bld, &a, &b);
+    bld.output_bus("p", &p);
+    bld.finish().expect("approx4x2 netlist is well-formed")
+}
+
+/// Emits the 4 LUTs of one approximate 4×2 block into `bld`.
+///
+/// Returns the six product-bit nets (bit 0 is the constant-zero
+/// truncation) and the number of LUTs emitted.
+pub(crate) fn build_approx_4x2(
+    bld: &mut NetlistBuilder,
+    a: &[NetId],
+    b: &[NetId],
+) -> ([NetId; 6], usize) {
+    assert_eq!(a.len(), 4);
+    assert_eq!(b.len(), 2);
+    let one = bld.constant(true);
+    let zero = bld.constant(false);
+    // Table 3 pins are printed I5..I0; fabric order is [I0..I5].
+    // LUT0 row: [1, B1, B0, A2, A1, A0] -> O6 = P2, O5 = P1.
+    let (p2, p1) = bld.lut6_2(
+        Init::from_raw(TABLE3[0].init),
+        [a[0], a[1], a[2], b[0], b[1], one],
+    );
+    let full = [a[0], a[1], a[2], a[3], b[0], b[1]];
+    let p3 = bld.lut6(Init::from_raw(TABLE3[1].init), full);
+    let p4 = bld.lut6(Init::from_raw(TABLE3[2].init), full);
+    let p5 = bld.lut6(Init::from_raw(TABLE3[3].init), full);
+    ([zero, p1, p2, p3, p4, p5], 4)
+}
+
+/// Builds the §3.2 reference design: two approximate 4×2 blocks whose
+/// partial products are summed **accurately** over a 6-stage carry
+/// chain (the black box of Fig. 3).
+///
+/// The netlist instantiates 14 LUTs; on the device the 6-stage chain
+/// occupies two `CARRY4`s whose second slice strands two LUT sites,
+/// which is how the paper arrives at its "16 LUTs (2 LUTs wasted by
+/// the second carry chain)" figure. See
+/// [`axmul_fabric::area::AreaReport`] for the site accounting.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::structural::approx_4x4_accsum_netlist;
+///
+/// let nl = approx_4x4_accsum_netlist();
+/// assert_eq!(nl.lut_count(), 14);
+/// assert_eq!(nl.carry4_count(), 2);
+/// // 7 * 7: PP0 = 7*3 = 21 -> 20, PP1 = 7*1 = 7 -> 6; 20 + 6*4 = 44.
+/// assert_eq!(nl.eval(&[7, 7])?, vec![44]);
+/// # Ok::<(), axmul_fabric::FabricError>(())
+/// ```
+#[must_use]
+pub fn approx_4x4_accsum_netlist() -> Netlist {
+    let mut bld = NetlistBuilder::new("approx4x4_accsum");
+    let a = bld.inputs("a", 4);
+    let b = bld.inputs("b", 4);
+    let zero = bld.constant(false);
+    let (pp0, _) = build_approx_4x2(&mut bld, &a, &b[0..2]);
+    let (pp1, _) = build_approx_4x2(&mut bld, &a, &b[2..4]);
+
+    // Accurate summation of PP0 + (PP1 << 2) over bits 2..7.
+    // X = PP0<2..5>, Y = PP1<0..5> (PP1<0> is the truncated zero).
+    let mut props = Vec::new();
+    let mut gens = Vec::new();
+    for i in 2..8usize {
+        let x = if i < 6 { Some(pp0[i]) } else { None };
+        let y = pp1[i - 2];
+        let y = if i == 2 { None } else { Some(y) }; // PP1<0> truncated
+        match (x, y) {
+            (Some(x), Some(y)) => {
+                let (o6, _) = bld.lut2(Init::XOR2, x, y);
+                props.push(o6);
+                gens.push(x);
+            }
+            (Some(v), None) | (None, Some(v)) => {
+                // Single operand: a route-through LUT feeds the S pin.
+                let o6 = bld.lut1(Init::BUF, v);
+                props.push(o6);
+                gens.push(zero);
+            }
+            (None, None) => unreachable!("bits 2..7 always have an operand"),
+        }
+    }
+    let (sums, _) = bld.carry_chain(zero, &props, &gens);
+    let p: Vec<NetId> = [pp0[0], pp0[1]]
+        .into_iter()
+        .chain(sums.iter().copied())
+        .collect();
+    bld.output_bus("p", &p);
+    bld.finish().expect("accsum netlist is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavioral::{approx_4x2, approx_4x4_accsum};
+    use axmul_fabric::sim::for_each_operand_pair;
+
+    #[test]
+    fn approx_4x2_matches_behavioral_exhaustively() {
+        let nl = approx_4x2_netlist();
+        for_each_operand_pair(&nl, |a, b, out| {
+            assert_eq!(out[0], approx_4x2(a, b), "a={a} b={b}");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn approx_4x2_is_one_slice() {
+        let nl = approx_4x2_netlist();
+        assert_eq!(nl.lut_count(), 4);
+        assert_eq!(nl.carry4_count(), 0);
+    }
+
+    #[test]
+    fn accsum_matches_behavioral_exhaustively() {
+        let nl = approx_4x4_accsum_netlist();
+        for_each_operand_pair(&nl, |a, b, out| {
+            assert_eq!(out[0], approx_4x4_accsum(a, b), "a={a} b={b}");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn accsum_uses_two_carry_chains() {
+        // The paper's point: accurate summation of the two partial
+        // products costs a second carry chain (and strands two LUT
+        // sites), which the proposed optimized design eliminates.
+        let nl = approx_4x4_accsum_netlist();
+        assert_eq!(nl.carry4_count(), 2);
+        assert_eq!(nl.lut_count(), 14);
+    }
+}

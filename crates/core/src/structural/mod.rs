@@ -1,0 +1,29 @@
+//! Structural LUT6_2/CARRY4 netlists of the proposed multipliers.
+//!
+//! Everything the behavioral models describe is also buildable as a
+//! gate-level netlist on the [`axmul_fabric`] fabric model:
+//!
+//! * [`approx_4x4_netlist`] — the proposed 4×4 multiplier, built from
+//!   the **published Table 3 INIT values verbatim** (12 LUTs + one
+//!   `CARRY4`); [`verify_table3`] re-derives every INIT from the logic
+//!   equations and checks the published constants.
+//! * [`approx_4x2_netlist`] — the elementary 4×2 block (4 LUTs).
+//! * [`approx_4x4_accsum_netlist`] — the 16-LUT reference point of §3.2
+//!   (accurate summation over two carry chains).
+//! * [`ca_netlist`] / [`cc_netlist`] — recursive 2M×2M multipliers with
+//!   carry-chain ternary adders (Fig. 5b) or carry-free XOR columns
+//!   (Fig. 6). Their LUT counts reproduce Table 4 exactly
+//!   (Ca: 12/57/245, Cc: 12/56/240 at 4/8/16 bits).
+//!
+//! Exhaustive tests prove each netlist equivalent to its behavioral
+//! twin.
+
+mod elementary;
+mod recursive;
+mod table3;
+mod ternary;
+
+pub use elementary::{approx_4x2_netlist, approx_4x4_accsum_netlist};
+pub use recursive::{ca_netlist, cc_netlist, combine_partial_products, compose_netlist};
+pub use table3::{approx_4x4_netlist, verify_table3, Table3Check, TABLE3};
+pub use ternary::{ternary_add, TERNARY_INIT};

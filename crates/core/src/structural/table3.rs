@@ -1,0 +1,410 @@
+//! The proposed approximate 4×4 multiplier exactly as published in
+//! Table 3 of the paper: twelve `LUT6_2` instances (INIT values and pin
+//! assignments verbatim) plus a single `CARRY4` computing `P3..P7`.
+//!
+//! [`verify_table3`] independently *re-derives* every INIT value from
+//! the multiplier's logic equations and compares it against the
+//! published constant on all reachable truth-table indices (pins tied
+//! to constant `1` make part of the table unreachable; the published
+//! constants contain don't-care zeros there).
+
+use axmul_fabric::{Init, NetId, Netlist, NetlistBuilder};
+
+/// Symbolic name of a LUT input pin in Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pin {
+    /// Tied to logic `1`.
+    One,
+    /// Multiplicand bit `A<i>`.
+    A(u8),
+    /// Multiplier bit `B<i>`.
+    B(u8),
+    /// Partial product bit `PP0<i>` (first 4×2 result).
+    Pp0(u8),
+    /// Partial product bit `PP1<i>` (second 4×2 result).
+    Pp1(u8),
+}
+
+/// One row of Table 3: LUT name, pin assignment (`I5..I0`, as printed),
+/// and the published INIT value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table3Row {
+    /// LUT instance name, `LUT0`..`LUT11`.
+    pub name: &'static str,
+    /// Pins in the paper's printed order `[I5, I4, I3, I2, I1, I0]`.
+    pub pins: [Pin; 6],
+    /// Published INIT value.
+    pub init: u64,
+}
+
+use Pin::{A, B, One, Pp0, Pp1};
+
+/// Table 3 of the paper, verbatim.
+pub const TABLE3: [Table3Row; 12] = [
+    Table3Row {
+        name: "LUT0",
+        pins: [One, B(1), B(0), A(2), A(1), A(0)],
+        init: 0xB4CC_F000_66AA_CC00,
+    },
+    Table3Row {
+        name: "LUT1",
+        pins: [B(1), B(0), A(3), A(2), A(1), A(0)],
+        init: 0xC738_F0F0_FF00_0000,
+    },
+    Table3Row {
+        name: "LUT2",
+        pins: [B(1), B(0), A(3), A(2), A(1), A(0)],
+        init: 0x07C0_FF00_0000_0000,
+    },
+    Table3Row {
+        name: "LUT3",
+        pins: [B(1), B(0), A(3), A(2), A(1), A(0)],
+        init: 0xF800_0000_0000_0000,
+    },
+    Table3Row {
+        name: "LUT4",
+        pins: [One, B(3), B(2), A(2), A(1), A(0)],
+        init: 0xB4CC_F000_66AA_CC00,
+    },
+    Table3Row {
+        name: "LUT5",
+        pins: [B(3), B(2), A(3), A(2), A(1), A(0)],
+        init: 0xC738_F0F0_FF00_0000,
+    },
+    Table3Row {
+        name: "LUT6",
+        pins: [B(3), B(2), A(3), A(2), A(1), A(0)],
+        init: 0xF800_0000_0000_0000,
+    },
+    Table3Row {
+        name: "LUT7",
+        pins: [One, One, Pp0(2), B(2), B(0), A(0)],
+        init: 0x5FA0_5FA0_8888_8888,
+    },
+    Table3Row {
+        name: "LUT8",
+        pins: [One, Pp1(1), Pp0(3), B(2), A(0), Pp0(2)],
+        init: 0x007F_7F80_FF80_8000,
+    },
+    Table3Row {
+        name: "LUT9",
+        pins: [One, One, One, One, Pp1(2), Pp0(4)],
+        init: 0x6666_6666_8888_8880,
+    },
+    Table3Row {
+        name: "LUT10",
+        pins: [One, One, One, One, Pp1(3), Pp0(5)],
+        init: 0x6666_6666_8888_8880,
+    },
+    Table3Row {
+        name: "LUT11",
+        pins: [B(3), B(2), A(3), A(2), A(1), A(0)],
+        init: 0x07C0_FF00_0000_0000,
+    },
+];
+
+/// Builds the proposed approximate 4×4 multiplier netlist from the
+/// published Table 3 constants: 12 LUTs and one `CARRY4`.
+///
+/// Input buses `a` and `b` (4 bits each), output bus `p` (8 bits).
+/// A `cargo test` exhaustively proves the netlist equal to
+/// [`crate::behavioral::approx_4x4`] on all 256 operand pairs.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::structural::approx_4x4_netlist;
+///
+/// let nl = approx_4x4_netlist();
+/// assert_eq!(nl.lut_count(), 12);   // Table 4: 12 LUTs at 4x4
+/// assert_eq!(nl.carry4_count(), 1); // "one single carry chain"
+/// assert_eq!(nl.eval(&[13, 13])?, vec![161]); // Table 2: 169 - 8
+/// # Ok::<(), axmul_fabric::FabricError>(())
+/// ```
+#[must_use]
+pub fn approx_4x4_netlist() -> Netlist {
+    let mut bld = NetlistBuilder::new("approx4x4_table3");
+    let a = bld.inputs("a", 4);
+    let b = bld.inputs("b", 4);
+    let one = bld.constant(true);
+    let zero = bld.constant(false);
+
+    // Resolve a symbolic pin to a net. PP0/PP1 bits must already have
+    // been produced by earlier LUTs (Table 3 is in dependency order).
+    let resolve = |pin: Pin, pp0: &[Option<NetId>; 6], pp1: &[Option<NetId>; 6]| -> NetId {
+        match pin {
+            One => one,
+            A(i) => a[i as usize],
+            B(i) => b[i as usize],
+            Pp0(i) => pp0[i as usize].expect("PP0 bit produced by an earlier LUT"),
+            Pp1(i) => pp1[i as usize].expect("PP1 bit produced by an earlier LUT"),
+        }
+    };
+
+    let mut pp0: [Option<NetId>; 6] = [None; 6];
+    let mut pp1: [Option<NetId>; 6] = [None; 6];
+
+    let pins_of = |row: &Table3Row, pp0: &[Option<NetId>; 6], pp1: &[Option<NetId>; 6]| {
+        // Table prints I5..I0; the fabric expects [I0..I5].
+        let p = row.pins;
+        [
+            resolve(p[5], pp0, pp1),
+            resolve(p[4], pp0, pp1),
+            resolve(p[3], pp0, pp1),
+            resolve(p[2], pp0, pp1),
+            resolve(p[1], pp0, pp1),
+            resolve(p[0], pp0, pp1),
+        ]
+    };
+
+    let lut = |bld: &mut NetlistBuilder, row: &Table3Row, pp0: &_, pp1: &_| {
+        bld.lut6_2(Init::from_raw(row.init), pins_of(row, pp0, pp1))
+    };
+    let lut_o6 = |bld: &mut NetlistBuilder, row: &Table3Row, pp0: &_, pp1: &_| {
+        bld.lut6(Init::from_raw(row.init), pins_of(row, pp0, pp1))
+    };
+
+    // LUT0: O6 = PP0<2>, O5 = PP0<1> (= P1).
+    let (o6, o5) = lut(&mut bld, &TABLE3[0], &pp0, &pp1);
+    pp0[2] = Some(o6);
+    pp0[1] = Some(o5);
+    // LUT1..LUT3: PP0<3..5>.
+    pp0[3] = Some(lut_o6(&mut bld, &TABLE3[1], &pp0, &pp1));
+    pp0[4] = Some(lut_o6(&mut bld, &TABLE3[2], &pp0, &pp1));
+    pp0[5] = Some(lut_o6(&mut bld, &TABLE3[3], &pp0, &pp1));
+    // LUT4: PP1<2>, PP1<1>.
+    let (o6, o5) = lut(&mut bld, &TABLE3[4], &pp0, &pp1);
+    pp1[2] = Some(o6);
+    pp1[1] = Some(o5);
+    // LUT5: PP1<3>.
+    pp1[3] = Some(lut_o6(&mut bld, &TABLE3[5], &pp0, &pp1));
+    // LUT6: Gen3 (implicit PP1<5>).
+    let gen3 = lut_o6(&mut bld, &TABLE3[6], &pp0, &pp1);
+    // LUT7: O6 = P2, O5 = P0 (the LUT recovered by the optimization).
+    let (p2, p0) = lut(&mut bld, &TABLE3[7], &pp0, &pp1);
+    // LUT8: O6 = Prop0, O5 = Gen0 (carry-compensated bit 3).
+    let (prop0, gen0) = lut(&mut bld, &TABLE3[8], &pp0, &pp1);
+    // LUT9/LUT10: Prop1/Gen1, Prop2/Gen2.
+    let (prop1, gen1) = lut(&mut bld, &TABLE3[9], &pp0, &pp1);
+    let (prop2, gen2) = lut(&mut bld, &TABLE3[10], &pp0, &pp1);
+    // LUT11: Prop3 (implicit PP1<4>).
+    let prop3 = lut_o6(&mut bld, &TABLE3[11], &pp0, &pp1);
+
+    // One CARRY4: P3..P6 sums, P7 = final carry out.
+    let (sums, p7) = bld.carry4(
+        zero,
+        [prop0, prop1, prop2, prop3],
+        [gen0, gen1, gen2, gen3],
+    );
+    let p1 = pp0[1].expect("set by LUT0");
+    bld.output_bus(
+        "p",
+        &[p0, p1, p2, sums[0], sums[1], sums[2], sums[3], p7],
+    );
+    bld.finish().expect("table3 netlist is well-formed")
+}
+
+/// Outcome of re-deriving one Table 3 INIT from the logic equations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table3Check {
+    /// LUT name.
+    pub name: &'static str,
+    /// Published INIT.
+    pub published: Init,
+    /// Derived INIT with zeros at unreachable (don't-care) indices.
+    pub derived: Init,
+    /// Whether published and derived agree on every reachable index of
+    /// both `O6` and `O5`.
+    pub matches: bool,
+    /// Number of truth-table indices reachable given the constant ties.
+    pub reachable: u32,
+}
+
+// The signal each Table 3 LUT computes, as a function of the 4-bit
+// operands. Returns (o6, o5) where o5 is `None` for single-output LUTs.
+fn expected_outputs(name: &str, a: u64, b: u64) -> (bool, Option<bool>) {
+    let pp0 = a * (b & 3);
+    let pp1 = a * (b >> 2);
+    let bit = |v: u64, i: u32| v >> i & 1 == 1;
+    // The carry dropped between P2 and P3 (PP1<0> = A0 & B2).
+    let c2 = bit(pp0, 2) && bit(a, 0) && bit(b, 2);
+    let digit3 = u32::from(bit(pp0, 3)) + u32::from(bit(pp1, 1)) + u32::from(c2);
+    match name {
+        "LUT0" => (bit(pp0, 2), Some(bit(pp0, 1))),
+        "LUT1" => (bit(pp0, 3), None),
+        "LUT2" => (bit(pp0, 4), None),
+        "LUT3" => (bit(pp0, 5), None),
+        "LUT4" => (bit(pp1, 2), Some(bit(pp1, 1))),
+        "LUT5" => (bit(pp1, 3), None),
+        "LUT6" => (bit(pp1, 5), None), // Gen3
+        "LUT7" => (
+            bit(pp0, 2) ^ (bit(a, 0) && bit(b, 2)), // P2 (sum, carry deferred)
+            Some(bit(a, 0) && bit(b, 0)),           // P0
+        ),
+        // Prop0/Gen0: three-operand column at bit 3; the saturated case
+        // (digit 3) computes only the generate correctly (prop = 0).
+        "LUT8" => (digit3 == 1, Some(digit3 >= 2)),
+        "LUT9" => (
+            bit(pp0, 4) ^ bit(pp1, 2),
+            Some(bit(pp0, 4) && bit(pp1, 2)),
+        ),
+        "LUT10" => (
+            bit(pp0, 5) ^ bit(pp1, 3),
+            Some(bit(pp0, 5) && bit(pp1, 3)),
+        ),
+        "LUT11" => (bit(pp1, 4), None), // Prop3
+        _ => unreachable!("unknown Table 3 LUT `{name}`"),
+    }
+}
+
+fn pin_value(pin: Pin, a: u64, b: u64) -> bool {
+    let pp0 = a * (b & 3);
+    let pp1 = a * (b >> 2);
+    match pin {
+        One => true,
+        A(i) => a >> i & 1 == 1,
+        B(i) => b >> i & 1 == 1,
+        Pp0(i) => pp0 >> i & 1 == 1,
+        Pp1(i) => pp1 >> i & 1 == 1,
+    }
+}
+
+/// Re-derives every Table 3 INIT value from the multiplier's logic
+/// equations and compares it with the published constant.
+///
+/// For each of the 256 operand pairs, the pin values select a
+/// truth-table index whose required `O6`/`O5` outputs are computed from
+/// first principles; indices never selected are don't-cares (the
+/// published constants hold zeros there). A `matches == true` result
+/// for all twelve rows proves that the published table implements
+/// exactly the behavioral model.
+#[must_use]
+pub fn verify_table3() -> Vec<Table3Check> {
+    TABLE3
+        .iter()
+        .map(|row| {
+            let published = Init::from_raw(row.init);
+            let mut derived = 0u64;
+            let mut reach6 = 0u64;
+            let mut reach5 = 0u32;
+            let mut derived5 = 0u32;
+            let mut ok = true;
+            for a in 0..16u64 {
+                for b in 0..16u64 {
+                    // Printed order is I5..I0.
+                    let mut idx = 0u8;
+                    for (k, pin) in row.pins.iter().enumerate() {
+                        if pin_value(*pin, a, b) {
+                            idx |= 1 << (5 - k);
+                        }
+                    }
+                    let (o6, o5) = expected_outputs(row.name, a, b);
+                    // Consistency: a reachable index must demand one value.
+                    if reach6 >> idx & 1 == 1 {
+                        if (derived >> idx & 1 == 1) != o6 {
+                            ok = false;
+                        }
+                    } else {
+                        reach6 |= 1 << idx;
+                        if o6 {
+                            derived |= 1 << idx;
+                        }
+                    }
+                    if published.o6(idx) != o6 {
+                        ok = false;
+                    }
+                    if let Some(o5) = o5 {
+                        let idx5 = idx & 0x1F;
+                        if reach5 >> idx5 & 1 == 1 {
+                            if (derived5 >> idx5 & 1 == 1) != o5 {
+                                ok = false;
+                            }
+                        } else {
+                            reach5 |= 1 << idx5;
+                            if o5 {
+                                derived5 |= 1 << idx5;
+                            }
+                        }
+                        if published.o5(idx5) != o5 {
+                            ok = false;
+                        }
+                    }
+                }
+            }
+            Table3Check {
+                name: row.name,
+                published,
+                derived: Init::from_raw(derived | u64::from(derived5)),
+                matches: ok,
+                reachable: reach6.count_ones(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavioral::approx_4x4;
+    use axmul_fabric::sim::for_each_operand_pair;
+
+    #[test]
+    fn netlist_structure_matches_paper() {
+        let nl = approx_4x4_netlist();
+        assert_eq!(nl.lut_count(), 12);
+        assert_eq!(nl.carry4_count(), 1);
+    }
+
+    #[test]
+    fn published_inits_equal_behavioral_model_exhaustively() {
+        // The strongest claim: the netlist built from Table 3's
+        // published constants equals the behavioral model on every
+        // operand pair.
+        let nl = approx_4x4_netlist();
+        for_each_operand_pair(&nl, |a, b, out| {
+            assert_eq!(out[0], approx_4x4(a, b), "a={a} b={b}");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn every_published_init_rederives_from_equations() {
+        let checks = verify_table3();
+        assert_eq!(checks.len(), 12);
+        for c in &checks {
+            assert!(
+                c.matches,
+                "{}: published {} disagrees with derivation {} on reachable indices",
+                c.name, c.published, c.derived
+            );
+            assert!(c.reachable > 0);
+        }
+    }
+
+    #[test]
+    fn constant_ties_limit_reachability() {
+        let checks = verify_table3();
+        // LUT9 ties I2..I5 to 1: only 4 of 64 indices are reachable.
+        let lut9 = checks.iter().find(|c| c.name == "LUT9").unwrap();
+        assert_eq!(lut9.reachable, 4);
+        // LUT1 has six live pins: all indices reachable.
+        let lut1 = checks.iter().find(|c| c.name == "LUT1").unwrap();
+        assert_eq!(lut1.reachable, 64);
+    }
+
+    #[test]
+    fn table2_error_cases_on_the_netlist() {
+        let nl = approx_4x4_netlist();
+        // (multiplier b, multiplicand a) -> erroneous product
+        for (b, a, want) in [
+            (5u64, 15u64, 67u64),
+            (6, 7, 34),
+            (6, 15, 82),
+            (7, 15, 97),
+            (13, 13, 161),
+            (15, 5, 67),
+        ] {
+            assert_eq!(nl.eval(&[a, b]).unwrap()[0], want);
+        }
+    }
+}

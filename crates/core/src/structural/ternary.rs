@@ -1,0 +1,191 @@
+//! The carry-chain ternary adder of Fig. 5(b): three operands added in
+//! a single pass using one LUT per bit and the `CARRY4` chain.
+//!
+//! Per column `i` with operand bits `x_i, y_i, z_i`, the identity
+//! `x + y + z = Σ (x_i⊕y_i⊕z_i)·2^i + Σ MAJ(x_i,y_i,z_i)·2^{i+1}`
+//! splits the sum into an XOR word `U` and a left-shifted majority
+//! word `V`; the carry chain then adds `U + V`. Following the standard
+//! Xilinx mapping (and Fig. 5(b) of the paper), each `LUT6_2` has `I5`
+//! tied high and computes **two 5-input functions of shared inputs**:
+//!
+//! * `O6` (carry **propagate**, upper table half) =
+//!   `x_i ⊕ y_i ⊕ z_i ⊕ v` where `v = MAJ(column i−1)` arrives on `I3`
+//!   from the previous column's `O5` via general routing;
+//! * `O5` (lower table half) = `MAJ(x_i, y_i, z_i)`, exported to the
+//!   next column and to this stage's `DI` (carry generate) bypass pin
+//!   of the *next* stage.
+//!
+//! The `DI` of stage `i` is the routed `v` itself (when the propagate
+//! is 0, the stage's carry-out equals `v`).
+
+use axmul_fabric::{Init, NetId, NetlistBuilder};
+
+/// The single INIT value used by every ternary-adder LUT.
+///
+/// `I5` is tied to `1`. Pins: `I0..I2` = current column
+/// (`x_i, y_i, z_i`), `I3` = incoming majority `v` of column `i−1`,
+/// `I4` unused (tied low).
+/// Upper half (`O6`): `I0⊕I1⊕I2⊕I3`. Lower half (`O5`):
+/// `MAJ(I0, I1, I2)`.
+pub const TERNARY_INIT: Init = Init::from_raw(ternary_raw());
+
+const fn ternary_raw() -> u64 {
+    let mut raw = 0u64;
+    let mut i = 0u8;
+    while i < 32 {
+        let ones = (i & 1) + ((i >> 1) & 1) + ((i >> 2) & 1);
+        let maj = ones >= 2;
+        let xor4 = ((i & 1) ^ ((i >> 1) & 1) ^ ((i >> 2) & 1) ^ ((i >> 3) & 1)) == 1;
+        if maj {
+            raw |= 1 << i; // lower half: O5
+        }
+        if xor4 {
+            raw |= 1 << (32 + i); // upper half: O6 (I5 = 1)
+        }
+        i += 1;
+    }
+    raw
+}
+
+/// Adds three equally-weighted bit vectors with one LUT per active bit
+/// plus a carry chain, returning `width` sum bits.
+///
+/// Operand bit slices may contain `None` for absent (zero) bits, which
+/// consume no LUT inputs. Columns where at most one contributor exists
+/// and the previous column produces no majority are wired straight to
+/// the carry chain without a LUT (routed through the slice bypass pins
+/// on the device) — the recursive Ca construction relies on this to
+/// reproduce the paper's Table 4 LUT counts.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn ternary_add(
+    bld: &mut NetlistBuilder,
+    x: &[Option<NetId>],
+    y: &[Option<NetId>],
+    z: &[Option<NetId>],
+    width: usize,
+) -> Vec<NetId> {
+    assert!(width > 0, "ternary_add needs at least one output bit");
+    let zero = bld.constant(false);
+    let one = bld.constant(true);
+    let col = |v: &[Option<NetId>], i: usize| v.get(i).copied().flatten();
+    let count = |i: usize| {
+        usize::from(col(x, i).is_some())
+            + usize::from(col(y, i).is_some())
+            + usize::from(col(z, i).is_some())
+    };
+
+    let mut props = Vec::with_capacity(width);
+    let mut gens = Vec::with_capacity(width);
+    // Majority of the previous column, routed column to column.
+    let mut v_prev: Option<NetId> = None;
+    for i in 0..width {
+        let cur = [col(x, i), col(y, i), col(z, i)];
+        let n_cur = count(i);
+        if v_prev.is_none() && n_cur <= 1 {
+            // Single contributor, no incoming majority: the bit itself
+            // is the propagate and the generate is zero.
+            props.push(cur.iter().flatten().next().copied().unwrap_or(zero));
+            gens.push(zero);
+            v_prev = None;
+        } else {
+            let pin = |v: Option<NetId>| v.unwrap_or(zero);
+            let v_in = v_prev.unwrap_or(zero);
+            let (o6, o5) = bld.lut6_2(
+                TERNARY_INIT,
+                [pin(cur[0]), pin(cur[1]), pin(cur[2]), v_in, zero, one],
+            );
+            props.push(o6);
+            gens.push(v_in);
+            // This column's majority feeds the next column — but only
+            // if it can ever be nonzero.
+            v_prev = (n_cur >= 2).then_some(o5);
+        }
+    }
+    let (sums, _cout) = bld.carry_chain(zero, &props, &gens);
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ternary_init_truth_table() {
+        for i in 0..32u8 {
+            let ones = u32::from(i & 1) + u32::from(i >> 1 & 1) + u32::from(i >> 2 & 1);
+            let xor4 = (i & 1) ^ (i >> 1 & 1) ^ (i >> 2 & 1) ^ (i >> 3 & 1) == 1;
+            assert_eq!(TERNARY_INIT.o5(i), ones >= 2, "O5 at {i}");
+            assert_eq!(TERNARY_INIT.o6(32 + i), xor4, "O6 (I5=1) at {i}");
+        }
+    }
+
+    #[test]
+    fn dual_output_is_physically_consistent() {
+        // With I5 tied high, O6 reads only the upper half; the lower
+        // half is free for O5. No index is shared.
+        for i in 0..32u8 {
+            // The builder always drives I5 = 1, so indices < 32 are
+            // unreachable for O6; nothing to check there beyond O5.
+            assert_eq!(TERNARY_INIT.o5(i), TERNARY_INIT.o5(i | 0x20));
+        }
+    }
+
+    #[test]
+    fn adds_three_words_exhaustively() {
+        // 3-bit operands, 5-bit result: 512 combinations.
+        let mut bld = NetlistBuilder::new("t3");
+        let a = bld.inputs("a", 3);
+        let b = bld.inputs("b", 3);
+        let c = bld.inputs("c", 3);
+        let wrap = |v: &[NetId]| v.iter().map(|&n| Some(n)).collect::<Vec<_>>();
+        let sums = ternary_add(&mut bld, &wrap(&a), &wrap(&b), &wrap(&c), 5);
+        bld.output_bus("s", &sums);
+        let nl = bld.finish().unwrap();
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                for z in 0..8u64 {
+                    let got = nl.eval(&[x, y, z]).unwrap()[0];
+                    assert_eq!(got, x + y + z, "{x}+{y}+{z}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_lut_per_active_bit() {
+        let mut bld = NetlistBuilder::new("t3");
+        let a = bld.inputs("a", 4);
+        let b = bld.inputs("b", 4);
+        let c = bld.inputs("c", 4);
+        let wrap = |v: &[NetId]| v.iter().map(|&n| Some(n)).collect::<Vec<_>>();
+        let sums = ternary_add(&mut bld, &wrap(&a), &wrap(&b), &wrap(&c), 6);
+        bld.output_bus("s", &sums);
+        let nl = bld.finish().unwrap();
+        // Bits 0..3 have 3 contributors (4 LUTs); bit 4 folds in the
+        // majority of column 3 (1 LUT); bit 5 is carry-only (no LUT).
+        assert_eq!(nl.lut_count(), 5);
+    }
+
+    #[test]
+    fn ragged_operands_with_holes() {
+        // x = bits 0..3, y = bits 2..5 (offset), z absent.
+        let mut bld = NetlistBuilder::new("t3");
+        let a = bld.inputs("a", 4);
+        let b = bld.inputs("b", 4);
+        let x: Vec<Option<NetId>> = a.iter().map(|&n| Some(n)).collect();
+        let mut y: Vec<Option<NetId>> = vec![None, None];
+        y.extend(b.iter().map(|&n| Some(n)));
+        let sums = ternary_add(&mut bld, &x, &y, &[], 7);
+        bld.output_bus("s", &sums);
+        let nl = bld.finish().unwrap();
+        for xa in 0..16u64 {
+            for yb in 0..16u64 {
+                let got = nl.eval(&[xa, yb]).unwrap()[0];
+                assert_eq!(got, xa + (yb << 2), "x={xa} y={yb}");
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the multiplier architectures' invariants.
+
+use axmul_core::behavioral::{approx_4x4, Ca, Cc, Recursive, Summation};
+use axmul_core::structural::{ca_netlist, cc_netlist};
+use axmul_core::{mask_for, Multiplier, Swapped};
+use proptest::prelude::*;
+
+/// Sum of elementary-block weights for a `bits`-wide Ca multiplier:
+/// every 4×4 block at nibble positions (i, j) has weight `16^(i+j)`.
+fn error_weight_sum(bits: u32) -> u64 {
+    let n = bits / 4;
+    (0..n)
+        .flat_map(|i| (0..n).map(move |j| 1u64 << (4 * (i + j))))
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Ca only underestimates, by at most 8 per elementary block at its
+    /// weight (the composition of the fixed-magnitude-8 error).
+    #[test]
+    fn ca_error_bounded(bits in prop::sample::select(vec![4u32, 8, 16, 32]), a in any::<u64>(), b in any::<u64>()) {
+        let m = Ca::new(bits).unwrap();
+        let (a, b) = (a & mask_for(bits), b & mask_for(bits));
+        let err = m.error(a, b);
+        prop_assert!(err >= 0, "Ca never overestimates");
+        prop_assert!(err as u64 <= 8 * error_weight_sum(bits));
+        prop_assert_eq!(err % 8, 0, "errors are multiples of 8");
+    }
+
+    /// Cc never exceeds the exact product and agrees with the exact
+    /// product on the low nibble of each 8-bit block boundary.
+    #[test]
+    fn cc_underestimates(bits in prop::sample::select(vec![8u32, 16, 32]), a in any::<u64>(), b in any::<u64>()) {
+        let m = Cc::new(bits).unwrap();
+        let (a, b) = (a & mask_for(bits), b & mask_for(bits));
+        prop_assert!(m.multiply(a, b) <= a * b);
+        // The bottom nibble passes through LL untouched at every level;
+        // within the elementary block only P3 can err (the fixed -8),
+        // so bits 0..3 always match the exact product.
+        prop_assert_eq!(m.multiply(a, b) & 0x7, (a * b) & 0x7);
+    }
+
+    /// Multiplying by zero or one is always exact, at any width.
+    #[test]
+    fn identities(bits in prop::sample::select(vec![4u32, 8, 16, 32]), a in any::<u64>()) {
+        let a = a & mask_for(bits);
+        for m in [&Ca::new(bits).unwrap() as &dyn Multiplier, &Cc::new(bits).unwrap()] {
+            prop_assert_eq!(m.multiply(a, 0), 0);
+            prop_assert_eq!(m.multiply(0, a), 0);
+            prop_assert_eq!(m.multiply(a, 1), a);
+            prop_assert_eq!(m.multiply(1, a), a);
+        }
+    }
+
+    /// Operands whose multiplier nibbles avoid {5, 6, 7, 13, 15} never
+    /// trigger the elementary error, so Ca is exact on them.
+    #[test]
+    fn ca_exact_on_safe_multipliers(a in any::<u64>(), nibbles in prop::collection::vec(prop::sample::select(vec![0u64,1,2,3,4,8,9,10,11,12,14]), 4)) {
+        let b = nibbles.iter().enumerate().fold(0u64, |acc, (i, &n)| acc | n << (4 * i));
+        let m = Ca::new(16).unwrap();
+        prop_assert_eq!(m.error(a & 0xFFFF, b), 0, "b = {:#x}", b);
+    }
+
+    /// Double-swapping restores the original behavior.
+    #[test]
+    fn swap_is_involutive(a in 0u64..256, b in 0u64..256) {
+        let m = Ca::new(8).unwrap();
+        let ss = Swapped::new(Swapped::new(m.clone()));
+        prop_assert_eq!(ss.multiply(a, b), m.multiply(a, b));
+    }
+
+    /// The generic recursion with an exact kernel is exact for every
+    /// width/kernel combination.
+    #[test]
+    fn recursive_exact_kernel(
+        bits in prop::sample::select(vec![4u32, 8, 16, 32]),
+        kernel_bits in prop::sample::select(vec![2u32, 4]),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let m = Recursive::new("X", bits, kernel_bits, |x, y| x * y, Summation::Accurate).unwrap();
+        let (a, b) = (a & mask_for(bits), b & mask_for(bits));
+        prop_assert_eq!(m.multiply(a, b), a * b);
+    }
+
+    /// Structural and behavioral Ca/Cc agree on random 16×16 operands.
+    #[test]
+    fn structural_matches_behavioral_16(a in 0u64..65536, b in 0u64..65536) {
+        use std::sync::LazyLock;
+        static CA_NL: LazyLock<axmul_fabric::Netlist> =
+            LazyLock::new(|| ca_netlist(16).unwrap());
+        static CC_NL: LazyLock<axmul_fabric::Netlist> =
+            LazyLock::new(|| cc_netlist(16).unwrap());
+        let ca = Ca::new(16).unwrap();
+        let cc = Cc::new(16).unwrap();
+        prop_assert_eq!(CA_NL.eval(&[a, b]).unwrap()[0], ca.multiply(a, b));
+        prop_assert_eq!(CC_NL.eval(&[a, b]).unwrap()[0], cc.multiply(a, b));
+    }
+
+    /// The elementary error condition is exactly the closed form used
+    /// everywhere: PP0<2> & PP0<3> & PP1<0> & PP1<1>.
+    #[test]
+    fn elementary_error_closed_form(a in 0u64..16, b in 0u64..16) {
+        let pp0 = a * (b & 3);
+        let pp1 = a * (b >> 2);
+        let saturated = pp0 >> 2 & 1 == 1 && pp0 >> 3 & 1 == 1 && pp1 & 1 == 1 && pp1 >> 1 & 1 == 1;
+        let expected = a * b - if saturated { 8 } else { 0 };
+        prop_assert_eq!(approx_4x4(a, b), expected);
+    }
+}

@@ -1,0 +1,162 @@
+//! Area accounting in the paper's units: occupied LUTs (primary metric),
+//! `CARRY4` blocks, and a slice-packing estimate.
+
+use std::fmt;
+
+use crate::netlist::Cell;
+use crate::Netlist;
+
+/// Area summary of a netlist.
+///
+/// The paper reports area exclusively in LUTs (its Table 4 and Figs. 7,
+/// 9); `carry4s` and `slices` are provided for completeness since carry
+/// chains constrain slice packing on the real device.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_fabric::{Init, NetlistBuilder, area::AreaReport};
+///
+/// let mut b = NetlistBuilder::new("n");
+/// let a = b.inputs("a", 2);
+/// let (o6, _) = b.lut2(Init::AND2, a[0], a[1]);
+/// b.output("y", o6);
+/// let nl = b.finish()?;
+/// let area = AreaReport::of(&nl);
+/// assert_eq!(area.luts, 1);
+/// # Ok::<(), axmul_fabric::FabricError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AreaReport {
+    /// Number of LUT6 cells (each `LUT6_2` counts once, fractured or not).
+    pub luts: usize,
+    /// Number of `CARRY4` primitives.
+    pub carry4s: usize,
+    /// LUT sites stranded by partially-used `CARRY4` stages: a carry
+    /// chain claims a whole slice column, so unused chain stages make
+    /// their LUT positions unusable for other logic. The paper counts
+    /// these in its "16 LUTs (2 LUTs wasted by the second carry chain)"
+    /// remark about the §3.2 reference design.
+    pub wasted_sites: usize,
+}
+
+impl AreaReport {
+    /// Computes the area of a netlist.
+    #[must_use]
+    pub fn of(netlist: &Netlist) -> Self {
+        let wasted_sites = netlist
+            .cells()
+            .iter()
+            .filter_map(|c| match c {
+                Cell::Carry4 { o, co, .. } => Some(
+                    (0..4)
+                        .filter(|&i| o[i].is_none() && co[i].is_none())
+                        .count(),
+                ),
+                Cell::Lut { .. } => None,
+            })
+            .sum();
+        AreaReport {
+            luts: netlist.lut_count(),
+            carry4s: netlist.carry4_count(),
+            wasted_sites,
+        }
+    }
+
+    /// LUTs plus stranded sites — the figure a place-and-route report
+    /// would show as occupied.
+    #[must_use]
+    pub fn occupied_luts(&self) -> usize {
+        self.luts + self.wasted_sites
+    }
+
+    /// Lower-bound slice estimate: a 7-series slice holds 4 LUTs and one
+    /// `CARRY4`, so the binding constraint is whichever is larger.
+    #[must_use]
+    pub fn slices(&self) -> usize {
+        (self.luts.div_ceil(4)).max(self.carry4s)
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUTs, {} CARRY4s (>= {} slices)",
+            self.luts,
+            self.carry4s,
+            self.slices()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Init, NetlistBuilder};
+
+    #[test]
+    fn counts_luts_and_carries() {
+        let mut b = NetlistBuilder::new("n");
+        let a = b.inputs("a", 4);
+        let mut props = Vec::new();
+        for i in 0..4 {
+            let (o6, _) = b.lut2(Init::XOR2, a[i], a[(i + 1) % 4]);
+            props.push(o6);
+        }
+        let z = b.constant(false);
+        let (s, _) = b.carry_chain(z, &props, &a);
+        b.output_bus("s", &s);
+        let nl = b.finish().unwrap();
+        let area = AreaReport::of(&nl);
+        assert_eq!(area.luts, 4);
+        assert_eq!(area.carry4s, 1);
+        assert_eq!(area.slices(), 1);
+    }
+
+    #[test]
+    fn slice_estimate_binds_on_carries() {
+        let r = AreaReport {
+            luts: 2,
+            carry4s: 3,
+            wasted_sites: 0,
+        };
+        assert_eq!(r.slices(), 3);
+        let r = AreaReport {
+            luts: 9,
+            carry4s: 1,
+            wasted_sites: 0,
+        };
+        assert_eq!(r.slices(), 3);
+    }
+
+    #[test]
+    fn partially_used_chain_strands_sites() {
+        // A 6-stage chain = two CARRY4s; the second uses 2 of 4 stages.
+        let mut b = NetlistBuilder::new("n");
+        let a = b.inputs("a", 6);
+        let c = b.inputs("b", 6);
+        let mut props = Vec::new();
+        for i in 0..6 {
+            let (o6, _) = b.lut2(Init::XOR2, a[i], c[i]);
+            props.push(o6);
+        }
+        let z = b.constant(false);
+        let (s, _) = b.carry_chain(z, &props, &a);
+        b.output_bus("s", &s);
+        let nl = b.finish().unwrap();
+        let area = AreaReport::of(&nl);
+        assert_eq!(area.wasted_sites, 2);
+        assert_eq!(area.occupied_luts(), 8);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = AreaReport {
+            luts: 12,
+            carry4s: 2,
+            wasted_sites: 0,
+        };
+        assert_eq!(r.to_string(), "12 LUTs, 2 CARRY4s (>= 3 slices)");
+    }
+}

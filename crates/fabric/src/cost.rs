@@ -1,0 +1,197 @@
+//! Device-level resource and cost modeling.
+//!
+//! The paper's Table 1 motivates LUT-based multipliers by implementing
+//! a Reed-Solomon encoder and a JPEG encoder with DSP blocks enabled and
+//! disabled: the DSP variant of the Reed-Solomon encoder is *slower*
+//! (routing to the allocated DSP columns dominates) and the JPEG encoder
+//! consumes 56 % of the device's DSP blocks. This module provides the
+//! device inventory and the placement/routing penalty model that the
+//! `axmul-apps` crate maps those applications through.
+
+use std::fmt;
+
+/// Static resource inventory of an FPGA device.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_fabric::cost::Device;
+/// let d = Device::virtex7_7vx330t();
+/// assert_eq!(d.dsp_blocks, 1120);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Device {
+    /// Marketing name.
+    pub name: String,
+    /// Number of 6-input LUTs.
+    pub luts: u32,
+    /// Number of DSP48-style blocks.
+    pub dsp_blocks: u32,
+    /// Number of DSP columns (placement granularity for the routing
+    /// penalty model).
+    pub dsp_columns: u32,
+}
+
+impl Device {
+    /// The Virtex-7 7VX330T used throughout the paper:
+    /// 204 000 LUTs, 1 120 DSP48E1 slices.
+    #[must_use]
+    pub fn virtex7_7vx330t() -> Self {
+        Device {
+            name: "xc7vx330t".to_string(),
+            luts: 204_000,
+            dsp_blocks: 1_120,
+            dsp_columns: 14,
+        }
+    }
+
+    /// Fraction of DSP blocks consumed by a design using `used` blocks.
+    #[must_use]
+    pub fn dsp_utilization(&self, used: u32) -> f64 {
+        f64::from(used) / f64::from(self.dsp_blocks)
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} LUTs, {} DSPs)",
+            self.name, self.luts, self.dsp_blocks
+        )
+    }
+}
+
+/// How a multiplication inside an application datapath is implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MultImpl {
+    /// Mapped onto a DSP48-style hard block.
+    Dsp,
+    /// Mapped onto soft LUT logic.
+    Lut,
+}
+
+/// Resource/latency summary of one application implementation, i.e. one
+/// cell of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppCost {
+    /// Critical path delay in nanoseconds.
+    pub critical_path_ns: f64,
+    /// Occupied LUTs.
+    pub luts: u32,
+    /// Occupied DSP blocks.
+    pub dsp_blocks: u32,
+}
+
+impl fmt::Display for AppCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} ns, {} LUTs, {} DSPs",
+            self.critical_path_ns, self.luts, self.dsp_blocks
+        )
+    }
+}
+
+/// Placement/routing cost model for mapping datapaths onto a [`Device`].
+///
+/// The key effect modeled (observed in Table 1 and in Kuon & Rose's
+/// FPGA/ASIC gap study) is that hard blocks live in fixed columns:
+/// reaching them costs general routing that grows with how many columns
+/// the design must spread across, while LUT logic packs next to its
+/// consumers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Target device.
+    pub device: Device,
+    /// Combinational delay through a DSP48 multiplier (ns).
+    pub t_dsp_mult: f64,
+    /// Base routing delay to reach the nearest DSP column (ns).
+    pub t_dsp_route_base: f64,
+    /// Extra routing delay per additional DSP column spanned (ns).
+    pub t_dsp_route_per_column: f64,
+    /// DSP blocks per column before spilling to the next column.
+    pub dsps_per_column: u32,
+}
+
+impl CostModel {
+    /// Cost model for the paper's 7VX330T device.
+    #[must_use]
+    pub fn virtex7() -> Self {
+        let device = Device::virtex7_7vx330t();
+        let dsps_per_column = device.dsp_blocks / device.dsp_columns;
+        CostModel {
+            device,
+            t_dsp_mult: 2.7,
+            t_dsp_route_base: 0.9,
+            t_dsp_route_per_column: 0.25,
+            dsps_per_column,
+        }
+    }
+
+    /// Delay of a DSP-mapped multiplier when the design uses
+    /// `used_dsps` blocks in total: the more columns the design spans,
+    /// the worse the worst-case route to a DSP becomes.
+    #[must_use]
+    pub fn dsp_mult_delay(&self, used_dsps: u32) -> f64 {
+        let columns = used_dsps.div_ceil(self.dsps_per_column.max(1));
+        self.t_dsp_mult
+            + self.t_dsp_route_base
+            + self.t_dsp_route_per_column * f64::from(columns.saturating_sub(1))
+    }
+
+    /// Whether a request for `needed` DSP blocks fits the device.
+    #[must_use]
+    pub fn dsps_fit(&self, needed: u32) -> bool {
+        needed <= self.device.dsp_blocks
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::virtex7()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_inventory_matches_datasheet() {
+        let d = Device::virtex7_7vx330t();
+        assert_eq!(d.luts, 204_000);
+        assert_eq!(d.dsp_blocks, 1_120);
+        // Table 1: JPEG uses 631 DSPs = 56% of the device.
+        let util = d.dsp_utilization(631);
+        assert!((util - 0.5634).abs() < 0.001);
+    }
+
+    #[test]
+    fn dsp_delay_grows_with_usage() {
+        let m = CostModel::virtex7();
+        let few = m.dsp_mult_delay(10);
+        let many = m.dsp_mult_delay(631);
+        assert!(many > few, "spanning more columns must cost routing");
+        assert!(m.dsp_mult_delay(1) >= m.t_dsp_mult);
+    }
+
+    #[test]
+    fn fit_check() {
+        let m = CostModel::virtex7();
+        assert!(m.dsps_fit(1120));
+        assert!(!m.dsps_fit(1121));
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = Device::virtex7_7vx330t();
+        assert!(d.to_string().contains("xc7vx330t"));
+        let c = AppCost {
+            critical_path_ns: 5.115,
+            luts: 2826,
+            dsp_blocks: 22,
+        };
+        assert_eq!(c.to_string(), "5.115 ns, 2826 LUTs, 22 DSPs");
+    }
+}

@@ -1,0 +1,312 @@
+//! Bit-parallel netlist simulation.
+//!
+//! [`WideSim`] evaluates up to 64 independent input vectors ("lanes")
+//! per pass by storing one `u64` per net, with lane `l` in bit `l`.
+//! This is what makes exhaustive 8×8 characterization (65 536 vectors)
+//! essentially free: 1 024 passes over the cell list.
+
+use crate::netlist::{Cell, Driver};
+use crate::{FabricError, Netlist};
+
+/// A reusable 64-lane bit-parallel simulator over a borrowed [`Netlist`].
+///
+/// # Examples
+///
+/// ```
+/// use axmul_fabric::{Init, NetlistBuilder, sim::WideSim};
+///
+/// let mut b = NetlistBuilder::new("xor");
+/// let a = b.inputs("a", 1);
+/// let c = b.inputs("b", 1);
+/// let (o6, _) = b.lut2(Init::XOR2, a[0], c[0]);
+/// b.output("y", o6);
+/// let nl = b.finish()?;
+///
+/// let mut sim = WideSim::new(&nl);
+/// // Four lanes at once: (0,0) (0,1) (1,0) (1,1)
+/// let out = sim.eval(&[&[0, 0, 1, 1], &[0, 1, 0, 1]])?;
+/// assert_eq!(out[0], vec![0, 1, 1, 0]);
+/// # Ok::<(), axmul_fabric::FabricError>(())
+/// ```
+#[derive(Debug)]
+pub struct WideSim<'a> {
+    netlist: &'a Netlist,
+    values: Vec<u64>,
+}
+
+impl<'a> WideSim<'a> {
+    /// Creates a simulator for `netlist`.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist) -> Self {
+        WideSim {
+            netlist,
+            values: vec![0; netlist.net_count()],
+        }
+    }
+
+    /// Evaluates up to 64 lanes.
+    ///
+    /// `inputs[bus]` holds one word per lane for that input bus; all
+    /// buses must supply the same number of lanes (1..=64). Returns
+    /// `outputs[bus][lane]`.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::InputArity`] if the bus count or lane counts are
+    /// inconsistent with the netlist.
+    pub fn eval(&mut self, inputs: &[&[u64]]) -> Result<Vec<Vec<u64>>, FabricError> {
+        let lanes = self.load(inputs)?;
+        self.propagate();
+        Ok(self.read_outputs(lanes))
+    }
+
+    /// Evaluates lanes and returns the value of *every net*, for
+    /// analyses that need internal visibility (e.g. toggle counting).
+    ///
+    /// The returned slice is indexed by [`crate::NetId::index`]; bit `l`
+    /// of each word is lane `l`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WideSim::eval`].
+    pub fn eval_nets(&mut self, inputs: &[&[u64]]) -> Result<&[u64], FabricError> {
+        self.load(inputs)?;
+        self.propagate();
+        Ok(&self.values)
+    }
+
+    fn load(&mut self, inputs: &[&[u64]]) -> Result<usize, FabricError> {
+        let buses = self.netlist.input_buses();
+        if inputs.len() != buses.len() {
+            return Err(FabricError::InputArity {
+                expected: buses.len(),
+                got: inputs.len(),
+            });
+        }
+        let lanes = inputs.first().map_or(1, |b| b.len());
+        if lanes == 0 || lanes > 64 || inputs.iter().any(|b| b.len() != lanes) {
+            return Err(FabricError::InputArity {
+                expected: lanes.clamp(1, 64),
+                got: inputs.iter().map(|b| b.len()).max().unwrap_or(0),
+            });
+        }
+        self.values.iter_mut().for_each(|v| *v = 0);
+        // Transpose: lane-major input words -> bit-sliced net values.
+        for (bus_idx, (_, bits)) in buses.iter().enumerate() {
+            for (bit_idx, net) in bits.iter().enumerate() {
+                let mut word = 0u64;
+                for (lane, &val) in inputs[bus_idx].iter().enumerate() {
+                    word |= ((val >> bit_idx) & 1) << lane;
+                }
+                self.values[net.index()] = word;
+            }
+        }
+        // Constants broadcast to all lanes.
+        for (net, driver) in self.netlist.drivers().iter().enumerate() {
+            if let Driver::Const(c) = driver {
+                self.values[net] = if *c { u64::MAX } else { 0 };
+            }
+        }
+        Ok(lanes)
+    }
+
+    fn propagate(&mut self) {
+        for cell in self.netlist.cells() {
+            match cell {
+                Cell::Lut {
+                    init,
+                    inputs,
+                    o6,
+                    o5,
+                } => {
+                    let iv = inputs.map(|n| self.values[n.index()]);
+                    let mut w6 = 0u64;
+                    let mut w5 = 0u64;
+                    for lane in 0..64 {
+                        let idx = ((iv[0] >> lane) & 1)
+                            | ((iv[1] >> lane) & 1) << 1
+                            | ((iv[2] >> lane) & 1) << 2
+                            | ((iv[3] >> lane) & 1) << 3
+                            | ((iv[4] >> lane) & 1) << 4
+                            | ((iv[5] >> lane) & 1) << 5;
+                        w6 |= ((init.raw() >> idx) & 1) << lane;
+                        w5 |= ((init.raw() >> (idx & 0x1F)) & 1) << lane;
+                    }
+                    self.values[o6.index()] = w6;
+                    if let Some(o5) = o5 {
+                        self.values[o5.index()] = w5;
+                    }
+                }
+                Cell::Carry4 { cin, s, di, o, co } => {
+                    let mut carry = self.values[cin.index()];
+                    for stage in 0..4 {
+                        let sv = self.values[s[stage].index()];
+                        let dv = self.values[di[stage].index()];
+                        let sum = sv ^ carry;
+                        let next = (sv & carry) | (!sv & dv);
+                        if let Some(n) = o[stage] {
+                            self.values[n.index()] = sum;
+                        }
+                        if let Some(n) = co[stage] {
+                            self.values[n.index()] = next;
+                        }
+                        carry = next;
+                    }
+                }
+            }
+        }
+    }
+
+    fn read_outputs(&self, lanes: usize) -> Vec<Vec<u64>> {
+        self.netlist
+            .output_buses()
+            .iter()
+            .map(|(_, bits)| {
+                (0..lanes)
+                    .map(|lane| {
+                        let mut val = 0u64;
+                        for (bit_idx, net) in bits.iter().enumerate() {
+                            val |= ((self.values[net.index()] >> lane) & 1) << bit_idx;
+                        }
+                        val
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Exhaustively evaluates a two-input-bus netlist over all operand
+/// combinations, invoking `visit(a, b, outputs)` for each.
+///
+/// The netlist must have exactly two input buses (`a` first). Intended
+/// for operand widths whose product space fits in memory-free streaming
+/// (e.g. 8×8 → 65 536 evaluations).
+///
+/// # Errors
+///
+/// Propagates simulation errors; also returns [`FabricError::InputArity`]
+/// if the netlist does not have exactly two input buses.
+pub fn for_each_operand_pair(
+    netlist: &Netlist,
+    mut visit: impl FnMut(u64, u64, &[u64]),
+) -> Result<(), FabricError> {
+    let buses = netlist.input_buses();
+    if buses.len() != 2 {
+        return Err(FabricError::InputArity {
+            expected: 2,
+            got: buses.len(),
+        });
+    }
+    let a_bits = buses[0].1.len();
+    let b_bits = buses[1].1.len();
+    assert!(
+        a_bits + b_bits <= 32,
+        "exhaustive sweep over {a_bits}x{b_bits} operands is infeasible"
+    );
+    let total: u64 = 1 << (a_bits + b_bits);
+    let mut sim = WideSim::new(netlist);
+    let mut idx = 0u64;
+    let mut a_lane = [0u64; 64];
+    let mut b_lane = [0u64; 64];
+    while idx < total {
+        let n = ((total - idx) as usize).min(64);
+        for k in 0..n {
+            let v = idx + k as u64;
+            a_lane[k] = v & ((1 << a_bits) - 1);
+            b_lane[k] = v >> a_bits;
+        }
+        let outs = sim.eval(&[&a_lane[..n], &b_lane[..n]])?;
+        let mut row = vec![0u64; outs.len()];
+        for k in 0..n {
+            for (j, bus) in outs.iter().enumerate() {
+                row[j] = bus[k];
+            }
+            visit(a_lane[k], b_lane[k], &row);
+        }
+        idx += n as u64;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Init, NetlistBuilder};
+
+    fn adder2() -> Netlist {
+        let mut b = NetlistBuilder::new("add2");
+        let a = b.inputs("a", 2);
+        let c = b.inputs("b", 2);
+        let mut props = Vec::new();
+        for i in 0..2 {
+            let (o6, _) = b.lut2(Init::XOR2, a[i], c[i]);
+            props.push(o6);
+        }
+        let zero = b.constant(false);
+        let (sums, cout) = b.carry_chain(zero, &props, &[a[0], a[1]]);
+        b.output_bus("s", &sums);
+        b.output("cout", cout);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn wide_matches_scalar() {
+        let nl = adder2();
+        let mut sim = WideSim::new(&nl);
+        let a_vals: Vec<u64> = (0..16).map(|i| i & 3).collect();
+        let b_vals: Vec<u64> = (0..16).map(|i| i >> 2).collect();
+        let wide = sim.eval(&[&a_vals, &b_vals]).unwrap();
+        for i in 0..16 {
+            let scalar = nl.eval(&[a_vals[i], b_vals[i]]).unwrap();
+            assert_eq!(wide[0][i], scalar[0]);
+            assert_eq!(wide[1][i], scalar[1]);
+        }
+    }
+
+    #[test]
+    fn full_64_lanes() {
+        let nl = adder2();
+        let mut sim = WideSim::new(&nl);
+        let a_vals: Vec<u64> = (0..64).map(|i| i % 4).collect();
+        let b_vals: Vec<u64> = (0..64).map(|i| (i / 4) % 4).collect();
+        let out = sim.eval(&[&a_vals, &b_vals]).unwrap();
+        for i in 0..64 {
+            let sum = a_vals[i] + b_vals[i];
+            assert_eq!(out[0][i], sum & 3, "lane {i}");
+            assert_eq!(out[1][i], sum >> 2, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_visits_every_pair_once() {
+        let nl = adder2();
+        let mut seen = vec![false; 16];
+        for_each_operand_pair(&nl, |a, b, out| {
+            let k = (a | (b << 2)) as usize;
+            assert!(!seen[k], "pair ({a},{b}) visited twice");
+            seen[k] = true;
+            assert_eq!(out[0] | (out[1] << 2), a + b);
+        })
+        .unwrap();
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn lane_count_validation() {
+        let nl = adder2();
+        let mut sim = WideSim::new(&nl);
+        assert!(sim.eval(&[&[1], &[1, 2]]).is_err(), "ragged lanes");
+        assert!(sim.eval(&[&[1]]).is_err(), "missing bus");
+        let empty: &[u64] = &[];
+        assert!(sim.eval(&[empty, empty]).is_err(), "zero lanes");
+    }
+
+    #[test]
+    fn eval_nets_exposes_internals() {
+        let nl = adder2();
+        let mut sim = WideSim::new(&nl);
+        let nets = sim.eval_nets(&[&[3], &[1]]).unwrap();
+        assert_eq!(nets.len(), nl.net_count());
+    }
+}

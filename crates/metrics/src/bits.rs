@@ -1,0 +1,127 @@
+//! Per-product-bit accuracy profiles — Fig. 8(a) of the paper.
+//!
+//! For each output bit position the profile gives the probability that
+//! the approximate product bit *differs* from the exact product bit
+//! under uniform inputs. The paper's headline observation: the proposed
+//! designs "restrict the errors to limited bits only".
+
+use axmul_core::{mask_for, Multiplier};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Exhaustive per-bit error probabilities. Index `i` is product bit
+/// `P_i`; the value is `P[approx bit != exact bit]`.
+///
+/// # Panics
+///
+/// Panics if the operand space exceeds 2³² pairs (use
+/// [`bit_accuracy_sampled`] instead).
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::behavioral::Approx4x4;
+/// use axmul_metrics::bit_accuracy;
+///
+/// let profile = bit_accuracy(&Approx4x4::new());
+/// // The proposed 4x4 errs only in P3 (fixed magnitude 8 = 1 << 3).
+/// assert!(profile[3] > 0.0);
+/// for (i, p) in profile.iter().enumerate() {
+///     if i != 3 { assert_eq!(*p, 0.0, "bit {i}"); }
+/// }
+/// ```
+#[must_use]
+pub fn bit_accuracy(m: &(impl Multiplier + ?Sized)) -> Vec<f64> {
+    let (wa, wb) = (m.a_bits(), m.b_bits());
+    assert!(wa + wb <= 32, "operand space too large; use sampled");
+    let pairs = (0..=mask_for(wa)).flat_map(|a| (0..=mask_for(wb)).map(move |b| (a, b)));
+    profile_over(m, pairs)
+}
+
+/// Sampled per-bit error probabilities over `n` uniform-random pairs.
+#[must_use]
+pub fn bit_accuracy_sampled(m: &(impl Multiplier + ?Sized), n: u64, seed: u64) -> Vec<f64> {
+    let (wa, wb) = (m.a_bits(), m.b_bits());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs = (0..n).map(move |_| {
+        (
+            rng.random::<u64>() & mask_for(wa),
+            rng.random::<u64>() & mask_for(wb),
+        )
+    });
+    profile_over(m, pairs)
+}
+
+fn profile_over(
+    m: &(impl Multiplier + ?Sized),
+    pairs: impl IntoIterator<Item = (u64, u64)>,
+) -> Vec<f64> {
+    let out_bits = (m.a_bits() + m.b_bits()) as usize;
+    let mut wrong = vec![0u64; out_bits];
+    let mut samples = 0u64;
+    for (a, b) in pairs {
+        let diff = m.exact(a, b) ^ m.multiply(a, b);
+        if diff != 0 {
+            for (i, w) in wrong.iter_mut().enumerate() {
+                *w += diff >> i & 1;
+            }
+        }
+        samples += 1;
+    }
+    let n = samples.max(1) as f64;
+    wrong.into_iter().map(|w| w as f64 / n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmul_baselines::Truncated;
+    use axmul_core::behavioral::{Ca, Cc};
+    use axmul_core::Exact;
+
+    #[test]
+    fn exact_profile_is_zero() {
+        assert!(bit_accuracy(&Exact::new(6, 6)).iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn truncated_errors_live_in_low_bits_only() {
+        let profile = bit_accuracy(&Truncated::new(8, 4));
+        for (i, p) in profile.iter().enumerate() {
+            if i < 4 {
+                assert!(*p > 0.0, "bit {i} should err");
+            } else {
+                assert_eq!(*p, 0.0, "bit {i} must be clean");
+            }
+        }
+    }
+
+    #[test]
+    fn ca8_restricts_errors_to_limited_bits() {
+        // Fig. 8's observation: Ca's per-bit error probabilities are
+        // nonzero only where elementary-block errors (weight >= 3) can
+        // land; the lowest three product bits are always exact.
+        let profile = bit_accuracy(&Ca::new(8).unwrap());
+        assert_eq!(profile[0], 0.0);
+        assert_eq!(profile[1], 0.0);
+        assert_eq!(profile[2], 0.0);
+        assert!(profile.iter().skip(3).any(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn cc8_errs_more_broadly_than_ca8() {
+        let ca: f64 = bit_accuracy(&Ca::new(8).unwrap()).iter().sum();
+        let cc: f64 = bit_accuracy(&Cc::new(8).unwrap()).iter().sum();
+        assert!(cc > 5.0 * ca, "ca sum {ca}, cc sum {cc}");
+    }
+
+    #[test]
+    fn sampled_tracks_exhaustive() {
+        let m = Truncated::new(8, 4);
+        let full = bit_accuracy(&m);
+        let sampled = bit_accuracy_sampled(&m, 40_000, 11);
+        for (f, s) in full.iter().zip(&sampled) {
+            assert!((f - s).abs() < 0.02, "{f} vs {s}");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Pareto-front extraction for the error-vs-cost analyses of
+//! Figs. 9–10.
+//!
+//! A design point is Pareto-optimal (non-dominated) if no other point
+//! is at least as good in both objectives and strictly better in one.
+//! Both objectives — error and cost (LUTs or nanoseconds) — are
+//! minimized.
+
+use std::fmt;
+
+/// One design in a two-objective (error, cost) trade-off space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Architecture name.
+    pub name: String,
+    /// Accuracy objective (e.g. average relative error). Lower is better.
+    pub error: f64,
+    /// Cost objective (LUTs for Fig. 9, critical-path ns for Fig. 10).
+    /// Lower is better.
+    pub cost: f64,
+}
+
+impl DesignPoint {
+    /// Creates a design point.
+    #[must_use]
+    pub fn new(name: impl Into<String>, error: f64, cost: f64) -> Self {
+        DesignPoint {
+            name: name.into(),
+            error,
+            cost,
+        }
+    }
+
+    /// Whether `self` dominates `other` (at least as good in both
+    /// objectives, strictly better in at least one).
+    #[must_use]
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        self.error <= other.error
+            && self.cost <= other.cost
+            && (self.error < other.error || self.cost < other.cost)
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (err {:.6}, cost {:.3})", self.name, self.error, self.cost)
+    }
+}
+
+/// Marks each point as Pareto-optimal (`true`) or dominated (`false`).
+///
+/// Duplicate points (identical in both objectives) are all kept on the
+/// front, matching how the paper plots coincident designs.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_metrics::{pareto_front, DesignPoint};
+///
+/// let pts = vec![
+///     DesignPoint::new("small-inaccurate", 0.10, 30.0),
+///     DesignPoint::new("balanced", 0.01, 60.0),
+///     DesignPoint::new("dominated", 0.10, 90.0),
+/// ];
+/// assert_eq!(pareto_front(&pts), vec![true, true, false]);
+/// ```
+#[must_use]
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<bool> {
+    points
+        .iter()
+        .map(|p| !points.iter().any(|q| q.dominates(p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(e: f64, c: f64) -> DesignPoint {
+        DesignPoint::new(format!("e{e}c{c}"), e, c)
+    }
+
+    #[test]
+    fn single_point_is_optimal() {
+        assert_eq!(pareto_front(&[pt(1.0, 1.0)]), vec![true]);
+    }
+
+    #[test]
+    fn strictly_dominated_points_removed() {
+        let pts = vec![pt(0.1, 10.0), pt(0.2, 20.0), pt(0.05, 40.0)];
+        assert_eq!(pareto_front(&pts), vec![true, false, true]);
+    }
+
+    #[test]
+    fn duplicates_all_survive() {
+        let pts = vec![pt(0.1, 10.0), pt(0.1, 10.0)];
+        assert_eq!(pareto_front(&pts), vec![true, true]);
+    }
+
+    #[test]
+    fn ties_on_one_axis() {
+        // Same error, different cost: only the cheaper survives.
+        let pts = vec![pt(0.1, 10.0), pt(0.1, 12.0)];
+        assert_eq!(pareto_front(&pts), vec![true, false]);
+    }
+
+    #[test]
+    fn front_is_mutually_non_dominating() {
+        let pts: Vec<DesignPoint> = (0..50)
+            .map(|i| {
+                let x = f64::from(i);
+                pt((x * 7.0) % 13.0, (x * 3.0) % 11.0)
+            })
+            .collect();
+        let front = pareto_front(&pts);
+        let survivors: Vec<&DesignPoint> = pts
+            .iter()
+            .zip(&front)
+            .filter_map(|(p, &keep)| keep.then_some(p))
+            .collect();
+        assert!(!survivors.is_empty());
+        for a in &survivors {
+            for b in &survivors {
+                assert!(!a.dominates(b), "{a} dominates {b}");
+            }
+        }
+        // And every removed point is dominated by some survivor.
+        for (p, keep) in pts.iter().zip(&front) {
+            if !keep {
+                assert!(survivors.iter().any(|s| s.dominates(p)));
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use axmul_core::{mask_for, Multiplier};
+
+/// The probability mass function of a multiplier's error values —
+/// Fig. 8(b) of the paper ("unique error occurrences").
+///
+/// Keys are signed errors `exact − approximate` (positive =
+/// underestimate), values are occurrence counts.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::behavioral::Approx4x4;
+/// use axmul_metrics::ErrorPmf;
+///
+/// let pmf = ErrorPmf::exhaustive(&Approx4x4::new());
+/// // The proposed 4x4 has exactly one distinct nonzero error value: 8.
+/// assert_eq!(pmf.distinct_errors(), 1);
+/// assert_eq!(pmf.count(8), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorPmf {
+    counts: BTreeMap<i64, u64>,
+    samples: u64,
+}
+
+impl ErrorPmf {
+    /// Builds the PMF over the full operand space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand space exceeds 2³² pairs.
+    #[must_use]
+    pub fn exhaustive(m: &(impl Multiplier + ?Sized)) -> Self {
+        let (wa, wb) = (m.a_bits(), m.b_bits());
+        assert!(wa + wb <= 32, "operand space too large for exhaustive PMF");
+        let mut counts = BTreeMap::new();
+        let mut samples = 0u64;
+        for a in 0..=mask_for(wa) {
+            for b in 0..=mask_for(wb) {
+                let e = m.error(a, b);
+                if e != 0 {
+                    *counts.entry(e).or_insert(0) += 1;
+                }
+                samples += 1;
+            }
+        }
+        ErrorPmf { counts, samples }
+    }
+
+    /// Number of distinct nonzero error values.
+    #[must_use]
+    pub fn distinct_errors(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Occurrences of the given error value.
+    #[must_use]
+    pub fn count(&self, error: i64) -> u64 {
+        if error == 0 {
+            self.samples - self.counts.values().sum::<u64>()
+        } else {
+            self.counts.get(&error).copied().unwrap_or(0)
+        }
+    }
+
+    /// Total operand pairs evaluated.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Iterates over `(error, count)` pairs in increasing error order
+    /// (nonzero errors only).
+    pub fn iter(&self) -> impl Iterator<Item = (i64, u64)> + '_ {
+        self.counts.iter().map(|(&e, &c)| (e, c))
+    }
+
+    /// Iterates over `(error, probability)` pairs — the normalized
+    /// histogram the paper plots.
+    pub fn normalized(&self) -> impl Iterator<Item = (i64, f64)> + '_ {
+        let n = self.samples.max(1) as f64;
+        self.counts.iter().map(move |(&e, &c)| (e, c as f64 / n))
+    }
+}
+
+impl fmt::Display for ErrorPmf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} distinct error values over {} samples",
+            self.counts.len(),
+            self.samples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmul_baselines::Truncated;
+    use axmul_core::behavioral::{Ca, Cc};
+    use axmul_core::Exact;
+
+    #[test]
+    fn exact_has_empty_pmf() {
+        let pmf = ErrorPmf::exhaustive(&Exact::new(5, 5));
+        assert_eq!(pmf.distinct_errors(), 0);
+        assert_eq!(pmf.count(0), 1024);
+    }
+
+    #[test]
+    fn ca8_has_few_distinct_errors() {
+        // Fig. 8: "except the Cc multiplier, all other multipliers have
+        // few distinct errors" — Ca's errors are sums of the six ±8
+        // sub-block errors at four weights.
+        let pmf = ErrorPmf::exhaustive(&Ca::new(8).unwrap());
+        assert!(pmf.distinct_errors() <= 16, "{}", pmf.distinct_errors());
+        // All errors are multiples of 8 (the elementary magnitude).
+        for (e, _) in pmf.iter() {
+            assert_eq!(e % 8, 0);
+            assert!(e > 0);
+        }
+        // Occurrence counts sum to Table 5's error occurrences.
+        let total: u64 = pmf.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 5482);
+    }
+
+    #[test]
+    fn cc8_has_many_distinct_errors() {
+        let pmf = ErrorPmf::exhaustive(&Cc::new(8).unwrap());
+        assert!(
+            pmf.distinct_errors() > 100,
+            "carry-free summation spreads errors widely: {}",
+            pmf.distinct_errors()
+        );
+    }
+
+    #[test]
+    fn truncation_pmf_is_uniform_ish() {
+        let pmf = ErrorPmf::exhaustive(&Truncated::new(8, 2));
+        assert_eq!(pmf.distinct_errors(), 3); // errors 1, 2, 3
+        assert_eq!(pmf.count(3), 8192); // a, b both odd, ab % 4 == 3
+    }
+
+    #[test]
+    fn normalized_sums_to_error_probability() {
+        let pmf = ErrorPmf::exhaustive(&Truncated::new(8, 4));
+        let p: f64 = pmf.normalized().map(|(_, p)| p).sum();
+        assert!((p - 53248.0 / 65536.0).abs() < 1e-12);
+    }
+}

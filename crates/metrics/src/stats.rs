@@ -1,0 +1,201 @@
+use std::fmt;
+
+use axmul_core::{mask_for, Multiplier};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Complete error characterization of one approximate multiplier.
+///
+/// Fields follow the quality metrics of the paper (§1.2 and Table 5).
+/// Errors are measured as magnitudes `|exact − approximate|`; the
+/// average relative error skips operand pairs whose true product is
+/// zero (no design in the library errs there, and the ratio would be
+/// undefined).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorStats {
+    /// Architecture name the stats were computed for.
+    pub name: String,
+    /// Number of operand pairs evaluated.
+    pub samples: u64,
+    /// Operand pairs with a nonzero error ("Error Occurrences").
+    pub error_occurrences: u64,
+    /// Largest error magnitude ("Maximum Error Magnitude").
+    pub max_error: i64,
+    /// How many operand pairs hit the maximum
+    /// ("Maximum Error Occurrences").
+    pub max_error_occurrences: u64,
+    /// Mean error magnitude over *all* samples ("Average Error"; also
+    /// known as the mean error distance, MED).
+    pub avg_error: f64,
+    /// Mean of `|error| / exact` over all samples with `exact != 0`
+    /// divided by the total sample count ("Average Relative Error").
+    pub avg_relative_error: f64,
+    /// `error_occurrences / samples`.
+    pub error_probability: f64,
+    /// `avg_error` normalized by the maximum exact product — the NMED
+    /// metric common in the approximate-computing literature.
+    pub normalized_mean_error_distance: f64,
+}
+
+impl ErrorStats {
+    /// Exhaustively characterizes `m` over its full operand space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand space exceeds 2³² pairs (use
+    /// [`ErrorStats::sampled`] for 16×16 and wider).
+    #[must_use]
+    pub fn exhaustive(m: &(impl Multiplier + ?Sized)) -> Self {
+        let (wa, wb) = (m.a_bits(), m.b_bits());
+        assert!(
+            wa + wb <= 32,
+            "exhaustive sweep over {wa}x{wb} is infeasible; use sampled()"
+        );
+        let pairs =
+            (0..=mask_for(wa)).flat_map(|a| (0..=mask_for(wb)).map(move |b| (a, b)));
+        Self::over_pairs(m, pairs)
+    }
+
+    /// Characterizes `m` over `n` uniform-random operand pairs drawn
+    /// from a deterministic RNG seeded with `seed`.
+    #[must_use]
+    pub fn sampled(m: &(impl Multiplier + ?Sized), n: u64, seed: u64) -> Self {
+        let (wa, wb) = (m.a_bits(), m.b_bits());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs = (0..n).map(move |_| {
+            (
+                rng.random::<u64>() & mask_for(wa),
+                rng.random::<u64>() & mask_for(wb),
+            )
+        });
+        Self::over_pairs(m, pairs)
+    }
+
+    /// Characterizes `m` over an arbitrary operand stream — e.g. the
+    /// operand trace of an application, as in the paper's SUSAN input
+    /// analysis (Fig. 12).
+    #[must_use]
+    pub fn over_pairs(
+        m: &(impl Multiplier + ?Sized),
+        pairs: impl IntoIterator<Item = (u64, u64)>,
+    ) -> Self {
+        let mut samples = 0u64;
+        let mut occ = 0u64;
+        let mut max = 0i64;
+        let mut max_occ = 0u64;
+        let mut sum = 0u128;
+        let mut rel = 0.0f64;
+        for (a, b) in pairs {
+            samples += 1;
+            let exact = m.exact(a, b);
+            let err = (exact as i64 - m.multiply(a, b) as i64).abs();
+            if err != 0 {
+                occ += 1;
+                sum += err as u128;
+                if exact != 0 {
+                    rel += err as f64 / exact as f64;
+                }
+                match err.cmp(&max) {
+                    std::cmp::Ordering::Greater => {
+                        max = err;
+                        max_occ = 1;
+                    }
+                    std::cmp::Ordering::Equal => max_occ += 1,
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+        }
+        let samples_f = samples.max(1) as f64;
+        let max_product = (mask_for(m.a_bits()) * mask_for(m.b_bits())).max(1) as f64;
+        ErrorStats {
+            name: m.name().to_string(),
+            samples,
+            error_occurrences: occ,
+            max_error: max,
+            max_error_occurrences: max_occ,
+            avg_error: sum as f64 / samples_f,
+            avg_relative_error: rel / samples_f,
+            error_probability: occ as f64 / samples_f,
+            normalized_mean_error_distance: (sum as f64 / samples_f) / max_product,
+        }
+    }
+}
+
+impl fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: max |e| {} (x{}), avg {:.4}, avg rel {:.6}, {} / {} erroneous",
+            self.name,
+            self.max_error,
+            self.max_error_occurrences,
+            self.avg_error,
+            self.avg_relative_error,
+            self.error_occurrences,
+            self.samples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmul_baselines::Truncated;
+    use axmul_core::Exact;
+
+    #[test]
+    fn exact_multiplier_has_zero_errors() {
+        let s = ErrorStats::exhaustive(&Exact::new(6, 6));
+        assert_eq!(s.samples, 4096);
+        assert_eq!(s.error_occurrences, 0);
+        assert_eq!(s.max_error, 0);
+        assert_eq!(s.avg_error, 0.0);
+        assert_eq!(s.error_probability, 0.0);
+    }
+
+    #[test]
+    fn mult_8_4_table5_row() {
+        let s = ErrorStats::exhaustive(&Truncated::new(8, 4));
+        assert_eq!(s.samples, 65536);
+        assert_eq!(s.max_error, 15);
+        assert_eq!(s.max_error_occurrences, 2048);
+        assert_eq!(s.error_occurrences, 53248);
+        assert!((s.avg_error - 6.5).abs() < 1e-12);
+        assert!((s.avg_relative_error - 0.003768).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sampled_is_deterministic_and_close_to_exhaustive() {
+        let m = Truncated::new(8, 4);
+        let s1 = ErrorStats::sampled(&m, 50_000, 7);
+        let s2 = ErrorStats::sampled(&m, 50_000, 7);
+        assert_eq!(s1, s2);
+        let exact = ErrorStats::exhaustive(&m);
+        assert!((s1.avg_error - exact.avg_error).abs() < 0.2);
+        assert!((s1.error_probability - exact.error_probability).abs() < 0.02);
+    }
+
+    #[test]
+    fn over_pairs_with_biased_trace() {
+        // A trace that never exercises the truncated bits sees no error.
+        let m = Truncated::new(8, 4);
+        let trace = (0..256u64).map(|a| (a, 16)); // products are multiples of 16
+        let s = ErrorStats::over_pairs(&m, trace);
+        assert_eq!(s.error_occurrences, 0);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let s = ErrorStats::exhaustive(&Truncated::new(4, 3));
+        let line = s.to_string();
+        assert!(line.contains("Mult(4,3)"));
+        assert!(line.contains("max |e| 7"));
+    }
+
+    #[test]
+    fn nmed_is_normalized() {
+        let s = ErrorStats::exhaustive(&Truncated::new(8, 4));
+        assert!(s.normalized_mean_error_distance > 0.0);
+        assert!(s.normalized_mean_error_distance < 1e-3);
+    }
+}

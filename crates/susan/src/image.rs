@@ -1,0 +1,298 @@
+use std::fmt;
+use std::str::FromStr;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An 8-bit grayscale image.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_susan::Image;
+///
+/// let img = Image::from_fn(4, 4, |x, y| (x * 16 + y) as u8);
+/// assert_eq!(img.get(3, 2), 50);
+/// assert_eq!(img.width(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Image {
+    /// Creates a black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        Image {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
+    }
+
+    /// Creates an image by evaluating `f(x, y)` at every pixel.
+    #[must_use]
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> u8) -> Self {
+        let mut img = Image::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.data[y * width + x] = f(x, y);
+            }
+        }
+        img
+    }
+
+    /// Image width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Pixel value with the coordinate clamped to the image border
+    /// (the boundary handling of the smoothing accelerator).
+    #[must_use]
+    pub fn get_clamped(&self, x: isize, y: isize) -> u8 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, value: u8) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x] = value;
+    }
+
+    /// Raw pixel data, row-major.
+    #[must_use]
+    pub fn pixels(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Peak signal-to-noise ratio against a reference image of the same
+    /// dimensions, in dB. Returns `f64::INFINITY` for identical images
+    /// (the paper prints "∞" for the accurate multiplier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn psnr(&self, other: &Image) -> f64 {
+        assert_eq!(self.width, other.width, "width mismatch");
+        assert_eq!(self.height, other.height, "height mismatch");
+        let sse: u64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| {
+                let d = i64::from(a) - i64::from(b);
+                (d * d) as u64
+            })
+            .sum();
+        if sse == 0 {
+            return f64::INFINITY;
+        }
+        let mse = sse as f64 / self.data.len() as f64;
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+
+    /// Serializes as an ASCII PGM (`P2`) file.
+    #[must_use]
+    pub fn to_pgm(&self) -> String {
+        let mut s = format!("P2\n{} {}\n255\n", self.width, self.height);
+        for y in 0..self.height {
+            let row: Vec<String> = (0..self.width)
+                .map(|x| self.get(x, y).to_string())
+                .collect();
+            s.push_str(&row.join(" "));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Error parsing a PGM file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseImageError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid PGM: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseImageError {}
+
+impl FromStr for Image {
+    type Err = ParseImageError;
+
+    /// Parses an ASCII PGM (`P2`) file.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |reason: &str| ParseImageError {
+            reason: reason.to_string(),
+        };
+        let mut tokens = s
+            .lines()
+            .filter(|l| !l.trim_start().starts_with('#'))
+            .flat_map(str::split_whitespace);
+        if tokens.next() != Some("P2") {
+            return Err(err("missing P2 magic"));
+        }
+        let mut next_num = |what: &str| -> Result<usize, ParseImageError> {
+            tokens
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err(what))
+        };
+        let width = next_num("bad width")?;
+        let height = next_num("bad height")?;
+        let maxval = next_num("bad maxval")?;
+        if width == 0 || height == 0 || maxval != 255 {
+            return Err(err("unsupported dimensions or maxval"));
+        }
+        let mut img = Image::new(width, height);
+        for i in 0..width * height {
+            let v = next_num("missing pixel")?;
+            if v > 255 {
+                return Err(err("pixel out of range"));
+            }
+            img.data[i] = v as u8;
+        }
+        Ok(img)
+    }
+}
+
+/// Generates the deterministic synthetic test image used in place of
+/// the paper's photograph: a smooth illumination gradient, sharp
+/// geometric edges (bars and a disc), a sinusoidal texture patch, and
+/// mild pixel noise — the feature mix (smooth regions + edges) that
+/// SUSAN smoothing is designed for.
+#[must_use]
+pub fn synthetic_test_image(width: usize, height: usize, seed: u64) -> Image {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noise: Vec<i16> = (0..width * height)
+        .map(|_| rng.random_range(-6i16..=6))
+        .collect();
+    Image::from_fn(width, height, |x, y| {
+        let fx = x as f64 / width as f64;
+        let fy = y as f64 / height as f64;
+        // Smooth diagonal gradient.
+        let mut v = 60.0 + 90.0 * (fx + fy) / 2.0;
+        // High-contrast vertical bars in the left third.
+        if fx < 0.33 && (x / (width / 16).max(1)) % 2 == 0 {
+            v += 70.0;
+        }
+        // A bright disc in the upper right.
+        let (cx, cy) = (0.72, 0.3);
+        if (fx - cx).powi(2) + (fy - cy).powi(2) < 0.03 {
+            v = 210.0;
+        }
+        // Sinusoidal texture in the lower band.
+        if fy > 0.7 {
+            v += 25.0 * (fx * 40.0).sin() * ((fy - 0.7) * 20.0).sin();
+        }
+        let n = f64::from(noise[y * width + x]);
+        (v + n).clamp(0.0, 255.0) as u8
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psnr_of_identical_is_infinite() {
+        let img = synthetic_test_image(32, 32, 3);
+        assert_eq!(img.psnr(&img.clone()), f64::INFINITY);
+    }
+
+    #[test]
+    fn psnr_drops_with_noise() {
+        let img = synthetic_test_image(32, 32, 3);
+        let mut one_off = img.clone();
+        one_off.set(5, 5, img.get(5, 5).wrapping_add(10));
+        let mut noisy = img.clone();
+        for x in 0..32 {
+            for y in 0..32 {
+                noisy.set(x, y, img.get(x, y).wrapping_add(10));
+            }
+        }
+        assert!(img.psnr(&one_off) > img.psnr(&noisy));
+        assert!((img.psnr(&noisy) - 28.13).abs() < 0.05, "uniform +10 ~ 28.1 dB");
+    }
+
+    #[test]
+    fn pgm_round_trips() {
+        let img = synthetic_test_image(17, 9, 42);
+        let parsed: Image = img.to_pgm().parse().unwrap();
+        assert_eq!(parsed, img);
+    }
+
+    #[test]
+    fn pgm_rejects_garbage() {
+        assert!("P5\n2 2\n255\nxx".parse::<Image>().is_err());
+        assert!("P2\n2 2\n255\n1 2 3".parse::<Image>().is_err());
+        assert!("P2\n2 2\n255\n1 2 3 999".parse::<Image>().is_err());
+        assert!("P2\n0 2\n255\n".parse::<Image>().is_err());
+    }
+
+    #[test]
+    fn pgm_skips_comments() {
+        let s = "P2\n# a comment\n2 1\n255\n7 9\n";
+        let img: Image = s.parse().unwrap();
+        assert_eq!(img.get(0, 0), 7);
+        assert_eq!(img.get(1, 0), 9);
+    }
+
+    #[test]
+    fn synthetic_is_deterministic_and_featureful() {
+        let a = synthetic_test_image(64, 64, 1);
+        let b = synthetic_test_image(64, 64, 1);
+        assert_eq!(a, b);
+        let c = synthetic_test_image(64, 64, 2);
+        assert_ne!(a, c);
+        // Has real dynamic range (edges + gradient).
+        let min = *a.pixels().iter().min().unwrap();
+        let max = *a.pixels().iter().max().unwrap();
+        assert!(max - min > 100, "range {min}..{max}");
+    }
+
+    #[test]
+    fn clamped_access_extends_borders() {
+        let img = Image::from_fn(3, 3, |x, y| (x + 3 * y) as u8);
+        assert_eq!(img.get_clamped(-2, -2), img.get(0, 0));
+        assert_eq!(img.get_clamped(5, 1), img.get(2, 1));
+    }
+}

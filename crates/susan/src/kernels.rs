@@ -1,0 +1,159 @@
+//! Additional image kernels with pluggable multipliers: separable
+//! Gaussian blur and Sobel gradient magnitude — the other image
+//! workloads the paper's intro motivates ("image/signal processing"),
+//! useful for checking that the multiplier quality conclusions are not
+//! SUSAN-specific.
+
+use axmul_core::Multiplier;
+
+use crate::image::Image;
+
+/// 8-bit separable Gaussian blur: each pass convolves with an 8-bit
+/// quantized kernel; every tap product goes through `mul`.
+///
+/// # Panics
+///
+/// Panics if `mul` is not 8×8 or `sigma` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::Exact;
+/// use axmul_susan::{gaussian_blur, synthetic_test_image};
+///
+/// let img = synthetic_test_image(32, 32, 1);
+/// let out = gaussian_blur(&img, 1.2, &Exact::new(8, 8));
+/// assert_eq!(out.width(), 32);
+/// ```
+#[must_use]
+pub fn gaussian_blur(img: &Image, sigma: f64, mul: &(impl Multiplier + ?Sized)) -> Image {
+    assert_eq!(mul.a_bits(), 8, "needs an 8x8 multiplier");
+    assert_eq!(mul.b_bits(), 8, "needs an 8x8 multiplier");
+    assert!(sigma > 0.0, "sigma must be positive");
+    let radius = (3.0 * sigma).ceil() as i64;
+    // 8-bit quantized taps, normalized so they sum to ~255.
+    let raw: Vec<f64> = (-radius..=radius)
+        .map(|d| (-(d as f64).powi(2) / (2.0 * sigma * sigma)).exp())
+        .collect();
+    let total: f64 = raw.iter().sum();
+    let taps: Vec<u8> = raw
+        .iter()
+        .map(|w| ((w / total * 255.0).round() as u8).max(1))
+        .collect();
+    let tap_sum: u64 = taps.iter().map(|&t| u64::from(t)).sum();
+
+    let pass = |src: &Image, horizontal: bool| -> Image {
+        Image::from_fn(src.width(), src.height(), |x, y| {
+            let mut acc = 0u64;
+            for (k, &t) in taps.iter().enumerate() {
+                let d = k as isize - radius as isize;
+                let p = if horizontal {
+                    src.get_clamped(x as isize + d, y as isize)
+                } else {
+                    src.get_clamped(x as isize, y as isize + d)
+                };
+                acc += mul.multiply(u64::from(t), u64::from(p));
+            }
+            (acc / tap_sum).min(255) as u8
+        })
+    };
+    pass(&pass(img, true), false)
+}
+
+/// Sobel gradient magnitude via the multiplier-based square-and-root
+/// datapath: `|g| = isqrt(gx² + gy²)` where the squares are computed by
+/// `mul` on the 8-bit gradient magnitudes.
+///
+/// # Panics
+///
+/// Panics if `mul` is not 8×8.
+#[must_use]
+pub fn sobel_magnitude(img: &Image, mul: &(impl Multiplier + ?Sized)) -> Image {
+    assert_eq!(mul.a_bits(), 8, "needs an 8x8 multiplier");
+    assert_eq!(mul.b_bits(), 8, "needs an 8x8 multiplier");
+    Image::from_fn(img.width(), img.height(), |x, y| {
+        let px = |dx: isize, dy: isize| -> i64 {
+            i64::from(img.get_clamped(x as isize + dx, y as isize + dy))
+        };
+        let gx = (px(1, -1) + 2 * px(1, 0) + px(1, 1)) - (px(-1, -1) + 2 * px(-1, 0) + px(-1, 1));
+        let gy = (px(-1, 1) + 2 * px(0, 1) + px(1, 1)) - (px(-1, -1) + 2 * px(0, -1) + px(1, -1));
+        // Scale gradients into 8 bits before squaring (they span ±1020).
+        let sx = (gx.unsigned_abs() / 4).min(255);
+        let sy = (gy.unsigned_abs() / 4).min(255);
+        let sq = mul.multiply(sx, sx) + mul.multiply(sy, sy);
+        let mag = isqrt(sq) * 4;
+        mag.min(255) as u8
+    })
+}
+
+fn isqrt(v: u64) -> u64 {
+    if v < 2 {
+        return v;
+    }
+    // Integer Newton iteration; `y < x` guarantees strict descent, so
+    // the loop terminates at floor(sqrt(v)) (the two-value oscillation
+    // of the naive `x != last` form never occurs).
+    let mut x = v;
+    let mut y = (x + 1) / 2;
+    while y < x {
+        x = y;
+        y = (x + v / x) / 2;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::synthetic_test_image;
+    use axmul_core::behavioral::{Ca, Cc};
+    use axmul_core::Exact;
+
+    #[test]
+    fn isqrt_is_exact() {
+        for v in 0..10_000u64 {
+            let r = isqrt(v);
+            assert!(r * r <= v && (r + 1) * (r + 1) > v, "v={v} r={r}");
+        }
+    }
+
+    #[test]
+    fn blur_preserves_flat_and_smooths_noise() {
+        let flat = Image::from_fn(16, 16, |_, _| 77);
+        let out = gaussian_blur(&flat, 1.0, &Exact::new(8, 8));
+        for &p in out.pixels() {
+            assert!((i16::from(p) - 77).abs() <= 2, "{p}");
+        }
+        // Alternating checkerboard flattens toward the mean.
+        let check = Image::from_fn(16, 16, |x, y| if (x + y) % 2 == 0 { 40 } else { 200 });
+        let blurred = gaussian_blur(&check, 1.5, &Exact::new(8, 8));
+        let mid = blurred.get(8, 8);
+        assert!((i16::from(mid) - 120).abs() < 25, "{mid}");
+    }
+
+    #[test]
+    fn sobel_fires_on_edges_only() {
+        let step = Image::from_fn(16, 16, |x, _| if x < 8 { 20 } else { 220 });
+        let mag = sobel_magnitude(&step, &Exact::new(8, 8));
+        assert!(mag.get(8, 8) > 150, "edge response {}", mag.get(8, 8));
+        assert!(mag.get(2, 8) < 10, "flat response {}", mag.get(2, 8));
+    }
+
+    #[test]
+    fn approximate_multipliers_track_exact_on_both_kernels() {
+        let img = synthetic_test_image(48, 48, 21);
+        let exact = Exact::new(8, 8);
+        let ca = Ca::new(8).unwrap();
+        let cc = Cc::new(8).unwrap();
+        let blur_gold = gaussian_blur(&img, 1.2, &exact);
+        let psnr_ca = blur_gold.psnr(&gaussian_blur(&img, 1.2, &ca));
+        let psnr_cc = blur_gold.psnr(&gaussian_blur(&img, 1.2, &cc));
+        assert!(psnr_ca > psnr_cc, "Ca {psnr_ca:.1} vs Cc {psnr_cc:.1}");
+        assert!(psnr_ca > 30.0, "blur with Ca is usable: {psnr_ca:.1}");
+
+        let sobel_gold = sobel_magnitude(&img, &exact);
+        let s_ca = sobel_gold.psnr(&sobel_magnitude(&img, &ca));
+        let s_cc = sobel_gold.psnr(&sobel_magnitude(&img, &cc));
+        assert!(s_ca > s_cc, "Sobel: Ca {s_ca:.1} vs Cc {s_cc:.1}");
+    }
+}

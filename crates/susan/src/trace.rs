@@ -1,0 +1,146 @@
+//! Operand-trace capture — the machinery behind Fig. 12 (the
+//! multiplication histogram of the SUSAN accelerator, which motivates
+//! the operand-swapping optimization).
+
+use std::cell::RefCell;
+
+use axmul_core::Multiplier;
+
+/// A multiplier adapter that records every operand pair it sees.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::{Exact, Multiplier};
+/// use axmul_susan::Recording;
+///
+/// let rec = Recording::new(Exact::new(8, 8));
+/// rec.multiply(3, 4);
+/// rec.multiply(200, 17);
+/// assert_eq!(rec.trace(), vec![(3, 4), (200, 17)]);
+/// ```
+#[derive(Debug)]
+pub struct Recording<M> {
+    inner: M,
+    trace: RefCell<Vec<(u64, u64)>>,
+}
+
+impl<M: Multiplier> Recording<M> {
+    /// Wraps `inner`, recording all operand pairs.
+    #[must_use]
+    pub fn new(inner: M) -> Self {
+        Recording {
+            inner,
+            trace: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Returns a copy of the recorded operand pairs, in call order.
+    #[must_use]
+    pub fn trace(&self) -> Vec<(u64, u64)> {
+        self.trace.borrow().clone()
+    }
+
+    /// Clears the recorded trace.
+    pub fn clear(&self) {
+        self.trace.borrow_mut().clear();
+    }
+
+    /// Consumes the adapter, returning the trace.
+    #[must_use]
+    pub fn into_trace(self) -> Vec<(u64, u64)> {
+        self.trace.into_inner()
+    }
+}
+
+impl<M: Multiplier> Multiplier for Recording<M> {
+    fn a_bits(&self) -> u32 {
+        self.inner.a_bits()
+    }
+    fn b_bits(&self) -> u32 {
+        self.inner.b_bits()
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        self.trace.borrow_mut().push((a, b));
+        self.inner.multiply(a, b)
+    }
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Bins an operand trace into a 2-D histogram: `hist[i][j]` counts
+/// pairs with `a` in bin `i` and `b` in bin `j`, over `bins × bins`
+/// equal-width bins covering `0..256` (Fig. 12 plots this surface).
+///
+/// # Panics
+///
+/// Panics if `bins` is 0 or greater than 256.
+#[must_use]
+pub fn operand_histogram(trace: &[(u64, u64)], bins: usize) -> Vec<Vec<u64>> {
+    assert!(bins > 0 && bins <= 256, "bins must be in 1..=256");
+    let width = 256usize.div_ceil(bins);
+    let mut hist = vec![vec![0u64; bins]; bins];
+    for &(a, b) in trace {
+        let i = ((a as usize).min(255)) / width;
+        let j = ((b as usize).min(255)) / width;
+        hist[i][j] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{susan_smooth, SusanParams};
+    use crate::image::synthetic_test_image;
+    use axmul_core::Exact;
+
+    #[test]
+    fn recording_is_transparent() {
+        let rec = Recording::new(Exact::new(8, 8));
+        assert_eq!(rec.multiply(12, 13), 156);
+        assert_eq!(rec.a_bits(), 8);
+        assert_eq!(rec.name(), "Exact 8x8");
+        assert_eq!(rec.into_trace(), vec![(12, 13)]);
+    }
+
+    #[test]
+    fn clear_resets_trace() {
+        let rec = Recording::new(Exact::new(8, 8));
+        rec.multiply(1, 2);
+        rec.clear();
+        assert!(rec.trace().is_empty());
+    }
+
+    #[test]
+    fn histogram_bins_correctly() {
+        let trace = vec![(0u64, 0u64), (255, 255), (128, 0), (127, 255)];
+        let hist = operand_histogram(&trace, 2);
+        assert_eq!(hist[0][0], 1);
+        assert_eq!(hist[1][1], 1);
+        assert_eq!(hist[1][0], 1);
+        assert_eq!(hist[0][1], 1);
+        let total: u64 = hist.iter().flatten().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn susan_trace_is_concentrated() {
+        // Fig. 12: "most multiplications occur in a narrow band" — the
+        // combined weights cluster, so the busiest histogram cell holds
+        // far more than a uniform share.
+        let img = synthetic_test_image(32, 32, 9);
+        let rec = Recording::new(Exact::new(8, 8));
+        let _ = susan_smooth(&img, &SusanParams::default(), &rec);
+        let trace = rec.into_trace();
+        assert!(!trace.is_empty());
+        let hist = operand_histogram(&trace, 16);
+        let max = *hist.iter().flatten().max().unwrap();
+        let uniform_share = trace.len() as u64 / (16 * 16);
+        assert!(
+            max > 8 * uniform_share,
+            "peak {max} vs uniform {uniform_share}"
+        );
+    }
+}

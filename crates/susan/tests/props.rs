@@ -1,0 +1,97 @@
+//! Property-based tests of the image substrate and the SUSAN datapath.
+
+use axmul_core::{Exact, Multiplier, Swapped};
+use axmul_susan::{susan_smooth, synthetic_test_image, Image, Recording, SusanParams};
+use proptest::prelude::*;
+
+fn arb_image(max: usize) -> impl Strategy<Value = Image> {
+    (2usize..max, 2usize..max, any::<u64>()).prop_map(|(w, h, seed)| {
+        let mut s = seed;
+        Image::from_fn(w, h, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as u8
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// PGM serialization round-trips arbitrary images.
+    #[test]
+    fn pgm_roundtrip(img in arb_image(24)) {
+        let parsed: Image = img.to_pgm().parse().unwrap();
+        prop_assert_eq!(parsed, img);
+    }
+
+    /// PSNR is symmetric, non-negative, and infinite only on equality.
+    #[test]
+    fn psnr_properties(img in arb_image(16), delta in 1u8..255, x in 0usize..16, y in 0usize..16) {
+        let mut other = img.clone();
+        let (x, y) = (x % img.width(), y % img.height());
+        other.set(x, y, img.get(x, y).wrapping_add(delta));
+        prop_assert!(img.psnr(&other).is_finite());
+        prop_assert!(img.psnr(&other) >= 0.0);
+        prop_assert_eq!(img.psnr(&other), other.psnr(&img));
+        prop_assert!(img.psnr(&img.clone()).is_infinite());
+    }
+
+    /// With the exact multiplier, each smoothed pixel stays within the
+    /// value range of its neighborhood (it is a weighted average).
+    #[test]
+    fn smoothing_is_a_weighted_average(img in arb_image(16)) {
+        let params = SusanParams::default();
+        let out = susan_smooth(&img, &params, &Exact::new(8, 8));
+        let r = params.radius as isize;
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let mut lo = u8::MAX;
+                let mut hi = u8::MIN;
+                for dy in -r..=r {
+                    for dx in -r..=r {
+                        let v = img.get_clamped(x as isize + dx, y as isize + dy);
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                }
+                let v = out.get(x, y);
+                prop_assert!(v >= lo.saturating_sub(1) && v <= hi.saturating_add(1),
+                    "pixel ({x},{y}) = {v} outside [{lo},{hi}]");
+            }
+        }
+    }
+
+    /// The recording adapter is transparent and its trace length equals
+    /// pixels × mask size.
+    #[test]
+    fn recording_trace_size(seed in any::<u64>()) {
+        let img = synthetic_test_image(12, 10, seed);
+        let params = SusanParams::default();
+        let rec = Recording::new(Exact::new(8, 8));
+        let out = susan_smooth(&img, &params, &rec);
+        let plain = susan_smooth(&img, &params, &Exact::new(8, 8));
+        prop_assert_eq!(out, plain);
+        let mask_len = params.spatial_mask().len();
+        prop_assert_eq!(rec.trace().len(), 12 * 10 * mask_len);
+    }
+
+    /// Swapping the exact multiplier changes nothing (symmetry), on any
+    /// image.
+    #[test]
+    fn exact_is_orientation_invariant(img in arb_image(14)) {
+        let params = SusanParams::default();
+        let a = susan_smooth(&img, &params, &Exact::new(8, 8));
+        let b = susan_smooth(&img, &params, &Swapped::new(Exact::new(8, 8)));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Synthetic images are deterministic in their seed and dimensions.
+    #[test]
+    fn synthetic_deterministic(w in 4usize..40, h in 4usize..40, seed in any::<u64>()) {
+        let a = synthetic_test_image(w, h, seed);
+        let b = synthetic_test_image(w, h, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.width(), w);
+        prop_assert_eq!(a.height(), h);
+    }
+}

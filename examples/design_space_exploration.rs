@@ -1,0 +1,68 @@
+//! Design-space exploration: sweep every 8×8 multiplier in the library
+//! (proposed, baselines, and the EvoApprox-style cloud), characterize
+//! accuracy against hardware cost, and print the Pareto front — the
+//! workflow behind Figs. 9 and 10.
+//!
+//! ```text
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use approx_multipliers::baselines::evo::library;
+use approx_multipliers::baselines::{
+    kulkarni_netlist, rehman_netlist, IpOpt, Kulkarni, RehmanW, VivadoIp,
+};
+use approx_multipliers::core::behavioral::{Ca, Cc};
+use approx_multipliers::core::structural::{ca_netlist, cc_netlist};
+use approx_multipliers::core::Multiplier;
+use approx_multipliers::fabric::timing::{analyze, DelayModel};
+use approx_multipliers::fabric::Netlist;
+use approx_multipliers::metrics::{pareto_front, DesignPoint, ErrorStats};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let delay = DelayModel::virtex7();
+    let mut points = Vec::new();
+    let mut latencies = Vec::new();
+
+    let mut add = |name: &str, are: f64, nl: &Netlist| {
+        points.push(DesignPoint::new(name, are, nl.lut_count() as f64));
+        latencies.push(analyze(nl, &delay).critical_path_ns);
+    };
+
+    let ca = Ca::new(8)?;
+    add("Ca 8x8", ErrorStats::exhaustive(&ca).avg_relative_error, &ca_netlist(8)?);
+    let cc = Cc::new(8)?;
+    add("Cc 8x8", ErrorStats::exhaustive(&cc).avg_relative_error, &cc_netlist(8)?);
+    let w = RehmanW::new(8)?;
+    add("W 8x8", ErrorStats::exhaustive(&w).avg_relative_error, &rehman_netlist(8)?);
+    let k = Kulkarni::new(8)?;
+    add("K 8x8", ErrorStats::exhaustive(&k).avg_relative_error, &kulkarni_netlist(8)?);
+    for opt in [IpOpt::Area, IpOpt::Speed] {
+        let ip = VivadoIp::new(8, opt);
+        add(ip.name(), 0.0, &ip.netlist());
+    }
+    for design in library() {
+        let are = ErrorStats::exhaustive(&design).avg_relative_error;
+        add(design.name(), are, &design.netlist());
+    }
+
+    let front = pareto_front(&points);
+    println!(
+        "{:<22} {:>12} {:>6} {:>8}  pareto",
+        "design", "avg rel err", "LUTs", "ns"
+    );
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&i, &j| points[i].cost.partial_cmp(&points[j].cost).expect("finite"));
+    for i in order {
+        println!(
+            "{:<22} {:>12.6} {:>6} {:>8.3}  {}",
+            points[i].name,
+            points[i].error,
+            points[i].cost as usize,
+            latencies[i],
+            if front[i] { "*" } else { "" }
+        );
+    }
+    let survivors = front.iter().filter(|&&f| f).count();
+    println!("\n{survivors} Pareto-optimal designs of {}", points.len());
+    Ok(())
+}

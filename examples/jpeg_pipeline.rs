@@ -1,0 +1,69 @@
+//! The JPEG encoder case study: compress a synthetic image at several
+//! quality settings and report size and fidelity — the datapath whose
+//! DSP appetite motivates Table 1.
+//!
+//! ```text
+//! cargo run --release --example jpeg_pipeline
+//! ```
+
+use approx_multipliers::apps::jpeg::{decode_gray, encode_gray};
+use approx_multipliers::apps::reed_solomon::RsEncoder;
+use approx_multipliers::susan::synthetic_test_image;
+
+fn psnr(a: &[u8], b: &[u8]) -> f64 {
+    let sse: u64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = i64::from(x) - i64::from(y);
+            (d * d) as u64
+        })
+        .sum();
+    if sse == 0 {
+        return f64::INFINITY;
+    }
+    10.0 * (255.0f64 * 255.0 * a.len() as f64 / sse as f64).log10()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let img = synthetic_test_image(160, 120, 3);
+    let pixels = img.pixels().to_vec();
+    println!(
+        "encoding a {}x{} grayscale image ({} bytes raw)\n",
+        img.width(),
+        img.height(),
+        pixels.len()
+    );
+    println!("{:>7} {:>12} {:>8} {:>10}", "quality", "bytes", "ratio", "PSNR [dB]");
+    for quality in [10u8, 25, 50, 75, 90, 95] {
+        let enc = encode_gray(img.width(), img.height(), &pixels, quality)?;
+        let dec = decode_gray(&enc)?;
+        println!(
+            "{quality:>7} {:>12} {:>7.1}x {:>10.2}",
+            enc.bytes.len(),
+            pixels.len() as f64 / enc.bytes.len() as f64,
+            psnr(&pixels, &dec)
+        );
+    }
+
+    // And the other Table 1 application: protect the q75 bitstream with
+    // Reed-Solomon coding, block by block.
+    let enc = encode_gray(img.width(), img.height(), &pixels, 75)?;
+    let rs = RsEncoder::rs_255_239();
+    let blocks = enc.bytes.chunks(239).count();
+    let mut protected = 0usize;
+    for chunk in enc.bytes.chunks(239) {
+        let mut msg = chunk.to_vec();
+        msg.resize(239, 0);
+        let cw = rs.encode(&msg);
+        assert!(rs.syndromes_zero(&cw));
+        protected += cw.len();
+    }
+    println!(
+        "\nRS(255,239) protection: {} JPEG bytes -> {} coded bytes in {} blocks",
+        enc.bytes.len(),
+        protected,
+        blocks
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: build the paper's approximate multipliers, multiply,
+//! and characterize their error and hardware cost.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use approx_multipliers::core::behavioral::{Approx4x4, Ca, Cc};
+use approx_multipliers::core::structural::ca_netlist;
+use approx_multipliers::core::{Multiplier, Swapped};
+use approx_multipliers::fabric::area::AreaReport;
+use approx_multipliers::fabric::timing::{analyze, DelayModel};
+use approx_multipliers::metrics::ErrorStats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The elementary block: exact on 250 of 256 input pairs.
+    let elem = Approx4x4::new();
+    println!("proposed 4x4: 13 * 13 = {} (exact: 169)", elem.multiply(13, 13));
+    println!("error cases:");
+    for c in Approx4x4::error_cases() {
+        println!(
+            "  {:>2} x {:>2} -> {:>3} (exact {:>3}, off by {})",
+            c.multiplier, c.multiplicand, c.computed, c.actual, c.difference
+        );
+    }
+
+    // Recursive designs at any power-of-two width.
+    let ca = Ca::new(8)?;
+    let cc = Cc::new(8)?;
+    println!("\n{}: 250 * 199 = {} (exact 49750)", ca.name(), ca.multiply(250, 199));
+    println!("{}: 250 * 199 = {} (exact 49750)", cc.name(), cc.multiply(250, 199));
+
+    // Exhaustive error characterization (Table 5).
+    for m in [&ca as &dyn Multiplier, &cc] {
+        println!("{}", ErrorStats::exhaustive(&m));
+    }
+
+    // The asymmetry knob: swap operands when the data favors it.
+    let cas = Swapped::new(ca.clone());
+    println!(
+        "asymmetry: Ca(7,6) = {} but Cas(7,6) = {}",
+        ca.multiply(7, 6),
+        cas.multiply(7, 6)
+    );
+
+    // The same architecture as a gate-level netlist with area/timing.
+    let netlist = ca_netlist(8)?;
+    let area = AreaReport::of(&netlist);
+    let timing = analyze(&netlist, &DelayModel::virtex7());
+    println!("\nstructural Ca 8x8: {area}, {timing}");
+    Ok(())
+}

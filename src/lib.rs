@@ -1,0 +1,50 @@
+//! # approx-multipliers
+//!
+//! A complete, from-scratch Rust reproduction of the DAC'18 paper
+//! *"Area-Optimized Low-Latency Approximate Multipliers for FPGA-based
+//! Hardware Accelerators"* (Ullah, Rehman, Prabakaran, Kriebel, Hanif,
+//! Shafique, Kumar — DOI 10.1145/3195970.3195996).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`fabric`] — bit-accurate Xilinx-7-series-style fabric model
+//!   (`LUT6_2`, `CARRY4`, netlists, simulation, timing, area, energy).
+//! * [`core`] — the paper's contribution: behavioral and structural
+//!   models of the approximate 4×2/4×4 elementary blocks and the
+//!   recursive `Ca`/`Cc` multiplier families.
+//! * [`baselines`] — every comparison point of the evaluation: exact,
+//!   Kulkarni (`K`), Rehman (`W`), truncated, EvoApprox-style library,
+//!   and Vivado-IP-like accurate soft multipliers.
+//! * [`metrics`] — exhaustive/sampled error characterization, PMFs,
+//!   per-bit accuracy, Pareto fronts (Tables 2/5, Figs. 8–10).
+//! * [`susan`] — the SUSAN image-smoothing accelerator case study with
+//!   pluggable multipliers and PSNR evaluation (Table 6, Figs. 11–12).
+//! * [`apps`] — the Reed-Solomon and JPEG encoder case study mapped
+//!   through the device cost model (Table 1).
+//! * [`adders`] — the approximate-adder substrate (LOA, truncated,
+//!   carry-free) behind the summation design space.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use approx_multipliers::core::behavioral::Ca;
+//! use approx_multipliers::core::Multiplier;
+//! use approx_multipliers::metrics::ErrorStats;
+//!
+//! let ca8 = Ca::new(8)?;
+//! let stats = ErrorStats::exhaustive(&ca8);
+//! assert_eq!(stats.max_error, 2312);            // Table 5
+//! assert_eq!(stats.error_occurrences, 5482);    // Table 5
+//! # Ok::<(), approx_multipliers::core::WidthError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use axmul_adders as adders;
+pub use axmul_apps as apps;
+pub use axmul_baselines as baselines;
+pub use axmul_core as core;
+pub use axmul_fabric as fabric;
+pub use axmul_metrics as metrics;
+pub use axmul_susan as susan;

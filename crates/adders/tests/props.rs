@@ -1,8 +1,8 @@
 //! Property-based tests of the adder invariants.
 
 use axmul_adders::{
-    carry_free_adder_netlist, exact_adder_netlist, loa_netlist, Adder, CarryFreeAdder,
-    ExactAdder, LowerOrAdder, TruncatedAdder,
+    carry_free_adder_netlist, exact_adder_netlist, loa_netlist, Adder, CarryFreeAdder, ExactAdder,
+    LowerOrAdder, TruncatedAdder,
 };
 use proptest::prelude::*;
 

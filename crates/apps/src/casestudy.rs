@@ -106,12 +106,7 @@ impl AppDatapath {
 
     /// Maps the datapath with the chosen multiplier implementation.
     #[must_use]
-    pub fn implement(
-        &self,
-        cost: &CostModel,
-        delay: &DelayModel,
-        style: MultImpl,
-    ) -> AppCost {
+    pub fn implement(&self, cost: &CostModel, delay: &DelayModel, style: MultImpl) -> AppCost {
         // Inner (pad-free) delay model for soft multipliers.
         let inner = DelayModel {
             t_input: 0.0,

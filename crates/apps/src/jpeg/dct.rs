@@ -15,11 +15,7 @@ fn weights() -> &'static [[i32; 8]; 8] {
     W.get_or_init(|| {
         let mut w = [[0i32; 8]; 8];
         for (u, row) in w.iter_mut().enumerate() {
-            let cu = if u == 0 {
-                1.0 / f64::sqrt(2.0)
-            } else {
-                1.0
-            };
+            let cu = if u == 0 { 1.0 / f64::sqrt(2.0) } else { 1.0 };
             for (x, val) in row.iter_mut().enumerate() {
                 let angle = (2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0;
                 *val = (cu / 2.0 * angle.cos() * f64::from(1 << SCALE_BITS)).round() as i32;

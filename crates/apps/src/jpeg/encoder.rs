@@ -232,7 +232,10 @@ mod tests {
             last_psnr = p;
             last_size = enc.bytes.len();
         }
-        assert!(last_psnr > 38.0, "q95 should be high fidelity: {last_psnr:.1}");
+        assert!(
+            last_psnr > 38.0,
+            "q95 should be high fidelity: {last_psnr:.1}"
+        );
     }
 
     #[test]
@@ -269,7 +272,10 @@ mod tests {
     fn dimension_validation() {
         assert!(matches!(
             encode_gray(8, 8, &[0u8; 63], 75),
-            Err(JpegError::DimensionMismatch { expected: 64, got: 63 })
+            Err(JpegError::DimensionMismatch {
+                expected: 64,
+                got: 63
+            })
         ));
         assert!(matches!(
             encode_gray(0, 8, &[], 75),

@@ -212,8 +212,11 @@ mod tests {
             let codes: Vec<(u32, u32)> = table.encode.values().copied().collect();
             for (i, &(c1, l1)) in codes.iter().enumerate() {
                 for &(c2, l2) in &codes[i + 1..] {
-                    let (short, slen, long, llen) =
-                        if l1 <= l2 { (c1, l1, c2, l2) } else { (c2, l2, c1, l1) };
+                    let (short, slen, long, llen) = if l1 <= l2 {
+                        (c1, l1, c2, l2)
+                    } else {
+                        (c2, l2, c1, l1)
+                    };
                     assert!(
                         !(llen > slen && (long >> (llen - slen)) == short),
                         "{c1:b}/{l1} prefixes {c2:b}/{l2}"

@@ -32,4 +32,4 @@ pub use bits::{BitReader, BitWriter};
 pub use dct::{fdct_2d, idct_2d};
 pub use encoder::{decode_gray, encode_gray, EncodedImage, JpegError};
 pub use huffman::{HuffmanTable, LUMA_AC, LUMA_DC};
-pub use quant::{dequantize, quantize, quant_table, BASE_LUMA_QUANT, ZIGZAG};
+pub use quant::{dequantize, quant_table, quantize, BASE_LUMA_QUANT, ZIGZAG};

@@ -64,7 +64,11 @@ pub fn quantize(coefs: &[i32; 64], table: &[u16; 64]) -> [i16; 64] {
         let q = i32::from(table[i]);
         let c = coefs[i];
         let half = q / 2;
-        let r = if c >= 0 { (c + half) / q } else { -((-c + half) / q) };
+        let r = if c >= 0 {
+            (c + half) / q
+        } else {
+            -((-c + half) / q)
+        };
         r as i16
     })
 }

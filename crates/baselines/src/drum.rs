@@ -177,7 +177,10 @@ mod tests {
             signed,
             signed_trunc
         );
-        assert!(signed.abs() < magnitude / 4, "bias {signed} vs magnitude {magnitude}");
+        assert!(
+            signed.abs() < magnitude / 4,
+            "bias {signed} vs magnitude {magnitude}"
+        );
     }
 
     #[test]

@@ -69,10 +69,8 @@ impl Kernel {
         match self {
             Kernel::Exact => array_mult_netlist(4, 4),
             Kernel::Proposed => approx_4x4_netlist(),
-            Kernel::Kulkarni => {
-                compose_netlist(&kulkarni_kernel_netlist(), 4, Summation::Accurate)
-                    .expect("4 is a valid width")
-            }
+            Kernel::Kulkarni => compose_netlist(&kulkarni_kernel_netlist(), 4, Summation::Accurate)
+                .expect("4 is a valid width"),
             Kernel::Rehman => compose_netlist(&rehman_kernel_netlist(), 4, Summation::Accurate)
                 .expect("4 is a valid width"),
         }

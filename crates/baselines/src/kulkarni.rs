@@ -53,7 +53,13 @@ impl Kulkarni {
     /// `2..=32`.
     pub fn new(bits: u32) -> Result<Self, WidthError> {
         Ok(Kulkarni {
-            inner: Recursive::new("K", bits, 2, kulkarni_2x2 as fn(u64, u64) -> u64, Summation::Accurate)?,
+            inner: Recursive::new(
+                "K",
+                bits,
+                2,
+                kulkarni_2x2 as fn(u64, u64) -> u64,
+                Summation::Accurate,
+            )?,
         })
     }
 }

@@ -62,7 +62,13 @@ impl RehmanW {
     /// `2..=32`.
     pub fn new(bits: u32) -> Result<Self, WidthError> {
         Ok(RehmanW {
-            inner: Recursive::new("W", bits, 2, rehman_2x2 as fn(u64, u64) -> u64, Summation::Accurate)?,
+            inner: Recursive::new(
+                "W",
+                bits,
+                2,
+                rehman_2x2 as fn(u64, u64) -> u64,
+                Summation::Accurate,
+            )?,
         })
     }
 }

@@ -85,8 +85,8 @@ impl VivadoIp {
     pub fn netlist(&self) -> Netlist {
         let w = self.bits;
         match self.opt {
-            IpOpt::Area => padded(w, |bld, a, b| build_array(bld, a, b)),
-            IpOpt::Speed => padded(w, |bld, a, b| build_csa_tree(bld, a, b)),
+            IpOpt::Area => padded(w, build_array),
+            IpOpt::Speed => padded(w, build_csa_tree),
         }
     }
 }
@@ -146,7 +146,10 @@ pub fn csa_tree_mult_netlist(wa: u32, wb: u32) -> Netlist {
 /// Wraps a `build` function with the IP's zero-extension: operands grow
 /// by one (constant-zero) bit, the datapath is built at the padded
 /// width, and the product is trimmed back.
-fn padded(bits: u32, build: impl Fn(&mut NetlistBuilder, &[NetId], &[NetId]) -> Vec<NetId>) -> Netlist {
+fn padded(
+    bits: u32,
+    build: impl Fn(&mut NetlistBuilder, &[NetId], &[NetId]) -> Vec<NetId>,
+) -> Netlist {
     let mut bld = NetlistBuilder::new(format!("vivado_ip_{bits}x{bits}"));
     let a = bld.inputs("a", bits as usize);
     let b = bld.inputs("b", bits as usize);
@@ -220,8 +223,7 @@ fn build_array(bld: &mut NetlistBuilder, a: &[NetId], b: &[NetId]) -> Vec<NetId>
             if k < j + wa {
                 let ai = a[k - j];
                 if k < acc.len() {
-                    let (o6, o5) =
-                        bld.lut6_2(pp_add_init(), [acc[k], ai, b[j], zero, zero, one]);
+                    let (o6, o5) = bld.lut6_2(pp_add_init(), [acc[k], ai, b[j], zero, zero, one]);
                     props.push(o6);
                     gens.push(o5);
                 } else {
@@ -284,8 +286,7 @@ fn build_csa_tree(bld: &mut NetlistBuilder, a: &[NetId], b: &[NetId]) -> Vec<Net
     while rows.len() > 1 {
         let mut next = Vec::new();
         let mut iter = rows.into_iter();
-        loop {
-            let Some(r0) = iter.next() else { break };
+        while let Some(r0) = iter.next() {
             let r1 = iter.next();
             let r2 = iter.next();
             if r1.is_none() {

@@ -117,9 +117,10 @@ fn bench_table6_susan(c: &mut Criterion) {
         Box::new(Kulkarni::new(8).expect("valid")),
         Box::new(RehmanW::new(8).expect("valid")),
     ] {
-        g.bench_function(format!("smooth_64x64_{}", m.name().replace(' ', "_")), |b| {
-            b.iter(|| susan_smooth(&img, &params, &m))
-        });
+        g.bench_function(
+            format!("smooth_64x64_{}", m.name().replace(' ', "_")),
+            |b| b.iter(|| susan_smooth(&img, &params, &m)),
+        );
     }
     g.finish();
 }
@@ -188,6 +189,17 @@ fn bench_netlist_sim(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_dse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("design_space_exploration");
+    g.sample_size(10);
+    // End-to-end subset exploration: characterization cache, worker
+    // pool and Pareto annotation included.
+    g.bench_function("homogeneous_subset_10_configs", |b| {
+        b.iter(axmul_bench::experiments::dse_subset)
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_table2_elementary,
@@ -201,6 +213,7 @@ criterion_group!(
     bench_fig12_trace,
     bench_table1_apps,
     bench_multiplier_throughput,
-    bench_netlist_sim
+    bench_netlist_sim,
+    bench_dse
 );
 criterion_main!(benches);

@@ -10,11 +10,25 @@ use std::process::ExitCode;
 
 use axmul_bench::experiments;
 
-const EXPERIMENTS: &[(&str, fn() -> String, &str)] = &[
-    ("table1", experiments::table1, "RS/JPEG encoders, DSP vs LUT"),
+type Experiment = (&'static str, fn() -> String, &'static str);
+
+const EXPERIMENTS: &[Experiment] = &[
+    (
+        "table1",
+        experiments::table1,
+        "RS/JPEG encoders, DSP vs LUT",
+    ),
     ("fig1", experiments::fig1, "ASIC vs FPGA gains of W and K"),
-    ("table2", experiments::table2, "error cases of the proposed 4x4"),
-    ("table3", experiments::table3, "published INIT values, verified"),
+    (
+        "table2",
+        experiments::table2,
+        "error cases of the proposed 4x4",
+    ),
+    (
+        "table3",
+        experiments::table3,
+        "published INIT values, verified",
+    ),
     ("table4", experiments::table4, "area & latency of Ca/Cc"),
     ("table5", experiments::table5, "8x8 error analysis"),
     ("fig7", experiments::fig7, "area/latency/EDP gains"),
@@ -23,15 +37,57 @@ const EXPERIMENTS: &[(&str, fn() -> String, &str)] = &[
     ("fig10", experiments::fig10, "Pareto: error vs latency"),
     ("table6", experiments::table6, "SUSAN PSNR (incl. swapped)"),
     ("fig12", experiments::fig12, "SUSAN operand histogram"),
-    ("susan-area", experiments::susan_area, "accelerator-level area gain"),
-    ("ablate-cc-depth", experiments::ablate_cc_depth, "carry-free depth"),
-    ("ablate-4x2-trunc", experiments::ablate_4x2_trunc, "truncated bit choice"),
-    ("ablate-elem", experiments::ablate_elem, "elementary block choice"),
-    ("ablate-swap", experiments::ablate_swap, "operand orientation"),
-    ("ablate-cfree-op", experiments::ablate_cfree_op, "XOR vs OR columns"),
-    ("ext-correction", experiments::ext_correction, "switchable error correction"),
-    ("ext-adders", experiments::ext_adders, "approximate adder substrate"),
+    (
+        "susan-area",
+        experiments::susan_area,
+        "accelerator-level area gain",
+    ),
+    (
+        "ablate-cc-depth",
+        experiments::ablate_cc_depth,
+        "carry-free depth",
+    ),
+    (
+        "ablate-4x2-trunc",
+        experiments::ablate_4x2_trunc,
+        "truncated bit choice",
+    ),
+    (
+        "ablate-elem",
+        experiments::ablate_elem,
+        "elementary block choice",
+    ),
+    (
+        "ablate-swap",
+        experiments::ablate_swap,
+        "operand orientation",
+    ),
+    (
+        "ablate-cfree-op",
+        experiments::ablate_cfree_op,
+        "XOR vs OR columns",
+    ),
+    (
+        "ext-correction",
+        experiments::ext_correction,
+        "switchable error correction",
+    ),
+    (
+        "ext-adders",
+        experiments::ext_adders,
+        "approximate adder substrate",
+    ),
     ("ext-signed", experiments::ext_signed, "signed operation"),
+    (
+        "ext-dse",
+        experiments::ext_dse,
+        "8x8 design-space exploration",
+    ),
+    (
+        "dse-scaling",
+        experiments::dse_scaling,
+        "DSE worker-pool speedup",
+    ),
 ];
 
 fn usage() {

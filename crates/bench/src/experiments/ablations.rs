@@ -1,9 +1,7 @@
 //! Ablations of the design choices `DESIGN.md` calls out.
 
 use axmul_baselines::evo::{EvoDesign, Kernel};
-use axmul_core::behavioral::{
-    approx_4x4, approx_4x4_accsum, Recursive, Summation,
-};
+use axmul_core::behavioral::{approx_4x4, approx_4x4_accsum, Recursive, Summation};
 use axmul_core::{Exact, Multiplier, Swapped};
 use axmul_metrics::ErrorStats;
 use axmul_susan::{susan_smooth, synthetic_test_image, SusanParams};
@@ -61,7 +59,7 @@ pub fn ablate_cc_depth() -> String {
     for (m, saved) in [
         (&ca16 as &dyn Multiplier, 0i32),
         (&top_only, 1),
-        (&full, 4 * 1 + 1 + 4), // 4 sub-levels save 1 each at 8x8... see note
+        (&full, 4 + 1 + 4), // 4 sub-levels save 1 each at 8x8... see note
     ] {
         let stats = ErrorStats::sampled(&m, 200_000, 99);
         t.row_owned(vec![
@@ -86,7 +84,12 @@ pub fn ablate_cc_depth() -> String {
 pub fn ablate_4x2_trunc() -> String {
     let mut t = Table::new(
         "Ablation: truncated product bit in the elementary 4x2",
-        &["truncated bit", "max error", "avg error", "error occurrences"],
+        &[
+            "truncated bit",
+            "max error",
+            "avg error",
+            "error occurrences",
+        ],
     );
     for bit in 0..3u32 {
         let mut max = 0i64;
@@ -128,17 +131,36 @@ pub fn ablate_4x2_trunc() -> String {
 pub fn ablate_elem() -> String {
     let proposed = EvoDesign::hybrid([Kernel::Proposed; 4], Summation::Accurate);
     let exact = EvoDesign::hybrid([Kernel::Exact; 4], Summation::Accurate);
-    let accsum = Recursive::new("AccSum4x4-based", 8, 4, approx_4x4_accsum, Summation::Accurate)
-        .expect("valid width");
+    let accsum = Recursive::new(
+        "AccSum4x4-based",
+        8,
+        4,
+        approx_4x4_accsum,
+        Summation::Accurate,
+    )
+    .expect("valid width");
     let mut t = Table::new(
         "Ablation: elementary 4x4 block inside an 8x8 (accurate summation)",
-        &["elementary block", "LUTs (8x8)", "avg rel error", "max error"],
+        &[
+            "elementary block",
+            "LUTs (8x8)",
+            "avg rel error",
+            "max error",
+        ],
     );
     let rows: Vec<(&str, usize, &dyn Multiplier)> = vec![
         ("exact 4x4 (13 LUTs)", exact.netlist().lut_count(), &exact),
         // Two carry chains strand two LUT sites per block: 4 x 16 + 9.
-        ("approx 4x4, accurate summation (16 LUTs)", 4 * 16 + 9, &accsum),
-        ("proposed approx 4x4 (12 LUTs)", proposed.netlist().lut_count(), &proposed),
+        (
+            "approx 4x4, accurate summation (16 LUTs)",
+            4 * 16 + 9,
+            &accsum,
+        ),
+        (
+            "proposed approx 4x4 (12 LUTs)",
+            proposed.netlist().lut_count(),
+            &proposed,
+        ),
     ];
     for (name, luts, m) in rows {
         let stats = ErrorStats::exhaustive(&m);
@@ -183,11 +205,7 @@ pub fn ablate_swap() -> String {
     let golden = susan_smooth(&img, &params, &Exact::new(8, 8));
     let p1 = golden.psnr(&susan_smooth(&img, &params, &ca));
     let p2 = golden.psnr(&susan_smooth(&img, &params, &cas));
-    t.row_owned(vec![
-        "SUSAN PSNR [dB]".to_string(),
-        f(p1, 2),
-        f(p2, 2),
-    ]);
+    t.row_owned(vec!["SUSAN PSNR [dB]".to_string(), f(p1, 2), f(p2, 2)]);
     let mut s = t.render();
     s.push_str(
         "uniform inputs cannot distinguish the orientations (identical \
@@ -208,9 +226,7 @@ mod tests {
             .lines()
             .filter_map(|l| {
                 let cells: Vec<&str> = l.split_whitespace().collect();
-                if cells.len() >= 3
-                    && (cells[0].starts_with("Ca") || cells[0].starts_with("Cc"))
-                {
+                if cells.len() >= 3 && (cells[0].starts_with("Ca") || cells[0].starts_with("Cc")) {
                     cells[cells.len() - 2].parse().ok()
                 } else {
                     None
@@ -227,7 +243,10 @@ mod tests {
         let s = ablate_4x2_trunc();
         assert!(s.contains("P0"));
         // P0 row: max error 1.
-        let p0 = s.lines().find(|l| l.trim_start().starts_with("P0")).unwrap();
+        let p0 = s
+            .lines()
+            .find(|l| l.trim_start().starts_with("P0"))
+            .unwrap();
         assert!(p0.split_whitespace().nth(1) == Some("1"));
     }
 

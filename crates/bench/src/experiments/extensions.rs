@@ -73,7 +73,10 @@ pub fn ext_adders() -> String {
         (Box::new(exact), exact_adder_netlist(12)),
         (Box::new(LowerOrAdder::new(12, 4)), loa_netlist(12, 4)),
         (Box::new(LowerOrAdder::new(12, 6)), loa_netlist(12, 6)),
-        (Box::new(CarryFreeAdder::new(12)), carry_free_adder_netlist(12)),
+        (
+            Box::new(CarryFreeAdder::new(12)),
+            carry_free_adder_netlist(12),
+        ),
     ];
     for (m, nl) in &designs {
         let stats = AdderStats::exhaustive(m);
@@ -217,7 +220,13 @@ mod tests {
     #[test]
     fn adder_table_has_all_rows() {
         let s = ext_adders();
-        for name in ["add12", "loa12_4", "loa12_6", "cfree_add12", "trunc_add12_6"] {
+        for name in [
+            "add12",
+            "loa12_4",
+            "loa12_6",
+            "cfree_add12",
+            "trunc_add12_6",
+        ] {
             assert!(s.contains(name), "{name} missing:\n{s}");
         }
     }

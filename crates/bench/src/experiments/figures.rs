@@ -21,10 +21,7 @@ pub fn fig1() -> String {
     // ASIC-side gains as presented in the paper's Fig. 1 (digitized):
     // the paper itself quotes these from the original publications.
     let asic = [("W", 0.32, 0.12, 0.35), ("K", 0.12, 0.02, 0.18)];
-    let accurate = characterize(
-        "accurate",
-        &axmul_baselines::array_mult_netlist(8, 8),
-    );
+    let accurate = characterize("accurate", &axmul_baselines::array_mult_netlist(8, 8));
     let w = characterize("W", &rehman_netlist(8).expect("valid"));
     let k = characterize("K", &kulkarni_netlist(8).expect("valid"));
     let gain = |ours: &Characterization, metric: &dyn Fn(&Characterization) -> f64| -> f64 {
@@ -67,13 +64,18 @@ pub fn fig1() -> String {
 pub fn fig7() -> String {
     let mut t = Table::new(
         "Fig. 7: area/latency/EDP gains vs Vivado IP (speed)",
-        &["size", "design", "LUTs", "ns", "area gain", "latency gain", "EDP gain"],
+        &[
+            "size",
+            "design",
+            "LUTs",
+            "ns",
+            "area gain",
+            "latency gain",
+            "EDP gain",
+        ],
     );
     for bits in [4u32, 8, 16] {
-        let baseline = characterize(
-            "IP",
-            &VivadoIp::new(bits, IpOpt::Speed).netlist(),
-        );
+        let baseline = characterize("IP", &VivadoIp::new(bits, IpOpt::Speed).netlist());
         for entry in fig7_roster(bits) {
             let c = characterize(&entry.name, &entry.netlist);
             t.row_owned(vec![
@@ -262,7 +264,9 @@ pub fn fig12() -> String {
     let total: u64 = hist.iter().flatten().sum();
     let mut t = Table::new(
         "Fig. 12: SUSAN multiplication histogram (weight bins x pixel bins, % of ops)",
-        &["w\\p", "0-31", "32-63", "64-95", "96-127", "128-159", "160-191", "192-223", "224-255"],
+        &[
+            "w\\p", "0-31", "32-63", "64-95", "96-127", "128-159", "160-191", "192-223", "224-255",
+        ],
     );
     for (i, row) in hist.iter().enumerate() {
         let mut cells = vec![format!("{}-{}", i * 32, i * 32 + 31)];
@@ -293,7 +297,10 @@ mod tests {
         let s = fig1();
         // The FPGA area gains of W and K against the strongest accurate
         // soft multiplier must be below their quoted ASIC gains.
-        let fpga_rows: Vec<&str> = s.lines().filter(|l| l.contains("FPGA (measured)")).collect();
+        let fpga_rows: Vec<&str> = s
+            .lines()
+            .filter(|l| l.contains("FPGA (measured)"))
+            .collect();
         assert_eq!(fpga_rows.len(), 2);
         for row in fpga_rows {
             let area_cell = row
@@ -335,7 +342,10 @@ mod tests {
             .lines()
             .find(|l| l.contains("Ca 8x8"))
             .expect("Ca row present");
-        assert!(ca_row.trim_end().ends_with('*'), "Ca must be on the front: {ca_row}");
+        assert!(
+            ca_row.trim_end().ends_with('*'),
+            "Ca must be on the front: {ca_row}"
+        );
     }
 
     #[test]

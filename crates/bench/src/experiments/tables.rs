@@ -143,17 +143,11 @@ pub fn table4() -> String {
 pub fn table5() -> String {
     let mut t = Table::new(
         "Table 5: error analysis of 8x8 approximate multipliers",
-        &[
-            "metric", "Ca", "Cc", "W[19]", "K[6]", "Mult(8,4)",
-        ],
+        &["metric", "Ca", "Cc", "W[19]", "K[6]", "Mult(8,4)"],
     );
-    let stats: Vec<ErrorStats> = table5_roster()
-        .iter()
-        .map(|m| ErrorStats::exhaustive(m))
-        .collect();
-    let col = |sel: &dyn Fn(&ErrorStats) -> String| -> Vec<String> {
-        stats.iter().map(|s| sel(s)).collect()
-    };
+    let stats: Vec<ErrorStats> = table5_roster().iter().map(ErrorStats::exhaustive).collect();
+    let col =
+        |sel: &dyn Fn(&ErrorStats) -> String| -> Vec<String> { stats.iter().map(sel).collect() };
     let mut push = |metric: &str, vals: Vec<String>| {
         let mut row = vec![metric.to_string()];
         row.extend(vals);
@@ -161,8 +155,14 @@ pub fn table5() -> String {
     };
     push("max error magnitude", col(&|s| s.max_error.to_string()));
     push("average error", col(&|s| f(s.avg_error, 4)));
-    push("average relative error", col(&|s| f(s.avg_relative_error, 6)));
-    push("error occurrences", col(&|s| s.error_occurrences.to_string()));
+    push(
+        "average relative error",
+        col(&|s| f(s.avg_relative_error, 6)),
+    );
+    push(
+        "error occurrences",
+        col(&|s| s.error_occurrences.to_string()),
+    );
     push(
         "max error occurrences",
         col(&|s| s.max_error_occurrences.to_string()),
@@ -191,8 +191,14 @@ pub fn table6() -> String {
         ("Accurate".to_string(), f64::INFINITY),
         ("Ca".to_string(), psnr_of(&ca)),
         ("Cc".to_string(), psnr_of(&cc)),
-        ("W[19]".to_string(), psnr_of(&RehmanW::new(8).expect("valid"))),
-        ("K[6]".to_string(), psnr_of(&Kulkarni::new(8).expect("valid"))),
+        (
+            "W[19]".to_string(),
+            psnr_of(&RehmanW::new(8).expect("valid")),
+        ),
+        (
+            "K[6]".to_string(),
+            psnr_of(&Kulkarni::new(8).expect("valid")),
+        ),
         ("Cas (swapped)".to_string(), psnr_of(&Swapped::new(ca))),
         ("Ccs (swapped)".to_string(), psnr_of(&Swapped::new(cc))),
     ];

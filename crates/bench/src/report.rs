@@ -38,7 +38,8 @@ impl Table {
     /// Panics if the row width differs from the header width.
     pub fn row(&mut self, cells: &[&str]) {
         assert_eq!(cells.len(), self.header.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|s| (*s).to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| (*s).to_string()).collect());
     }
 
     /// Appends a row of owned strings.

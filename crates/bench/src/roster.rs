@@ -36,7 +36,7 @@ pub struct Characterization {
 pub fn characterize(name: &str, netlist: &Netlist) -> Characterization {
     let delay = DelayModel::virtex7();
     let energy = EnergyModel::virtex7();
-    let stim = uniform_stimulus(netlist, 2000, 0xDAC1_8u64);
+    let stim = uniform_stimulus(netlist, 2000, 0xDAC18u64);
     let report = measure(netlist, &energy, &delay, &stim).expect("netlist simulates");
     Characterization {
         name: name.to_string(),
@@ -136,7 +136,10 @@ mod tests {
 
     #[test]
     fn table5_roster_names() {
-        let names: Vec<String> = table5_roster().iter().map(|m| m.name().to_string()).collect();
+        let names: Vec<String> = table5_roster()
+            .iter()
+            .map(|m| m.name().to_string())
+            .collect();
         assert_eq!(names, ["Ca 8x8", "Cc 8x8", "W 8x8", "K 8x8", "Mult(8,4)"]);
     }
 }

@@ -42,14 +42,38 @@ pub enum Arch {
 pub const ALL: &[(Arch, &str, &str)] = &[
     (Arch::Ca, "ca", "proposed, accurate summation (Table 4)"),
     (Arch::Cc, "cc", "proposed, carry-free summation (Table 4)"),
-    (Arch::Approx4x4, "approx4x4", "elementary 4x4 block (Tables 2-3)"),
-    (Arch::Approx4x2, "approx4x2", "elementary 4x2 block (one slice)"),
+    (
+        Arch::Approx4x4,
+        "approx4x4",
+        "elementary 4x4 block (Tables 2-3)",
+    ),
+    (
+        Arch::Approx4x2,
+        "approx4x2",
+        "elementary 4x2 block (one slice)",
+    ),
     (Arch::Kulkarni, "k", "Kulkarni underdesigned multiplier [6]"),
-    (Arch::Rehman, "w", "Rehman architectural-space multiplier [19]"),
+    (
+        Arch::Rehman,
+        "w",
+        "Rehman architectural-space multiplier [19]",
+    ),
     (Arch::Array, "array", "exact carry-chain array multiplier"),
-    (Arch::IpArea, "ip-area", "accurate IP emulation, area-optimized"),
-    (Arch::IpSpeed, "ip-speed", "accurate IP emulation, speed-optimized"),
-    (Arch::Truncated, "truncated", "product LSBs zeroed, Mult(n, n/2)"),
+    (
+        Arch::IpArea,
+        "ip-area",
+        "accurate IP emulation, area-optimized",
+    ),
+    (
+        Arch::IpSpeed,
+        "ip-speed",
+        "accurate IP emulation, speed-optimized",
+    ),
+    (
+        Arch::Truncated,
+        "truncated",
+        "product LSBs zeroed, Mult(n, n/2)",
+    ),
 ];
 
 /// Error parsing an architecture name.
@@ -65,7 +89,10 @@ impl fmt::Display for ParseArchError {
             f,
             "unknown architecture `{}` (try: {})",
             self.name,
-            ALL.iter().map(|(_, n, _)| *n).collect::<Vec<_>>().join(", ")
+            ALL.iter()
+                .map(|(_, n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(", ")
         )
     }
 }
@@ -208,7 +235,9 @@ mod tests {
             } else {
                 8
             };
-            let m = arch.behavioral(bits).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let m = arch
+                .behavioral(bits)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
             let nl = arch.netlist(bits).unwrap_or_else(|e| panic!("{name}: {e}"));
             // Note: `truncated` pairs the paper's product-zeroing
             // behavioral with the PP-dropping hardware idiom; skip the

@@ -28,6 +28,8 @@ pub enum CliError {
     Arch(crate::arch::ParseArchError),
     /// A PGM file failed to parse.
     Image(axmul_susan::ParseImageError),
+    /// Netlist simulation failed during DSE characterization.
+    Fabric(axmul_fabric::FabricError),
 }
 
 impl fmt::Display for CliError {
@@ -38,6 +40,7 @@ impl fmt::Display for CliError {
             CliError::Width(e) => write!(f, "{e}"),
             CliError::Arch(e) => write!(f, "{e}"),
             CliError::Image(e) => write!(f, "{e}"),
+            CliError::Fabric(e) => write!(f, "{e}"),
         }
     }
 }
@@ -62,6 +65,11 @@ impl From<crate::arch::ParseArchError> for CliError {
 impl From<axmul_susan::ParseImageError> for CliError {
     fn from(e: axmul_susan::ParseImageError) -> Self {
         CliError::Image(e)
+    }
+}
+impl From<axmul_fabric::FabricError> for CliError {
+    fn from(e: axmul_fabric::FabricError) -> Self {
+        CliError::Fabric(e)
     }
 }
 
@@ -122,6 +130,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "characterize" => characterize(&opts),
         "stats" => stats(&opts),
         "smooth" => smooth(&opts),
+        "dse" => dse(&opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
@@ -135,7 +144,10 @@ fn usage() -> String {
      \x20 generate    --arch A --bits N [--format verilog|vhdl] [-o FILE]\n\
      \x20 characterize --arch A --bits N               area / timing / energy\n\
      \x20 stats       --arch A --bits N [--samples M]  error statistics\n\
-     \x20 smooth      --arch A [--width W --height H] [--input in.pgm] [-o out.pgm]\n"
+     \x20 smooth      --arch A [--width W --height H] [--input in.pgm] [-o out.pgm]\n\
+     \x20 dse         --width N [--strategy exhaustive|random|hill] [--workers W]\n\
+     \x20             [--budget B] [--restarts R] [--seed S] [--out-dir DIR]\n\
+     \x20                                          design-space exploration\n"
         .to_string()
 }
 
@@ -181,8 +193,8 @@ fn characterize(opts: &Opts) -> Result<String, CliError> {
     let delay = DelayModel::virtex7();
     let timing = analyze(&nl, &delay);
     let stim = uniform_stimulus(&nl, 2000, 0xDAC18);
-    let energy = measure(&nl, &EnergyModel::virtex7(), &delay, &stim)
-        .expect("generated netlists simulate");
+    let energy =
+        measure(&nl, &EnergyModel::virtex7(), &delay, &stim).expect("generated netlists simulate");
     Ok(format!(
         "{} at {bits}x{bits}\n  area:   {area}\n  timing: {timing}\n  \
          energy: {:.3} units/op, EDP {:.3}\n",
@@ -197,12 +209,10 @@ fn stats(opts: &Opts) -> Result<String, CliError> {
     let s = if m.a_bits() + m.b_bits() <= 24 {
         ErrorStats::exhaustive(&m)
     } else {
-        let samples = opts
-            .get("samples")
-            .map_or(Ok(1_000_000u64), |v| {
-                v.parse()
-                    .map_err(|_| CliError::Usage(format!("bad --samples `{v}`")))
-            })?;
+        let samples = opts.get("samples").map_or(Ok(1_000_000u64), |v| {
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("bad --samples `{v}`")))
+        })?;
         ErrorStats::sampled(&m, samples, 7)
     };
     Ok(format!(
@@ -245,6 +255,66 @@ fn smooth(opts: &Opts) -> Result<String, CliError> {
     Ok(msg)
 }
 
+fn parse_num<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, CliError> {
+    opts.get(key).map_or(Ok(default), |v| {
+        v.parse()
+            .map_err(|_| CliError::Usage(format!("bad --{key} `{v}`")))
+    })
+}
+
+fn dse(opts: &Opts) -> Result<String, CliError> {
+    use axmul_dse::{run, text_report, to_csv, DseOptions, Strategy};
+
+    let bits: u32 = parse_num(opts, "width", 8)?;
+    if !matches!(bits, 4 | 8 | 16) {
+        return Err(CliError::Usage(format!(
+            "--width must be 4, 8 or 16 (got {bits})"
+        )));
+    }
+    let mut dse_opts = DseOptions::exhaustive_8x8();
+    dse_opts.bits = bits;
+    dse_opts.workers = parse_num(opts, "workers", dse_opts.workers)?;
+    if dse_opts.workers == 0 {
+        return Err(CliError::Usage("--workers must be > 0".to_string()));
+    }
+    let seed: u64 = parse_num(opts, "seed", 0xDAC18)?;
+    let budget: usize = parse_num(opts, "budget", 200)?;
+    let restarts: usize = parse_num(opts, "restarts", 8)?;
+    let default_strategy = if bits <= 8 { "exhaustive" } else { "hill" };
+    dse_opts.strategy = match opts.get("strategy").unwrap_or(default_strategy) {
+        "exhaustive" => {
+            if bits > 8 {
+                return Err(CliError::Usage(format!(
+                    "exhaustive enumeration is infeasible at {bits} bits; \
+                     use --strategy random or hill"
+                )));
+            }
+            Strategy::Exhaustive
+        }
+        "random" => Strategy::Random { budget, seed },
+        "hill" => Strategy::HillClimb {
+            budget,
+            restarts,
+            seed,
+        },
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown strategy `{other}` (exhaustive|random|hill)"
+            )))
+        }
+    };
+
+    let result = run(&dse_opts)?;
+    let mut out = text_report(&result);
+    if let Some(dir) = opts.get("out-dir") {
+        std::fs::create_dir_all(dir)?;
+        let path = format!("{dir}/dse_{bits}x{bits}.csv");
+        std::fs::write(&path, to_csv(&result))?;
+        out.push_str(&format!("wrote {path} ({} rows)\n", result.reports.len()));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,9 +342,16 @@ mod tests {
 
     #[test]
     fn generate_vhdl() {
-        let out =
-            run_str(&["generate", "--arch", "approx4x4", "--bits", "4", "--format", "vhdl"])
-                .unwrap();
+        let out = run_str(&[
+            "generate",
+            "--arch",
+            "approx4x4",
+            "--bits",
+            "4",
+            "--format",
+            "vhdl",
+        ])
+        .unwrap();
         assert!(out.contains("entity"));
         assert!(out.contains("UNISIM"));
     }
@@ -296,8 +373,7 @@ mod tests {
 
     #[test]
     fn smooth_synthetic() {
-        let out =
-            run_str(&["smooth", "--arch", "ca", "--width", "32", "--height", "24"]).unwrap();
+        let out = run_str(&["smooth", "--arch", "ca", "--width", "32", "--height", "24"]).unwrap();
         assert!(out.contains("PSNR"));
     }
 
@@ -312,8 +388,60 @@ mod tests {
             run_str(&["generate", "--arch", "ca", "--bits", "9"]),
             Err(CliError::Width(_))
         ));
+        assert!(matches!(run_str(&["frobnicate"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn dse_4x4_exhaustive_reports_fronts() {
+        // The 4x4 space is just the five leaves — fast enough for a
+        // real end-to-end run in a unit test.
+        let out = run_str(&["dse", "--width", "4", "--workers", "2"]).unwrap();
+        assert!(out.contains("5 candidates at 4x4"), "{out}");
+        assert!(out.contains("hit rate"), "{out}");
+        assert!(out.contains("cand/s"), "{out}");
+        assert!(out.contains("error/LUT Pareto front"), "{out}");
+    }
+
+    #[test]
+    fn dse_random_writes_csv() {
+        let dir = std::env::temp_dir().join("axmul_dse_cli_test");
+        let dir_s = dir.to_str().unwrap();
+        let out = run_str(&[
+            "dse",
+            "--width",
+            "8",
+            "--strategy",
+            "random",
+            "--budget",
+            "6",
+            "--seed",
+            "3",
+            "--out-dir",
+            dir_s,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let csv = std::fs::read_to_string(dir.join("dse_8x8.csv")).unwrap();
+        assert!(csv.starts_with("key,bits,luts"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dse_usage_errors() {
         assert!(matches!(
-            run_str(&["frobnicate"]),
+            run_str(&["dse", "--width", "12"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_str(&["dse", "--width", "16", "--strategy", "exhaustive"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_str(&["dse", "--strategy", "simulated-annealing"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_str(&["dse", "--workers", "0"]),
             Err(CliError::Usage(_))
         ));
     }

@@ -124,8 +124,7 @@ pub fn approx_4x4(a: u64, b: u64) -> u64 {
     let b = b & 0xF;
     let pp0 = a * (b & 3);
     let pp1 = a * (b >> 2);
-    let saturated =
-        pp0 >> 2 & 1 == 1 && pp0 >> 3 & 1 == 1 && pp1 & 1 == 1 && pp1 >> 1 & 1 == 1;
+    let saturated = pp0 >> 2 & 1 == 1 && pp0 >> 3 & 1 == 1 && pp1 & 1 == 1 && pp1 >> 1 & 1 == 1;
     a * b - if saturated { 8 } else { 0 }
 }
 
@@ -268,11 +267,7 @@ mod tests {
         for a in 0..16u64 {
             for b in 0..4u64 {
                 let bits = accurate_4x2_product_bits(a, b);
-                let value: u64 = bits
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &x)| (x as u64) << i)
-                    .sum();
+                let value: u64 = bits.iter().enumerate().map(|(i, &x)| (x as u64) << i).sum();
                 assert_eq!(value, a * b, "equations (1)-(6) at a={a} b={b}");
             }
         }

@@ -12,4 +12,4 @@ pub use elementary::{
     accurate_4x2_product_bits, approx_4x2, approx_4x4, approx_4x4_accsum, Approx4x2, Approx4x4,
     Approx4x4AccSum, ErrorCase,
 };
-pub use recursive::{Ca, Cc, Recursive, Summation};
+pub use recursive::{combine_products, Ca, Cc, Quad, Recursive, Summation};

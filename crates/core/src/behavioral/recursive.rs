@@ -183,6 +183,156 @@ impl<F: Fn(u64, u64) -> u64> Multiplier for Recursive<F> {
     }
 }
 
+/// Combines four already-computed `M×M` partial products into the
+/// `2M×2M` product under the given summation — the closed-form twin of
+/// [`crate::structural::combine_partial_products`].
+///
+/// `ll`, `hl`, `lh`, `hh` are the (possibly approximate) products
+/// `AL·BL`, `AH·BL`, `AL·BH`, `AH·BH`, each at most `2M` bits wide.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::behavioral::{combine_products, Summation};
+///
+/// // 13 * 11 = (1*0b1101)·... via 2-bit halves: al=1, ah=3, bl=3, bh=2.
+/// let (al, ah, bl, bh) = (1u64, 3, 3, 2);
+/// let p = combine_products(al * bl, ah * bl, al * bh, ah * bh, 2, Summation::Accurate);
+/// assert_eq!(p, 13 * 11);
+/// ```
+#[must_use]
+pub fn combine_products(ll: u64, hl: u64, lh: u64, hh: u64, m: u32, summation: Summation) -> u64 {
+    match summation {
+        Summation::Accurate => ll + ((hl + lh) << m) + (hh << (2 * m)),
+        Summation::CarryFree => {
+            let lo = mask(m);
+            let low = ll & lo;
+            let mid = ((ll >> m) ^ hl ^ lh ^ ((hh & lo) << m)) & mask(2 * m);
+            let high = hh >> m;
+            low | (mid << m) | (high << (3 * m))
+        }
+    }
+}
+
+/// A heterogeneous `2M×2M` multiplier: four *independent* `M×M`
+/// sub-multipliers (one per quadrant of Fig. 5a) combined with either
+/// summation strategy.
+///
+/// Where [`Recursive`] applies one kernel uniformly, `Quad` lets every
+/// quadrant differ — the configuration space the design-space
+/// exploration engine (`axmul-dse`) searches: e.g. an accurate `AH·BH`
+/// quadrant (where errors weigh `2^2M`) over approximate low quadrants.
+/// `Quad` nodes nest, so arbitrary recursive configurations are
+/// expressible.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::behavioral::{Approx4x4, Quad, Summation};
+/// use axmul_core::{Exact, Multiplier};
+///
+/// // Approximate everywhere except the most significant quadrant.
+/// let m = Quad::new(
+///     Box::new(Approx4x4::new()) as Box<dyn Multiplier>,
+///     Box::new(Approx4x4::new()),
+///     Box::new(Approx4x4::new()),
+///     Box::new(Exact::new(4, 4)),
+///     Summation::Accurate,
+/// )?;
+/// assert_eq!(m.a_bits(), 8);
+/// assert_eq!(m.multiply(0xD0, 0xD0), 0xD0 * 0xD0); // hh exact: no error here
+/// # Ok::<(), axmul_core::WidthError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Quad<M> {
+    ll: M,
+    hl: M,
+    lh: M,
+    hh: M,
+    summation: Summation,
+    bits: u32,
+    name: String,
+}
+
+impl<M: Multiplier> Quad<M> {
+    /// Builds a `2M×2M` multiplier from four `M×M` quadrants
+    /// (`AL·BL`, `AH·BL`, `AL·BH`, `AH·BH`) and a summation strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthError`] unless all four quadrants are square
+    /// multipliers of one common width `M` (a power of two ≥ 2) with
+    /// `2M <= 32`.
+    pub fn new(ll: M, hl: M, lh: M, hh: M, summation: Summation) -> Result<Self, WidthError> {
+        let m = ll.a_bits();
+        let square = |q: &M| q.a_bits() == m && q.b_bits() == m;
+        if !(square(&ll) && square(&hl) && square(&lh) && square(&hh)) {
+            return Err(WidthError { bits: 2 * m });
+        }
+        let bits = 2 * m;
+        check_width(bits, m.max(2))?;
+        let tag = match summation {
+            Summation::Accurate => "a",
+            Summation::CarryFree => "c",
+        };
+        Ok(Quad {
+            ll,
+            hl,
+            lh,
+            hh,
+            summation,
+            bits,
+            name: format!("Quad{tag} {bits}x{bits}"),
+        })
+    }
+
+    /// Replaces the derived name (e.g. with a DSE configuration key).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The summation strategy in use.
+    #[must_use]
+    pub fn summation(&self) -> Summation {
+        self.summation
+    }
+
+    /// The four quadrants in `(ll, hl, lh, hh)` order.
+    #[must_use]
+    pub fn quadrants(&self) -> (&M, &M, &M, &M) {
+        (&self.ll, &self.hl, &self.lh, &self.hh)
+    }
+}
+
+impl<M: Multiplier> Multiplier for Quad<M> {
+    fn a_bits(&self) -> u32 {
+        self.bits
+    }
+    fn b_bits(&self) -> u32 {
+        self.bits
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        let m = self.bits / 2;
+        let lo = mask(m);
+        let (a, b) = (a & mask(self.bits), b & mask(self.bits));
+        let (al, ah) = (a & lo, a >> m);
+        let (bl, bh) = (b & lo, b >> m);
+        combine_products(
+            self.ll.multiply(al, bl),
+            self.hl.multiply(ah, bl),
+            self.lh.multiply(al, bh),
+            self.hh.multiply(ah, bh),
+            m,
+            self.summation,
+        )
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
 /// The paper's `Ca` design: all sub-multipliers are the proposed
 /// approximate 4×4 block; partial products are summed **accurately**
 /// with carry-chain ternary adders.
@@ -450,6 +600,123 @@ mod tests {
                 assert_eq!(m.multiply(a, b), a * b);
             }
         }
+    }
+
+    #[test]
+    fn quad_of_four_approx_blocks_is_ca() {
+        use crate::behavioral::Approx4x4;
+        let q = Quad::new(
+            Approx4x4::new(),
+            Approx4x4::new(),
+            Approx4x4::new(),
+            Approx4x4::new(),
+            Summation::Accurate,
+        )
+        .unwrap();
+        let ca = Ca::new(8).unwrap();
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                assert_eq!(q.multiply(a, b), ca.multiply(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn quad_of_four_approx_blocks_carry_free_is_cc() {
+        use crate::behavioral::Approx4x4;
+        let q = Quad::new(
+            Approx4x4::new(),
+            Approx4x4::new(),
+            Approx4x4::new(),
+            Approx4x4::new(),
+            Summation::CarryFree,
+        )
+        .unwrap();
+        let cc = Cc::new(8).unwrap();
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                assert_eq!(q.multiply(a, b), cc.multiply(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_quad_confines_errors_to_approximate_quadrants() {
+        use crate::behavioral::Approx4x4;
+        use crate::Exact;
+        // Only the LL quadrant is approximate: errors never exceed the
+        // elementary block's magnitude-8 error at weight 1.
+        let q = Quad::new(
+            Box::new(Approx4x4::new()) as Box<dyn Multiplier>,
+            Box::new(Exact::new(4, 4)),
+            Box::new(Exact::new(4, 4)),
+            Box::new(Exact::new(4, 4)),
+            Summation::Accurate,
+        )
+        .unwrap();
+        let mut worst = 0i64;
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                worst = worst.max(q.error(a, b).abs());
+            }
+        }
+        assert_eq!(worst, 8);
+    }
+
+    #[test]
+    fn quad_nests_to_16_bits() {
+        use crate::behavioral::Approx4x4;
+        let leaf = || -> Box<dyn Multiplier> { Box::new(Approx4x4::new()) };
+        let node8 = || {
+            Box::new(Quad::new(leaf(), leaf(), leaf(), leaf(), Summation::Accurate).unwrap())
+                as Box<dyn Multiplier>
+        };
+        let q16 = Quad::new(node8(), node8(), node8(), node8(), Summation::Accurate).unwrap();
+        let ca16 = Ca::new(16).unwrap();
+        assert_eq!(q16.a_bits(), 16);
+        for &a in &[0u64, 1, 0xDDDD, 0xFFFF, 40_000, 12_345] {
+            for &b in &[0u64, 1, 0xDDDD, 0xFFFF, 50_000, 54_321] {
+                assert_eq!(q16.multiply(a, b), ca16.multiply(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn quad_rejects_mismatched_quadrants() {
+        use crate::Exact;
+        let q = Quad::new(
+            Exact::new(4, 4),
+            Exact::new(4, 4),
+            Exact::new(2, 2),
+            Exact::new(4, 4),
+            Summation::Accurate,
+        );
+        assert!(q.is_err());
+        let rect = Quad::new(
+            Exact::new(4, 2),
+            Exact::new(4, 2),
+            Exact::new(4, 2),
+            Exact::new(4, 2),
+            Summation::Accurate,
+        );
+        assert!(rect.is_err(), "rectangular quadrants rejected");
+    }
+
+    #[test]
+    fn quad_names_and_renaming() {
+        use crate::Exact;
+        let q = Quad::new(
+            Exact::new(4, 4),
+            Exact::new(4, 4),
+            Exact::new(4, 4),
+            Exact::new(4, 4),
+            Summation::CarryFree,
+        )
+        .unwrap();
+        assert_eq!(q.name(), "Quadc 8x8");
+        assert_eq!(q.summation(), Summation::CarryFree);
+        let named = q.with_name("cfg:(c X X X X)");
+        assert_eq!(named.name(), "cfg:(c X X X X)");
     }
 
     #[test]

@@ -121,6 +121,21 @@ impl<M: Multiplier + ?Sized> Multiplier for Box<M> {
     }
 }
 
+impl<M: Multiplier + ?Sized> Multiplier for std::sync::Arc<M> {
+    fn a_bits(&self) -> u32 {
+        (**self).a_bits()
+    }
+    fn b_bits(&self) -> u32 {
+        (**self).b_bits()
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        (**self).multiply(a, b)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
 /// The exact (error-free) multiplier; the reference every approximate
 /// design is characterized against.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -358,7 +373,7 @@ mod tests {
         assert_eq!(r.multiply(3, 4), 12);
         let b: Box<dyn Multiplier> = Box::new(m);
         assert_eq!(b.multiply(5, 5), 25);
-        assert_eq!((&b).name(), "Exact 8x8");
+        assert_eq!(b.name(), "Exact 8x8");
     }
 
     #[test]

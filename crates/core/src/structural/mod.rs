@@ -24,6 +24,8 @@ mod table3;
 mod ternary;
 
 pub use elementary::{approx_4x2_netlist, approx_4x4_accsum_netlist};
-pub use recursive::{ca_netlist, cc_netlist, combine_partial_products, compose_netlist};
+pub use recursive::{
+    ca_netlist, cc_netlist, combine_partial_products, compose_netlist, compose_quad_netlist,
+};
 pub use table3::{approx_4x4_netlist, verify_table3, Table3Check, TABLE3};
 pub use ternary::{ternary_add, TERNARY_INIT};

@@ -127,21 +127,79 @@ fn kernel_width(kernel: &Netlist) -> u32 {
 }
 
 fn double(sub: &Netlist, sub_bits: u32, summation: Summation) -> Netlist {
-    let m = sub_bits as usize;
-    let bits = 2 * m;
     let tag = match summation {
         Summation::Accurate => "acc",
         Summation::CarryFree => "cfree",
     };
-    let mut bld = NetlistBuilder::new(format!("{}_{tag}_{bits}x{bits}", sub.name()));
+    let bits = 2 * sub_bits;
+    let name = format!("{}_{tag}_{bits}x{bits}", sub.name());
+    quad_netlist(name, sub, sub, sub, sub, summation)
+}
+
+/// Builds a `2M×2M` multiplier netlist from four *independent* `M×M`
+/// quadrant netlists (`AL·BL`, `AH·BL`, `AL·BH`, `AH·BH` in that
+/// order), combined with the given summation — the structural twin of
+/// [`crate::behavioral::Quad`], and the assembly step of the
+/// `axmul-dse` design-space explorer.
+///
+/// Each quadrant must have two equal-width input buses of one common
+/// width `M` and a single `2M`-bit output bus. Quadrant netlists may
+/// themselves be quad compositions, so arbitrary recursive
+/// configurations are expressible.
+///
+/// # Panics
+///
+/// Panics if any quadrant's bus shape is not `M`/`M` in, `2M` out, or
+/// if the quadrant widths disagree.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::behavioral::Summation;
+/// use axmul_core::structural::{approx_4x4_netlist, compose_quad_netlist};
+///
+/// let k = approx_4x4_netlist();
+/// let nl = compose_quad_netlist("ca8", &k, &k, &k, &k, Summation::Accurate);
+/// assert_eq!(nl.lut_count(), 57); // identical to ca_netlist(8)
+/// ```
+pub fn compose_quad_netlist(
+    name: impl Into<String>,
+    ll: &Netlist,
+    hl: &Netlist,
+    lh: &Netlist,
+    hh: &Netlist,
+    summation: Summation,
+) -> Netlist {
+    let m = kernel_width(ll);
+    for (quadrant, nl) in [("hl", hl), ("lh", lh), ("hh", hh)] {
+        assert_eq!(
+            kernel_width(nl),
+            m,
+            "quadrant `{quadrant}` width disagrees with `ll`"
+        );
+    }
+    quad_netlist(name.into(), ll, hl, lh, hh, summation)
+}
+
+fn quad_netlist(
+    name: String,
+    ll: &Netlist,
+    hl: &Netlist,
+    lh: &Netlist,
+    hh: &Netlist,
+    summation: Summation,
+) -> Netlist {
+    let m = kernel_width(ll) as usize;
+    let bits = 2 * m;
+    let mut bld = NetlistBuilder::new(name);
     let a = bld.inputs("a", bits);
     let b = bld.inputs("b", bits);
     let (al, ah) = a.split_at(m);
     let (bl, bh) = b.split_at(m);
-    let ll = bld.instantiate(sub, &[al, bl]).remove(0);
-    let hl = bld.instantiate(sub, &[ah, bl]).remove(0);
-    let lh = bld.instantiate(sub, &[al, bh]).remove(0);
-    let hh = bld.instantiate(sub, &[ah, bh]).remove(0);
+    let ll = bld.instantiate(ll, &[al, bl]).remove(0);
+    let hl = bld.instantiate(hl, &[ah, bl]).remove(0);
+    let lh = bld.instantiate(lh, &[al, bh]).remove(0);
+    let hh = bld.instantiate(hh, &[ah, bh]).remove(0);
     let p = combine_partial_products(&mut bld, &ll, &hl, &lh, &hh, summation);
     debug_assert_eq!(p.len(), 2 * bits);
     bld.output_bus("p", &p);
@@ -171,7 +229,10 @@ pub fn combine_partial_products(
     summation: Summation,
 ) -> Vec<NetId> {
     let two_m = ll.len();
-    assert!(two_m >= 2 && two_m % 2 == 0, "partial products must be 2M bits");
+    assert!(
+        two_m >= 2 && two_m.is_multiple_of(2),
+        "partial products must be 2M bits"
+    );
     assert!(
         hl.len() == two_m && lh.len() == two_m && hh.len() == two_m,
         "partial products must have equal widths"
@@ -276,6 +337,58 @@ mod tests {
     }
 
     #[test]
+    fn quad_of_identical_kernels_matches_double() {
+        // compose_quad_netlist with four copies of the 4x4 kernel must be
+        // exactly the homogeneous recursive step.
+        let kernel = crate::structural::approx_4x4_netlist();
+        for (summation, reference) in [
+            (Summation::Accurate, ca_netlist(8).unwrap()),
+            (Summation::CarryFree, cc_netlist(8).unwrap()),
+        ] {
+            let quad = compose_quad_netlist("quad8", &kernel, &kernel, &kernel, &kernel, summation);
+            assert_eq!(quad.lut_count(), reference.lut_count());
+            let m: Box<dyn Multiplier> = match summation {
+                Summation::Accurate => Box::new(Ca::new(8).unwrap()),
+                Summation::CarryFree => Box::new(Cc::new(8).unwrap()),
+            };
+            for_each_operand_pair(&quad, |a, b, out| {
+                assert_eq!(out[0], m.multiply(a, b), "a={a} b={b}");
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn heterogeneous_quad_matches_behavioral_quad() {
+        use crate::behavioral::{Approx4x4, Quad};
+        // Mix the approximate 4x4 with its accurate-summation variant in
+        // one recursion level and cross-check against the behavioral Quad.
+        let ax = crate::structural::approx_4x4_netlist();
+        let acc = crate::structural::approx_4x4_accsum_netlist();
+        let nl = compose_quad_netlist("mixed8", &ax, &acc, &ax, &acc, Summation::Accurate);
+        let model = Quad::new(
+            Box::new(Approx4x4::new()) as Box<dyn Multiplier>,
+            Box::new(crate::behavioral::Approx4x4AccSum::new()),
+            Box::new(Approx4x4::new()),
+            Box::new(crate::behavioral::Approx4x4AccSum::new()),
+            Summation::Accurate,
+        )
+        .unwrap();
+        for_each_operand_pair(&nl, |a, b, out| {
+            assert_eq!(out[0], model.multiply(a, b), "a={a} b={b}");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "width disagrees")]
+    fn quad_rejects_mismatched_kernels() {
+        let k4 = crate::structural::approx_4x4_netlist();
+        let k8 = ca_netlist(8).unwrap();
+        let _ = compose_quad_netlist("bad", &k4, &k4, &k8, &k4, Summation::Accurate);
+    }
+
+    #[test]
     fn compose_with_exact_2x2_kernel_is_exact() {
         // A 2x2 exact kernel built directly from four product-bit LUTs.
         let mut bld = NetlistBuilder::new("exact2x2");
@@ -287,8 +400,12 @@ mod tests {
             // O6 (upper) = a1b0 XOR a0b1, O5 = a0 & b0.
             let init = axmul_fabric::Init::from_dual(
                 |i| {
-                    let (a0, a1, b0, b1) =
-                        (i & 1 == 1, i >> 1 & 1 == 1, i >> 2 & 1 == 1, i >> 3 & 1 == 1);
+                    let (a0, a1, b0, b1) = (
+                        i & 1 == 1,
+                        i >> 1 & 1 == 1,
+                        i >> 2 & 1 == 1,
+                        i >> 3 & 1 == 1,
+                    );
                     (a1 && b0) ^ (a0 && b1)
                 },
                 |i| (i & 1 == 1) && (i >> 2 & 1 == 1),
@@ -325,13 +442,13 @@ mod tests {
         // Deterministic structured + pseudo-random coverage.
         let mut a_vals = Vec::new();
         let mut b_vals = Vec::new();
-        let mut state = 0x1234_5678_9ABC_DEFu64;
+        let mut state = 0x0123_4567_89AB_CDEF_u64;
         for i in 0..4096u64 {
             state = state
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             let (a, b) = match i % 4 {
-                0 => (i * 17 & 0xFFFF, i * 31 & 0xFFFF),
+                0 => ((i * 17) & 0xFFFF, (i * 31) & 0xFFFF),
                 1 => (0xFFFF, state & 0xFFFF),
                 2 => (state & 0xFFFF, 0xDDDD),
                 _ => (state >> 16 & 0xFFFF, state & 0xFFFF),

@@ -37,7 +37,7 @@ pub struct Table3Row {
     pub init: u64,
 }
 
-use Pin::{A, B, One, Pp0, Pp1};
+use Pin::{One, Pp0, Pp1, A, B};
 
 /// Table 3 of the paper, verbatim.
 pub const TABLE3: [Table3Row; 12] = [
@@ -191,16 +191,9 @@ pub fn approx_4x4_netlist() -> Netlist {
     let prop3 = lut_o6(&mut bld, &TABLE3[11], &pp0, &pp1);
 
     // One CARRY4: P3..P6 sums, P7 = final carry out.
-    let (sums, p7) = bld.carry4(
-        zero,
-        [prop0, prop1, prop2, prop3],
-        [gen0, gen1, gen2, gen3],
-    );
+    let (sums, p7) = bld.carry4(zero, [prop0, prop1, prop2, prop3], [gen0, gen1, gen2, gen3]);
     let p1 = pp0[1].expect("set by LUT0");
-    bld.output_bus(
-        "p",
-        &[p0, p1, p2, sums[0], sums[1], sums[2], sums[3], p7],
-    );
+    bld.output_bus("p", &[p0, p1, p2, sums[0], sums[1], sums[2], sums[3], p7]);
     bld.finish().expect("table3 netlist is well-formed")
 }
 
@@ -244,14 +237,8 @@ fn expected_outputs(name: &str, a: u64, b: u64) -> (bool, Option<bool>) {
         // Prop0/Gen0: three-operand column at bit 3; the saturated case
         // (digit 3) computes only the generate correctly (prop = 0).
         "LUT8" => (digit3 == 1, Some(digit3 >= 2)),
-        "LUT9" => (
-            bit(pp0, 4) ^ bit(pp1, 2),
-            Some(bit(pp0, 4) && bit(pp1, 2)),
-        ),
-        "LUT10" => (
-            bit(pp0, 5) ^ bit(pp1, 3),
-            Some(bit(pp0, 5) && bit(pp1, 3)),
-        ),
+        "LUT9" => (bit(pp0, 4) ^ bit(pp1, 2), Some(bit(pp0, 4) && bit(pp1, 2))),
+        "LUT10" => (bit(pp0, 5) ^ bit(pp1, 3), Some(bit(pp0, 5) && bit(pp1, 3))),
         "LUT11" => (bit(pp1, 4), None), // Prop3
         _ => unreachable!("unknown Table 3 LUT `{name}`"),
     }

@@ -1,0 +1,302 @@
+//! Memoized characterization of configuration sub-blocks.
+//!
+//! Characterizing a candidate means knowing its hardware cost (LUTs,
+//! critical path, energy/EDP — from `axmul-fabric`) and its error
+//! statistics (from `axmul-metrics`). Both are expensive to recompute
+//! per candidate, but candidates share sub-blocks massively: every 8×8
+//! candidate is built from the same five 4×4 leaves, and 16×16
+//! candidates re-use whole 8×8 quadrants. [`CharCache`] therefore
+//! memoizes one [`BlockChar`] per *canonical configuration key*
+//! ([`crate::Config::key`]) and assembles parents from cached children.
+//!
+//! # Why value tables, not error PMFs
+//!
+//! The four quadrant products of a recursive multiplier share operand
+//! halves (`AL·BL` and `AL·BH` both read `AL`), so their errors are
+//! *dependent* random variables: convolving per-quadrant error PMFs
+//! would be wrong (and under carry-free summation the quadrant errors
+//! do not even compose additively). The cache instead stores each
+//! sub-block's exhaustive **value table** (256 entries for a 4-bit
+//! block, 65 536 for 8-bit) and composes parent values exactly with
+//! [`axmul_core::behavioral::combine_products`]. Composed statistics
+//! are therefore *exact* — bit-identical to sweeping the assembled
+//! netlist — which the crate's property tests assert.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use axmul_core::behavioral::{combine_products, Summation};
+use axmul_core::{mask_for, Multiplier};
+use axmul_fabric::cost::{Characterizer, NetlistCost};
+use axmul_fabric::sim::for_each_operand_pair;
+use axmul_fabric::{FabricError, Netlist};
+use axmul_metrics::ErrorStats;
+
+use crate::config::Config;
+
+/// Fully-characterized configuration block: netlist, hardware cost,
+/// exact evaluator and error statistics.
+#[derive(Debug, Clone)]
+pub struct BlockChar {
+    /// Canonical configuration key this record describes.
+    pub key: String,
+    /// Operand width in bits.
+    pub bits: u32,
+    /// The assembled structural netlist.
+    pub netlist: Arc<Netlist>,
+    /// Area / timing / energy of the netlist.
+    pub cost: NetlistCost,
+    /// Error statistics: exhaustive for widths ≤ 8 bits, sampled above.
+    pub stats: ErrorStats,
+    /// Exhaustive value table (`table[(b << bits) | a]`) for widths
+    /// ≤ 8 bits; `None` above.
+    pub table: Option<Arc<Vec<u32>>>,
+    evaluator: ComposedMultiplier,
+}
+
+impl BlockChar {
+    /// A cheap, exact behavioral evaluator of this block (value-table
+    /// lookups at ≤ 8 bits, recursive table composition above).
+    #[must_use]
+    pub fn multiplier(&self) -> ComposedMultiplier {
+        self.evaluator.clone()
+    }
+}
+
+/// Exact behavioral evaluator of a configuration, backed by the
+/// cache's memoized value tables. Implements [`Multiplier`], so it
+/// plugs into `axmul-metrics` and application-level simulation.
+#[derive(Debug, Clone)]
+pub struct ComposedMultiplier {
+    bits: u32,
+    name: String,
+    node: EvalNode,
+}
+
+#[derive(Debug, Clone)]
+enum EvalNode {
+    /// Exhaustive table, indexed `(b << bits) | a`.
+    Table { bits: u32, table: Arc<Vec<u32>> },
+    /// Recursive composition of four half-width evaluators.
+    Quad {
+        summation: Summation,
+        m: u32,
+        sub: Box<[EvalNode; 4]>,
+    },
+}
+
+impl EvalNode {
+    fn eval(&self, a: u64, b: u64) -> u64 {
+        match self {
+            EvalNode::Table { bits, table } => table[((b as usize) << bits) | a as usize].into(),
+            EvalNode::Quad { summation, m, sub } => {
+                let mask = mask_for(*m);
+                let (al, ah) = (a & mask, a >> m);
+                let (bl, bh) = (b & mask, b >> m);
+                combine_products(
+                    sub[0].eval(al, bl),
+                    sub[1].eval(ah, bl),
+                    sub[2].eval(al, bh),
+                    sub[3].eval(ah, bh),
+                    *m,
+                    *summation,
+                )
+            }
+        }
+    }
+}
+
+impl Multiplier for ComposedMultiplier {
+    fn a_bits(&self) -> u32 {
+        self.bits
+    }
+    fn b_bits(&self) -> u32 {
+        self.bits
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        let mask = mask_for(self.bits);
+        self.node.eval(a & mask, b & mask)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Thread-safe memoization cache of sub-block characterizations.
+///
+/// Shared by reference across the worker pool; lookups and inserts are
+/// internally synchronized, and hit/miss counters are atomic.
+#[derive(Debug)]
+pub struct CharCache {
+    characterizer: Characterizer,
+    /// Number of sampled operand pairs for widths > 8 bits.
+    samples: u64,
+    /// Seed of the sampled-stats stream.
+    sample_seed: u64,
+    map: Mutex<HashMap<String, Arc<BlockChar>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CharCache {
+    /// Creates an empty cache with 100 000 sampled pairs for wide
+    /// blocks.
+    #[must_use]
+    pub fn new(characterizer: Characterizer) -> Self {
+        CharCache {
+            characterizer,
+            samples: 100_000,
+            sample_seed: 0x5EED,
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Overrides the sampling policy for widths > 8 bits.
+    #[must_use]
+    pub fn with_sampling(mut self, samples: u64, seed: u64) -> Self {
+        self.samples = samples;
+        self.sample_seed = seed;
+        self
+    }
+
+    /// Characterizes `cfg`, reusing every already-characterized
+    /// sub-block (including `cfg` itself on repeat queries).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist simulation errors.
+    pub fn characterize(&self, cfg: &Config) -> Result<Arc<BlockChar>, FabricError> {
+        let key = cfg.key();
+        if let Some(hit) = self.map.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let record = Arc::new(self.build(cfg, &key)?);
+        self.map
+            .lock()
+            .expect("cache lock")
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&record));
+        Ok(record)
+    }
+
+    fn build(&self, cfg: &Config, key: &str) -> Result<BlockChar, FabricError> {
+        let bits = cfg.bits();
+        let (netlist, node) = match cfg {
+            Config::Leaf(leaf) => {
+                let nl = leaf.netlist();
+                let mut table = vec![0u32; 1usize << (2 * bits)];
+                for_each_operand_pair(&nl, |a, b, out| {
+                    table[((b as usize) << bits) | a as usize] = out[0] as u32;
+                })?;
+                let node = EvalNode::Table {
+                    bits,
+                    table: Arc::new(table),
+                };
+                (nl, node)
+            }
+            Config::Quad { summation, sub } => {
+                let subs = [
+                    self.characterize(&sub[0])?,
+                    self.characterize(&sub[1])?,
+                    self.characterize(&sub[2])?,
+                    self.characterize(&sub[3])?,
+                ];
+                let nl = axmul_core::structural::compose_quad_netlist(
+                    key.to_string(),
+                    &subs[0].netlist,
+                    &subs[1].netlist,
+                    &subs[2].netlist,
+                    &subs[3].netlist,
+                    *summation,
+                );
+                let m = bits / 2;
+                let sub_nodes = Box::new([
+                    subs[0].evaluator.node.clone(),
+                    subs[1].evaluator.node.clone(),
+                    subs[2].evaluator.node.clone(),
+                    subs[3].evaluator.node.clone(),
+                ]);
+                let quad = EvalNode::Quad {
+                    summation: *summation,
+                    m,
+                    sub: sub_nodes,
+                };
+                let node = if bits <= 8 {
+                    // Flatten to an exhaustive table: parent queries then
+                    // cost one lookup instead of a tree walk.
+                    let mut table = vec![0u32; 1usize << (2 * bits)];
+                    for b in 0..=mask_for(bits) {
+                        for a in 0..=mask_for(bits) {
+                            table[((b as usize) << bits) | a as usize] = quad.eval(a, b) as u32;
+                        }
+                    }
+                    EvalNode::Table {
+                        bits,
+                        table: Arc::new(table),
+                    }
+                } else {
+                    quad
+                };
+                (nl, node)
+            }
+        };
+        let cost = self.characterizer.characterize(&netlist)?;
+        let evaluator = ComposedMultiplier {
+            bits,
+            name: key.to_string(),
+            node,
+        };
+        let stats = if 2 * bits <= 16 {
+            ErrorStats::exhaustive(&evaluator)
+        } else {
+            ErrorStats::sampled(&evaluator, self.samples, self.sample_seed)
+        };
+        Ok(BlockChar {
+            key: key.to_string(),
+            bits,
+            netlist: Arc::new(netlist),
+            cost,
+            stats,
+            table: match &evaluator.node {
+                EvalNode::Table { table, .. } => Some(Arc::clone(table)),
+                EvalNode::Quad { .. } => None,
+            },
+            evaluator,
+        })
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (i.e. characterizations actually computed) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, or 0 before the first query.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Number of distinct sub-blocks characterized.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

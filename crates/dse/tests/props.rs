@@ -1,0 +1,204 @@
+//! Exactness and invariance properties of the DSE engine.
+//!
+//! The central claim: the memoized composition (value tables combined
+//! with `combine_products`) predicts a configuration's error statistics
+//! **exactly** — bit-identical, float fields included, to sweeping the
+//! assembled gate-level netlist with [`ErrorStats::exhaustive_wide`].
+
+use axmul_core::behavioral::Summation;
+use axmul_dse::{
+    evaluate, run, text_report, to_csv, CharCache, Config, DseOptions, Leaf, Strategy,
+};
+use axmul_fabric::cost::Characterizer;
+use axmul_fabric::sim::WideSim;
+use axmul_metrics::ErrorStats;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A stratified sample of the 8×8 space: every homogeneous quad, the
+/// paper's two named designs, and seeded-random heterogeneous configs.
+fn stratified_8x8(random: usize) -> Vec<Config> {
+    let mut configs = Vec::new();
+    for summation in [Summation::Accurate, Summation::CarryFree] {
+        for leaf in Leaf::ALL {
+            configs.push(Config::uniform(Config::Leaf(leaf), summation));
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(0xD5E);
+    for _ in 0..random {
+        configs.push(Config::random(8, &mut rng));
+    }
+    configs.sort_by_key(Config::key);
+    configs.dedup_by_key(|c| c.key());
+    configs
+}
+
+fn assert_stats_match_netlist(cache: &CharCache, cfg: &Config) {
+    let c = cache.characterize(cfg).unwrap();
+    let wide = ErrorStats::exhaustive_wide(&c.netlist).unwrap();
+    // Full structural equality: every field including the float
+    // accumulators and the name (both are the canonical key).
+    assert_eq!(c.stats, wide, "composed stats diverge for {}", cfg.key());
+}
+
+#[test]
+fn composed_stats_exactly_match_netlist_sweep_stratified() {
+    let cache = CharCache::new(Characterizer::virtex7());
+    for cfg in stratified_8x8(12) {
+        assert_stats_match_netlist(&cache, &cfg);
+    }
+}
+
+/// The full 1250-configuration version of the property above. Runs in
+/// a couple of minutes in debug, so it is ignored by default; execute
+/// with `cargo test --release -p axmul-dse -- --ignored`.
+#[test]
+#[ignore = "full 8x8 space sweep; run in release"]
+fn composed_stats_exactly_match_netlist_sweep_all_1250() {
+    let cache = CharCache::new(Characterizer::virtex7());
+    for cfg in Config::enumerate(8) {
+        assert_stats_match_netlist(&cache, &cfg);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random heterogeneous 8×8 configurations keep the exactness
+    /// property (drawn independently of the stratified sample).
+    #[test]
+    fn composed_stats_match_netlist_sweep_random(seed in 0u64..1 << 48) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = Config::random(8, &mut rng);
+        let cache = CharCache::new(Characterizer::virtex7());
+        let c = cache.characterize(&cfg).unwrap();
+        let wide = ErrorStats::exhaustive_wide(&c.netlist).unwrap();
+        prop_assert_eq!(&c.stats, &wide);
+    }
+
+    /// 16×16 value tables are too big to enumerate, but the composed
+    /// evaluator must still agree with the assembled netlist on any
+    /// operand pair.
+    #[test]
+    fn composed_evaluator_matches_netlist_at_16_bits(seed in 0u64..1 << 48) {
+        use axmul_core::Multiplier;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = Config::random(16, &mut rng);
+        let cache = CharCache::new(Characterizer::virtex7());
+        let c = cache.characterize(&cfg).unwrap();
+        let m = c.multiplier();
+        let mut sim = WideSim::new(&c.netlist);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 16
+        };
+        let a: Vec<u64> = (0..64).map(|_| next() & 0xFFFF).collect();
+        let b: Vec<u64> = (0..64).map(|_| next() & 0xFFFF).collect();
+        let out = sim.eval(&[&a, &b]).unwrap();
+        for k in 0..64 {
+            prop_assert_eq!(out[0][k], m.multiply(a[k], b[k]));
+        }
+    }
+}
+
+#[test]
+fn cache_accounting_is_exact_for_single_worker_exhaustive() {
+    let cache = CharCache::new(Characterizer::virtex7());
+    let candidates = stratified_8x8(0); // 10 homogeneous quads
+    for cfg in &candidates {
+        cache.characterize(cfg).unwrap();
+    }
+    // 10 quads + 5 leaves computed once each; each quad makes 4 leaf
+    // queries, the first 5 of which are the leaf misses.
+    assert_eq!(cache.misses(), 15);
+    assert_eq!(cache.hits(), 4 * 10 - 5);
+    assert_eq!(cache.len(), 15);
+    // Re-characterizing everything is pure hits.
+    for cfg in &candidates {
+        cache.characterize(cfg).unwrap();
+    }
+    assert_eq!(cache.misses(), 15);
+    assert_eq!(cache.hits(), 4 * 10 - 5 + 10);
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let candidates = stratified_8x8(6);
+    let mut opts = DseOptions::exhaustive_8x8();
+    opts.workers = 1;
+    let one = evaluate(&opts, &candidates).unwrap();
+    opts.workers = 3;
+    let three = evaluate(&opts, &candidates).unwrap();
+    assert_eq!(one.reports, three.reports);
+    assert_eq!(three.workers.len(), 3);
+    assert_eq!(
+        three.workers.iter().map(|w| w.evaluated).sum::<usize>(),
+        candidates.len()
+    );
+}
+
+#[test]
+fn paper_configs_characterize_to_table4_and_reports_render() {
+    let candidates = stratified_8x8(4);
+    let opts = DseOptions::exhaustive_8x8();
+    let result = evaluate(&opts, &candidates).unwrap();
+
+    let ca = result.find("(a A A A A)").expect("approx-Ca evaluated");
+    assert_eq!(ca.luts, 57);
+    let cc = result.find("(c A A A A)").expect("approx-Cc evaluated");
+    assert_eq!(cc.luts, 56);
+    let exact = result.find("(a X X X X)").expect("exact-Ca evaluated");
+    assert_eq!(exact.avg_error, 0.0);
+    assert!(
+        exact.on_lut_front,
+        "zero-error design is always non-dominated"
+    );
+
+    let text = text_report(&result);
+    assert!(text.contains("hit rate"));
+    assert!(text.contains("cand/s"));
+    assert!(text.contains("approx-Ca"));
+    assert!(text.contains("approx-Cc"));
+    assert!(text.contains("error/LUT Pareto front"));
+    assert!(text.contains("error/EDP Pareto front"));
+
+    let csv = to_csv(&result);
+    assert_eq!(csv.lines().count(), result.reports.len() + 1);
+    assert!(csv.starts_with("key,bits,luts"));
+    assert!(csv.contains("\"(a A A A A)\",8,57,"));
+}
+
+#[test]
+fn random_strategy_is_deterministic_and_respects_budget() {
+    let mut opts = DseOptions::exhaustive_8x8();
+    opts.strategy = Strategy::Random {
+        budget: 15,
+        seed: 42,
+    };
+    let a = run(&opts).unwrap();
+    let b = run(&opts).unwrap();
+    assert_eq!(a.reports, b.reports);
+    assert!(a.reports.len() <= 15);
+    assert!(!a.reports.is_empty());
+}
+
+#[test]
+fn hill_climb_explores_and_keeps_whole_trace() {
+    let mut opts = DseOptions::exhaustive_8x8();
+    opts.strategy = Strategy::HillClimb {
+        budget: 10,
+        restarts: 2,
+        seed: 9,
+    };
+    opts.workers = 2;
+    let result = run(&opts).unwrap();
+    // 2 restarts x (1 start + 10 steps) = 22 evaluations, minus
+    // trajectory revisits after dedup.
+    assert!(result.reports.len() > 2);
+    assert!(result.reports.len() <= 22);
+    assert!(!result.lut_front().is_empty());
+    let again = run(&opts).unwrap();
+    assert_eq!(result.reports, again.reports);
+}

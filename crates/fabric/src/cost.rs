@@ -10,6 +10,11 @@
 
 use std::fmt;
 
+use crate::area::AreaReport;
+use crate::power::{measure, uniform_stimulus, EnergyModel};
+use crate::timing::{analyze, DelayModel};
+use crate::{FabricError, Netlist};
+
 /// Static resource inventory of an FPGA device.
 ///
 /// # Examples
@@ -153,6 +158,102 @@ impl Default for CostModel {
     }
 }
 
+/// One-stop hardware-cost summary of a netlist: area, static timing and
+/// switching energy/EDP in a single record. This is the unit of
+/// characterization the `axmul-dse` explorer memoizes per sub-block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetlistCost {
+    /// LUT/CARRY4/slice accounting ([`AreaReport::of`]).
+    pub area: AreaReport,
+    /// Worst-case input-to-output delay in ns ([`crate::timing::analyze`]).
+    pub critical_path_ns: f64,
+    /// Average weighted toggle energy per operation under the
+    /// characterizer's stimulus.
+    pub energy_per_op: f64,
+    /// Energy-delay product: `energy_per_op * critical_path_ns`.
+    pub edp: f64,
+}
+
+impl fmt::Display for NetlistCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUTs, {:.3} ns, EDP {:.3}",
+            self.area.luts, self.critical_path_ns, self.edp
+        )
+    }
+}
+
+/// Bundled delay/energy models plus a stimulus policy, so callers can
+/// characterize many netlists under identical conditions with one call
+/// each.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_fabric::cost::Characterizer;
+/// use axmul_fabric::{Init, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("x");
+/// let a = b.inputs("a", 4);
+/// let c = b.inputs("b", 4);
+/// let (o6, _) = b.lut2(Init::XOR2, a[0], c[0]);
+/// b.output("y", o6);
+/// let nl = b.finish()?;
+/// let cost = Characterizer::virtex7().characterize(&nl)?;
+/// assert_eq!(cost.area.luts, 1);
+/// assert!(cost.edp > 0.0);
+/// # Ok::<(), axmul_fabric::FabricError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Characterizer {
+    /// Delay constants for STA.
+    pub delay: DelayModel,
+    /// Toggle-energy constants.
+    pub energy: EnergyModel,
+    /// Number of random stimulus vectors for the energy measurement.
+    pub stimulus_len: usize,
+    /// Seed of the deterministic stimulus stream.
+    pub stimulus_seed: u64,
+}
+
+impl Characterizer {
+    /// Virtex-7 calibrated models with a 1024-vector stimulus.
+    #[must_use]
+    pub fn virtex7() -> Self {
+        Characterizer {
+            delay: DelayModel::virtex7(),
+            energy: EnergyModel::virtex7(),
+            stimulus_len: 1024,
+            stimulus_seed: 0xDAC18 ^ 0x5EED,
+        }
+    }
+
+    /// Characterizes `netlist`: area + STA + energy/EDP in one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors from the energy measurement.
+    pub fn characterize(&self, netlist: &Netlist) -> Result<NetlistCost, FabricError> {
+        let area = AreaReport::of(netlist);
+        let timing = analyze(netlist, &self.delay);
+        let stim = uniform_stimulus(netlist, self.stimulus_len, self.stimulus_seed);
+        let power = measure(netlist, &self.energy, &self.delay, &stim)?;
+        Ok(NetlistCost {
+            area,
+            critical_path_ns: timing.critical_path_ns,
+            energy_per_op: power.energy_per_op,
+            edp: power.edp,
+        })
+    }
+}
+
+impl Default for Characterizer {
+    fn default() -> Self {
+        Characterizer::virtex7()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +282,49 @@ mod tests {
         let m = CostModel::virtex7();
         assert!(m.dsps_fit(1120));
         assert!(!m.dsps_fit(1121));
+    }
+
+    #[test]
+    fn characterizer_is_deterministic_and_consistent() {
+        use crate::{Init, NetlistBuilder};
+        let mut b = NetlistBuilder::new("pair");
+        let a = b.inputs("a", 4);
+        let c = b.inputs("b", 4);
+        let (x, _) = b.lut2(Init::XOR2, a[0], c[0]);
+        let (y, _) = b.lut2(Init::AND2, a[1], c[1]);
+        let (z, _) = b.lut2(Init::XOR2, x, y);
+        b.output("y", z);
+        let nl = b.finish().unwrap();
+
+        let ch = Characterizer::virtex7();
+        let one = ch.characterize(&nl).unwrap();
+        let two = ch.characterize(&nl).unwrap();
+        assert_eq!(one, two, "same models + seed must reproduce exactly");
+        assert_eq!(one.area.luts, 3);
+        assert!(one.critical_path_ns > 0.0);
+        assert!(
+            (one.edp - one.energy_per_op * one.critical_path_ns).abs() < 1e-12,
+            "EDP must be the product of its factors"
+        );
+        assert!(one.to_string().contains("3 LUTs"));
+    }
+
+    #[test]
+    fn characterizer_matches_piecewise_queries() {
+        use crate::area::AreaReport;
+        use crate::timing::{analyze, DelayModel};
+        use crate::{Init, NetlistBuilder};
+        let mut b = NetlistBuilder::new("w");
+        let a = b.inputs("a", 2);
+        let (o6, _) = b.lut2(Init::AND2, a[0], a[1]);
+        b.output("y", o6);
+        let nl = b.finish().unwrap();
+        let cost = Characterizer::virtex7().characterize(&nl).unwrap();
+        assert_eq!(cost.area, AreaReport::of(&nl));
+        assert_eq!(
+            cost.critical_path_ns,
+            analyze(&nl, &DelayModel::virtex7()).critical_path_ns
+        );
     }
 
     #[test]

@@ -256,11 +256,7 @@ mod tests {
     fn exhaustive_vectors_detect_every_fault_in_the_adder() {
         let nl = adder2();
         let cov = fault_coverage(&nl, &all_vectors(2)).unwrap();
-        assert_eq!(
-            cov.detected, cov.total,
-            "undetected: {:?}",
-            cov.undetected
-        );
+        assert_eq!(cov.detected, cov.total, "undetected: {:?}", cov.undetected);
         assert_eq!(cov.ratio(), 1.0);
     }
 
@@ -280,7 +276,12 @@ mod tests {
         let nl = array_4x4();
         let vectors: Vec<Vec<u64>> = (0..256u64).map(|v| vec![v & 15, v >> 4]).collect();
         let cov = fault_coverage(&nl, &vectors).unwrap();
-        assert!(cov.ratio() > 0.95, "coverage {} ({:?})", cov.ratio(), cov.undetected);
+        assert!(
+            cov.ratio() > 0.95,
+            "coverage {} ({:?})",
+            cov.ratio(),
+            cov.undetected
+        );
     }
 
     // A simple exact 4x4 array multiplier built locally so this
@@ -293,24 +294,24 @@ mod tests {
         let zero = bld.constant(false);
         // Partial product rows: row j = (a & {4 bits}) * b_j.
         let mut rows: Vec<Vec<crate::NetId>> = Vec::new();
-        for j in 0..4 {
+        for &bj in &b {
             let mut row = Vec::new();
-            for i in 0..4 {
-                let (o6, _) = bld.lut2(Init::AND2, a[i], b[j]);
+            for &ai in &a {
+                let (o6, _) = bld.lut2(Init::AND2, ai, bj);
                 row.push(o6);
             }
             rows.push(row);
         }
         // acc = row0, then acc += row_j << j via 2-operand chains.
         let mut acc: Vec<crate::NetId> = rows[0].clone();
-        for j in 1..4usize {
+        for (j, row) in rows.iter().enumerate().skip(1) {
             // Add rows[j] into acc at offset j.
             let width = (acc.len()).max(j + 4) - j;
             let mut props = Vec::new();
             let mut gens = Vec::new();
             for k in 0..width {
                 let x = acc.get(j + k).copied();
-                let y = if k < 4 { Some(rows[j][k]) } else { None };
+                let y = row.get(k).copied();
                 match (x, y) {
                     (Some(x), Some(y)) => {
                         let (o6, _) = bld.lut2(Init::XOR2, x, y);

@@ -221,11 +221,11 @@ impl FromStr for Init {
             .trim_start_matches("64'h")
             .trim_start_matches("0x")
             .trim_start_matches("0X");
-        u64::from_str_radix(t, 16).map(Init).map_err(|_| {
-            FabricError::ParseInit {
+        u64::from_str_radix(t, 16)
+            .map(Init)
+            .map_err(|_| FabricError::ParseInit {
                 literal: s.to_string(),
-            }
-        })
+            })
     }
 }
 

@@ -52,8 +52,8 @@
 
 pub mod area;
 pub mod cost;
-pub mod export;
 mod error;
+pub mod export;
 pub mod fault;
 mod init;
 mod netlist;

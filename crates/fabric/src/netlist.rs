@@ -366,7 +366,12 @@ impl NetlistBuilder {
     /// # Panics
     ///
     /// Panics if `prop` and `gen` have different lengths or are empty.
-    pub fn carry_chain(&mut self, cin: NetId, prop: &[NetId], gen: &[NetId]) -> (Vec<NetId>, NetId) {
+    pub fn carry_chain(
+        &mut self,
+        cin: NetId,
+        prop: &[NetId],
+        gen: &[NetId],
+    ) -> (Vec<NetId>, NetId) {
         assert_eq!(prop.len(), gen.len(), "prop/gen length mismatch");
         assert!(!prop.is_empty(), "carry chain must have at least 1 stage");
         let zero = self.constant(false);
@@ -377,10 +382,8 @@ impl NetlistBuilder {
             let n = (prop.len() - chunk_start).min(4);
             let mut s = [zero; 4];
             let mut d = [zero; 4];
-            for k in 0..n {
-                s[k] = prop[chunk_start + k];
-                d[k] = gen[chunk_start + k];
-            }
+            s[..n].copy_from_slice(&prop[chunk_start..chunk_start + n]);
+            d[..n].copy_from_slice(&gen[chunk_start..chunk_start + n]);
             let cell = CellId(self.cells.len() as u32);
             let mut o = [None; 4];
             let mut co = [None; 4];
@@ -666,10 +669,7 @@ mod tests {
         let mut b = NetlistBuilder::new("dup");
         let a = b.inputs("a", 1);
         b.output("a", a[0]);
-        assert!(matches!(
-            b.finish(),
-            Err(FabricError::DuplicatePort { .. })
-        ));
+        assert!(matches!(b.finish(), Err(FabricError::DuplicatePort { .. })));
     }
 
     #[test]
@@ -743,7 +743,10 @@ mod tests {
         let nl = b.finish().unwrap();
         assert!(matches!(
             nl.eval(&[]),
-            Err(FabricError::InputArity { expected: 1, got: 0 })
+            Err(FabricError::InputArity {
+                expected: 1,
+                got: 0
+            })
         ));
     }
 }

@@ -141,7 +141,7 @@ pub fn measure(
                 continue;
             }
             // Toggles between adjacent lanes within the word.
-            let within = (word ^ (word >> 1)) & ((1u64 << (n - 1)) - 1).max(0);
+            let within = (word ^ (word >> 1)) & ((1u64 << (n - 1)) - 1);
             let mut t = within.count_ones() as u64;
             // Toggle across the batch boundary.
             if let Some(prev) = &boundary {
@@ -217,13 +217,7 @@ mod tests {
     fn constant_stimulus_burns_nothing() {
         let nl = xor_netlist();
         let stim = vec![vec![1, 0]; 100];
-        let r = measure(
-            &nl,
-            &EnergyModel::virtex7(),
-            &DelayModel::virtex7(),
-            &stim,
-        )
-        .unwrap();
+        let r = measure(&nl, &EnergyModel::virtex7(), &DelayModel::virtex7(), &stim).unwrap();
         assert_eq!(r.energy_per_op, 0.0);
     }
 
@@ -231,13 +225,7 @@ mod tests {
     fn toggling_stimulus_burns_energy() {
         let nl = xor_netlist();
         let stim: Vec<Vec<u64>> = (0..100).map(|i| vec![i & 1, 0]).collect();
-        let r = measure(
-            &nl,
-            &EnergyModel::virtex7(),
-            &DelayModel::virtex7(),
-            &stim,
-        )
-        .unwrap();
+        let r = measure(&nl, &EnergyModel::virtex7(), &DelayModel::virtex7(), &stim).unwrap();
         assert!(r.energy_per_op > 0.0);
         assert!((r.edp - r.energy_per_op * r.critical_path_ns).abs() < 1e-12);
     }
@@ -248,13 +236,7 @@ mod tests {
         // boundary transition (step 63 -> 64) matters.
         let nl = xor_netlist();
         let stim: Vec<Vec<u64>> = (0..65).map(|i| vec![i & 1, 0]).collect();
-        let r = measure(
-            &nl,
-            &EnergyModel::virtex7(),
-            &DelayModel::virtex7(),
-            &stim,
-        )
-        .unwrap();
+        let r = measure(&nl, &EnergyModel::virtex7(), &DelayModel::virtex7(), &stim).unwrap();
         assert_eq!(r.transitions, 64);
         // Every transition toggles input + output: energy identical each
         // step, so per-op energy equals the single-step energy exactly.
@@ -262,7 +244,7 @@ mod tests {
             &nl,
             &EnergyModel::virtex7(),
             &DelayModel::virtex7(),
-            &stim[..2].to_vec(),
+            &stim[..2],
         )
         .unwrap();
         assert!((r.energy_per_op - two.energy_per_op).abs() < 1e-9);
@@ -283,12 +265,6 @@ mod tests {
     fn wrong_arity_rejected() {
         let nl = xor_netlist();
         let stim = vec![vec![1]];
-        assert!(measure(
-            &nl,
-            &EnergyModel::virtex7(),
-            &DelayModel::virtex7(),
-            &stim
-        )
-        .is_err());
+        assert!(measure(&nl, &EnergyModel::virtex7(), &DelayModel::virtex7(), &stim).is_err());
     }
 }

@@ -281,7 +281,7 @@ mod tests {
     #[test]
     fn exhaustive_visits_every_pair_once() {
         let nl = adder2();
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for_each_operand_pair(&nl, |a, b, out| {
             let k = (a | (b << 2)) as usize;
             assert!(!seen[k], "pair ({a},{b}) visited twice");

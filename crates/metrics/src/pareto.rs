@@ -43,7 +43,11 @@ impl DesignPoint {
 
 impl fmt::Display for DesignPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (err {:.6}, cost {:.3})", self.name, self.error, self.cost)
+        write!(
+            f,
+            "{} (err {:.6}, cost {:.3})",
+            self.name, self.error, self.cost
+        )
     }
 }
 

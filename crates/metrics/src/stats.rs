@@ -1,6 +1,8 @@
 use std::fmt;
 
 use axmul_core::{mask_for, Multiplier};
+use axmul_fabric::sim::for_each_operand_pair;
+use axmul_fabric::{FabricError, Netlist};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,6 +42,11 @@ pub struct ErrorStats {
 impl ErrorStats {
     /// Exhaustively characterizes `m` over its full operand space.
     ///
+    /// Pairs are enumerated with `a` as the fast axis — the same linear
+    /// order as the gate-level sweep in [`ErrorStats::exhaustive_wide`],
+    /// so the two paths produce bit-identical statistics (float
+    /// accumulation order included).
+    ///
     /// # Panics
     ///
     /// Panics if the operand space exceeds 2³² pairs (use
@@ -51,8 +58,7 @@ impl ErrorStats {
             wa + wb <= 32,
             "exhaustive sweep over {wa}x{wb} is infeasible; use sampled()"
         );
-        let pairs =
-            (0..=mask_for(wa)).flat_map(|a| (0..=mask_for(wb)).map(move |b| (a, b)));
+        let pairs = (0..=mask_for(wb)).flat_map(|b| (0..=mask_for(wa)).map(move |a| (a, b)));
         Self::over_pairs(m, pairs)
     }
 
@@ -79,44 +85,92 @@ impl ErrorStats {
         m: &(impl Multiplier + ?Sized),
         pairs: impl IntoIterator<Item = (u64, u64)>,
     ) -> Self {
-        let mut samples = 0u64;
-        let mut occ = 0u64;
-        let mut max = 0i64;
-        let mut max_occ = 0u64;
-        let mut sum = 0u128;
-        let mut rel = 0.0f64;
+        let mut acc = Accumulator::default();
         for (a, b) in pairs {
-            samples += 1;
-            let exact = m.exact(a, b);
-            let err = (exact as i64 - m.multiply(a, b) as i64).abs();
-            if err != 0 {
-                occ += 1;
-                sum += err as u128;
-                if exact != 0 {
-                    rel += err as f64 / exact as f64;
+            acc.push(m.exact(a, b), m.multiply(a, b));
+        }
+        acc.finish(m.name().to_string(), m.a_bits(), m.b_bits())
+    }
+
+    /// Exhaustively characterizes a structural multiplier *netlist* by
+    /// streaming the full operand space through a 64-lane
+    /// [`axmul_fabric::sim::WideSim`] — the gate-level twin of
+    /// [`ErrorStats::exhaustive`], and the evaluation backend of the
+    /// `axmul-dse` explorer.
+    ///
+    /// The netlist must have exactly two input buses (the operands, in
+    /// `a`, `b` order) and its first output bus is taken as the product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::InputArity`] if the netlist does not have
+    /// exactly two input buses; propagates simulation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand space exceeds 2³² pairs.
+    pub fn exhaustive_wide(netlist: &Netlist) -> Result<Self, FabricError> {
+        let buses = netlist.input_buses();
+        if buses.len() != 2 {
+            return Err(FabricError::InputArity {
+                expected: 2,
+                got: buses.len(),
+            });
+        }
+        let (wa, wb) = (buses[0].1.len() as u32, buses[1].1.len() as u32);
+        let mut acc = Accumulator::default();
+        for_each_operand_pair(netlist, |a, b, out| acc.push(a * b, out[0]))?;
+        Ok(acc.finish(netlist.name().to_string(), wa, wb))
+    }
+}
+
+/// Streaming accumulator shared by the scalar ([`ErrorStats::over_pairs`])
+/// and wide ([`ErrorStats::exhaustive_wide`]) characterization paths, so
+/// both are guaranteed to aggregate identically.
+#[derive(Debug, Default)]
+struct Accumulator {
+    samples: u64,
+    occ: u64,
+    max: i64,
+    max_occ: u64,
+    sum: u128,
+    rel: f64,
+}
+
+impl Accumulator {
+    fn push(&mut self, exact: u64, approx: u64) {
+        self.samples += 1;
+        let err = (exact as i64 - approx as i64).abs();
+        if err != 0 {
+            self.occ += 1;
+            self.sum += err as u128;
+            if exact != 0 {
+                self.rel += err as f64 / exact as f64;
+            }
+            match err.cmp(&self.max) {
+                std::cmp::Ordering::Greater => {
+                    self.max = err;
+                    self.max_occ = 1;
                 }
-                match err.cmp(&max) {
-                    std::cmp::Ordering::Greater => {
-                        max = err;
-                        max_occ = 1;
-                    }
-                    std::cmp::Ordering::Equal => max_occ += 1,
-                    std::cmp::Ordering::Less => {}
-                }
+                std::cmp::Ordering::Equal => self.max_occ += 1,
+                std::cmp::Ordering::Less => {}
             }
         }
-        let samples_f = samples.max(1) as f64;
-        let max_product = (mask_for(m.a_bits()) * mask_for(m.b_bits())).max(1) as f64;
+    }
+
+    fn finish(self, name: String, wa: u32, wb: u32) -> ErrorStats {
+        let samples_f = self.samples.max(1) as f64;
+        let max_product = (mask_for(wa) * mask_for(wb)).max(1) as f64;
         ErrorStats {
-            name: m.name().to_string(),
-            samples,
-            error_occurrences: occ,
-            max_error: max,
-            max_error_occurrences: max_occ,
-            avg_error: sum as f64 / samples_f,
-            avg_relative_error: rel / samples_f,
-            error_probability: occ as f64 / samples_f,
-            normalized_mean_error_distance: (sum as f64 / samples_f) / max_product,
+            name,
+            samples: self.samples,
+            error_occurrences: self.occ,
+            max_error: self.max,
+            max_error_occurrences: self.max_occ,
+            avg_error: self.sum as f64 / samples_f,
+            avg_relative_error: self.rel / samples_f,
+            error_probability: self.occ as f64 / samples_f,
+            normalized_mean_error_distance: (self.sum as f64 / samples_f) / max_product,
         }
     }
 }
@@ -190,6 +244,61 @@ mod tests {
         let line = s.to_string();
         assert!(line.contains("Mult(4,3)"));
         assert!(line.contains("max |e| 7"));
+    }
+
+    fn assert_same_numbers(wide: &ErrorStats, scalar: &ErrorStats) {
+        assert_eq!(wide.samples, scalar.samples);
+        assert_eq!(wide.error_occurrences, scalar.error_occurrences);
+        assert_eq!(wide.max_error, scalar.max_error);
+        assert_eq!(wide.max_error_occurrences, scalar.max_error_occurrences);
+        assert_eq!(wide.avg_error, scalar.avg_error);
+        assert_eq!(wide.avg_relative_error, scalar.avg_relative_error);
+        assert_eq!(wide.error_probability, scalar.error_probability);
+        assert_eq!(
+            wide.normalized_mean_error_distance,
+            scalar.normalized_mean_error_distance
+        );
+    }
+
+    #[test]
+    fn exhaustive_wide_matches_scalar_on_4x4() {
+        use axmul_core::behavioral::Approx4x4;
+        use axmul_core::structural::approx_4x4_netlist;
+        let wide = ErrorStats::exhaustive_wide(&approx_4x4_netlist()).unwrap();
+        let scalar = ErrorStats::exhaustive(&Approx4x4::new());
+        assert_same_numbers(&wide, &scalar);
+        // Paper §3.1: 6 erroneous pairs of magnitude 8 out of 256.
+        assert_eq!(wide.error_occurrences, 6);
+        assert_eq!(wide.max_error, 8);
+    }
+
+    #[test]
+    fn exhaustive_wide_matches_scalar_on_8x8() {
+        use axmul_core::behavioral::{Ca, Cc, Summation};
+        use axmul_core::structural::{ca_netlist, cc_netlist};
+        for (nl, m) in [
+            (ca_netlist(8).unwrap(), Summation::Accurate),
+            (cc_netlist(8).unwrap(), Summation::CarryFree),
+        ] {
+            let wide = ErrorStats::exhaustive_wide(&nl).unwrap();
+            let scalar = match m {
+                Summation::Accurate => ErrorStats::exhaustive(&Ca::new(8).unwrap()),
+                Summation::CarryFree => ErrorStats::exhaustive(&Cc::new(8).unwrap()),
+            };
+            assert_same_numbers(&wide, &scalar);
+            assert!(wide.error_occurrences > 0, "approximate 8x8 must err");
+        }
+    }
+
+    #[test]
+    fn exhaustive_wide_rejects_wrong_arity() {
+        use axmul_fabric::{Init, NetlistBuilder};
+        let mut b = NetlistBuilder::new("one_bus");
+        let a = b.inputs("a", 4);
+        let (o6, _) = b.lut2(Init::AND2, a[0], a[1]);
+        b.output("y", o6);
+        let nl = b.finish().unwrap();
+        assert!(ErrorStats::exhaustive_wide(&nl).is_err());
     }
 
     #[test]

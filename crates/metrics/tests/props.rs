@@ -1,7 +1,7 @@
 //! Property-based tests of the metrics engine.
 
 use axmul_baselines::Truncated;
-use axmul_core::{Exact, Multiplier};
+use axmul_core::Exact;
 use axmul_metrics::{bit_accuracy, pareto_front, DesignPoint, ErrorPmf, ErrorStats};
 use proptest::prelude::*;
 

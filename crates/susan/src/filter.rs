@@ -105,8 +105,10 @@ pub fn susan_smooth(img: &Image, params: &SusanParams, mul: &(impl Multiplier + 
         let mut acc: u64 = 0;
         let mut wsum: u64 = 0;
         for &(dx, dy, ws) in &mask {
-            let p = img.get_clamped(x as isize + isize::try_from(dx).expect("small"),
-                                    y as isize + isize::try_from(dy).expect("small"));
+            let p = img.get_clamped(
+                x as isize + isize::try_from(dx).expect("small"),
+                y as isize + isize::try_from(dy).expect("small"),
+            );
             let diff = (i16::from(p) - i16::from(center)).unsigned_abs() as usize;
             let wb = lut[diff.min(255)];
             // Combined-weight ROM content for this offset and |ΔI|.
@@ -114,11 +116,7 @@ pub fn susan_smooth(img: &Image, params: &SusanParams, mul: &(impl Multiplier + 
             acc += mul.multiply(w, u64::from(p));
             wsum += w;
         }
-        if wsum == 0 {
-            center
-        } else {
-            (acc / wsum).min(255) as u8
-        }
+        acc.checked_div(wsum).map_or(center, |q| q.min(255) as u8)
     })
 }
 
@@ -194,12 +192,8 @@ mod tests {
         };
         assert!(var(&out, 2..13) < var(&img, 2..13) / 2.0, "noise reduced");
         // The step survives: means on both sides stay far apart.
-        let left: f64 = (2..13)
-            .map(|x| f64::from(out.get(x, 16)))
-            .sum::<f64>() / 11.0;
-        let right: f64 = (19..30)
-            .map(|x| f64::from(out.get(x, 16)))
-            .sum::<f64>() / 11.0;
+        let left: f64 = (2..13).map(|x| f64::from(out.get(x, 16))).sum::<f64>() / 11.0;
+        let right: f64 = (19..30).map(|x| f64::from(out.get(x, 16))).sum::<f64>() / 11.0;
         assert!(right - left > 90.0, "edge preserved: {left} vs {right}");
     }
 
@@ -211,10 +205,12 @@ mod tests {
         let ca = susan_smooth(&img, &p, &Ca::new(8).unwrap());
         let cc = susan_smooth(&img, &p, &Cc::new(8).unwrap());
         let k = susan_smooth(&img, &p, &Kulkarni::new(8).unwrap());
-        let (psnr_ca, psnr_cc, psnr_k) =
-            (golden.psnr(&ca), golden.psnr(&cc), golden.psnr(&k));
+        let (psnr_ca, psnr_cc, psnr_k) = (golden.psnr(&ca), golden.psnr(&cc), golden.psnr(&k));
         // Table 6 ordering relations that are robust to the input image:
-        assert!(psnr_ca > psnr_cc, "Ca ({psnr_ca:.1}) beats Cc ({psnr_cc:.1})");
+        assert!(
+            psnr_ca > psnr_cc,
+            "Ca ({psnr_ca:.1}) beats Cc ({psnr_cc:.1})"
+        );
         assert!(psnr_ca > psnr_k, "Ca ({psnr_ca:.1}) beats K ({psnr_k:.1})");
         assert!(psnr_ca > 25.0, "Ca output is usable: {psnr_ca:.1} dB");
     }
@@ -240,9 +236,8 @@ mod tests {
     fn wide_multiplier_rejected() {
         let img = Image::new(4, 4);
         let wide = Exact::new(16, 16);
-        let result = std::panic::catch_unwind(|| {
-            susan_smooth(&img, &SusanParams::default(), &wide)
-        });
+        let result =
+            std::panic::catch_unwind(|| susan_smooth(&img, &SusanParams::default(), &wide));
         assert!(result.is_err());
     }
 }

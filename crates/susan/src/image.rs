@@ -211,7 +211,7 @@ pub fn synthetic_test_image(width: usize, height: usize, seed: u64) -> Image {
         // Smooth diagonal gradient.
         let mut v = 60.0 + 90.0 * (fx + fy) / 2.0;
         // High-contrast vertical bars in the left third.
-        if fx < 0.33 && (x / (width / 16).max(1)) % 2 == 0 {
+        if fx < 0.33 && (x / (width / 16).max(1)).is_multiple_of(2) {
             v += 70.0;
         }
         // A bright disc in the upper right.
@@ -250,7 +250,10 @@ mod tests {
             }
         }
         assert!(img.psnr(&one_off) > img.psnr(&noisy));
-        assert!((img.psnr(&noisy) - 28.13).abs() < 0.05, "uniform +10 ~ 28.1 dB");
+        assert!(
+            (img.psnr(&noisy) - 28.13).abs() < 0.05,
+            "uniform +10 ~ 28.1 dB"
+        );
     }
 
     #[test]

@@ -94,7 +94,7 @@ fn isqrt(v: u64) -> u64 {
     // the loop terminates at floor(sqrt(v)) (the two-value oscillation
     // of the naive `x != last` form never occurs).
     let mut x = v;
-    let mut y = (x + 1) / 2;
+    let mut y = x.div_ceil(2);
     while y < x {
         x = y;
         y = (x + v / x) / 2;

@@ -43,6 +43,6 @@ mod trace;
 
 pub use accel::{accelerator_area, AcceleratorArea};
 pub use filter::{susan_smooth, SusanParams};
-pub use kernels::{gaussian_blur, sobel_magnitude};
 pub use image::{synthetic_test_image, Image, ParseImageError};
+pub use kernels::{gaussian_blur, sobel_magnitude};
 pub use trace::{operand_histogram, Recording};

@@ -1,6 +1,6 @@
 //! Property-based tests of the image substrate and the SUSAN datapath.
 
-use axmul_core::{Exact, Multiplier, Swapped};
+use axmul_core::{Exact, Swapped};
 use axmul_susan::{susan_smooth, synthetic_test_image, Image, Recording, SusanParams};
 use proptest::prelude::*;
 
@@ -8,7 +8,9 @@ fn arb_image(max: usize) -> impl Strategy<Value = Image> {
     (2usize..max, 2usize..max, any::<u64>()).prop_map(|(w, h, seed)| {
         let mut s = seed;
         Image::from_fn(w, h, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as u8
         })
     })

@@ -1,68 +1,40 @@
-//! Design-space exploration: sweep every 8×8 multiplier in the library
-//! (proposed, baselines, and the EvoApprox-style cloud), characterize
-//! accuracy against hardware cost, and print the Pareto front — the
-//! workflow behind Figs. 9 and 10.
+//! Design-space exploration with the `axmul-dse` engine.
+//!
+//! Sweeps all 1250 heterogeneous 8×8 recursive configurations
+//! (per-quadrant kernel choice × summation scheme) on a sharded worker
+//! pool with a memoized characterization cache, prints both Pareto
+//! fronts and the verdict on the paper's named approx-Ca / approx-Cc
+//! points, then runs a seeded hill-climb through the 16×16 space where
+//! exhaustive enumeration is intractable.
 //!
 //! ```text
 //! cargo run --release --example design_space_exploration
 //! ```
 
-use approx_multipliers::baselines::evo::library;
-use approx_multipliers::baselines::{
-    kulkarni_netlist, rehman_netlist, IpOpt, Kulkarni, RehmanW, VivadoIp,
-};
-use approx_multipliers::core::behavioral::{Ca, Cc};
-use approx_multipliers::core::structural::{ca_netlist, cc_netlist};
-use approx_multipliers::core::Multiplier;
-use approx_multipliers::fabric::timing::{analyze, DelayModel};
-use approx_multipliers::fabric::Netlist;
-use approx_multipliers::metrics::{pareto_front, DesignPoint, ErrorStats};
+use approx_multipliers::dse::{run, text_report, DseOptions, Strategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let delay = DelayModel::virtex7();
-    let mut points = Vec::new();
-    let mut latencies = Vec::new();
+    // Exhaustive 8x8: every per-quadrant choice of {exact, approx-4x4,
+    // truncated-k} under both Ca and Cc summation.
+    let opts = DseOptions::exhaustive_8x8();
+    let result = run(&opts)?;
+    print!("{}", text_report(&result));
 
-    let mut add = |name: &str, are: f64, nl: &Netlist| {
-        points.push(DesignPoint::new(name, are, nl.lut_count() as f64));
-        latencies.push(analyze(nl, &delay).critical_path_ns);
+    // 16x16 is doubly exponential (each quadrant is itself an 8x8
+    // configuration), so explore it with a multi-restart hill-climb.
+    // Sub-block characterizations are shared through the cache, so the
+    // climb mostly re-combines already-characterized 8x8 blocks.
+    let opts16 = DseOptions {
+        bits: 16,
+        strategy: Strategy::HillClimb {
+            budget: 40,
+            restarts: 4,
+            seed: 0xDAC18,
+        },
+        ..DseOptions::exhaustive_8x8()
     };
-
-    let ca = Ca::new(8)?;
-    add("Ca 8x8", ErrorStats::exhaustive(&ca).avg_relative_error, &ca_netlist(8)?);
-    let cc = Cc::new(8)?;
-    add("Cc 8x8", ErrorStats::exhaustive(&cc).avg_relative_error, &cc_netlist(8)?);
-    let w = RehmanW::new(8)?;
-    add("W 8x8", ErrorStats::exhaustive(&w).avg_relative_error, &rehman_netlist(8)?);
-    let k = Kulkarni::new(8)?;
-    add("K 8x8", ErrorStats::exhaustive(&k).avg_relative_error, &kulkarni_netlist(8)?);
-    for opt in [IpOpt::Area, IpOpt::Speed] {
-        let ip = VivadoIp::new(8, opt);
-        add(ip.name(), 0.0, &ip.netlist());
-    }
-    for design in library() {
-        let are = ErrorStats::exhaustive(&design).avg_relative_error;
-        add(design.name(), are, &design.netlist());
-    }
-
-    let front = pareto_front(&points);
-    println!(
-        "{:<22} {:>12} {:>6} {:>8}  pareto",
-        "design", "avg rel err", "LUTs", "ns"
-    );
-    let mut order: Vec<usize> = (0..points.len()).collect();
-    order.sort_by(|&i, &j| points[i].cost.partial_cmp(&points[j].cost).expect("finite"));
-    for i in order {
-        println!(
-            "{:<22} {:>12.6} {:>6} {:>8.3}  {}",
-            points[i].name,
-            points[i].error,
-            points[i].cost as usize,
-            latencies[i],
-            if front[i] { "*" } else { "" }
-        );
-    }
-    let survivors = front.iter().filter(|&&f| f).count();
-    println!("\n{survivors} Pareto-optimal designs of {}", points.len());
+    let result16 = run(&opts16)?;
+    println!();
+    print!("{}", text_report(&result16));
     Ok(())
 }

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  e = {e:>6}: {count:>6}  {bar}");
     }
     if pmf.distinct_errors() > 20 {
-        println!("  ... {} more distinct error values", pmf.distinct_errors() - 20);
+        println!(
+            "  ... {} more distinct error values",
+            pmf.distinct_errors() - 20
+        );
     }
 
     println!("\nper-bit error probability:");

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         img.height(),
         pixels.len()
     );
-    println!("{:>7} {:>12} {:>8} {:>10}", "quality", "bytes", "ratio", "PSNR [dB]");
+    println!(
+        "{:>7} {:>12} {:>8} {:>10}",
+        "quality", "bytes", "ratio", "PSNR [dB]"
+    );
     for quality in [10u8, 25, 50, 75, 90, 95] {
         let enc = encode_gray(img.width(), img.height(), &pixels, quality)?;
         let dec = decode_gray(&enc)?;

@@ -13,7 +13,10 @@ use approx_multipliers::fabric::timing::{analyze, DelayModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Table 3 of the paper, re-derived from the logic equations:\n");
-    println!("{:<6} {:>18} {:>10} {:>8}", "LUT", "INIT", "reachable", "match");
+    println!(
+        "{:<6} {:>18} {:>10} {:>8}",
+        "LUT", "INIT", "reachable", "match"
+    );
     for check in verify_table3() {
         println!(
             "{:<6} {:>18} {:>10} {:>8}",

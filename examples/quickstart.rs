@@ -15,7 +15,10 @@ use approx_multipliers::metrics::ErrorStats;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The elementary block: exact on 250 of 256 input pairs.
     let elem = Approx4x4::new();
-    println!("proposed 4x4: 13 * 13 = {} (exact: 169)", elem.multiply(13, 13));
+    println!(
+        "proposed 4x4: 13 * 13 = {} (exact: 169)",
+        elem.multiply(13, 13)
+    );
     println!("error cases:");
     for c in Approx4x4::error_cases() {
         println!(
@@ -27,8 +30,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Recursive designs at any power-of-two width.
     let ca = Ca::new(8)?;
     let cc = Cc::new(8)?;
-    println!("\n{}: 250 * 199 = {} (exact 49750)", ca.name(), ca.multiply(250, 199));
-    println!("{}: 250 * 199 = {} (exact 49750)", cc.name(), cc.multiply(250, 199));
+    println!(
+        "\n{}: 250 * 199 = {} (exact 49750)",
+        ca.name(),
+        ca.multiply(250, 199)
+    );
+    println!(
+        "{}: 250 * 199 = {} (exact 49750)",
+        cc.name(),
+        cc.multiply(250, 199)
+    );
 
     // Exhaustive error characterization (Table 5).
     for m in [&ca as &dyn Multiplier, &cc] {

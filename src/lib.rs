@@ -23,6 +23,9 @@
 //!   through the device cost model (Table 1).
 //! * [`adders`] — the approximate-adder substrate (LOA, truncated,
 //!   carry-free) behind the summation design space.
+//! * [`dse`] — parallel design-space exploration over the recursive
+//!   configuration space with memoized error composition and Pareto
+//!   reporting (exhaustive at 8×8, random/hill-climb at 16×16).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +48,7 @@ pub use axmul_adders as adders;
 pub use axmul_apps as apps;
 pub use axmul_baselines as baselines;
 pub use axmul_core as core;
+pub use axmul_dse as dse;
 pub use axmul_fabric as fabric;
 pub use axmul_metrics as metrics;
 pub use axmul_susan as susan;

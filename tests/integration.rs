@@ -57,14 +57,16 @@ fn fabric_services_compose() {
     let out = sim.eval(&[&a, &b]).expect("simulates");
     let ca = Ca::new(8).expect("valid");
     for i in 0..64 {
-        assert_eq!(out[0][i as usize], ca.multiply(a[i as usize], b[i as usize]));
+        assert_eq!(
+            out[0][i as usize],
+            ca.multiply(a[i as usize], b[i as usize])
+        );
     }
 
     let t = analyze(&nl, &DelayModel::virtex7());
     assert!(t.critical_path_ns > 0.0);
     let stim = uniform_stimulus(&nl, 500, 1);
-    let e = measure(&nl, &EnergyModel::virtex7(), &DelayModel::virtex7(), &stim)
-        .expect("measures");
+    let e = measure(&nl, &EnergyModel::virtex7(), &DelayModel::virtex7(), &stim).expect("measures");
     assert!(e.edp > 0.0);
 }
 
@@ -75,9 +77,7 @@ fn jpeg_then_reed_solomon() {
     let img = synthetic_test_image(64, 48, 9);
     let enc = encode_gray(img.width(), img.height(), img.pixels(), 75).expect("encodes");
     let dec = decode_gray(&enc).expect("decodes");
-    let decoded = Image::from_fn(img.width(), img.height(), |x, y| {
-        dec[y * img.width() + x]
-    });
+    let decoded = Image::from_fn(img.width(), img.height(), |x, y| dec[y * img.width() + x]);
     assert!(img.psnr(&decoded) > 28.0, "JPEG q75 fidelity");
 
     let rs = RsEncoder::rs_255_239();
@@ -133,9 +133,8 @@ fn application_on_gate_level_multiplier() {
             "Ca 8x8 (netlist)"
         }
     }
-    let gate_level = NetlistMul(
-        approx_multipliers::core::structural::ca_netlist(8).expect("valid"),
-    );
+    let gate_level =
+        NetlistMul(approx_multipliers::core::structural::ca_netlist(8).expect("valid"));
     let img = synthetic_test_image(24, 24, 3);
     let params = SusanParams::default();
     let behavioral = susan_smooth(&img, &params, &Ca::new(8).expect("valid"));

@@ -25,8 +25,8 @@ fn abstract_headline_gains() {
     // Latency: Cc 16x16 vs the area-optimized IP (the slow default).
     let ip16 = VivadoIp::new(16, IpOpt::Area).netlist();
     let cc16 = cc_netlist(16).expect("valid");
-    let lat_gain = 1.0
-        - analyze(&cc16, &delay).critical_path_ns / analyze(&ip16, &delay).critical_path_ns;
+    let lat_gain =
+        1.0 - analyze(&cc16, &delay).critical_path_ns / analyze(&ip16, &delay).critical_path_ns;
     assert!(
         lat_gain > 0.5,
         "latency gain {lat_gain:.2} should approach the paper's 53%"
@@ -67,11 +67,24 @@ fn table4_lut_counts() {
 /// architectures at once.
 #[test]
 fn table5_full_reproduction() {
-    let expect: [(&str, Box<dyn Multiplier>, i64, u64, u64); 5] = [
+    type Expectation = (&'static str, Box<dyn Multiplier>, i64, u64, u64);
+    let expect: [Expectation; 5] = [
         ("Ca", Box::new(Ca::new(8).expect("valid")), 2312, 5482, 14),
         ("Cc", Box::new(Cc::new(8).expect("valid")), 8288, 52731, 1),
-        ("W", Box::new(RehmanW::new(8).expect("valid")), 7225, 53375, 31),
-        ("K", Box::new(Kulkarni::new(8).expect("valid")), 14450, 30625, 1),
+        (
+            "W",
+            Box::new(RehmanW::new(8).expect("valid")),
+            7225,
+            53375,
+            31,
+        ),
+        (
+            "K",
+            Box::new(Kulkarni::new(8).expect("valid")),
+            14450,
+            30625,
+            1,
+        ),
         ("Mult(8,4)", Box::new(Truncated::new(8, 4)), 15, 53248, 2048),
     ];
     for (name, m, max, occ, max_occ) in expect {
@@ -102,8 +115,14 @@ fn susan_quality_orderings() {
 
     assert!(p_ca > p_k, "proposed Ca ({p_ca:.1}) beats K ({p_k:.1})");
     assert!(p_ca > p_cc, "Ca ({p_ca:.1}) beats Cc ({p_cc:.1})");
-    assert!(p_cas > p_ca, "swapping improves Ca: {p_cas:.1} vs {p_ca:.1}");
-    assert!(p_ccs >= p_cc, "swapping does not hurt Cc: {p_ccs:.1} vs {p_cc:.1}");
+    assert!(
+        p_cas > p_ca,
+        "swapping improves Ca: {p_cas:.1} vs {p_ca:.1}"
+    );
+    assert!(
+        p_ccs >= p_cc,
+        "swapping does not hurt Cc: {p_ccs:.1} vs {p_cc:.1}"
+    );
     assert!(p_ca > 30.0, "Ca stays visually usable: {p_ca:.1} dB");
 }
 

@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements just enough of the criterion 0.5 API for this workspace's
+//! `harness = false` benches: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up
+//! briefly, then timed over `sample_size` samples with
+//! [`std::time::Instant`], and the per-iteration mean / min are printed
+//! as plain text. There are no plots, no statistics beyond mean/min,
+//! and no baseline comparisons — but `cargo bench` runs, measures, and
+//! reports real numbers with zero external dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How per-iteration setup output is batched in
+/// [`Bencher::iter_batched`]. The shim times one routine call per
+/// setup call regardless of the variant, so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: self.default_sample_size,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a prefix and a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(&id);
+        self
+    }
+
+    /// Ends the group (printing nothing extra; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times the benchmarked routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<(Duration, u64)>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over repeated calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count that runs at
+        // least ~1 ms per sample to keep timer noise down.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push((start.elapsed(), iters));
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push((start.elapsed(), 1));
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("  {id:<40} (no samples)");
+            return;
+        }
+        let per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|(d, n)| d.as_secs_f64() / *n as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        println!(
+            "  {id:<40} mean {:>12}  min {:>12}  ({} samples)",
+            format_time(mean),
+            format_time(min),
+            per_iter.len()
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut runs = 0u64;
+        g.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(4);
+        let mut setups = 0u64;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 4);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -98,8 +98,10 @@ pub fn kulkarni_kernel_netlist() -> Netlist {
         |i| bitat(i, 0) && bitat(i, 2),
     );
     let (p1, p0) = bld.lut6_2(i01, [a[0], a[1], b[0], b[1], zero, one]);
-    let i2 = Init::from_fn(|i| bitat(i, 1) && bitat(i, 3));
-    let p2 = bld.lut6(i2, [a[0], a[1], b[0], b[1], zero, zero]);
+    // P2 = A1·B1 only — route just the two live pins (a routed pin the
+    // INIT ignores is the `ignored-pin` lint smell).
+    let i2 = Init::from_fn(|i| bitat(i, 0) && bitat(i, 1));
+    let p2 = bld.lut6(i2, [a[1], b[1], zero, zero, zero, zero]);
     bld.output_bus("p", &[p0, p1, p2, zero]);
     bld.finish().expect("kulkarni kernel is well-formed")
 }

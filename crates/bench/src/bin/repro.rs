@@ -88,6 +88,11 @@ const EXPERIMENTS: &[Experiment] = &[
         experiments::dse_scaling,
         "DSE worker-pool speedup",
     ),
+    (
+        "lint",
+        experiments::lint_roster,
+        "static-analysis gate over the roster",
+    ),
 ];
 
 fn usage() {

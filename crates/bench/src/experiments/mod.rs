@@ -6,12 +6,14 @@ mod ablations;
 mod dse;
 mod extensions;
 mod figures;
+mod lint;
 mod tables;
 
 pub use ablations::{ablate_4x2_trunc, ablate_cc_depth, ablate_elem, ablate_swap};
 pub use dse::{dse_scaling, dse_subset, ext_dse};
 pub use extensions::{ablate_cfree_op, ext_adders, ext_correction, ext_signed};
 pub use figures::{fig1, fig10, fig12, fig7, fig8, fig9};
+pub use lint::{lint_all_reports, lint_roster};
 pub use tables::{susan_area, table1, table2, table3, table4, table5, table6};
 
 /// Runs every experiment in paper order and concatenates the reports.
@@ -41,6 +43,7 @@ pub fn all() -> String {
         ext_signed(),
         ext_dse(),
         dse_scaling(),
+        lint_roster(),
     ]
     .join("\n")
 }

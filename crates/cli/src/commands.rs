@@ -30,6 +30,8 @@ pub enum CliError {
     Image(axmul_susan::ParseImageError),
     /// Netlist simulation failed during DSE characterization.
     Fabric(axmul_fabric::FabricError),
+    /// The lint gate failed; the payload is the full rendered report.
+    Lint(String),
 }
 
 impl fmt::Display for CliError {
@@ -41,6 +43,7 @@ impl fmt::Display for CliError {
             CliError::Arch(e) => write!(f, "{e}"),
             CliError::Image(e) => write!(f, "{e}"),
             CliError::Fabric(e) => write!(f, "{e}"),
+            CliError::Lint(report) => write!(f, "lint gate failed\n{report}"),
         }
     }
 }
@@ -76,6 +79,9 @@ impl From<axmul_fabric::FabricError> for CliError {
 /// Parsed `--key value` options.
 struct Opts(HashMap<String, String>);
 
+/// Options that are bare flags (no value follows them).
+const FLAGS: &[&str] = &["all", "json"];
+
 impl Opts {
     fn parse(args: &[String]) -> Result<Self, CliError> {
         let mut map = HashMap::new();
@@ -84,6 +90,10 @@ impl Opts {
             let Some(name) = key.strip_prefix("--").or_else(|| key.strip_prefix('-')) else {
                 return Err(CliError::Usage(format!("unexpected argument `{key}`")));
             };
+            if FLAGS.contains(&name) {
+                map.insert(name.to_string(), String::new());
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| CliError::Usage(format!("`{key}` needs a value")))?;
@@ -94,6 +104,10 @@ impl Opts {
 
     fn get(&self, key: &str) -> Option<&str> {
         self.0.get(key).map(String::as_str)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.0.contains_key(key)
     }
 
     fn arch(&self) -> Result<Arch, CliError> {
@@ -131,6 +145,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "stats" => stats(&opts),
         "smooth" => smooth(&opts),
         "dse" => dse(&opts),
+        "lint" => lint(&opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
@@ -147,7 +162,9 @@ fn usage() -> String {
      \x20 smooth      --arch A [--width W --height H] [--input in.pgm] [-o out.pgm]\n\
      \x20 dse         --width N [--strategy exhaustive|random|hill] [--workers W]\n\
      \x20             [--budget B] [--restarts R] [--seed S] [--out-dir DIR]\n\
-     \x20                                          design-space exploration\n"
+     \x20                                          design-space exploration\n\
+     \x20 lint        --arch A [--bits N] | --all [--bits N]\n\
+     \x20             [--json] [--deny warnings]   static netlist analysis\n"
         .to_string()
 }
 
@@ -315,6 +332,91 @@ fn dse(opts: &Opts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Warnings a design is *expected* to carry: the K baseline's deleted
+/// kernel bit leaves a provably-constant summation LUT, and the
+/// VivadoIP emulations reproduce the IP's wasteful mapping on purpose
+/// (the paper's motivation). Mirrors the allowance of the bench crate's
+/// `repro lint` experiment; everything else must be warning-free under
+/// `--deny warnings`.
+fn allowed_waste(arch: Arch, code: &str) -> bool {
+    match arch {
+        Arch::Kulkarni => code == "const-lut",
+        Arch::IpArea | Arch::IpSpeed => {
+            matches!(code, "const-lut" | "stuck-carry" | "unreachable-cell")
+        }
+        _ => false,
+    }
+}
+
+fn lint(opts: &Opts) -> Result<String, CliError> {
+    use axmul_lint::{Linter, Severity};
+
+    let deny_warnings = match opts.get("deny") {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "bad --deny `{other}` (only `warnings`)"
+            )))
+        }
+    };
+    let targets: Vec<Arch> = if opts.flag("all") {
+        ALL.iter().map(|(a, _, _)| *a).collect()
+    } else {
+        vec![opts.arch()?]
+    };
+    let linter = Linter::new();
+    let mut text = String::new();
+    let mut jsons = Vec::new();
+    let (mut errors, mut denied) = (0usize, 0usize);
+    for arch in targets {
+        let bits = match arch {
+            Arch::Approx4x4 | Arch::Approx4x2 => 4,
+            _ => opts.bits()?,
+        };
+        let nl = arch.netlist(bits)?;
+        // `truncated` pairs the paper's product-zeroing behavioral model
+        // with the PP-dropping hardware idiom, so only the structural
+        // passes apply there (see docs/modeling-notes.md).
+        let mut report = if arch == Arch::Truncated {
+            linter.lint(&nl)
+        } else {
+            linter.lint_against(&nl, arch.behavioral(bits)?.as_ref())
+        };
+        report.netlist = format!("{arch} ({})", nl.name());
+        errors += report.errors();
+        if deny_warnings {
+            denied += report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Warning && !allowed_waste(arch, d.code))
+                .count();
+        }
+        if opts.flag("json") {
+            jsons.push(report.to_json());
+        } else {
+            text.push_str(&report.to_string());
+        }
+    }
+    let out = if opts.flag("json") {
+        format!("[{}]\n", jsons.join(","))
+    } else {
+        text.push_str(&format!(
+            "lint verdict: {} ({errors} error(s), {denied} denied warning(s))\n",
+            if errors == 0 && denied == 0 {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        ));
+        text
+    };
+    if errors > 0 || denied > 0 {
+        return Err(CliError::Lint(out));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,6 +544,46 @@ mod tests {
         ));
         assert!(matches!(
             run_str(&["dse", "--workers", "0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn lint_single_arch_passes() {
+        let out = run_str(&["lint", "--arch", "ca", "--bits", "8"]).unwrap();
+        assert!(out.contains("0 error(s)"), "{out}");
+        assert!(out.contains("equiv-verified"), "{out}");
+        assert!(out.contains("lint verdict: PASS"), "{out}");
+    }
+
+    #[test]
+    fn lint_all_deny_warnings_is_the_ci_gate() {
+        let out = run_str(&["lint", "--all", "--deny", "warnings"]).unwrap();
+        assert!(
+            out.contains("lint verdict: PASS (0 error(s), 0 denied warning(s))"),
+            "{out}"
+        );
+        for (_, name, _) in ALL {
+            assert!(
+                out.contains(&format!("lint `{name} (")),
+                "{name} missing:\n{out}"
+            );
+        }
+    }
+
+    #[test]
+    fn lint_json_emits_report_array() {
+        let out = run_str(&["lint", "--arch", "approx4x4", "--json"]).unwrap();
+        assert!(out.starts_with('['), "{out}");
+        assert!(out.contains("\"errors\":0"), "{out}");
+        assert!(out.contains("\"code\":\"equiv-verified\""), "{out}");
+    }
+
+    #[test]
+    fn lint_usage_errors() {
+        assert!(matches!(run_str(&["lint"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_str(&["lint", "--arch", "ca", "--deny", "infos"]),
             Err(CliError::Usage(_))
         ));
     }

@@ -9,6 +9,7 @@
 //! axmul characterize --arch cc --bits 16
 //! axmul stats      --arch w --bits 8
 //! axmul smooth     --width 128 --height 128 --arch ca -o out.pgm
+//! axmul lint       --all --deny warnings
 //! ```
 //!
 //! The library half ([`Arch`], [`run`]) is exposed so the command logic

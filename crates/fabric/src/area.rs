@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use crate::netlist::Cell;
+use crate::netlist::{Cell, Driver};
 use crate::Netlist;
 
 /// Area summary of a netlist.
@@ -38,6 +38,20 @@ pub struct AreaReport {
     /// these in its "16 LUTs (2 LUTs wasted by the second carry chain)"
     /// remark about the §3.2 reference design.
     pub wasted_sites: usize,
+    /// Cell output nets (`O6`, `O5`, carry sums and carry-outs) that
+    /// drive nothing: no cell pin counts them per [`Netlist::fanouts`]
+    /// and they are not primary outputs. A dead `O5` is unused
+    /// fracturable capacity, a dead final carry-out is routine; a dead
+    /// `O6` is logic the netlist pays area for without using.
+    pub dead_outputs: usize,
+    /// Connected LUT input pins carrying a *non-constant* net that the
+    /// truth table provably ignores ([`crate::Init::depends_on`]):
+    /// routed wires that cannot influence the LUT. Constant ties used
+    /// for packing (e.g. `I5 = 1`) are excluded. The lint dead-logic
+    /// pass reports the same pins cell-by-cell (refined by output
+    /// liveness: a pin only the dead half of a fractured LUT reads is
+    /// an `ignored-pin` there but not here).
+    pub ignored_pins: usize,
 }
 
 impl AreaReport {
@@ -56,10 +70,41 @@ impl AreaReport {
                 Cell::Lut { .. } => None,
             })
             .sum();
+        let fanouts = netlist.fanouts();
+        let dead = |net: crate::NetId| usize::from(fanouts[net.index()] == 0);
+        let mut dead_outputs = 0;
+        let mut ignored_pins = 0;
+        for cell in netlist.cells() {
+            match cell {
+                Cell::Lut {
+                    init,
+                    inputs,
+                    o6,
+                    o5,
+                } => {
+                    dead_outputs += dead(*o6) + o5.map_or(0, dead);
+                    for (i, n) in inputs.iter().enumerate() {
+                        let tied = matches!(netlist.drivers()[n.index()], Driver::Const(_));
+                        if !tied && !init.depends_on(i as u8) {
+                            ignored_pins += 1;
+                        }
+                    }
+                }
+                Cell::Carry4 { o, co, .. } => {
+                    dead_outputs += o
+                        .iter()
+                        .chain(co.iter())
+                        .filter_map(|n| n.map(dead))
+                        .sum::<usize>();
+                }
+            }
+        }
         AreaReport {
             luts: netlist.lut_count(),
             carry4s: netlist.carry4_count(),
             wasted_sites,
+            dead_outputs,
+            ignored_pins,
         }
     }
 
@@ -119,13 +164,13 @@ mod tests {
         let r = AreaReport {
             luts: 2,
             carry4s: 3,
-            wasted_sites: 0,
+            ..AreaReport::default()
         };
         assert_eq!(r.slices(), 3);
         let r = AreaReport {
             luts: 9,
             carry4s: 1,
-            wasted_sites: 0,
+            ..AreaReport::default()
         };
         assert_eq!(r.slices(), 3);
     }
@@ -151,11 +196,37 @@ mod tests {
     }
 
     #[test]
+    fn dead_outputs_and_ignored_pins_are_counted() {
+        let mut b = NetlistBuilder::new("n");
+        let a = b.inputs("a", 3);
+        // lut2 allocates O5 that nothing uses -> one dead output. XOR2
+        // ignores I2..I5, but only a[2] is a *non-constant* ignored pin.
+        let z = b.constant(false);
+        let (o6, _o5) = b.lut6_2(Init::XOR2, [a[0], a[1], a[2], z, z, z]);
+        b.output("y", o6);
+        let nl = b.finish().unwrap();
+        let area = AreaReport::of(&nl);
+        assert_eq!(area.dead_outputs, 1, "unused O5");
+        assert_eq!(area.ignored_pins, 1, "a[2] routed but ignored");
+
+        // A clean netlist: no dead outputs, no ignored pins.
+        let mut b = NetlistBuilder::new("clean");
+        let a = b.inputs("a", 2);
+        let z = b.constant(false);
+        let o6 = b.lut6(Init::XOR2, [a[0], a[1], z, z, z, z]);
+        b.output("y", o6);
+        let nl = b.finish().unwrap();
+        let area = AreaReport::of(&nl);
+        assert_eq!(area.dead_outputs, 0);
+        assert_eq!(area.ignored_pins, 0);
+    }
+
+    #[test]
     fn display_is_informative() {
         let r = AreaReport {
             luts: 12,
             carry4s: 2,
-            wasted_sites: 0,
+            ..AreaReport::default()
         };
         assert_eq!(r.to_string(), "12 LUTs, 2 CARRY4s (>= 3 slices)");
     }

@@ -63,4 +63,4 @@ pub mod timing;
 
 pub use error::FabricError;
 pub use init::Init;
-pub use netlist::{Cell, CellId, NetId, Netlist, NetlistBuilder};
+pub use netlist::{Cell, CellId, Driver, NetId, Netlist, NetlistBuilder};

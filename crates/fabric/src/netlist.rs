@@ -16,6 +16,16 @@ impl NetId {
     pub const fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds a `NetId` from a raw index.
+    ///
+    /// Only meaningful together with [`Netlist::from_parts`], which is
+    /// the one entry point that accepts externally-minted ids; nets for
+    /// [`NetlistBuilder`] APIs must come from the builder itself.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        NetId(index)
+    }
 }
 
 impl fmt::Display for NetId {
@@ -33,6 +43,12 @@ impl CellId {
     #[must_use]
     pub const fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Builds a `CellId` from a raw index (see [`NetId::new`]).
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        CellId(index)
     }
 }
 
@@ -171,6 +187,39 @@ impl Netlist {
             .count()
     }
 
+    /// Assembles a netlist from raw parts **without validation**.
+    ///
+    /// Unlike [`NetlistBuilder::finish`], no invariant is checked: the
+    /// driver table may disagree with the cell list, cells may be out
+    /// of topological order, nets may be dangling or multiply driven,
+    /// and combinational cycles are representable. Simulating or
+    /// analyzing such a netlist is undefined in the "garbage in,
+    /// garbage out" sense (no memory unsafety — the crate forbids
+    /// `unsafe`, but indices may panic on out-of-range access).
+    ///
+    /// This is the escape hatch for code that must *represent* broken
+    /// netlists: the `axmul-lint` static analyzer uses it to build
+    /// deliberately-ill-formed fixtures, and importers of
+    /// externally-generated netlists can construct first and let lint
+    /// judge. Everything else should go through [`NetlistBuilder`].
+    #[must_use]
+    pub fn from_parts(
+        name: impl Into<String>,
+        drivers: Vec<Driver>,
+        cells: Vec<Cell>,
+        inputs: Vec<(String, Vec<NetId>)>,
+        outputs: Vec<(String, Vec<NetId>)>,
+    ) -> Self {
+        Netlist {
+            name: name.into(),
+            net_count: drivers.len() as u32,
+            drivers,
+            cells,
+            inputs,
+            outputs,
+        }
+    }
+
     /// Fanout (number of cell/output sinks) of every net.
     #[must_use]
     pub fn fanouts(&self) -> Vec<u32> {
@@ -184,6 +233,40 @@ impl Netlist {
                         if init.depends_on(i as u8) {
                             fo[n.index()] += 1;
                         }
+                    }
+                }
+                Cell::Carry4 { cin, s, di, .. } => {
+                    fo[cin.index()] += 1;
+                    for n in s.iter().chain(di.iter()) {
+                        fo[n.index()] += 1;
+                    }
+                }
+            }
+        }
+        for (_, bits) in &self.outputs {
+            for n in bits {
+                fo[n.index()] += 1;
+            }
+        }
+        fo
+    }
+
+    /// Fanout of every net counting **every connected pin**, including
+    /// LUT pins the INIT truth table ignores (which [`Netlist::fanouts`]
+    /// excludes).
+    ///
+    /// The difference between the two counts is what the lint
+    /// dead-logic pass and [`crate::area::AreaReport`] call *ignored
+    /// pins*: wires routed to a LUT input that cannot influence any of
+    /// its used outputs.
+    #[must_use]
+    pub fn connected_fanouts(&self) -> Vec<u32> {
+        let mut fo = vec![0u32; self.net_count as usize];
+        for cell in &self.cells {
+            match cell {
+                Cell::Lut { inputs, .. } => {
+                    for n in inputs {
+                        fo[n.index()] += 1;
                     }
                 }
                 Cell::Carry4 { cin, s, di, .. } => {

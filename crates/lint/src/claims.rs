@@ -1,0 +1,368 @@
+//! Pass 4 — claim checking.
+//!
+//! Everything the paper asserts about its designs that can be decided
+//! statically from the netlist is decided here:
+//!
+//! * **Equivalence** — a netlist realizes its behavioral model, proved
+//!   exhaustively when the operand space is small enough (every 4×4 and
+//!   8×8 design) and sampled deterministically beyond that. A mismatch
+//!   is reported with a *minimized* counterexample: operand bits are
+//!   greedily cleared while the disagreement persists, so the reported
+//!   pair is a local minimum that isolates the failing cone.
+//! * **Table 2** — the proposed approximate 4×4 errs on exactly six
+//!   operand pairs, every one by exactly `+8`, on exactly the published
+//!   pairs.
+//! * **Table 3** — the shipped INIT constants re-derive from the logic
+//!   equations ([`axmul_core::structural::verify_table3`]) and all
+//!   twelve appear in the elaborated netlist.
+//! * **Slice fit** — the §3.1 claim that the approximate 4×2 packs into
+//!   a single slice: at most 4 LUTs and no carry chain.
+//!
+//! Each check that passes leaves an `Info` diagnostic behind, so a
+//! report is positive evidence of what was verified, not merely an
+//! absence of complaints.
+
+use axmul_core::structural::{verify_table3, TABLE3};
+use axmul_core::Multiplier;
+use axmul_fabric::sim::for_each_operand_pair;
+use axmul_fabric::Cell;
+use axmul_fabric::Netlist;
+
+use crate::diag::{Diagnostic, Locus, Pass, Severity};
+use crate::LintOptions;
+
+fn diag(severity: Severity, code: &'static str, message: String) -> Diagnostic {
+    Diagnostic {
+        pass: Pass::Claims,
+        severity,
+        code,
+        locus: Locus::Global,
+        message,
+    }
+}
+
+/// Table 2 of the paper: the six erroneous `(a, b)` operand pairs of the
+/// proposed approximate 4×4 multiplier, each off by exactly `+8`.
+pub const TABLE2_PAIRS: [(u64, u64); 6] = [(15, 5), (7, 6), (15, 6), (15, 7), (13, 13), (5, 15)];
+
+/// Checks structural-vs-behavioral equivalence of `netlist` against
+/// `model`, appending findings to `diags` (and a note to `skipped` when
+/// the check had to sample instead of exhausting).
+///
+/// The netlist must expose two input buses (`a`, then `b`) matching the
+/// model's operand widths and a single product output bus.
+pub fn check_equivalence(
+    netlist: &Netlist,
+    model: &dyn Multiplier,
+    opts: &LintOptions,
+    diags: &mut Vec<Diagnostic>,
+    skipped: &mut Vec<String>,
+) {
+    let buses = netlist.input_buses();
+    if buses.len() != 2
+        || buses[0].1.len() != model.a_bits() as usize
+        || buses[1].1.len() != model.b_bits() as usize
+        || netlist.output_buses().len() != 1
+    {
+        let got: Vec<String> = buses
+            .iter()
+            .map(|(n, b)| format!("{n}[{}]", b.len()))
+            .collect();
+        diags.push(diag(
+            Severity::Error,
+            "equiv-interface",
+            format!(
+                "netlist interface ({} in, {} out buses: {}) does not match model `{}` ({}x{})",
+                buses.len(),
+                netlist.output_buses().len(),
+                got.join(", "),
+                model.name(),
+                model.a_bits(),
+                model.b_bits()
+            ),
+        ));
+        return;
+    }
+    let total_bits = model.a_bits() + model.b_bits();
+    let mut mismatches = 0u64;
+    let mut witness: Option<(u64, u64)> = None;
+    if total_bits <= opts.exhaustive_bits {
+        let result = for_each_operand_pair(netlist, |a, b, out| {
+            if out[0] != model.multiply(a, b) {
+                mismatches += 1;
+                if witness.is_none() {
+                    witness = Some((a, b));
+                }
+            }
+        });
+        if let Err(e) = result {
+            diags.push(diag(
+                Severity::Error,
+                "equiv-sim",
+                format!("simulation failed during equivalence check: {e}"),
+            ));
+            return;
+        }
+        if let Some(w) = witness {
+            let (a, b) = minimize(netlist, model, w);
+            diags.push(diag(
+                Severity::Error,
+                "equiv-mismatch",
+                format!(
+                    "netlist disagrees with `{}` on {mismatches} of {} operand pairs; \
+                     minimized counterexample a={a} b={b}: netlist {} vs model {}",
+                    model.name(),
+                    1u64 << total_bits,
+                    eval_product(netlist, a, b),
+                    model.multiply(a, b)
+                ),
+            ));
+        } else {
+            diags.push(diag(
+                Severity::Info,
+                "equiv-verified",
+                format!(
+                    "netlist proven equal to `{}` on all {} operand pairs",
+                    model.name(),
+                    1u64 << total_bits
+                ),
+            ));
+        }
+    } else {
+        // Deterministic SplitMix64 sampling: same verdict every run.
+        let mut state = 0x5EED_BA5E_D00Du64 ^ (u64::from(total_bits) << 32);
+        let a_mask = (1u64 << model.a_bits()) - 1;
+        let b_mask = (1u64 << model.b_bits()) - 1;
+        for _ in 0..opts.samples {
+            let r = splitmix64(&mut state);
+            let a = r & a_mask;
+            let b = (r >> model.a_bits()) & b_mask;
+            if eval_product(netlist, a, b) != model.multiply(a, b) {
+                mismatches += 1;
+                if witness.is_none() {
+                    witness = Some((a, b));
+                }
+            }
+        }
+        if let Some(w) = witness {
+            let (a, b) = minimize(netlist, model, w);
+            diags.push(diag(
+                Severity::Error,
+                "equiv-mismatch",
+                format!(
+                    "netlist disagrees with `{}` on {mismatches} of {} sampled operand pairs; \
+                     minimized counterexample a={a} b={b}: netlist {} vs model {}",
+                    model.name(),
+                    opts.samples,
+                    eval_product(netlist, a, b),
+                    model.multiply(a, b)
+                ),
+            ));
+        } else {
+            diags.push(diag(
+                Severity::Info,
+                "equiv-sampled",
+                format!(
+                    "netlist agrees with `{}` on {} deterministically sampled operand pairs \
+                     ({total_bits} operand bits exceed the {}-bit exhaustive budget)",
+                    model.name(),
+                    opts.samples,
+                    opts.exhaustive_bits
+                ),
+            ));
+            skipped.push(format!(
+                "equivalence vs `{}` sampled ({} pairs), not exhaustive",
+                model.name(),
+                opts.samples
+            ));
+        }
+    }
+}
+
+fn eval_product(netlist: &Netlist, a: u64, b: u64) -> u64 {
+    netlist.eval(&[a, b]).map_or(u64::MAX, |out| out[0])
+}
+
+// Greedily clears operand bits while the disagreement persists, to a
+// fixpoint: the returned pair still fails but no single bit of it can
+// be dropped, which usually points straight at the failing cone.
+fn minimize(netlist: &Netlist, model: &dyn Multiplier, witness: (u64, u64)) -> (u64, u64) {
+    let (mut a, mut b) = witness;
+    let fails = |a: u64, b: u64| eval_product(netlist, a, b) != model.multiply(a, b);
+    loop {
+        let mut shrunk = false;
+        for bit in 0..64 {
+            let m = 1u64 << bit;
+            if a & m != 0 && fails(a & !m, b) {
+                a &= !m;
+                shrunk = true;
+            }
+            if b & m != 0 && fails(a, b & !m) {
+                b &= !m;
+                shrunk = true;
+            }
+        }
+        if !shrunk {
+            return (a, b);
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Checks the paper's Table 2 against `netlist`, assumed to be a 4×4
+/// multiplier: exactly six erroneous operand pairs, every error exactly
+/// `+8` (approximate below exact), on exactly the published pairs.
+pub fn check_table2(netlist: &Netlist, diags: &mut Vec<Diagnostic>) {
+    let mut wrong: Vec<(u64, u64, i64)> = Vec::new();
+    let result = for_each_operand_pair(netlist, |a, b, out| {
+        let exact = a * b;
+        let got = out[0];
+        if got != exact {
+            wrong.push((a, b, exact as i64 - got as i64));
+        }
+    });
+    if let Err(e) = result {
+        diags.push(diag(
+            Severity::Error,
+            "equiv-sim",
+            format!("simulation failed during Table 2 check: {e}"),
+        ));
+        return;
+    }
+    let mut failed = false;
+    if wrong.len() != TABLE2_PAIRS.len() {
+        failed = true;
+        diags.push(diag(
+            Severity::Error,
+            "table2-count",
+            format!(
+                "Table 2 claims exactly {} error pairs, netlist has {}",
+                TABLE2_PAIRS.len(),
+                wrong.len()
+            ),
+        ));
+    }
+    for &(a, b, d) in &wrong {
+        if d != 8 {
+            failed = true;
+            diags.push(diag(
+                Severity::Error,
+                "table2-magnitude",
+                format!("error at a={a} b={b} is {d}, Table 2 claims every error is +8"),
+            ));
+        }
+    }
+    let mut got_pairs: Vec<(u64, u64)> = wrong.iter().map(|&(a, b, _)| (a, b)).collect();
+    got_pairs.sort_unstable();
+    let mut want_pairs = TABLE2_PAIRS.to_vec();
+    want_pairs.sort_unstable();
+    if got_pairs != want_pairs {
+        failed = true;
+        diags.push(diag(
+            Severity::Error,
+            "table2-pairs",
+            format!("erroneous pairs {got_pairs:?} differ from Table 2's {want_pairs:?}"),
+        ));
+    }
+    if !failed {
+        diags.push(diag(
+            Severity::Info,
+            "table2-verified",
+            "Table 2 confirmed: exactly 6 error pairs, each of magnitude 8, on the published operands"
+                .to_string(),
+        ));
+    }
+}
+
+/// Checks the paper's Table 3 against `netlist`: every published INIT
+/// re-derives from the multiplier's logic equations, and all twelve
+/// constants appear (as a multiset) among the netlist's LUTs.
+pub fn check_table3(netlist: &Netlist, diags: &mut Vec<Diagnostic>) {
+    let mut failed = false;
+    for check in verify_table3() {
+        if !check.matches {
+            failed = true;
+            diags.push(diag(
+                Severity::Error,
+                "table3-init",
+                format!(
+                    "{}: published INIT {} disagrees with the derivation {} on reachable indices",
+                    check.name, check.published, check.derived
+                ),
+            ));
+        }
+    }
+    let mut have: Vec<u64> = netlist
+        .cells()
+        .iter()
+        .filter_map(|c| match c {
+            Cell::Lut { init, .. } => Some(init.raw()),
+            Cell::Carry4 { .. } => None,
+        })
+        .collect();
+    for row in &TABLE3 {
+        if let Some(pos) = have.iter().position(|&i| i == row.init) {
+            have.swap_remove(pos);
+        } else {
+            failed = true;
+            diags.push(diag(
+                Severity::Error,
+                "table3-missing",
+                format!(
+                    "netlist contains no (unclaimed) LUT with {}'s published INIT 0x{:016X}",
+                    row.name, row.init
+                ),
+            ));
+        }
+    }
+    if !failed {
+        diags.push(diag(
+            Severity::Info,
+            "table3-verified",
+            format!(
+                "Table 3 confirmed: all 12 published INITs re-derive from the logic equations \
+                 and appear in the netlist ({} LUTs)",
+                netlist.lut_count()
+            ),
+        ));
+    }
+}
+
+/// Checks a single-slice packing claim: at most `max_luts` LUTs and no
+/// more than `max_carry4s` carry blocks (a 7-series slice holds 4 LUTs
+/// and one `CARRY4`).
+pub fn check_slice_fit(
+    netlist: &Netlist,
+    max_luts: usize,
+    max_carry4s: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let luts = netlist.lut_count();
+    let carry4s = netlist.carry4_count();
+    if luts > max_luts || carry4s > max_carry4s {
+        diags.push(diag(
+            Severity::Error,
+            "slice-fit",
+            format!(
+                "netlist needs {luts} LUT(s) and {carry4s} CARRY4(s), exceeding the claimed \
+                 budget of {max_luts} LUT(s) / {max_carry4s} CARRY4(s)"
+            ),
+        ));
+    } else {
+        diags.push(diag(
+            Severity::Info,
+            "slice-fit-verified",
+            format!(
+                "packing claim confirmed: {luts} LUT(s), {carry4s} CARRY4(s) within \
+                 {max_luts}/{max_carry4s}"
+            ),
+        ));
+    }
+}

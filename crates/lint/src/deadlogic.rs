@@ -1,0 +1,171 @@
+//! Pass 2 — dead logic and foldable logic.
+//!
+//! Three severities deliberately coexist here. A fracturable LUT's
+//! unused `O5` and a discarded final carry-out are idioms every design
+//! in the paper uses, so they are `Info`. A LUT none of whose outputs
+//! drive anything, a routed pin the INIT provably ignores, an output
+//! the truth tables prove constant, and a carry stage that pins the
+//! chain to a constant all *waste area the design pays for*, so they
+//! are `Warning` — the roster must be free of them for the CI gate's
+//! `--deny warnings` to pass.
+
+use axmul_fabric::{Cell, Driver};
+use axmul_fabric::{NetId, Netlist};
+
+use crate::diag::{Diagnostic, Locus, Pass, Severity};
+use crate::tables::NetTables;
+
+/// Runs the pass, appending findings to `diags`.
+///
+/// `tables` is the truth-table engine's output when the netlist was
+/// small enough to tabulate; without it the constant-output checks
+/// degrade to driver-level reasoning.
+pub fn run(netlist: &Netlist, tables: Option<&NetTables>, diags: &mut Vec<Diagnostic>) {
+    let fanouts = netlist.fanouts();
+    let drivers = netlist.drivers();
+    let used = |net: NetId| fanouts[net.index()] > 0;
+    let is_const = |net: NetId| matches!(drivers[net.index()], Driver::Const(_));
+    // A net's proven constant value: from the driver table for tied
+    // nets, from the exhaustive tables for everything else.
+    let const_of = |net: NetId| -> Option<bool> {
+        match drivers[net.index()] {
+            Driver::Const(v) => Some(v),
+            _ => tables.and_then(|t| t.constant_of(net)),
+        }
+    };
+    let diag = |severity, code, k: usize, message: String| Diagnostic {
+        pass: Pass::DeadLogic,
+        severity,
+        code,
+        locus: Locus::Cell(k),
+        message,
+    };
+
+    for (k, cell) in netlist.cells().iter().enumerate() {
+        match cell {
+            Cell::Lut {
+                init,
+                inputs,
+                o6,
+                o5,
+            } => {
+                let o6_used = used(*o6);
+                let o5_used = o5.is_some_and(used);
+                if !o6_used && !o5_used {
+                    diags.push(diag(
+                        Severity::Warning,
+                        "dead-lut",
+                        k,
+                        format!("LUT c{k} drives nothing: all outputs have zero fanout"),
+                    ));
+                    // Its pins and outputs are moot; one finding is enough.
+                    continue;
+                }
+                if o5.is_some() && !o5_used {
+                    diags.push(diag(
+                        Severity::Info,
+                        "dead-o5",
+                        k,
+                        format!("LUT c{k} allocates O5 but nothing reads it (unused fracturable capacity)"),
+                    ));
+                }
+                if !o6_used {
+                    // O5-only use still occupies the full LUT6_2.
+                    diags.push(diag(
+                        Severity::Info,
+                        "dead-o6",
+                        k,
+                        format!("LUT c{k} is used only through O5; O6 has zero fanout"),
+                    ));
+                }
+                // A pin is "live" if any *used* output depends on it.
+                for (i, &net) in inputs.iter().enumerate() {
+                    if is_const(net) {
+                        continue; // packing ties (e.g. I5 = 1) are fine
+                    }
+                    let live = (o6_used && init.depends_on(i as u8))
+                        || (o5_used && init.depends_on_o5(i as u8));
+                    if !live {
+                        diags.push(diag(
+                            Severity::Warning,
+                            "ignored-pin",
+                            k,
+                            format!(
+                                "LUT c{k} input I{i} carries signal n{} that no used output depends on",
+                                net.index()
+                            ),
+                        ));
+                    }
+                }
+                // Constant-foldable: a used output whose function is
+                // provably constant over all inputs.
+                for (name, net, used_flag) in [("O6", Some(*o6), o6_used), ("O5", *o5, o5_used)] {
+                    if let (Some(net), true) = (net, used_flag) {
+                        if let Some(v) = const_of(net) {
+                            diags.push(diag(
+                                Severity::Warning,
+                                "const-lut",
+                                k,
+                                format!(
+                                    "LUT c{k} output {name} is provably constant {} — the cell folds away",
+                                    u8::from(v)
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            Cell::Carry4 { s, di, o, co, .. } => {
+                for i in 0..4 {
+                    if let Some(net) = o[i] {
+                        if !used(net) {
+                            diags.push(diag(
+                                Severity::Info,
+                                "dead-carry-sum",
+                                k,
+                                format!("CARRY4 c{k} sum output O[{i}] has zero fanout"),
+                            ));
+                        }
+                    }
+                    if let Some(net) = co[i] {
+                        if !used(net) {
+                            diags.push(diag(
+                                Severity::Info,
+                                "dead-carry-out",
+                                k,
+                                format!("CARRY4 c{k} carry output CO[{i}] has zero fanout"),
+                            ));
+                        }
+                    }
+                }
+                // A stage with constant-zero select and constant data pins
+                // the carry to that constant: every later used stage of
+                // the chain computes with a wedged carry. (Constant-zero
+                // select with a *live* DI is the legitimate carry-only
+                // column idiom of the ternary adder; constant-one select
+                // merely propagates and is how chains are padded.)
+                for i in 0..4 {
+                    let later_used =
+                        (i + 1..4).any(|j| o[j].is_some_and(used) || co[j].is_some_and(used));
+                    let here_used = co[i].is_some_and(used);
+                    if !later_used && !here_used {
+                        continue;
+                    }
+                    if const_of(s[i]) == Some(false) {
+                        if let Some(v) = const_of(di[i]) {
+                            diags.push(diag(
+                                Severity::Warning,
+                                "stuck-carry",
+                                k,
+                                format!(
+                                    "CARRY4 c{k} stage {i} pins the carry to constant {}: S[{i}] is 0 and DI[{i}] is constant, yet later stages still use the chain",
+                                    u8::from(v)
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

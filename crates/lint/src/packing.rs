@@ -1,0 +1,111 @@
+//! Pass 3 — packing legality on the 7-series slice.
+//!
+//! The fabric model is more permissive than the device: it will happily
+//! represent a dual-output LUT whose `I5` is a signal, or a carry chain
+//! tapped mid-`CARRY4`. Vivado would refuse to place either. This pass
+//! enforces the device rules the builder does not:
+//!
+//! * **Dual-output `LUT6_2`** — when both `O6` and `O5` are in use, the
+//!   hardware computes `O6 = I5 ? INIT[63:32] : INIT[31:0]` and
+//!   `O5 = INIT[31:0]`, so `I5` must be tied to constant 1 for `O6` to
+//!   realize an independent upper function. All of the paper's Table 3
+//!   LUTs follow this convention.
+//! * **Carry cascade** — the dedicated `CO[3] -> CIN` route is the only
+//!   way to extend a chain. A `CIN` fed from a mid-chain `CO[0..=2]` is
+//!   unroutable; a `CO[3]` fanning out to several `CIN`s needs the
+//!   general fabric (legal via the `AX` bypass but a timing hazard).
+//! * **Slice-column occupancy** — an independent recount of the LUT
+//!   sites stranded by partially-used `CARRY4` stages, cross-checked
+//!   against [`axmul_fabric::area::AreaReport`] so the two accountings
+//!   can never silently drift apart.
+
+use axmul_fabric::area::AreaReport;
+use axmul_fabric::Netlist;
+use axmul_fabric::{Cell, Driver};
+
+use crate::diag::{Diagnostic, Locus, Pass, Severity};
+
+/// Runs the pass, appending findings to `diags`.
+pub fn run(netlist: &Netlist, diags: &mut Vec<Diagnostic>) {
+    let fanouts = netlist.fanouts();
+    let drivers = netlist.drivers();
+
+    let mut stranded = 0usize;
+    let mut cin_loads: Vec<(usize, usize)> = Vec::new(); // (co3 net, consuming cell)
+    for (k, cell) in netlist.cells().iter().enumerate() {
+        match cell {
+            Cell::Lut { inputs, o6, o5, .. } => {
+                let o6_used = fanouts[o6.index()] > 0;
+                let o5_used = o5.is_some_and(|n| fanouts[n.index()] > 0);
+                if o6_used && o5_used && !matches!(drivers[inputs[5].index()], Driver::Const(true))
+                {
+                    diags.push(Diagnostic {
+                        pass: Pass::Packing,
+                        severity: Severity::Error,
+                        code: "o5-pairing",
+                        locus: Locus::Cell(k),
+                        message: format!(
+                            "LUT c{k} uses both O6 and O5 but I5 is not tied to constant 1; \
+                             the fracturable LUT6_2 requires I5 = 1 for the dual-output mode"
+                        ),
+                    });
+                }
+            }
+            Cell::Carry4 { cin, o, co, .. } => {
+                match drivers[cin.index()] {
+                    Driver::CarryCout(c, stage) if stage < 3 => {
+                        diags.push(Diagnostic {
+                            pass: Pass::Packing,
+                            severity: Severity::Error,
+                            code: "carry-tap",
+                            locus: Locus::Cell(k),
+                            message: format!(
+                                "CARRY4 c{k} CIN taps CO[{stage}] of c{}; only CO[3] has a \
+                                 dedicated cascade route to the next CARRY4",
+                                c.index()
+                            ),
+                        });
+                    }
+                    Driver::CarryCout(_, _) => cin_loads.push((cin.index(), k)),
+                    _ => {}
+                }
+                stranded += (0..4)
+                    .filter(|&i| o[i].is_none() && co[i].is_none())
+                    .count();
+            }
+        }
+    }
+
+    // Each CO[3] may cascade into at most one CIN.
+    cin_loads.sort_unstable();
+    for w in cin_loads.windows(2) {
+        if w[0].0 == w[1].0 {
+            diags.push(Diagnostic {
+                pass: Pass::Packing,
+                severity: Severity::Warning,
+                code: "carry-fanout",
+                locus: Locus::Net(w[0].0),
+                message: format!(
+                    "carry-out net n{} cascades into the CIN of both c{} and c{}; the dedicated \
+                     route is point-to-point, so one chain must detour through general fabric",
+                    w[0].0, w[0].1, w[1].1
+                ),
+            });
+        }
+    }
+
+    let area = AreaReport::of(netlist);
+    if stranded != area.wasted_sites {
+        diags.push(Diagnostic {
+            pass: Pass::Packing,
+            severity: Severity::Error,
+            code: "area-mismatch",
+            locus: Locus::Global,
+            message: format!(
+                "packing pass counts {stranded} stranded LUT site(s) but AreaReport reports {}; \
+                 the two accountings have drifted apart",
+                area.wasted_sites
+            ),
+        });
+    }
+}

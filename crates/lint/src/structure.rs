@@ -1,0 +1,283 @@
+//! Pass 1 — structural sanity.
+//!
+//! `NetlistBuilder` guarantees these invariants by construction, so on
+//! builder-produced netlists this pass is a re-proof. Its real targets
+//! are netlists assembled through `Netlist::from_parts` (imports,
+//! hand-written fixtures): driver-table consistency, single-driver,
+//! topological order, combinational loops, and output-cone
+//! reachability. Any `Error` from this pass means later passes cannot
+//! trust simulation, so the linter downgrades to structural-only
+//! analysis when this pass fails.
+
+use axmul_fabric::Netlist;
+use axmul_fabric::{Cell, Driver};
+
+use crate::diag::{Diagnostic, Locus, Pass, Severity};
+
+/// Runs the pass, appending findings to `diags`.
+///
+/// Returns `true` if the netlist is structurally sound — no `Error`
+/// finding — meaning simulation (and therefore the truth-table engine
+/// and every claim check) is well-defined.
+pub fn run(netlist: &Netlist, diags: &mut Vec<Diagnostic>) -> bool {
+    let before = diags.len();
+    let n = netlist.net_count();
+    let err = |code, locus, message: String| Diagnostic {
+        pass: Pass::Structure,
+        severity: Severity::Error,
+        code,
+        locus,
+        message,
+    };
+
+    // 1. Bounds: every referenced net must exist. Anything else would
+    //    panic the analyses below, so bail out early on violation.
+    let mut dangling = false;
+    let mut check = |net: axmul_fabric::NetId, what: &str, locus: Locus| {
+        if net.index() >= n {
+            diags.push(err(
+                "dangling-net",
+                locus,
+                format!(
+                    "{what} references net n{} but only {n} nets exist",
+                    net.index()
+                ),
+            ));
+            dangling = true;
+        }
+    };
+    for (k, cell) in netlist.cells().iter().enumerate() {
+        match cell {
+            Cell::Lut { inputs, o6, o5, .. } => {
+                for (i, &net) in inputs.iter().enumerate() {
+                    check(net, &format!("LUT input I{i}"), Locus::Cell(k));
+                }
+                check(*o6, "LUT output O6", Locus::Cell(k));
+                if let Some(o5) = o5 {
+                    check(*o5, "LUT output O5", Locus::Cell(k));
+                }
+            }
+            Cell::Carry4 { cin, s, di, o, co } => {
+                check(*cin, "CARRY4 CIN", Locus::Cell(k));
+                for i in 0..4 {
+                    check(s[i], &format!("CARRY4 S[{i}]"), Locus::Cell(k));
+                    check(di[i], &format!("CARRY4 DI[{i}]"), Locus::Cell(k));
+                    if let Some(net) = o[i] {
+                        check(net, &format!("CARRY4 O[{i}]"), Locus::Cell(k));
+                    }
+                    if let Some(net) = co[i] {
+                        check(net, &format!("CARRY4 CO[{i}]"), Locus::Cell(k));
+                    }
+                }
+            }
+        }
+    }
+    for (name, bits) in netlist.input_buses().iter().chain(netlist.output_buses()) {
+        for &net in bits {
+            check(net, &format!("port `{name}`"), Locus::Global);
+        }
+    }
+    if dangling {
+        return false;
+    }
+
+    // 2. Driver-table consistency: collect what each cell and input bus
+    //    *claims* to drive, then reconcile against the driver table.
+    let mut claimed: Vec<Option<Driver>> = vec![None; n];
+    let mut claim =
+        |net: axmul_fabric::NetId, driver: Driver, locus: Locus, diags: &mut Vec<Diagnostic>| {
+            let slot = &mut claimed[net.index()];
+            if slot.is_some() {
+                diags.push(err(
+                    "multi-driver",
+                    Locus::Net(net.index()),
+                    format!(
+                        "net n{} has more than one driver; second at {locus}",
+                        net.index()
+                    ),
+                ));
+            } else {
+                *slot = Some(driver);
+            }
+        };
+    for (bus, (_, bits)) in netlist.input_buses().iter().enumerate() {
+        for (bit, &net) in bits.iter().enumerate() {
+            claim(
+                net,
+                Driver::Input(bus as u16, bit as u16),
+                Locus::Global,
+                diags,
+            );
+        }
+    }
+    for (k, cell) in netlist.cells().iter().enumerate() {
+        let id = axmul_fabric::CellId::new(k as u32);
+        match cell {
+            Cell::Lut { o6, o5, .. } => {
+                claim(*o6, Driver::LutO6(id), Locus::Cell(k), diags);
+                if let Some(o5) = o5 {
+                    claim(*o5, Driver::LutO5(id), Locus::Cell(k), diags);
+                }
+            }
+            Cell::Carry4 { o, co, .. } => {
+                for i in 0..4 {
+                    if let Some(net) = o[i] {
+                        claim(net, Driver::CarrySum(id, i as u8), Locus::Cell(k), diags);
+                    }
+                    if let Some(net) = co[i] {
+                        claim(net, Driver::CarryCout(id, i as u8), Locus::Cell(k), diags);
+                    }
+                }
+            }
+        }
+    }
+    for (net, driver) in netlist.drivers().iter().enumerate() {
+        match (claimed[net], driver) {
+            // A constant needs no producing cell.
+            (None, Driver::Const(_)) => {}
+            // The table says a cell or port drives this net, but no cell
+            // or port actually claims it: a phantom driver.
+            (None, d) => diags.push(err(
+                "undriven-net",
+                Locus::Net(net),
+                format!("driver table says {d:?} drives n{net}, but nothing produces that net"),
+            )),
+            (Some(c), d) if c != *d => diags.push(err(
+                "driver-mismatch",
+                Locus::Net(net),
+                format!("driver table says {d:?} for n{net}, but the netlist produces it as {c:?}"),
+            )),
+            (Some(_), _) => {}
+        }
+    }
+
+    // 3. Topological order and combinational loops on the cell graph
+    //    (edge j -> k when an output of cell j feeds an input of cell k).
+    let cell_count = netlist.cells().len();
+    let source_cell = |net: axmul_fabric::NetId| -> Option<usize> {
+        match netlist.drivers()[net.index()] {
+            Driver::LutO6(c)
+            | Driver::LutO5(c)
+            | Driver::CarrySum(c, _)
+            | Driver::CarryCout(c, _)
+                if c.index() < cell_count =>
+            {
+                Some(c.index())
+            }
+            _ => None,
+        }
+    };
+    let deps: Vec<Vec<usize>> = netlist
+        .cells()
+        .iter()
+        .map(|cell| {
+            let mut d = Vec::new();
+            let mut push = |net: axmul_fabric::NetId| {
+                if let Some(j) = source_cell(net) {
+                    d.push(j);
+                }
+            };
+            match cell {
+                Cell::Lut { inputs, .. } => inputs.iter().for_each(|&net| push(net)),
+                Cell::Carry4 { cin, s, di, .. } => {
+                    push(*cin);
+                    s.iter().chain(di.iter()).for_each(|&net| push(net));
+                }
+            }
+            d
+        })
+        .collect();
+    // Cycle detection: iterative three-color DFS over dependencies.
+    let mut color = vec![0u8; cell_count]; // 0 = white, 1 = on stack, 2 = done
+    let mut loop_cell = None;
+    'roots: for root in 0..cell_count {
+        if color[root] != 0 {
+            continue;
+        }
+        let mut stack = vec![(root, 0usize)];
+        color[root] = 1;
+        while let Some(&mut (k, ref mut next)) = stack.last_mut() {
+            if *next < deps[k].len() {
+                let j = deps[k][*next];
+                *next += 1;
+                match color[j] {
+                    0 => {
+                        color[j] = 1;
+                        stack.push((j, 0));
+                    }
+                    1 => {
+                        loop_cell = Some(j);
+                        break 'roots;
+                    }
+                    _ => {}
+                }
+            } else {
+                color[k] = 2;
+                stack.pop();
+            }
+        }
+    }
+    if let Some(k) = loop_cell {
+        diags.push(err(
+            "comb-loop",
+            Locus::Cell(k),
+            format!("cell c{k} lies on a combinational cycle"),
+        ));
+    } else {
+        // Acyclic but stored out of order still breaks the single-pass
+        // simulator, so it is its own error.
+        for (k, d) in deps.iter().enumerate() {
+            if let Some(&j) = d.iter().find(|&&j| j >= k) {
+                diags.push(err(
+                    "topo-order",
+                    Locus::Cell(k),
+                    format!("cell c{k} reads an output of later cell c{j}; cells must be stored in topological order"),
+                ));
+            }
+        }
+    }
+
+    // 4. Output-cone reachability: cells that feed other logic but never
+    //    reach any primary output. (Cells driving nothing at all are the
+    //    dead-logic pass's `dead-lut`; don't double-report them here.)
+    let sound = !diags[before..]
+        .iter()
+        .any(|d| d.severity == Severity::Error);
+    if sound {
+        let mut reach = vec![false; cell_count];
+        let mut work: Vec<usize> = netlist
+            .output_buses()
+            .iter()
+            .flat_map(|(_, bits)| bits.iter().filter_map(|&net| source_cell(net)))
+            .collect();
+        while let Some(k) = work.pop() {
+            if !std::mem::replace(&mut reach[k], true) {
+                work.extend(deps[k].iter().copied());
+            }
+        }
+        let fanouts = netlist.connected_fanouts();
+        for (k, cell) in netlist.cells().iter().enumerate() {
+            if reach[k] {
+                continue;
+            }
+            let outputs: Vec<axmul_fabric::NetId> = match cell {
+                Cell::Lut { o6, o5, .. } => std::iter::once(*o6).chain(*o5).collect(),
+                Cell::Carry4 { o, co, .. } => {
+                    o.iter().chain(co.iter()).flatten().copied().collect()
+                }
+            };
+            if outputs.iter().any(|net| fanouts[net.index()] > 0) {
+                diags.push(Diagnostic {
+                    pass: Pass::Structure,
+                    severity: Severity::Warning,
+                    code: "unreachable-cell",
+                    locus: Locus::Cell(k),
+                    message: format!(
+                        "cell c{k} feeds other cells but its cone never reaches a primary output"
+                    ),
+                });
+            }
+        }
+    }
+    sound
+}

@@ -1,0 +1,203 @@
+//! The static truth-table engine: the complete Boolean function of
+//! every net, derived from the INIT vectors and the carry equations
+//! alone.
+//!
+//! For a netlist with `k` total primary-input bits, every net's
+//! function is a `2^k`-entry truth table, stored bit-packed (64 table
+//! entries per word). The tables are computed in one topological pass
+//! per 64 input assignments using the fabric's bit-parallel simulator —
+//! i.e. the same forward evaluation a synthesis tool would do
+//! symbolically, materialized exhaustively. This is what lets the
+//! dead-logic pass *prove* a net constant and the claims pass *prove*
+//! functional equivalence rather than sample it.
+//!
+//! The engine caps itself at [`MAX_TABLE_BITS`] total input bits
+//! (65 536 assignments, ≈8 KiB per net): every 4×4 and 8×8 design in
+//! the paper fits; 16×16 netlists fall back to structural-only checks
+//! and the caller records the skip in its report.
+
+use axmul_fabric::sim::WideSim;
+use axmul_fabric::{FabricError, NetId, Netlist};
+
+/// Largest total primary-input width the engine will tabulate.
+pub const MAX_TABLE_BITS: u32 = 16;
+
+/// The complete function of every net of one netlist, indexed by
+/// primary-input assignment.
+///
+/// Assignment `v` maps to the input buses in declaration order,
+/// LSB-first: bus 0 takes the low `w0` bits of `v`, bus 1 the next
+/// `w1`, and so on.
+#[derive(Debug, Clone)]
+pub struct NetTables {
+    input_bits: u32,
+    words: usize,
+    tables: Vec<Vec<u64>>,
+}
+
+impl NetTables {
+    /// Tabulates every net of `netlist`.
+    ///
+    /// Returns `Ok(None)` if the netlist's total input width exceeds
+    /// [`MAX_TABLE_BITS`] (the caller should degrade to structural
+    /// checks and note the skip).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures ([`FabricError`]); on a netlist
+    /// accepted by `NetlistBuilder::finish` this cannot happen.
+    pub fn build(netlist: &Netlist) -> Result<Option<NetTables>, FabricError> {
+        let widths: Vec<u32> = netlist
+            .input_buses()
+            .iter()
+            .map(|(_, bits)| bits.len() as u32)
+            .collect();
+        let input_bits: u32 = widths.iter().sum();
+        if input_bits > MAX_TABLE_BITS {
+            return Ok(None);
+        }
+        let assignments: u64 = 1u64 << input_bits;
+        let words = usize::try_from(assignments.div_ceil(64)).expect("bounded by MAX_TABLE_BITS");
+        let mut tables = vec![vec![0u64; words]; netlist.net_count()];
+        let mut sim = WideSim::new(netlist);
+        let mut lanes: Vec<Vec<u64>> = widths.iter().map(|_| vec![0u64; 64]).collect();
+        let mut v = 0u64;
+        for word in 0..words {
+            let n = usize::try_from((assignments - v).min(64)).expect("<= 64");
+            for k in 0..n {
+                let mut rest = v + k as u64;
+                for (w, lane) in widths.iter().zip(lanes.iter_mut()) {
+                    lane[k] = rest & ((1u64 << w) - 1);
+                    rest >>= w;
+                }
+            }
+            let refs: Vec<&[u64]> = lanes.iter().map(|l| &l[..n]).collect();
+            let values = sim.eval_nets(&refs)?;
+            for (net, table) in tables.iter_mut().enumerate() {
+                // Mask off unused lanes of a partial final word.
+                let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+                table[word] = values[net] & mask;
+            }
+            v += n as u64;
+        }
+        Ok(Some(NetTables {
+            input_bits,
+            words,
+            tables,
+        }))
+    }
+
+    /// Total primary-input bits tabulated.
+    #[must_use]
+    pub fn input_bits(&self) -> u32 {
+        self.input_bits
+    }
+
+    /// If the net's function is constant over *all* input assignments,
+    /// returns the constant.
+    #[must_use]
+    pub fn constant_of(&self, net: NetId) -> Option<bool> {
+        let table = &self.tables[net.index()];
+        let assignments = 1u64 << self.input_bits;
+        let last_mask = if assignments.is_multiple_of(64) {
+            u64::MAX
+        } else {
+            (1u64 << (assignments % 64)) - 1
+        };
+        let all_zero = table.iter().all(|&w| w == 0);
+        if all_zero {
+            return Some(false);
+        }
+        let all_one = table[..self.words - 1].iter().all(|&w| w == u64::MAX)
+            && table[self.words - 1] == last_mask;
+        all_one.then_some(true)
+    }
+
+    /// Whether two nets compute the same function.
+    #[must_use]
+    pub fn same_function(&self, a: NetId, b: NetId) -> bool {
+        self.tables[a.index()] == self.tables[b.index()]
+    }
+
+    /// The value of `net` under input assignment `v`.
+    #[must_use]
+    pub fn value(&self, net: NetId, v: u64) -> bool {
+        let table = &self.tables[net.index()];
+        (table[(v / 64) as usize] >> (v % 64)) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmul_fabric::{Init, NetlistBuilder};
+
+    fn xor_with_const() -> (Netlist, NetId, NetId) {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.inputs("a", 2);
+        let (x, _) = b.lut2(Init::XOR2, a[0], a[1]);
+        let (stuck, _) = b.lut2(Init::AND2, a[0], a[0]);
+        // AND(a0, a0) = a0 — not constant; build a real constant:
+        let z = b.constant(false);
+        let (c, _) = b.lut2(Init::AND2, a[0], z);
+        b.output("x", x);
+        b.output("s", stuck);
+        b.output("c", c);
+        (b.finish().unwrap(), x, c)
+    }
+
+    #[test]
+    fn tabulates_and_detects_constants() {
+        let (nl, x, c) = xor_with_const();
+        let t = NetTables::build(&nl).unwrap().expect("2 input bits");
+        assert_eq!(t.input_bits(), 2);
+        assert_eq!(t.constant_of(x), None);
+        assert_eq!(t.constant_of(c), Some(false));
+        // x = a0 ^ a1 under assignment v = a0 | a1<<1.
+        assert!(!t.value(x, 0b00));
+        assert!(t.value(x, 0b01));
+        assert!(t.value(x, 0b10));
+        assert!(!t.value(x, 0b11));
+    }
+
+    #[test]
+    fn same_function_detects_aliases() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.inputs("a", 2);
+        let (x1, _) = b.lut2(Init::XOR2, a[0], a[1]);
+        let (x2, _) = b.lut2(Init::XOR2, a[1], a[0]);
+        let (y, _) = b.lut2(Init::AND2, a[0], a[1]);
+        b.output("x1", x1);
+        b.output("x2", x2);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let t = NetTables::build(&nl).unwrap().unwrap();
+        assert!(t.same_function(x1, x2), "XOR is symmetric");
+        assert!(!t.same_function(x1, y));
+    }
+
+    #[test]
+    fn caps_input_width() {
+        let mut b = NetlistBuilder::new("wide");
+        let a = b.inputs("a", 17);
+        b.output("y", a[0]);
+        let nl = b.finish().unwrap();
+        assert!(NetTables::build(&nl).unwrap().is_none());
+    }
+
+    #[test]
+    fn multi_word_tables_and_all_ones() {
+        // 8 input bits -> 256 assignments -> 4 words per table.
+        let mut b = NetlistBuilder::new("w");
+        let a = b.inputs("a", 8);
+        let one = b.constant(true);
+        b.output("k", one);
+        b.output("y", a[7]);
+        let nl = b.finish().unwrap();
+        let t = NetTables::build(&nl).unwrap().unwrap();
+        assert_eq!(t.constant_of(one), Some(true));
+        assert_eq!(t.constant_of(a[7]), None);
+        assert!(t.value(a[7], 0x80));
+        assert!(!t.value(a[7], 0x7F));
+    }
+}

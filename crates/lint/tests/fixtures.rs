@@ -1,0 +1,163 @@
+//! Deliberately-broken netlists, each of which must trigger exactly its
+//! diagnostic — the negative half of the lint contract (the positive
+//! half, a clean roster, lives in the bench crate's lint experiment).
+//!
+//! The broken fixtures are assembled through `Netlist::from_parts`, the
+//! one entry point that skips `NetlistBuilder::finish` validation —
+//! which is precisely the import path the linter exists to guard.
+
+use axmul_core::behavioral::Approx4x4;
+use axmul_core::structural::approx_4x4_netlist;
+use axmul_fabric::{Cell, CellId, Driver, Init, Netlist, NetlistBuilder};
+use axmul_lint::{claims, Linter, Severity};
+
+/// Two LUTs feeding each other: a combinational cycle that no builder
+/// netlist can represent.
+#[test]
+fn comb_loop_is_detected() {
+    let n = |i: u32| axmul_fabric::NetId::new(i);
+    let drivers = vec![
+        Driver::Input(0, 0),           // n0 = a[0]
+        Driver::LutO6(CellId::new(0)), // n1
+        Driver::LutO6(CellId::new(1)), // n2
+    ];
+    let cells = vec![
+        Cell::Lut {
+            init: Init::XOR2,
+            inputs: [n(2), n(0), n(0), n(0), n(0), n(0)],
+            o6: n(1),
+            o5: None,
+        },
+        Cell::Lut {
+            init: Init::BUF,
+            inputs: [n(1), n(0), n(0), n(0), n(0), n(0)],
+            o6: n(2),
+            o5: None,
+        },
+    ];
+    let nl = Netlist::from_parts(
+        "loop",
+        drivers,
+        cells,
+        vec![("a".to_string(), vec![n(0)])],
+        vec![("y".to_string(), vec![n(2)])],
+    );
+    let report = Linter::new().lint(&nl);
+    assert_eq!(report.errors(), 1, "{report}");
+    assert_eq!(report.by_code().get("comb-loop"), Some(&1), "{report}");
+    // An unsound netlist must not be simulated: the table- and
+    // claim-based analyses are recorded as skipped, not run.
+    assert!(!report.skipped.is_empty(), "{report}");
+}
+
+/// A LUT whose outputs drive nothing at all: pure wasted area.
+#[test]
+fn dead_lut_is_detected() {
+    let mut b = NetlistBuilder::new("deadlut");
+    let a = b.inputs("a", 2);
+    let (_unused, _) = b.lut2(Init::XOR2, a[0], a[1]);
+    let (y, _) = b.lut2(Init::AND2, a[0], a[1]);
+    b.output("y", y);
+    let nl = b.finish().expect("structurally fine, just wasteful");
+    let report = Linter::new().lint(&nl);
+    assert_eq!(report.errors(), 0, "{report}");
+    assert_eq!(report.warnings(), 1, "{report}");
+    assert_eq!(report.by_code().get("dead-lut"), Some(&1), "{report}");
+}
+
+/// A fractured LUT using both O6 and O5 without tying I5 high — legal
+/// in the abstract netlist, unmappable on a 7-series LUT6_2.
+#[test]
+fn illegal_o5_o6_pairing_is_detected() {
+    let mut b = NetlistBuilder::new("badpair");
+    let a = b.inputs("a", 3);
+    let z = b.constant(false);
+    let init = Init::from_dual(|i| (i & 1 == 1) ^ (i >> 5 & 1 == 1), |i| i >> 1 & 1 == 1);
+    let (o6, o5) = b.lut6_2(init, [a[0], a[1], z, z, z, a[2]]);
+    b.output("hi", o6);
+    b.output("lo", o5);
+    let nl = b.finish().expect("builder does not police packing");
+    let report = Linter::new().lint(&nl);
+    assert_eq!(report.errors(), 1, "{report}");
+    assert_eq!(report.by_code().get("o5-pairing"), Some(&1), "{report}");
+    assert_eq!(report.warnings(), 0, "{report}");
+}
+
+/// The shipped Table 3 netlist with one INIT complemented: equivalence
+/// must fail with a minimized counterexample, and the Table 3 multiset
+/// check must notice the missing published constant.
+#[test]
+fn wrong_init_is_detected() {
+    let good = approx_4x4_netlist();
+    let mut cells = good.cells().to_vec();
+    let Cell::Lut { init, .. } = &mut cells[0] else {
+        panic!("cell 0 of the 4x4 is a LUT");
+    };
+    *init = Init::from_raw(!init.raw());
+    let bad = Netlist::from_parts(
+        "tampered4x4",
+        good.drivers().to_vec(),
+        cells,
+        good.input_buses().to_vec(),
+        good.output_buses().to_vec(),
+    );
+
+    let report = Linter::new().lint_against(&bad, &Approx4x4::new());
+    assert_eq!(report.by_code().get("equiv-mismatch"), Some(&1), "{report}");
+    let mismatch = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "equiv-mismatch")
+        .unwrap();
+    assert_eq!(mismatch.severity, Severity::Error);
+    assert!(
+        mismatch.message.contains("minimized counterexample"),
+        "{mismatch}"
+    );
+
+    let mut diags = Vec::new();
+    claims::check_table3(&bad, &mut diags);
+    assert!(
+        diags.iter().any(|d| d.code == "table3-missing"),
+        "{diags:?}"
+    );
+
+    // Control: the untampered netlist passes both checks.
+    let clean = Linter::new().lint_against(&good, &Approx4x4::new());
+    assert!(clean.is_clean(true), "{clean}");
+    let mut diags = Vec::new();
+    claims::check_table3(&good, &mut diags);
+    assert!(
+        diags.iter().all(|d| d.severity == Severity::Info),
+        "{diags:?}"
+    );
+}
+
+/// `from_parts` with a driver table that disagrees with the cell list:
+/// the phantom and mismatched drivers are both reported.
+#[test]
+fn driver_table_inconsistencies_are_detected() {
+    let n = |i: u32| axmul_fabric::NetId::new(i);
+    let drivers = vec![
+        Driver::Input(0, 0),           // n0
+        Driver::LutO6(CellId::new(7)), // n1: claims a cell that doesn't exist
+        Driver::LutO5(CellId::new(0)), // n2: cell 0 actually drives this as O6
+    ];
+    let cells = vec![Cell::Lut {
+        init: Init::BUF,
+        inputs: [n(0), n(0), n(0), n(0), n(0), n(0)],
+        o6: n(2),
+        o5: None,
+    }];
+    let nl = Netlist::from_parts(
+        "phantom",
+        drivers,
+        cells,
+        vec![("a".to_string(), vec![n(0)])],
+        vec![("y".to_string(), vec![n(2)])],
+    );
+    let report = Linter::new().lint(&nl);
+    let codes = report.by_code();
+    assert_eq!(codes.get("undriven-net"), Some(&1), "{report}");
+    assert_eq!(codes.get("driver-mismatch"), Some(&1), "{report}");
+}

@@ -190,20 +190,7 @@ pub fn decode_gray(img: &EncodedImage) -> Result<Vec<u8>, JpegError> {
 mod tests {
     use super::*;
 
-    fn psnr(a: &[u8], b: &[u8]) -> f64 {
-        let sse: u64 = a
-            .iter()
-            .zip(b)
-            .map(|(&x, &y)| {
-                let d = i64::from(x) - i64::from(y);
-                (d * d) as u64
-            })
-            .sum();
-        if sse == 0 {
-            return f64::INFINITY;
-        }
-        10.0 * (255.0f64 * 255.0 * a.len() as f64 / sse as f64).log10()
-    }
+    use axmul_metrics::psnr;
 
     fn gradient_image(w: usize, h: usize) -> Vec<u8> {
         (0..w * h)

@@ -1,10 +1,13 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment>...
+//! repro <experiment>... [--quick]
 //! repro all
 //! repro list
 //! ```
+//!
+//! `--quick` switches experiments that have a smoke variant (currently
+//! `nn`) to their reduced CI-friendly form.
 
 use std::process::ExitCode;
 
@@ -89,14 +92,23 @@ const EXPERIMENTS: &[Experiment] = &[
         "DSE worker-pool speedup",
     ),
     (
+        "nn",
+        experiments::nn_full,
+        "int8 NN accuracy on approx MACs",
+    ),
+    (
         "lint",
         experiments::lint_roster,
         "static-analysis gate over the roster",
     ),
 ];
 
+/// Smoke variants selected by `--quick`.
+type Smoke = (&'static str, fn() -> String);
+const QUICK: &[Smoke] = &[("nn", experiments::nn_quick)];
+
 fn usage() {
-    eprintln!("usage: repro <experiment>... | all | list");
+    eprintln!("usage: repro <experiment>... [--quick] | all | list");
     eprintln!("experiments:");
     for (name, _, what) in EXPERIMENTS {
         eprintln!("  {name:<18} {what}");
@@ -104,7 +116,9 @@ fn usage() {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
     if args.is_empty() {
         usage();
         return ExitCode::FAILURE;
@@ -113,14 +127,22 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "all" => print!("{}", experiments::all()),
             "list" => usage(),
-            name => match EXPERIMENTS.iter().find(|(n, _, _)| *n == name) {
-                Some((_, run, _)) => print!("{}", run()),
-                None => {
-                    eprintln!("unknown experiment `{name}`");
-                    usage();
-                    return ExitCode::FAILURE;
+            name => {
+                let smoke = quick
+                    .then(|| QUICK.iter().find(|(n, _)| *n == name))
+                    .flatten();
+                match smoke {
+                    Some((_, run)) => print!("{}", run()),
+                    None => match EXPERIMENTS.iter().find(|(n, _, _)| *n == name) {
+                        Some((_, run, _)) => print!("{}", run()),
+                        None => {
+                            eprintln!("unknown experiment `{name}`");
+                            usage();
+                            return ExitCode::FAILURE;
+                        }
+                    },
                 }
-            },
+            }
         }
         println!();
     }

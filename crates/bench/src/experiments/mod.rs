@@ -7,6 +7,7 @@ mod dse;
 mod extensions;
 mod figures;
 mod lint;
+mod nn;
 mod tables;
 
 pub use ablations::{ablate_4x2_trunc, ablate_cc_depth, ablate_elem, ablate_swap};
@@ -14,6 +15,7 @@ pub use dse::{dse_scaling, dse_subset, ext_dse};
 pub use extensions::{ablate_cfree_op, ext_adders, ext_correction, ext_signed};
 pub use figures::{fig1, fig10, fig12, fig7, fig8, fig9};
 pub use lint::{lint_all_reports, lint_roster};
+pub use nn::{nn_full, nn_quick};
 pub use tables::{susan_area, table1, table2, table3, table4, table5, table6};
 
 /// Runs every experiment in paper order and concatenates the reports.
@@ -43,6 +45,7 @@ pub fn all() -> String {
         ext_signed(),
         ext_dse(),
         dse_scaling(),
+        nn_full(),
         lint_roster(),
     ]
     .join("\n")

@@ -30,6 +30,8 @@ pub enum CliError {
     Image(axmul_susan::ParseImageError),
     /// Netlist simulation failed during DSE characterization.
     Fabric(axmul_fabric::FabricError),
+    /// NN inference or accuracy search failed.
+    Nn(axmul_nn::NnError),
     /// The lint gate failed; the payload is the full rendered report.
     Lint(String),
 }
@@ -43,6 +45,7 @@ impl fmt::Display for CliError {
             CliError::Arch(e) => write!(f, "{e}"),
             CliError::Image(e) => write!(f, "{e}"),
             CliError::Fabric(e) => write!(f, "{e}"),
+            CliError::Nn(e) => write!(f, "{e}"),
             CliError::Lint(report) => write!(f, "lint gate failed\n{report}"),
         }
     }
@@ -75,12 +78,17 @@ impl From<axmul_fabric::FabricError> for CliError {
         CliError::Fabric(e)
     }
 }
+impl From<axmul_nn::NnError> for CliError {
+    fn from(e: axmul_nn::NnError) -> Self {
+        CliError::Nn(e)
+    }
+}
 
 /// Parsed `--key value` options.
 struct Opts(HashMap<String, String>);
 
 /// Options that are bare flags (no value follows them).
-const FLAGS: &[&str] = &["all", "json"];
+const FLAGS: &[&str] = &["all", "json", "quick", "dse"];
 
 impl Opts {
     fn parse(args: &[String]) -> Result<Self, CliError> {
@@ -145,6 +153,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "stats" => stats(&opts),
         "smooth" => smooth(&opts),
         "dse" => dse(&opts),
+        "nn" => nn(&opts),
         "lint" => lint(&opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
@@ -163,6 +172,8 @@ fn usage() -> String {
      \x20 dse         --width N [--strategy exhaustive|random|hill] [--workers W]\n\
      \x20             [--budget B] [--restarts R] [--seed S] [--out-dir DIR]\n\
      \x20                                          design-space exploration\n\
+     \x20 nn          [--arch A | --all] [--workers W] [--quick]\n\
+     \x20             [--dse [--floor F]]          int8 inference accuracy\n\
      \x20 lint        --arch A [--bits N] | --all [--bits N]\n\
      \x20             [--json] [--deny warnings]   static netlist analysis\n"
         .to_string()
@@ -328,6 +339,98 @@ fn dse(opts: &Opts) -> Result<String, CliError> {
         let path = format!("{dir}/dse_{bits}x{bits}.csv");
         std::fs::write(&path, to_csv(&result))?;
         out.push_str(&format!("wrote {path} ({} rows)\n", result.reports.len()));
+    }
+    Ok(out)
+}
+
+fn nn(opts: &Opts) -> Result<String, CliError> {
+    use axmul_nn::{
+        accuracy_search, evaluate, quick_candidates, reference_model, test_set, ProductTable,
+    };
+
+    let workers: usize = parse_num(opts, "workers", 2)?;
+    if workers == 0 {
+        return Err(CliError::Usage("--workers must be > 0".to_string()));
+    }
+    let quick = opts.flag("quick");
+    let mut dataset = test_set();
+    if quick {
+        dataset.images.truncate(64);
+        dataset.labels.truncate(64);
+    }
+    let model = reference_model();
+    let mut out = format!(
+        "int8 inference: {} test samples, {} MACs/inference, {} classes\n",
+        dataset.len(),
+        model.macs_per_inference(),
+        model.classes()
+    );
+
+    if opts.flag("dse") {
+        let floor: f64 = parse_num(opts, "floor", 0.95)?;
+        if !(0.0..=1.0).contains(&floor) {
+            return Err(CliError::Usage(format!(
+                "--floor must be in [0, 1] (got {floor})"
+            )));
+        }
+        let configs = quick.then(quick_candidates);
+        let search = accuracy_search(model, &dataset, floor, workers, configs)?;
+        out.push_str(&format!(
+            "accuracy-floor search: {} configs, floor {:.1}% of baseline\n\
+             baseline {:>12}  {:>4} LUTs  accuracy {:.2}%\n",
+            search.points.len(),
+            floor * 100.0,
+            search.baseline.key,
+            search.baseline.luts,
+            search.baseline.accuracy * 100.0
+        ));
+        match &search.best {
+            Some(best) => out.push_str(&format!(
+                "best     {:>12}  {:>4} LUTs  accuracy {:.2}%  (rmse {:.1})\n",
+                best.key,
+                best.luts,
+                best.accuracy * 100.0,
+                best.rmse
+            )),
+            None => out.push_str("no configuration met the floor below baseline LUTs\n"),
+        }
+        return Ok(out);
+    }
+
+    let archs: Vec<(&str, Arch)> = if opts.flag("all") {
+        ALL.iter()
+            .filter(|(a, _, _)| a.behavioral(8).is_ok())
+            .map(|(a, name, _)| (*name, *a))
+            .collect()
+    } else {
+        let arch = opts.arch()?;
+        let name = ALL
+            .iter()
+            .find(|(a, _, _)| *a == arch)
+            .map_or("?", |(_, n, _)| n);
+        vec![(name, arch)]
+    };
+    let exact = evaluate(model, &ProductTable::exact(), &dataset, workers)?;
+    out.push_str(&format!(
+        "{:<10} {:<14} accuracy {:6.2}%  ({}/{})\n",
+        "exact",
+        "reference",
+        exact.accuracy() * 100.0,
+        exact.correct,
+        exact.total
+    ));
+    for (name, arch) in archs {
+        let mult = arch.behavioral(8)?;
+        let table = ProductTable::new(mult.as_ref())?;
+        let eval = evaluate(model, &table, &dataset, workers)?;
+        out.push_str(&format!(
+            "{:<10} {:<14} accuracy {:6.2}%  ({}/{})\n",
+            name,
+            mult.name(),
+            eval.accuracy() * 100.0,
+            eval.correct,
+            eval.total
+        ));
     }
     Ok(out)
 }
@@ -593,5 +696,34 @@ mod tests {
         let out = run_str(&["characterize", "--arch", "ca"]).unwrap();
         assert!(out.contains("8x8"));
         assert!(out.contains("57 LUTs"));
+    }
+
+    #[test]
+    fn nn_quick_reports_exact_and_requested_arch() {
+        let out = run_str(&["nn", "--arch", "ca", "--quick"]).unwrap();
+        assert!(out.contains("64 test samples"), "{out}");
+        assert!(out.contains("2096 MACs/inference"), "{out}");
+        assert!(out.contains("exact"), "{out}");
+        assert!(out.contains("Ca 8x8"), "{out}");
+    }
+
+    #[test]
+    fn nn_dse_quick_finds_a_sub_baseline_config() {
+        let out = run_str(&["nn", "--dse", "--quick"]).unwrap();
+        assert!(out.contains("baseline"), "{out}");
+        assert!(out.contains("(a X X X X)"), "{out}");
+        assert!(out.contains("best"), "{out}");
+    }
+
+    #[test]
+    fn nn_usage_errors() {
+        assert!(matches!(
+            run_str(&["nn", "--workers", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_str(&["nn", "--dse", "--floor", "1.5"]),
+            Err(CliError::Usage(_))
+        ));
     }
 }

@@ -54,4 +54,4 @@ pub mod correction;
 mod mul;
 pub mod structural;
 
-pub use mul::{mask_for, Exact, Multiplier, Signed, Swapped, WidthError};
+pub use mul::{mask_for, Exact, Multiplier, Signed, Swapped, TableMultiplier, WidthError};

@@ -70,6 +70,105 @@ pub trait Multiplier {
     fn error(&self, a: u64, b: u64) -> i64 {
         self.exact(a, b) as i64 - self.multiply(a, b) as i64
     }
+
+    /// Exhaustive product table, indexed `table[(b << a_bits) | a]` —
+    /// the same layout the DSE characterization cache uses.
+    ///
+    /// One lookup replaces one (possibly deeply recursive) `multiply`
+    /// call, which is what makes table-driven consumers like the
+    /// `axmul-nn` inference engine practical: an 8×8 table is 65 536
+    /// entries built once per multiplier configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand space exceeds 2²⁰ pairs (the table would
+    /// stop fitting comfortably in memory; wider multipliers should be
+    /// sampled, not tabulated).
+    fn product_table(&self) -> Vec<u64> {
+        let (wa, wb) = (self.a_bits(), self.b_bits());
+        assert!(
+            wa + wb <= 20,
+            "product table over {wa}x{wb} operands would need 2^{} entries",
+            wa + wb
+        );
+        let mut table = Vec::with_capacity(1usize << (wa + wb));
+        for b in 0..=mask_for(wb) {
+            for a in 0..=mask_for(wa) {
+                table.push(self.multiply(a, b));
+            }
+        }
+        table
+    }
+}
+
+/// A multiplier frozen into its exhaustive product table.
+///
+/// Behaviorally a drop-in replacement for the wrapped design (same
+/// widths, same `name`, bit-identical products — property-tested across
+/// the whole roster in `tests/product_table.rs`), but every `multiply`
+/// is one indexed load instead of a model evaluation. This is the fast
+/// path behind batch consumers such as the `axmul-nn` inference engine
+/// and trace-driven error analysis.
+///
+/// # Examples
+///
+/// ```
+/// use axmul_core::behavioral::Ca;
+/// use axmul_core::{Multiplier, TableMultiplier};
+///
+/// let ca = Ca::new(8)?;
+/// let t = TableMultiplier::new(&ca);
+/// assert_eq!(t.name(), ca.name());
+/// assert_eq!(t.multiply(200, 100), ca.multiply(200, 100));
+/// # Ok::<(), axmul_core::WidthError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableMultiplier {
+    a_bits: u32,
+    b_bits: u32,
+    name: String,
+    table: std::sync::Arc<Vec<u64>>,
+}
+
+impl TableMultiplier {
+    /// Tabulates `m` exhaustively. The name is preserved so reports and
+    /// statistics stay attributable to the underlying architecture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand space exceeds 2²⁰ pairs (see
+    /// [`Multiplier::product_table`]).
+    #[must_use]
+    pub fn new(m: &(impl Multiplier + ?Sized)) -> Self {
+        TableMultiplier {
+            a_bits: m.a_bits(),
+            b_bits: m.b_bits(),
+            name: m.name().to_string(),
+            table: std::sync::Arc::new(m.product_table()),
+        }
+    }
+
+    /// The raw table, indexed `table[(b << a_bits) | a]`.
+    #[must_use]
+    pub fn table(&self) -> &[u64] {
+        &self.table
+    }
+}
+
+impl Multiplier for TableMultiplier {
+    fn a_bits(&self) -> u32 {
+        self.a_bits
+    }
+    fn b_bits(&self) -> u32 {
+        self.b_bits
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        let (a, b) = (a & mask(self.a_bits), b & mask(self.b_bits));
+        self.table[((b << self.a_bits) | a) as usize]
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
 }
 
 /// Bit mask with the low `bits` bits set (saturating at 64 bits).
@@ -423,5 +522,44 @@ mod tests {
     fn signed_rejects_out_of_range() {
         let m = Signed::new(Exact::new(8, 8));
         let _ = m.multiply_signed(128, 0);
+    }
+
+    #[test]
+    fn product_table_layout_matches_dse_convention() {
+        let m = Exact::new(3, 2);
+        let t = m.product_table();
+        assert_eq!(t.len(), 32);
+        for b in 0..4u64 {
+            for a in 0..8u64 {
+                assert_eq!(t[((b << 3) | a) as usize], a * b);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "product table")]
+    fn product_table_rejects_wide_operands() {
+        let _ = Exact::new(16, 16).product_table();
+    }
+
+    #[test]
+    fn table_multiplier_is_a_drop_in_replacement() {
+        use crate::behavioral::{Approx4x4, Ca};
+        let ca = Ca::new(8).unwrap();
+        let t = TableMultiplier::new(&ca);
+        assert_eq!(t.name(), "Ca 8x8");
+        assert_eq!((t.a_bits(), t.b_bits()), (8, 8));
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                assert_eq!(t.multiply(a, b), ca.multiply(a, b), "{a}x{b}");
+            }
+        }
+        // Masking semantics carry over too.
+        assert_eq!(t.multiply(0x1FF, 0x1FF), ca.multiply(0xFF, 0xFF));
+        // Works through a trait object as well.
+        let dyn_m: &dyn Multiplier = &Approx4x4::new();
+        let td = TableMultiplier::new(dyn_m);
+        assert_eq!(td.multiply(7, 6), 34);
+        assert_eq!(td.table().len(), 256);
     }
 }

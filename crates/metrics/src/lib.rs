@@ -32,9 +32,11 @@
 mod bits;
 pub mod pareto;
 mod pmf;
+mod quality;
 mod stats;
 
 pub use bits::{bit_accuracy, bit_accuracy_sampled};
 pub use pareto::{pareto_front, DesignPoint};
 pub use pmf::ErrorPmf;
+pub use quality::{mean_squared_error, psnr};
 pub use stats::ErrorStats;

@@ -1,0 +1,85 @@
+//! Application-level quality metrics shared by the case studies.
+//!
+//! The SUSAN accelerator, the JPEG encoder and the NN inference engine
+//! all judge approximate datapaths the same way — mean squared error of
+//! an 8-bit signal against a golden reference, usually reported as
+//! PSNR. This module is the single implementation those call sites
+//! delegate to, so the accumulation (integer SSE, one division) is
+//! identical everywhere.
+
+/// Mean squared error between two equal-length 8-bit signals.
+///
+/// The sum of squared differences is accumulated in integer arithmetic
+/// (`u64` holds 2⁴⁶ worst-case pixels), so the result is exact up to
+/// the final division.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(axmul_metrics::mean_squared_error(&[0, 10], &[0, 13]), 4.5);
+/// ```
+#[must_use]
+pub fn mean_squared_error(a: &[u8], b: &[u8]) -> f64 {
+    assert_eq!(a.len(), b.len(), "signal length mismatch");
+    assert!(!a.is_empty(), "empty signals have no MSE");
+    let sse: u64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = i64::from(x) - i64::from(y);
+            (d * d) as u64
+        })
+        .sum();
+    sse as f64 / a.len() as f64
+}
+
+/// Peak signal-to-noise ratio of two 8-bit signals, in dB.
+///
+/// Returns `f64::INFINITY` for identical signals (the paper prints "∞"
+/// for the accurate multiplier in Table 6).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn psnr(a: &[u8], b: &[u8]) -> f64 {
+    let mse = mean_squared_error(a, b);
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_signals_are_infinite() {
+        let v = [1u8, 2, 3, 250];
+        assert_eq!(psnr(&v, &v), f64::INFINITY);
+        assert_eq!(mean_squared_error(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // One pixel off by 255 out of a single-pixel signal: PSNR 0 dB.
+        assert!((psnr(&[0], &[255]) - 0.0).abs() < 1e-12);
+        // Uniform error of 1: MSE 1, PSNR = 20*log10(255) ~ 48.13 dB.
+        let a = [10u8; 100];
+        let b = [11u8; 100];
+        assert_eq!(mean_squared_error(&a, &b), 1.0);
+        assert!((psnr(&a, &b) - 48.1308).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_length_mismatch() {
+        let _ = mean_squared_error(&[1, 2], &[1]);
+    }
+}

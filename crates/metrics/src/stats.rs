@@ -37,6 +37,12 @@ pub struct ErrorStats {
     /// `avg_error` normalized by the maximum exact product — the NMED
     /// metric common in the approximate-computing literature.
     pub normalized_mean_error_distance: f64,
+    /// Mean of the *squared* error over all samples — the loss-proxy
+    /// metric behind PSNR and NN quality estimates, accumulated in the
+    /// same pass as the other statistics.
+    pub mean_squared_error: f64,
+    /// Root of [`ErrorStats::mean_squared_error`].
+    pub rmse: f64,
 }
 
 impl ErrorStats {
@@ -134,6 +140,7 @@ struct Accumulator {
     max: i64,
     max_occ: u64,
     sum: u128,
+    sum_sq: u128,
     rel: f64,
 }
 
@@ -144,6 +151,7 @@ impl Accumulator {
         if err != 0 {
             self.occ += 1;
             self.sum += err as u128;
+            self.sum_sq += (err as u128) * (err as u128);
             if exact != 0 {
                 self.rel += err as f64 / exact as f64;
             }
@@ -161,6 +169,7 @@ impl Accumulator {
     fn finish(self, name: String, wa: u32, wb: u32) -> ErrorStats {
         let samples_f = self.samples.max(1) as f64;
         let max_product = (mask_for(wa) * mask_for(wb)).max(1) as f64;
+        let mse = self.sum_sq as f64 / samples_f;
         ErrorStats {
             name,
             samples: self.samples,
@@ -171,6 +180,8 @@ impl Accumulator {
             avg_relative_error: self.rel / samples_f,
             error_probability: self.occ as f64 / samples_f,
             normalized_mean_error_distance: (self.sum as f64 / samples_f) / max_product,
+            mean_squared_error: mse,
+            rmse: mse.sqrt(),
         }
     }
 }
@@ -258,6 +269,8 @@ mod tests {
             wide.normalized_mean_error_distance,
             scalar.normalized_mean_error_distance
         );
+        assert_eq!(wide.mean_squared_error, scalar.mean_squared_error);
+        assert_eq!(wide.rmse, scalar.rmse);
     }
 
     #[test]
@@ -306,5 +319,26 @@ mod tests {
         let s = ErrorStats::exhaustive(&Truncated::new(8, 4));
         assert!(s.normalized_mean_error_distance > 0.0);
         assert!(s.normalized_mean_error_distance < 1e-3);
+    }
+
+    #[test]
+    fn mse_and_rmse_are_consistent() {
+        // Mult(8,4) zeroes the low nibble of the product: the error is
+        // `p mod 16`, so the MSE can be computed independently.
+        let m = Truncated::new(8, 4);
+        let s = ErrorStats::exhaustive(&m);
+        let direct: f64 = (0..=255u64)
+            .flat_map(|b| (0..=255u64).map(move |a| a * b))
+            .map(|p| ((p % 16) * (p % 16)) as f64)
+            .sum::<f64>()
+            / 65536.0;
+        assert!((s.mean_squared_error - direct).abs() < 1e-9);
+        assert!((s.rmse - s.mean_squared_error.sqrt()).abs() < 1e-12);
+        // Jensen: E[e^2] >= E[e]^2, i.e. rmse >= avg_error.
+        assert!(s.rmse >= s.avg_error);
+        // Exact designs have zero everywhere.
+        let z = ErrorStats::exhaustive(&axmul_core::Exact::new(6, 6));
+        assert_eq!(z.mean_squared_error, 0.0);
+        assert_eq!(z.rmse, 0.0);
     }
 }

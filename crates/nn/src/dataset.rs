@@ -1,0 +1,147 @@
+//! Self-contained synthetic classification dataset.
+//!
+//! The container that builds this repo is offline, so the workload
+//! ships its own data: 8×8 grayscale textures in four classes —
+//! horizontal stripes, vertical stripes, checkerboard, and diagonal
+//! stripes — with per-image random contrast, phase and pixel noise.
+//! Everything derives from the workspace's deterministic [`StdRng`],
+//! so two builds of the crate see byte-identical datasets (and hence
+//! byte-identical reference weights and accuracies).
+//!
+//! The texture classes are linearly separable from oriented-edge
+//! features but the noise margins are tight enough that multiplier
+//! approximation error visibly moves top-1 accuracy — which is the
+//! whole point of the harness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Image side length (images are `SIDE × SIDE` grayscale).
+pub const SIDE: usize = 8;
+
+/// Number of texture classes.
+pub const CLASSES: usize = 4;
+
+/// Human-readable class names, indexed by label.
+pub const CLASS_NAMES: [&str; CLASSES] = ["h-stripes", "v-stripes", "checker", "diagonal"];
+
+/// A labeled set of `SIDE×SIDE` grayscale images.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Row-major pixel buffers, each `SIDE * SIDE` long.
+    pub images: Vec<Vec<u8>>,
+    /// Class label per image, in `0..CLASSES`.
+    pub labels: Vec<u8>,
+}
+
+impl Dataset {
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// True for a dataset with no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+}
+
+/// Generates `n` images, cycling the class label, from the given seed.
+#[must_use]
+pub fn generate(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut images = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = (i % CLASSES) as u8;
+        images.push(texture(label, &mut rng));
+        labels.push(label);
+    }
+    Dataset { images, labels }
+}
+
+/// The fixed training split (512 samples).
+#[must_use]
+pub fn train_set() -> Dataset {
+    generate(512, 0xDAC1_8A01)
+}
+
+/// The fixed held-out test split (256 samples).
+#[must_use]
+pub fn test_set() -> Dataset {
+    generate(256, 0xDAC1_8B02)
+}
+
+fn texture(label: u8, rng: &mut StdRng) -> Vec<u8> {
+    let low = rng.random_range(30u32..=90) as i32;
+    let high = rng.random_range(150u32..=225) as i32;
+    let phase = rng.random_range(0u32..4) as usize;
+    let mut img = Vec::with_capacity(SIDE * SIDE);
+    for y in 0..SIDE {
+        for x in 0..SIDE {
+            let bright = match label {
+                0 => (y + phase) % 4 < 2,
+                1 => (x + phase) % 4 < 2,
+                2 => ((x / 2) + (y / 2) + phase).is_multiple_of(2),
+                _ => (x + y + phase) % 4 < 2,
+            };
+            let base = if bright { high } else { low };
+            let noise = rng.random_range(0u32..=40) as i32 - 20;
+            img.push((base + noise).clamp(0, 255) as u8);
+        }
+    }
+    img
+}
+
+/// Centers a `u8` pixel to the int8 activation domain (`pixel − 128`,
+/// scale 1/128, zero-point 0).
+#[inline]
+#[must_use]
+pub fn quantize_pixel(p: u8) -> i8 {
+    (i32::from(p) - 128) as i8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(64, 7);
+        let b = generate(64, 7);
+        assert_eq!(a.images, b.images);
+        assert_eq!(a.labels, b.labels);
+        let c = generate(64, 8);
+        assert_ne!(a.images, c.images, "different seed, different data");
+    }
+
+    #[test]
+    fn splits_have_expected_shape() {
+        let train = train_set();
+        let test = test_set();
+        assert_eq!(train.len(), 512);
+        assert_eq!(test.len(), 256);
+        for ds in [&train, &test] {
+            assert!(ds.images.iter().all(|i| i.len() == SIDE * SIDE));
+            assert!(ds.labels.iter().all(|&l| (l as usize) < CLASSES));
+        }
+        // Balanced classes.
+        for class in 0..CLASSES as u8 {
+            assert_eq!(
+                test.labels.iter().filter(|&&l| l == class).count(),
+                test.len() / CLASSES
+            );
+        }
+        // Train and test must not share a seed.
+        assert_ne!(train.images[0], test.images[0]);
+    }
+
+    #[test]
+    fn pixel_quantization_is_centered() {
+        assert_eq!(quantize_pixel(0), -128);
+        assert_eq!(quantize_pixel(128), 0);
+        assert_eq!(quantize_pixel(255), 127);
+    }
+}

@@ -1,0 +1,185 @@
+//! Accuracy-driven design-space exploration.
+//!
+//! `axmul-dse` searches recursive 8×8 configurations against *generic*
+//! error metrics; this bridge closes the loop the AMG line of work
+//! argues for — selecting multipliers by **application-level quality**.
+//! Every candidate is characterized once through the shared
+//! [`CharCache`] (netlist, LUTs, EDP, error stats — including the new
+//! RMSE field), its exact value table is lowered to a [`ProductTable`],
+//! and the reference network's top-1 accuracy becomes the constraint:
+//! *find the cheapest configuration whose accuracy stays above a floor
+//! relative to the all-exact baseline.*
+
+use std::sync::Mutex;
+
+use axmul_core::behavioral::Summation;
+use axmul_dse::{CharCache, Config, Leaf};
+use axmul_fabric::cost::Characterizer;
+
+use crate::dataset::Dataset;
+use crate::engine::evaluate;
+use crate::error::NnError;
+use crate::model::Model;
+use crate::table::ProductTable;
+
+/// One explored configuration: hardware cost from the DSE cache,
+/// accuracy from the inference engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyPoint {
+    /// Canonical configuration key (e.g. `(a A A A X)`).
+    pub key: String,
+    /// LUT count of the assembled 8×8 netlist.
+    pub luts: u32,
+    /// Energy-delay product of the netlist.
+    pub edp: f64,
+    /// Multiplier-level RMSE over the full 8×8 operand space.
+    pub rmse: f64,
+    /// Top-1 accuracy of the reference network with this multiplier.
+    pub accuracy: f64,
+}
+
+/// Full result of an accuracy-floor search.
+#[derive(Debug, Clone)]
+pub struct AccuracySearch {
+    /// The all-exact `(a X X X X)` baseline.
+    pub baseline: AccuracyPoint,
+    /// Absolute accuracy floor applied (`floor_frac · baseline`).
+    pub floor: f64,
+    /// Every explored point, sorted by LUTs then accuracy (descending).
+    pub points: Vec<AccuracyPoint>,
+    /// Cheapest point with `accuracy ≥ floor` and strictly fewer LUTs
+    /// than the baseline, if any.
+    pub best: Option<AccuracyPoint>,
+}
+
+/// The all-exact 8×8 recursive baseline configuration.
+#[must_use]
+pub fn baseline_config() -> Config {
+    Config::uniform(Config::Leaf(Leaf::Exact), Summation::Accurate)
+}
+
+/// A reduced, structurally diverse candidate set for smoke runs: every
+/// homogeneous leaf/summation combination. Includes the paper's
+/// approx-Ca `(a A A A A)` and approx-Cc `(c A A A A)` by construction.
+#[must_use]
+pub fn quick_candidates() -> Vec<Config> {
+    let mut configs = Vec::new();
+    for summation in [Summation::Accurate, Summation::CarryFree] {
+        for leaf in Leaf::ALL {
+            configs.push(Config::uniform(Config::Leaf(leaf), summation));
+        }
+    }
+    configs
+}
+
+/// Searches `configs` (default: the full 1250-configuration 8×8
+/// enumeration) for the cheapest multiplier keeping the network at
+/// `floor_frac` of baseline accuracy, evaluating candidates across
+/// `workers` threads.
+///
+/// # Errors
+///
+/// Propagates characterization ([`NnError::Fabric`]) and inference
+/// errors.
+pub fn accuracy_search(
+    model: &Model,
+    dataset: &Dataset,
+    floor_frac: f64,
+    workers: usize,
+    configs: Option<Vec<Config>>,
+) -> Result<AccuracySearch, NnError> {
+    let cache = CharCache::new(Characterizer::virtex7());
+    let configs = configs.unwrap_or_else(|| Config::enumerate(8));
+
+    let baseline = measure(&cache, model, dataset, &baseline_config())?;
+    let floor = floor_frac * baseline.accuracy;
+
+    let workers = workers.max(1).min(configs.len().max(1));
+    let results: Vec<Mutex<Option<Result<AccuracyPoint, NnError>>>> =
+        configs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (cache, results, configs) = (&cache, &results, &configs);
+            scope.spawn(move || {
+                for (i, cfg) in configs.iter().enumerate().skip(w).step_by(workers) {
+                    *results[i].lock().unwrap() = Some(measure(cache, model, dataset, cfg));
+                }
+            });
+        }
+    });
+
+    let mut points = Vec::with_capacity(configs.len());
+    for slot in results {
+        match slot.into_inner().unwrap() {
+            Some(Ok(p)) => points.push(p),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("every shard slot is written"),
+        }
+    }
+    points.sort_by(|a, b| {
+        a.luts
+            .cmp(&b.luts)
+            .then(b.accuracy.total_cmp(&a.accuracy))
+            .then(a.key.cmp(&b.key))
+    });
+    let best = points
+        .iter()
+        .find(|p| p.accuracy >= floor && p.luts < baseline.luts)
+        .cloned();
+    Ok(AccuracySearch {
+        baseline,
+        floor,
+        points,
+        best,
+    })
+}
+
+fn measure(
+    cache: &CharCache,
+    model: &Model,
+    dataset: &Dataset,
+    cfg: &Config,
+) -> Result<AccuracyPoint, NnError> {
+    let block = cache.characterize(cfg)?;
+    let table = ProductTable::new(&block.multiplier())?;
+    // Candidates already fan out across threads; evaluate serially.
+    let eval = evaluate(model, &table, dataset, 1)?;
+    Ok(AccuracyPoint {
+        key: block.key.clone(),
+        luts: block.cost.area.luts as u32,
+        edp: block.cost.edp,
+        rmse: block.stats.rmse,
+        accuracy: eval.accuracy(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset;
+    use crate::train::reference_model;
+
+    #[test]
+    fn quick_candidates_are_unique_8x8() {
+        let configs = quick_candidates();
+        assert!(configs.len() >= 10);
+        for cfg in &configs {
+            assert_eq!(cfg.bits(), 8, "{}", cfg.key());
+        }
+    }
+
+    #[test]
+    fn quick_search_finds_a_cheaper_config() {
+        // A 64-sample subset keeps this tractable under `cargo test`;
+        // the full dataset/enumeration runs in `repro nn`.
+        let ds = dataset::generate(64, 0xBEEF);
+        let search =
+            accuracy_search(reference_model(), &ds, 0.95, 2, Some(quick_candidates())).unwrap();
+        assert_eq!(search.baseline.key, "(a X X X X)");
+        assert!(search.baseline.accuracy > 0.85);
+        assert_eq!(search.points.len(), quick_candidates().len());
+        let best = search.best.as_ref().expect("paper's configs beat exact");
+        assert!(best.luts < search.baseline.luts);
+        assert!(best.accuracy >= search.floor);
+    }
+}

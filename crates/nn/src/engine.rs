@@ -1,0 +1,162 @@
+//! Batch inference: sharded workers, deterministic results.
+//!
+//! Follows the `axmul-dse` worker-pool pattern: `std::thread::scope`,
+//! round-robin sharding (`skip(w).step_by(workers)`), and a mutex-held
+//! first-error slot. Each sample's prediction depends only on that
+//! sample, so the reassembled output is bit-identical for any worker
+//! count — a property the crate's tests pin down.
+
+use std::sync::Mutex;
+
+use crate::dataset::{quantize_pixel, Dataset};
+use crate::error::NnError;
+use crate::model::Model;
+use crate::table::MacBackend;
+
+/// Result of evaluating a model+backend on a labeled dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Predicted class per sample, in dataset order.
+    pub predictions: Vec<u8>,
+    /// Number of correct top-1 predictions.
+    pub correct: usize,
+    /// Total samples.
+    pub total: usize,
+}
+
+impl Evaluation {
+    /// Top-1 accuracy in `[0, 1]`.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// Classifies a batch of raw `u8` images across `workers` threads.
+/// Returns predictions in input order, independent of `workers`.
+///
+/// # Errors
+///
+/// Propagates the first [`NnError`] any worker hits (e.g. a wrongly
+/// sized image).
+pub fn infer_batch(
+    model: &Model,
+    backend: &dyn MacBackend,
+    images: &[Vec<u8>],
+    workers: usize,
+) -> Result<Vec<u8>, NnError> {
+    let workers = workers.max(1).min(images.len().max(1));
+    let mut predictions = vec![0u8; images.len()];
+    let failure: Mutex<Option<NnError>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        // Hand each worker a round-robin shard of (index, image) pairs
+        // and a matching shard of the output buffer via split-off
+        // mutable chunks; indices are recomputed from the shard id so
+        // no two workers alias an output slot.
+        let mut slots: Vec<(usize, &mut u8)> = predictions.iter_mut().enumerate().collect();
+        let mut shards: Vec<Vec<(usize, &mut u8)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, slot) in slots.drain(..) {
+            shards[i % workers].push((i, slot));
+        }
+        for shard in shards {
+            let failure = &failure;
+            scope.spawn(move || {
+                for (i, out) in shard {
+                    match model.predict(backend, &quantize(&images[i])) {
+                        Ok(class) => *out = class as u8,
+                        Err(e) => {
+                            let mut slot = failure.lock().unwrap();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    match failure.into_inner().unwrap() {
+        Some(e) => Err(e),
+        None => Ok(predictions),
+    }
+}
+
+/// Evaluates top-1 accuracy of `model` on `dataset` under `backend`.
+///
+/// # Errors
+///
+/// Propagates [`infer_batch`] errors.
+pub fn evaluate(
+    model: &Model,
+    backend: &dyn MacBackend,
+    dataset: &Dataset,
+    workers: usize,
+) -> Result<Evaluation, NnError> {
+    let predictions = infer_batch(model, backend, &dataset.images, workers)?;
+    let correct = predictions
+        .iter()
+        .zip(&dataset.labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    Ok(Evaluation {
+        correct,
+        total: dataset.len(),
+        predictions,
+    })
+}
+
+fn quantize(image: &[u8]) -> Vec<i8> {
+    image.iter().map(|&p| quantize_pixel(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset;
+    use crate::table::ProductTable;
+    use crate::train::reference_model;
+
+    #[test]
+    fn evaluation_counts_match_predictions() {
+        let ds = dataset::generate(16, 42);
+        let eval = evaluate(reference_model(), &ProductTable::exact(), &ds, 1).unwrap();
+        assert_eq!(eval.total, 16);
+        assert_eq!(eval.predictions.len(), 16);
+        let recount = eval
+            .predictions
+            .iter()
+            .zip(&ds.labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        assert_eq!(eval.correct, recount);
+    }
+
+    #[test]
+    fn bad_image_size_is_reported_not_panicked() {
+        let ds = Dataset {
+            images: vec![vec![0u8; 7]],
+            labels: vec![0],
+        };
+        let err = evaluate(reference_model(), &ProductTable::exact(), &ds, 2).unwrap_err();
+        assert_eq!(
+            err,
+            NnError::BadInput {
+                expected: 64,
+                got: 7
+            }
+        );
+    }
+
+    #[test]
+    fn zero_workers_degrades_to_one() {
+        let ds = dataset::generate(3, 1);
+        let a = infer_batch(reference_model(), &ProductTable::exact(), &ds.images, 0).unwrap();
+        let b = infer_batch(reference_model(), &ProductTable::exact(), &ds.images, 1).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,142 @@
+//! Graceful-degradation analysis: stuck-at faults vs. accuracy.
+//!
+//! Injects random single-stuck-at faults (the `axmul-fabric` fault
+//! model) into a gate-level 8×8 multiplier netlist, exhaustively
+//! simulates the faulty netlist into a [`ProductTable`], and measures
+//! the reference network's top-1 accuracy — evidence for how the
+//! accelerator *degrades* rather than fails as hardware defects
+//! accumulate.
+
+use axmul_fabric::fault::Fault;
+use axmul_fabric::{Driver, NetId, Netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::engine::evaluate;
+use crate::error::NnError;
+use crate::model::Model;
+use crate::table::ProductTable;
+
+/// Accuracy under a given number of simultaneous stuck-at faults,
+/// averaged over random fault placements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPoint {
+    /// Number of simultaneous faults injected per trial.
+    pub faults: usize,
+    /// Independent random placements measured.
+    pub trials: usize,
+    /// Mean top-1 accuracy across trials.
+    pub mean_accuracy: f64,
+    /// Worst trial accuracy.
+    pub min_accuracy: f64,
+}
+
+/// Candidate fault sites of a netlist: every observable non-constant
+/// net (same selection rule as `axmul_fabric::fault::fault_coverage`).
+#[must_use]
+pub fn fault_sites(netlist: &Netlist) -> Vec<NetId> {
+    let fanouts = netlist.fanouts();
+    netlist
+        .drivers()
+        .iter()
+        .enumerate()
+        .filter(|&(i, d)| !matches!(d, Driver::Const(_)) && fanouts[i] > 0)
+        .map(|(i, _)| NetId::new(i as u32))
+        .collect()
+}
+
+/// Sweeps `fault_counts`, injecting that many distinct random stuck-at
+/// faults into `netlist` per trial (seeded, deterministic placements),
+/// and evaluates `model` on `dataset` through each faulty multiplier.
+///
+/// # Errors
+///
+/// Propagates netlist-simulation and inference errors.
+pub fn fault_sweep(
+    model: &Model,
+    dataset: &Dataset,
+    netlist: &Netlist,
+    fault_counts: &[usize],
+    trials: usize,
+    seed: u64,
+    workers: usize,
+) -> Result<Vec<FaultPoint>, NnError> {
+    let sites = fault_sites(netlist);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::with_capacity(fault_counts.len());
+    for &n in fault_counts {
+        let trials_here = if n == 0 { 1 } else { trials.max(1) };
+        let mut accs = Vec::with_capacity(trials_here);
+        for trial in 0..trials_here {
+            let faults = pick_faults(&sites, n, &mut rng);
+            let name = format!("{} +{n}sa (trial {trial})", netlist.name());
+            let table = ProductTable::from_netlist_with_faults(netlist, &faults, name)?;
+            accs.push(evaluate(model, &table, dataset, workers)?.accuracy());
+        }
+        let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+        let min = accs.iter().fold(f64::INFINITY, |m, &a| m.min(a));
+        points.push(FaultPoint {
+            faults: n,
+            trials: trials_here,
+            mean_accuracy: mean,
+            min_accuracy: min,
+        });
+    }
+    Ok(points)
+}
+
+/// Draws `n` faults on distinct nets with random polarity.
+fn pick_faults(sites: &[NetId], n: usize, rng: &mut StdRng) -> Vec<Fault> {
+    assert!(n <= sites.len(), "more faults than candidate nets");
+    // Partial Fisher–Yates over a scratch index vector.
+    let mut idx: Vec<usize> = (0..sites.len()).collect();
+    let mut faults = Vec::with_capacity(n);
+    for k in 0..n {
+        let j = rng.random_range(k..idx.len());
+        idx.swap(k, j);
+        let net = sites[idx[k]];
+        faults.push(if rng.random::<bool>() {
+            Fault::sa1(net)
+        } else {
+            Fault::sa0(net)
+        });
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset;
+    use crate::train::reference_model;
+    use axmul_core::structural::ca_netlist;
+
+    #[test]
+    fn zero_faults_matches_the_clean_netlist() {
+        let nl = ca_netlist(8).unwrap();
+        let ds = dataset::generate(16, 3);
+        let points = fault_sweep(reference_model(), &ds, &nl, &[0], 3, 99, 1).unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].trials, 1, "fault-free needs no averaging");
+        let clean = ProductTable::from_netlist_with_faults(&nl, &[], "ca8").unwrap();
+        let reference = evaluate(reference_model(), &clean, &ds, 1).unwrap();
+        assert_eq!(points[0].mean_accuracy, reference.accuracy());
+    }
+
+    #[test]
+    fn fault_picks_are_deterministic_and_distinct() {
+        let nl = ca_netlist(8).unwrap();
+        let sites = fault_sites(&nl);
+        assert!(sites.len() > 100, "an 8×8 netlist has plenty of nets");
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let a = pick_faults(&sites, 8, &mut rng_a);
+        let b = pick_faults(&sites, 8, &mut rng_b);
+        assert_eq!(a, b);
+        let mut nets: Vec<_> = a.iter().map(|f| f.net).collect();
+        nets.sort();
+        nets.dedup();
+        assert_eq!(nets.len(), 8, "faults land on distinct nets");
+    }
+}

@@ -1,0 +1,280 @@
+//! Layer types and their integer forward passes.
+//!
+//! Activations travel as `i8` tensors in CHW order; every product of
+//! two `i8` values goes through the [`MacBackend`], accumulating in
+//! `i32`. Convolution is lowered to an explicit im2col buffer followed
+//! by the same GEMM kernel the dense layers use, so there is exactly
+//! one MAC inner loop in the crate.
+
+use crate::quant::Requant;
+use crate::table::MacBackend;
+
+/// Activation tensor shape (channels, height, width). Dense layers see
+/// the flattened `c*h*w` vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shape {
+    /// Channels.
+    pub c: usize,
+    /// Rows.
+    pub h: usize,
+    /// Columns.
+    pub w: usize,
+}
+
+impl Shape {
+    /// Total element count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// True when any dimension is zero.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A 2-D convolution (stride 1, valid padding) over CHW activations,
+/// evaluated via im2col + GEMM.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels (filters).
+    pub out_c: usize,
+    /// Square kernel side.
+    pub k: usize,
+    /// Filter weights, `[out_c][in_c][k][k]` row-major.
+    pub weights: Vec<i8>,
+    /// Per-filter bias, added to the `i32` accumulator.
+    pub bias: Vec<i32>,
+    /// Accumulator→activation requantization.
+    pub requant: Requant,
+}
+
+/// A fully-connected layer. `requant: None` marks the network head: it
+/// emits raw `i32` logits instead of an `i8` activation.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Input features.
+    pub in_f: usize,
+    /// Output features.
+    pub out_f: usize,
+    /// Weights, `[out_f][in_f]` row-major.
+    pub weights: Vec<i8>,
+    /// Per-output bias, added to the `i32` accumulator.
+    pub bias: Vec<i32>,
+    /// Accumulator→activation requantization; `None` → raw logits.
+    pub requant: Option<Requant>,
+}
+
+/// One layer of a [`crate::Model`].
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// Convolution.
+    Conv2d(Conv2d),
+    /// Fully connected.
+    Dense(Dense),
+    /// Elementwise `max(x, 0)`.
+    Relu,
+    /// Non-overlapping `k×k` average pooling (round-half-up).
+    AvgPool2d {
+        /// Pooling window side; must divide the activation height and
+        /// width exactly.
+        k: usize,
+    },
+}
+
+/// `out[m][n] = Σ_k a[m][k] · b[k][n]` with every product routed
+/// through the backend. `a` is `m×kk` row-major, `b` is `kk×n`
+/// row-major, output is `m×n` row-major `i32`.
+pub(crate) fn gemm(
+    backend: &dyn MacBackend,
+    a: &[i8],
+    b: &[i8],
+    m: usize,
+    kk: usize,
+    n: usize,
+) -> Vec<i32> {
+    debug_assert_eq!(a.len(), m * kk);
+    debug_assert_eq!(b.len(), kk * n);
+    let mut out = vec![0i32; m * n];
+    for i in 0..m {
+        let row = &a[i * kk..(i + 1) * kk];
+        for j in 0..n {
+            let mut acc = 0i32;
+            for (k, &av) in row.iter().enumerate() {
+                acc = acc.wrapping_add(backend.mul(av, b[k * n + j]));
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+impl Conv2d {
+    /// Output shape for a given input shape.
+    pub(crate) fn out_shape(&self, input: Shape) -> Shape {
+        Shape {
+            c: self.out_c,
+            h: input.h + 1 - self.k,
+            w: input.w + 1 - self.k,
+        }
+    }
+
+    /// Lowers the input into the im2col matrix: `in_c·k·k` rows by
+    /// `out_h·out_w` columns, one column per output position.
+    pub(crate) fn im2col(&self, input: &[i8], shape: Shape) -> Vec<i8> {
+        let out = self.out_shape(shape);
+        let (oh, ow) = (out.h, out.w);
+        let kdim = self.in_c * self.k * self.k;
+        let mut cols = vec![0i8; kdim * oh * ow];
+        for c in 0..self.in_c {
+            for ky in 0..self.k {
+                for kx in 0..self.k {
+                    let row = (c * self.k + ky) * self.k + kx;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let px = input[(c * shape.h + oy + ky) * shape.w + ox + kx];
+                            cols[row * (oh * ow) + oy * ow + ox] = px;
+                        }
+                    }
+                }
+            }
+        }
+        cols
+    }
+
+    /// Forward pass: im2col, GEMM, bias, requantize.
+    pub(crate) fn forward(&self, backend: &dyn MacBackend, input: &[i8], shape: Shape) -> Vec<i8> {
+        let out = self.out_shape(shape);
+        let kdim = self.in_c * self.k * self.k;
+        let cols = self.im2col(input, shape);
+        let acc = gemm(
+            backend,
+            &self.weights,
+            &cols,
+            self.out_c,
+            kdim,
+            out.h * out.w,
+        );
+        acc.iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                self.requant
+                    .apply(v.wrapping_add(self.bias[i / (out.h * out.w)]))
+            })
+            .collect()
+    }
+}
+
+impl Dense {
+    /// Forward pass to the `i32` accumulator vector (bias applied,
+    /// requantization not yet).
+    pub(crate) fn accumulate(&self, backend: &dyn MacBackend, input: &[i8]) -> Vec<i32> {
+        let acc = gemm(backend, &self.weights, input, self.out_f, self.in_f, 1);
+        acc.iter()
+            .zip(&self.bias)
+            .map(|(&v, &b)| v.wrapping_add(b))
+            .collect()
+    }
+}
+
+/// Elementwise ReLU.
+pub(crate) fn relu(x: &mut [i8]) {
+    for v in x {
+        *v = (*v).max(0);
+    }
+}
+
+/// Non-overlapping k×k average pooling per channel, round-half-up.
+pub(crate) fn avg_pool(input: &[i8], shape: Shape, k: usize) -> (Vec<i8>, Shape) {
+    let out = Shape {
+        c: shape.c,
+        h: shape.h / k,
+        w: shape.w / k,
+    };
+    let mut data = vec![0i8; out.len()];
+    let window = (k * k) as i32;
+    for c in 0..out.c {
+        for oy in 0..out.h {
+            for ox in 0..out.w {
+                let mut sum = 0i32;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        sum +=
+                            i32::from(input[(c * shape.h + oy * k + dy) * shape.w + ox * k + dx]);
+                    }
+                }
+                data[(c * out.h + oy) * out.w + ox] = (sum + window / 2).div_euclid(window) as i8;
+            }
+        }
+    }
+    (data, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ProductTable;
+
+    #[test]
+    fn gemm_exact_small() {
+        let exact = ProductTable::exact();
+        // [1 2; 3 4] × [5; 6] = [17; 39]
+        let a = [1i8, 2, 3, 4];
+        let b = [5i8, 6];
+        assert_eq!(gemm(&exact, &a, &b, 2, 2, 1), vec![17, 39]);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        let conv = Conv2d {
+            in_c: 1,
+            out_c: 1,
+            k: 1,
+            weights: vec![1],
+            bias: vec![0],
+            requant: Requant::from_scale(1.0),
+        };
+        let shape = Shape { c: 1, h: 2, w: 2 };
+        let input = [1i8, -2, 3, -4];
+        assert_eq!(conv.im2col(&input, shape), vec![1, -2, 3, -4]);
+        let out = conv.forward(&ProductTable::exact(), &input, shape);
+        assert_eq!(out, vec![1, -2, 3, -4]);
+    }
+
+    #[test]
+    fn conv_sums_window() {
+        // 3×3 all-ones kernel over a 3×3 all-twos image → single output 18.
+        let conv = Conv2d {
+            in_c: 1,
+            out_c: 1,
+            k: 3,
+            weights: vec![1; 9],
+            bias: vec![4],
+            requant: Requant::from_scale(1.0),
+        };
+        let shape = Shape { c: 1, h: 3, w: 3 };
+        let out = conv.forward(&ProductTable::exact(), &[2i8; 9], shape);
+        assert_eq!(out, vec![22]);
+    }
+
+    #[test]
+    fn avg_pool_rounds_half_up() {
+        let shape = Shape { c: 1, h: 2, w: 2 };
+        let (out, os) = avg_pool(&[1, 2, 2, 1], shape, 2);
+        assert_eq!(os, Shape { c: 1, h: 1, w: 1 });
+        assert_eq!(out, vec![2], "6/4 = 1.5 rounds to 2");
+        let (neg, _) = avg_pool(&[-1, -2, -2, -1], shape, 2);
+        assert_eq!(neg, vec![-1], "-1.5 rounds half-up to -1");
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut x = [-5i8, 0, 7, -128, 127];
+        relu(&mut x);
+        assert_eq!(x, [0, 0, 7, 0, 127]);
+    }
+}

@@ -1,0 +1,68 @@
+//! # axmul-nn
+//!
+//! A quantized (int8 × int8 → i32) neural-network inference engine in
+//! which **every multiply routes through a pluggable
+//! [`axmul_core::Multiplier`]** — the paper's target workload class
+//! ("FPGA-based hardware accelerators") made measurable: swap the
+//! multiplier architecture, read off the top-1 accuracy.
+//!
+//! ## Pieces
+//!
+//! * [`Model`] / [`Layer`] — shape-validated layer stack: conv2d (via
+//!   im2col + GEMM), dense, ReLU, average-pool, argmax readout.
+//! * [`MacBackend`] — the `i8 × i8` primitive. [`ScalarMac`] calls the
+//!   multiplier per MAC; [`ProductTable`] precomputes all 256×256
+//!   signed products (bit-identical, property-tested) so behavioral,
+//!   DSE-composed and even fault-injected gate-level multipliers all
+//!   cost one lookup per MAC.
+//! * [`dataset`] / [`reference_model`] — a self-contained synthetic
+//!   texture-classification task and deterministically trained int8
+//!   reference weights (offline container: no downloads, no clocks).
+//! * [`infer_batch`] / [`evaluate`] — sharded `std::thread::scope`
+//!   batch inference, bit-deterministic across worker counts.
+//! * [`accuracy_search`] — design-space exploration over recursive 8×8
+//!   configurations under an accuracy-floor constraint, reusing
+//!   `axmul-dse`'s characterization cache for LUT/EDP costs.
+//! * [`fault_sweep`] — stuck-at faults injected into a gate-level
+//!   multiplier netlist, reported as accuracy degradation.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use axmul_core::behavioral::Ca;
+//! use axmul_nn::{evaluate, reference_model, test_set, ProductTable};
+//!
+//! let model = reference_model();
+//! let test = test_set();
+//! let exact = evaluate(model, &ProductTable::exact(), &test, 2)?;
+//! let ca = ProductTable::new(&Ca::new(8)?)?;
+//! let approx = evaluate(model, &ca, &test, 2)?;
+//! assert!(exact.accuracy() > 0.9);
+//! assert!(approx.accuracy() > 0.5); // degraded, not destroyed
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+mod dse;
+mod engine;
+mod error;
+mod fault;
+mod layers;
+mod model;
+mod quant;
+mod table;
+mod train;
+
+pub use dataset::{test_set, train_set, Dataset};
+pub use dse::{accuracy_search, baseline_config, quick_candidates, AccuracyPoint, AccuracySearch};
+pub use engine::{evaluate, infer_batch, Evaluation};
+pub use error::NnError;
+pub use fault::{fault_sites, fault_sweep, FaultPoint};
+pub use layers::{Conv2d, Dense, Layer, Shape};
+pub use model::{argmax, Model};
+pub use quant::{quantize_symmetric, Requant};
+pub use table::{MacBackend, ProductTable, ScalarMac};
+pub use train::reference_model;

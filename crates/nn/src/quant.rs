@@ -1,0 +1,142 @@
+//! Fixed-point quantization arithmetic.
+//!
+//! The engine follows the standard symmetric int8 scheme (zero-point
+//! 0 everywhere): a real value `x` is represented as `q · s` with `q`
+//! an `i8` and `s` a per-tensor scale. A layer accumulates
+//! `Σ w_q · x_q` in `i32`; the product scale `s_w · s_x` is converted
+//! to the next layer's activation scale by a [`Requant`] — an integer
+//! multiply-and-shift approximation of the real ratio, so inference is
+//! float-free and bit-deterministic on every platform.
+
+/// Integer requantization: `out ≈ acc · multiplier / 2^shift`,
+/// round-half-up, saturated to `i8`.
+///
+/// Encodes a positive real scale factor as a Q31-style fixed-point
+/// constant, the way FPGA and mobile int8 runtimes do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Requant {
+    /// Fixed-point mantissa in `[2^30, 2^31)`.
+    pub multiplier: i32,
+    /// Right-shift applied after the widening multiply.
+    pub shift: u32,
+}
+
+impl Requant {
+    /// Encodes a real scale factor `scale ∈ (0, 1e6)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive, or too large to
+    /// leave a rounding shift.
+    #[must_use]
+    pub fn from_scale(scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "requant scale must be positive and finite, got {scale}"
+        );
+        // Normalize to m ∈ [0.5, 1): scale = m · 2^e.
+        let mut m = scale;
+        let mut e = 0i32;
+        while m < 0.5 {
+            m *= 2.0;
+            e -= 1;
+        }
+        while m >= 1.0 {
+            m /= 2.0;
+            e += 1;
+        }
+        let mut q = (m * 2f64.powi(31)).round() as i64;
+        if q == 1i64 << 31 {
+            q >>= 1;
+            e += 1;
+        }
+        let shift = 31 - e;
+        assert!(
+            (1..=62).contains(&shift),
+            "requant scale {scale} out of representable range"
+        );
+        Requant {
+            multiplier: q as i32,
+            shift: shift as u32,
+        }
+    }
+
+    /// Applies the requantization to an `i32` accumulator.
+    #[inline]
+    #[must_use]
+    pub fn apply(self, acc: i32) -> i8 {
+        let wide = i64::from(acc) * i64::from(self.multiplier);
+        let rounded = (wide + (1i64 << (self.shift - 1))) >> self.shift;
+        rounded.clamp(-128, 127) as i8
+    }
+
+    /// The real scale this requant approximates.
+    #[must_use]
+    pub fn scale(self) -> f64 {
+        self.multiplier as f64 / 2f64.powi(self.shift as i32)
+    }
+}
+
+/// Symmetric per-tensor int8 quantization of a float tensor: returns
+/// the quantized values and the scale (`maxabs / 127`, or scale 1 for
+/// an all-zero tensor).
+#[must_use]
+pub fn quantize_symmetric(values: &[f64]) -> (Vec<i8>, f64) {
+    let maxabs = values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    if maxabs == 0.0 {
+        return (vec![0; values.len()], 1.0);
+    }
+    let scale = maxabs / 127.0;
+    let q = values
+        .iter()
+        .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    (q, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requant_matches_float_reference() {
+        for &scale in &[0.5, 0.25, 0.013_7, 1.0 / 3.0, 0.000_61, 1.5, 12.0] {
+            let r = Requant::from_scale(scale);
+            assert!(
+                (r.scale() - scale).abs() / scale < 1e-8,
+                "{scale} encoded as {}",
+                r.scale()
+            );
+            for acc in [-50_000, -129, -1, 0, 1, 3, 127, 50_000] {
+                let want = (f64::from(acc) * scale).round().clamp(-128.0, 127.0) as i8;
+                let got = r.apply(acc);
+                assert!(
+                    i32::from(want).abs_diff(i32::from(got)) <= 1,
+                    "scale {scale} acc {acc}: float {want} vs fixed {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn requant_exact_powers_of_two() {
+        let r = Requant::from_scale(0.25);
+        assert_eq!(r.apply(8), 2);
+        assert_eq!(r.apply(10), 3, "2.5 rounds half-up to 3");
+        assert_eq!(r.apply(-10), -2, "-2.5 rounds half-up to -2");
+        assert_eq!(r.apply(4000), 127, "saturates high");
+        assert_eq!(r.apply(-4000), -128, "saturates low");
+    }
+
+    #[test]
+    fn quantize_symmetric_round_trips() {
+        let vals = [0.5, -1.0, 0.25, 0.0];
+        let (q, s) = quantize_symmetric(&vals);
+        assert_eq!(q[1], -127);
+        for (v, qv) in vals.iter().zip(&q) {
+            assert!((f64::from(*qv) * s - v).abs() <= s / 2.0 + 1e-12);
+        }
+        let (qz, sz) = quantize_symmetric(&[0.0, 0.0]);
+        assert_eq!((qz, sz), (vec![0, 0], 1.0));
+    }
+}

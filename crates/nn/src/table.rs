@@ -1,0 +1,254 @@
+//! MAC backends: how an `i8 × i8 → i32` multiply is actually computed.
+//!
+//! The engine routes **every** multiply-accumulate through a
+//! [`MacBackend`], so swapping the multiplier architecture swaps the
+//! arithmetic of the whole network. Two implementations:
+//!
+//! * [`ScalarMac`] — calls the wrapped [`Multiplier`] per MAC (via the
+//!   [`Signed`] magnitude/sign adapter). Slow but definitionally
+//!   correct; it is the reference the table path is tested against.
+//! * [`ProductTable`] — precomputes all 256×256 signed products once,
+//!   then serves each MAC with a single table lookup. This is also the
+//!   natural shape for fault injection: a faulty netlist is exhaustively
+//!   simulated into a table and then costs nothing extra per MAC.
+
+use axmul_core::{Multiplier, Signed};
+use axmul_fabric::fault::{eval_with_faults, Fault};
+use axmul_fabric::Netlist;
+
+use crate::error::NnError;
+
+/// A signed 8-bit multiply backend: the one arithmetic primitive the
+/// inference engine consumes.
+pub trait MacBackend: Sync {
+    /// The (possibly approximate) product of two int8 values.
+    fn mul(&self, a: i8, b: i8) -> i32;
+
+    /// Human-readable backend name for reports.
+    fn name(&self) -> &str;
+}
+
+impl<B: MacBackend + ?Sized> MacBackend for &B {
+    fn mul(&self, a: i8, b: i8) -> i32 {
+        (**self).mul(a, b)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+fn require_8x8(m: &(impl Multiplier + ?Sized)) -> Result<(), NnError> {
+    if m.a_bits() == 8 && m.b_bits() == 8 {
+        Ok(())
+    } else {
+        Err(NnError::Width {
+            a_bits: m.a_bits(),
+            b_bits: m.b_bits(),
+        })
+    }
+}
+
+/// Per-MAC scalar evaluation of an unsigned 8×8 core through the
+/// [`Signed`] adapter. The ground truth for [`ProductTable`].
+#[derive(Debug, Clone)]
+pub struct ScalarMac<M> {
+    signed: Signed<M>,
+}
+
+impl<M: Multiplier> ScalarMac<M> {
+    /// Wraps an unsigned 8×8 multiplier.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::Width`] unless the core is 8×8.
+    pub fn new(inner: M) -> Result<Self, NnError> {
+        require_8x8(&inner)?;
+        Ok(ScalarMac {
+            signed: Signed::new(inner),
+        })
+    }
+}
+
+impl<M: Multiplier + Sync> MacBackend for ScalarMac<M> {
+    fn mul(&self, a: i8, b: i8) -> i32 {
+        self.signed.multiply_signed(i64::from(a), i64::from(b)) as i32
+    }
+    fn name(&self) -> &str {
+        self.signed.name()
+    }
+}
+
+/// All 2¹⁶ signed int8 products of a multiplier, precomputed.
+///
+/// Indexed `table[(a as u8) << 8 | (b as u8)]` — two's-complement bit
+/// patterns, so negative operands land in the upper half of each axis.
+/// One lookup per MAC regardless of whether the source multiplier was
+/// behavioral, a composed DSE configuration, or a gate-level netlist
+/// under fault injection.
+#[derive(Clone)]
+pub struct ProductTable {
+    name: String,
+    table: Vec<i32>,
+}
+
+impl std::fmt::Debug for ProductTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProductTable")
+            .field("name", &self.name)
+            .field("entries", &self.table.len())
+            .finish()
+    }
+}
+
+impl ProductTable {
+    /// Builds the table from an arbitrary signed product function.
+    #[must_use]
+    pub fn from_fn(name: impl Into<String>, mut f: impl FnMut(i8, i8) -> i32) -> Self {
+        let mut table = vec![0i32; 1 << 16];
+        for a in i8::MIN..=i8::MAX {
+            for b in i8::MIN..=i8::MAX {
+                table[Self::index(a, b)] = f(a, b);
+            }
+        }
+        ProductTable {
+            name: name.into(),
+            table,
+        }
+    }
+
+    /// Tabulates an unsigned 8×8 [`Multiplier`] through the [`Signed`]
+    /// magnitude/sign adapter (the same path [`ScalarMac`] takes, so
+    /// the two backends are bit-identical by construction — and by the
+    /// crate's property tests).
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::Width`] unless the core is 8×8.
+    pub fn new(m: &(impl Multiplier + ?Sized)) -> Result<Self, NnError> {
+        require_8x8(m)?;
+        // Only 129×129 magnitude products are distinct; compute each
+        // once and fan the signs out.
+        let mut mags = vec![0i64; 129 * 129];
+        for am in 0..=128u64 {
+            for bm in 0..=128u64 {
+                mags[(am * 129 + bm) as usize] = m.multiply(am, bm) as i64;
+            }
+        }
+        let name = format!("signed {}", m.name());
+        Ok(Self::from_fn(name, |a, b| {
+            let mag = mags[a.unsigned_abs() as usize * 129 + b.unsigned_abs() as usize];
+            let p = if (a < 0) != (b < 0) { -mag } else { mag };
+            p as i32
+        }))
+    }
+
+    /// The exact int8 product table.
+    #[must_use]
+    pub fn exact() -> Self {
+        ProductTable::from_fn("exact", |a, b| i32::from(a) * i32::from(b))
+    }
+
+    /// Tabulates an unsigned 8×8 multiplier *netlist* with the given
+    /// stuck-at faults injected — the bridge between the fabric's fault
+    /// model and network-level accuracy (each of the 129×129 magnitude
+    /// pairs is simulated gate-by-gate once).
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::Width`] if the netlist is not a 2-input-bus 8×8
+    /// multiplier; [`NnError::Fabric`] on simulation failure.
+    pub fn from_netlist_with_faults(
+        netlist: &Netlist,
+        faults: &[Fault],
+        name: impl Into<String>,
+    ) -> Result<Self, NnError> {
+        let buses = netlist.input_buses();
+        if buses.len() != 2 || buses[0].1.len() != 8 || buses[1].1.len() != 8 {
+            return Err(NnError::Width {
+                a_bits: buses.first().map_or(0, |(_, b)| b.len() as u32),
+                b_bits: buses.get(1).map_or(0, |(_, b)| b.len() as u32),
+            });
+        }
+        let mut mags = vec![0i64; 129 * 129];
+        for am in 0..=128u64 {
+            for bm in 0..=128u64 {
+                let out = eval_with_faults(netlist, &[am, bm], faults)?;
+                mags[(am * 129 + bm) as usize] = out[0] as i64;
+            }
+        }
+        Ok(Self::from_fn(name, |a, b| {
+            let mag = mags[a.unsigned_abs() as usize * 129 + b.unsigned_abs() as usize];
+            let p = if (a < 0) != (b < 0) { -mag } else { mag };
+            p as i32
+        }))
+    }
+
+    /// Table index of an operand pair (two's-complement bit patterns).
+    #[inline]
+    #[must_use]
+    pub fn index(a: i8, b: i8) -> usize {
+        ((a as u8 as usize) << 8) | (b as u8 as usize)
+    }
+}
+
+impl MacBackend for ProductTable {
+    #[inline]
+    fn mul(&self, a: i8, b: i8) -> i32 {
+        self.table[Self::index(a, b)]
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmul_core::behavioral::{Approx4x4, Ca};
+    use axmul_core::Exact;
+
+    #[test]
+    fn exact_table_is_exact() {
+        let t = ProductTable::exact();
+        for (a, b) in [(0i8, 0i8), (1, -1), (-128, -128), (127, -128), (53, 77)] {
+            assert_eq!(t.mul(a, b), i32::from(a) * i32::from(b), "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn table_matches_scalar_for_every_int8_pair() {
+        let table = ProductTable::new(&Ca::new(8).unwrap()).unwrap();
+        let scalar = ScalarMac::new(Ca::new(8).unwrap()).unwrap();
+        for a in i8::MIN..=i8::MAX {
+            for b in i8::MIN..=i8::MAX {
+                assert_eq!(table.mul(a, b), scalar.mul(a, b), "{a}*{b}");
+            }
+        }
+        assert_eq!(table.name(), scalar.name());
+    }
+
+    #[test]
+    fn rejects_non_8x8_cores() {
+        assert_eq!(
+            ProductTable::new(&Approx4x4::new()).unwrap_err(),
+            NnError::Width {
+                a_bits: 4,
+                b_bits: 4
+            }
+        );
+        assert!(ScalarMac::new(Exact::new(16, 16)).is_err());
+    }
+
+    #[test]
+    fn faultless_netlist_table_matches_behavioral() {
+        use axmul_core::structural;
+        let netlist = structural::ca_netlist(8).unwrap();
+        let t = ProductTable::from_netlist_with_faults(&netlist, &[], "ca8").unwrap();
+        let r = ProductTable::new(&Ca::new(8).unwrap()).unwrap();
+        for a in i8::MIN..=i8::MAX {
+            for b in i8::MIN..=i8::MAX {
+                assert_eq!(t.mul(a, b), r.mul(a, b), "{a}*{b}");
+            }
+        }
+    }
+}

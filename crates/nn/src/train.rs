@@ -1,0 +1,316 @@
+//! In-repo deterministic training of the reference network.
+//!
+//! The container is offline, so there are no downloaded checkpoints:
+//! the reference weights are *derived* — a small float network is
+//! trained here, deterministically (seeded init, fixed sample order,
+//! pure-f64 arithmetic, no threads), and then quantized to the int8
+//! [`Model`] the engine runs. Every build of the crate produces the
+//! same weights and therefore the same reference accuracy.
+//!
+//! Architecture (2096 MACs per inference):
+//!
+//! ```text
+//! 8×8 input ─ Conv2d 4@3×3 (fixed filter bank) ─ ReLU ─ AvgPool 2×2
+//!          ─ Dense 36→20 ─ ReLU ─ Dense 20→4 ─ argmax
+//! ```
+//!
+//! The convolution filters are a fixed oriented-edge bank (the task is
+//! texture orientation, so hand-chosen filters are both sufficient and
+//! cheap); only the dense head is trained, by plain SGD on softmax
+//! cross-entropy. Features are precomputed once per training image.
+
+use std::sync::OnceLock;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::{train_set, CLASSES, SIDE};
+use crate::layers::{Conv2d, Dense, Layer, Shape};
+use crate::model::Model;
+use crate::quant::{quantize_symmetric, Requant};
+
+/// The fixed convolution filter bank: horizontal edge, vertical edge,
+/// center-surround, and diagonal correlation — one oriented detector
+/// per texture class.
+const FILTERS: [[f64; 9]; 4] = [
+    [0.5, 0.5, 0.5, 0.0, 0.0, 0.0, -0.5, -0.5, -0.5],
+    [0.5, 0.0, -0.5, 0.5, 0.0, -0.5, 0.5, 0.0, -0.5],
+    [
+        -0.25,
+        -0.25,
+        -0.25,
+        -0.25,
+        2.0 * 0.25,
+        -0.25,
+        -0.25,
+        -0.25,
+        -0.25,
+    ],
+    [0.5, -0.25, -0.25, -0.25, 0.5, -0.25, -0.25, -0.25, 0.5],
+];
+
+const CONV_OUT: usize = SIDE - 2; // 3×3 valid convolution: 6×6
+const POOLED: usize = CONV_OUT / 2; // 2×2 average pooling: 3×3
+const FEATURES: usize = FILTERS.len() * POOLED * POOLED; // 36
+const HIDDEN: usize = 20;
+const EPOCHS: usize = 40;
+const LEARNING_RATE: f64 = 0.05;
+const SEED: u64 = 0xDAC1_8C03;
+
+struct FloatHead {
+    w1: Vec<f64>, // [HIDDEN][FEATURES]
+    b1: Vec<f64>,
+    w2: Vec<f64>, // [CLASSES][HIDDEN]
+    b2: Vec<f64>,
+}
+
+/// Float feature extractor: conv with the fixed bank, ReLU, 2×2
+/// average pool. Mirrors the quantized pipeline up to rounding.
+fn features(image: &[u8]) -> Vec<f64> {
+    let x: Vec<f64> = image
+        .iter()
+        .map(|&p| f64::from(i32::from(p) - 128) / 128.0)
+        .collect();
+    let mut feats = vec![0.0; FEATURES];
+    for (f, filter) in FILTERS.iter().enumerate() {
+        let mut conv = [0.0f64; CONV_OUT * CONV_OUT];
+        for oy in 0..CONV_OUT {
+            for ox in 0..CONV_OUT {
+                let mut acc = 0.0;
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        acc += filter[ky * 3 + kx] * x[(oy + ky) * SIDE + ox + kx];
+                    }
+                }
+                conv[oy * CONV_OUT + ox] = acc.max(0.0);
+            }
+        }
+        for py in 0..POOLED {
+            for px in 0..POOLED {
+                let sum = conv[(2 * py) * CONV_OUT + 2 * px]
+                    + conv[(2 * py) * CONV_OUT + 2 * px + 1]
+                    + conv[(2 * py + 1) * CONV_OUT + 2 * px]
+                    + conv[(2 * py + 1) * CONV_OUT + 2 * px + 1];
+                feats[(f * POOLED + py) * POOLED + px] = sum / 4.0;
+            }
+        }
+    }
+    feats
+}
+
+/// Pre-ReLU float convolution outputs, for activation calibration.
+fn conv_preact_maxabs(image: &[u8]) -> f64 {
+    let x: Vec<f64> = image
+        .iter()
+        .map(|&p| f64::from(i32::from(p) - 128) / 128.0)
+        .collect();
+    let mut maxabs = 0.0f64;
+    for filter in &FILTERS {
+        for oy in 0..CONV_OUT {
+            for ox in 0..CONV_OUT {
+                let mut acc = 0.0;
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        acc += filter[ky * 3 + kx] * x[(oy + ky) * SIDE + ox + kx];
+                    }
+                }
+                maxabs = maxabs.max(acc.abs());
+            }
+        }
+    }
+    maxabs
+}
+
+fn train_head(feats: &[Vec<f64>], labels: &[u8]) -> FloatHead {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut uniform = |n: usize, fan_in: usize| -> Vec<f64> {
+        let bound = 1.0 / (fan_in as f64).sqrt();
+        (0..n)
+            .map(|_| (rng.random::<f64>() * 2.0 - 1.0) * bound)
+            .collect()
+    };
+    let mut head = FloatHead {
+        w1: uniform(HIDDEN * FEATURES, FEATURES),
+        b1: vec![0.0; HIDDEN],
+        w2: uniform(CLASSES * HIDDEN, HIDDEN),
+        b2: vec![0.0; CLASSES],
+    };
+    for _ in 0..EPOCHS {
+        for (f, &label) in feats.iter().zip(labels) {
+            // Forward.
+            let mut h = [0.0; HIDDEN];
+            for (i, hv) in h.iter_mut().enumerate() {
+                let mut acc = head.b1[i];
+                for (j, &fv) in f.iter().enumerate() {
+                    acc += head.w1[i * FEATURES + j] * fv;
+                }
+                *hv = acc.max(0.0);
+            }
+            let mut logits = [0.0; CLASSES];
+            for (i, lv) in logits.iter_mut().enumerate() {
+                let mut acc = head.b2[i];
+                for (j, &hv) in h.iter().enumerate() {
+                    acc += head.w2[i * HIDDEN + j] * hv;
+                }
+                *lv = acc;
+            }
+            // Softmax cross-entropy gradient.
+            let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+            let sum: f64 = exps.iter().sum();
+            let mut dlogits: Vec<f64> = exps.iter().map(|&e| e / sum).collect();
+            dlogits[label as usize] -= 1.0;
+            // Backprop into the head.
+            let mut dh = [0.0; HIDDEN];
+            for (i, &dl) in dlogits.iter().enumerate() {
+                for j in 0..HIDDEN {
+                    dh[j] += dl * head.w2[i * HIDDEN + j];
+                    head.w2[i * HIDDEN + j] -= LEARNING_RATE * dl * h[j];
+                }
+                head.b2[i] -= LEARNING_RATE * dl;
+            }
+            for (j, dv) in dh.iter_mut().enumerate() {
+                if h[j] <= 0.0 {
+                    *dv = 0.0;
+                }
+            }
+            for (i, &dhi) in dh.iter().enumerate() {
+                for (j, &fv) in f.iter().enumerate() {
+                    head.w1[i * FEATURES + j] -= LEARNING_RATE * dhi * fv;
+                }
+                head.b1[i] -= LEARNING_RATE * dhi;
+            }
+        }
+    }
+    head
+}
+
+fn dense1_preact_maxabs(head: &FloatHead, feats: &[Vec<f64>]) -> f64 {
+    let mut maxabs = 0.0f64;
+    for f in feats {
+        for i in 0..HIDDEN {
+            let mut acc = head.b1[i];
+            for (j, &fv) in f.iter().enumerate() {
+                acc += head.w1[i * FEATURES + j] * fv;
+            }
+            maxabs = maxabs.max(acc.abs());
+        }
+    }
+    maxabs
+}
+
+fn build_model() -> Model {
+    let train = train_set();
+    let feats: Vec<Vec<f64>> = train.images.iter().map(|i| features(i)).collect();
+    let head = train_head(&feats, &train.labels);
+
+    // Activation scales, calibrated on the training split.
+    let s0 = 1.0 / 128.0; // input: pixel − 128
+    let cap1 = train
+        .images
+        .iter()
+        .map(|i| conv_preact_maxabs(i))
+        .fold(0.0f64, f64::max);
+    let s1 = cap1 / 127.0;
+    let cap2 = dense1_preact_maxabs(&head, &feats);
+    let s2 = cap2 / 127.0;
+
+    // Conv: fixed bank, no bias.
+    let flat_filters: Vec<f64> = FILTERS.iter().flatten().copied().collect();
+    let (wq0, sw0) = quantize_symmetric(&flat_filters);
+    let conv = Conv2d {
+        in_c: 1,
+        out_c: FILTERS.len(),
+        k: 3,
+        weights: wq0,
+        bias: vec![0; FILTERS.len()],
+        requant: Requant::from_scale(s0 * sw0 / s1),
+    };
+
+    // Dense 36→20. The float model pools post-ReLU activations by /4;
+    // the quantized pipeline pools the *same-scale* int8 activations,
+    // so the feature scale entering dense1 is still s1.
+    let (wq1, sw1) = quantize_symmetric(&head.w1);
+    let dense1 = Dense {
+        in_f: FEATURES,
+        out_f: HIDDEN,
+        weights: wq1,
+        bias: head
+            .b1
+            .iter()
+            .map(|&b| (b / (s1 * sw1)).round() as i32)
+            .collect(),
+        requant: Some(Requant::from_scale(s1 * sw1 / s2)),
+    };
+
+    // Dense 20→4 head: raw i32 logits (argmax is scale-invariant).
+    let (wq2, sw2) = quantize_symmetric(&head.w2);
+    let dense2 = Dense {
+        in_f: HIDDEN,
+        out_f: CLASSES,
+        weights: wq2,
+        bias: head
+            .b2
+            .iter()
+            .map(|&b| (b / (s2 * sw2)).round() as i32)
+            .collect(),
+        requant: None,
+    };
+
+    Model::new(
+        Shape {
+            c: 1,
+            h: SIDE,
+            w: SIDE,
+        },
+        vec![
+            Layer::Conv2d(conv),
+            Layer::Relu,
+            Layer::AvgPool2d { k: 2 },
+            Layer::Dense(dense1),
+            Layer::Relu,
+            Layer::Dense(dense2),
+        ],
+    )
+    .expect("reference architecture is statically consistent")
+}
+
+/// The reference int8 model: deterministically trained on
+/// [`train_set`], quantized, and cached per process.
+pub fn reference_model() -> &'static Model {
+    static MODEL: OnceLock<Model> = OnceLock::new();
+    MODEL.get_or_init(build_model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset;
+    use crate::table::ProductTable;
+
+    #[test]
+    fn reference_model_shape() {
+        let m = reference_model();
+        assert_eq!(m.classes(), CLASSES);
+        assert_eq!(m.macs_per_inference(), 1296 + 720 + 80);
+    }
+
+    #[test]
+    fn reference_model_learns_the_task() {
+        let m = reference_model();
+        let exact = ProductTable::exact();
+        let test = dataset::test_set();
+        let mut correct = 0;
+        for (img, &label) in test.images.iter().zip(&test.labels) {
+            let q: Vec<i8> = img.iter().map(|&p| dataset::quantize_pixel(p)).collect();
+            if m.predict(&exact, &q).unwrap() == label as usize {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / test.len() as f64;
+        assert!(
+            acc >= 0.9,
+            "reference model should solve the synthetic task, got {acc}"
+        );
+    }
+}

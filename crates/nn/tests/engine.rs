@@ -1,0 +1,97 @@
+//! Cross-cutting engine guarantees: worker-count determinism, typed
+//! errors on broken fixtures, and table/scalar bit-identity on real
+//! multiplier architectures.
+
+use axmul_core::behavioral::{Ca, Cc};
+use axmul_nn::{
+    evaluate, infer_batch, reference_model, test_set, Dataset, Dense, Layer, Model, NnError,
+    ProductTable, ScalarMac, Shape,
+};
+
+#[test]
+fn batch_inference_is_deterministic_across_worker_counts() {
+    let model = reference_model();
+    let test = test_set();
+    let backend = ProductTable::new(&Cc::new(8).unwrap()).unwrap();
+    let one = evaluate(model, &backend, &test, 1).unwrap();
+    let two = evaluate(model, &backend, &test, 2).unwrap();
+    let four = evaluate(model, &backend, &test, 4).unwrap();
+    assert_eq!(one.predictions, two.predictions);
+    assert_eq!(one.predictions, four.predictions);
+    assert_eq!(one.correct, four.correct);
+    assert_eq!(one.accuracy(), four.accuracy());
+    // More workers than samples must also be safe and identical.
+    let tiny: Vec<Vec<u8>> = test.images[..3].to_vec();
+    let wide = infer_batch(model, &backend, &tiny, 64).unwrap();
+    assert_eq!(wide, one.predictions[..3]);
+}
+
+#[test]
+fn mismatched_weight_shape_is_a_typed_error_not_a_panic() {
+    let err = Model::new(
+        Shape { c: 1, h: 8, w: 8 },
+        vec![Layer::Dense(Dense {
+            in_f: 64,
+            out_f: 4,
+            weights: vec![0; 64 * 4 - 1], // one weight short
+            bias: vec![0; 4],
+            requant: None,
+        })],
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        NnError::ShapeMismatch {
+            layer: "layer 0 (Dense weights)".into(),
+            expected: 256,
+            got: 255
+        }
+    );
+
+    // A wrongly sized image surfaces mid-batch as BadInput.
+    let broken = Dataset {
+        images: vec![vec![0u8; 64], vec![0u8; 63]],
+        labels: vec![0, 1],
+    };
+    let err = evaluate(reference_model(), &ProductTable::exact(), &broken, 2).unwrap_err();
+    assert_eq!(
+        err,
+        NnError::BadInput {
+            expected: 64,
+            got: 63
+        }
+    );
+}
+
+#[test]
+fn table_backend_is_bit_identical_to_scalar_on_inference() {
+    // Not just on raw products (the workspace-level property test
+    // covers the roster): the *network outputs* must agree too.
+    let model = reference_model();
+    let sample = Dataset {
+        images: test_set().images[..24].to_vec(),
+        labels: test_set().labels[..24].to_vec(),
+    };
+    fn check(model: &Model, sample: &Dataset, mult: impl axmul_core::Multiplier + Sync) {
+        let table = ProductTable::new(&mult).unwrap();
+        let scalar = ScalarMac::new(mult).unwrap();
+        let via_table = evaluate(model, &table, sample, 2).unwrap();
+        let via_scalar = evaluate(model, &scalar, sample, 2).unwrap();
+        assert_eq!(via_table.predictions, via_scalar.predictions);
+    }
+    check(model, &sample, Ca::new(8).unwrap());
+    check(model, &sample, Cc::new(8).unwrap());
+}
+
+#[test]
+fn exact_backend_reproduces_reference_accuracy() {
+    // The acceptance anchor: the exact-multiplier configuration must
+    // reproduce the embedded reference accuracy exactly — and that
+    // accuracy is strong enough to mean the model actually works.
+    let model = reference_model();
+    let test = test_set();
+    let exact = evaluate(model, &ProductTable::exact(), &test, 2).unwrap();
+    let again = evaluate(model, &ProductTable::exact(), &test, 3).unwrap();
+    assert_eq!(exact.predictions, again.predictions);
+    assert!(exact.accuracy() >= 0.9, "got {}", exact.accuracy());
+}

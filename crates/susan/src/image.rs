@@ -109,20 +109,7 @@ impl Image {
     pub fn psnr(&self, other: &Image) -> f64 {
         assert_eq!(self.width, other.width, "width mismatch");
         assert_eq!(self.height, other.height, "height mismatch");
-        let sse: u64 = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| {
-                let d = i64::from(a) - i64::from(b);
-                (d * d) as u64
-            })
-            .sum();
-        if sse == 0 {
-            return f64::INFINITY;
-        }
-        let mse = sse as f64 / self.data.len() as f64;
-        10.0 * (255.0f64 * 255.0 / mse).log10()
+        axmul_metrics::psnr(&self.data, &other.data)
     }
 
     /// Serializes as an ASCII PGM (`P2`) file.

@@ -1,0 +1,64 @@
+//! Quantized int8 neural-network inference on approximate multipliers.
+//!
+//! Routes every multiply of a small trained classifier through a
+//! pluggable 8×8 multiplier (via a precomputed product table), compares
+//! top-1 accuracy across the exact reference and the paper's designs,
+//! then asks the DSE bridge for the cheapest recursive configuration
+//! that keeps the network at ≥95% of baseline accuracy.
+//!
+//! ```text
+//! cargo run --release --example nn_inference
+//! ```
+
+use approx_multipliers::core::behavioral::{Ca, Cc};
+use approx_multipliers::core::{Exact, Multiplier};
+use approx_multipliers::nn::{
+    accuracy_search, evaluate, quick_candidates, reference_model, test_set, ProductTable,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = reference_model();
+    let test = test_set();
+    println!(
+        "reference classifier: {} MACs/inference, {} test samples",
+        model.macs_per_inference(),
+        test.len()
+    );
+
+    // Accuracy with every MAC routed through a given multiplier.
+    let roster: Vec<Box<dyn Multiplier>> = vec![
+        Box::new(Exact::new(8, 8)),
+        Box::new(Ca::new(8)?),
+        Box::new(Cc::new(8)?),
+    ];
+    for mult in &roster {
+        let table = ProductTable::new(mult.as_ref())?;
+        let eval = evaluate(model, &table, &test, 2)?;
+        println!(
+            "{:<12} top-1 accuracy {:6.2}%  ({}/{})",
+            mult.name(),
+            100.0 * eval.accuracy(),
+            eval.correct,
+            eval.total
+        );
+    }
+
+    // Cheapest recursive 8x8 configuration holding 95% of baseline
+    // accuracy (homogeneous candidate set; pass `None` for all 1250).
+    let search = accuracy_search(model, &test, 0.95, 2, Some(quick_candidates()))?;
+    println!(
+        "baseline {}: {} LUTs at {:.2}%",
+        search.baseline.key,
+        search.baseline.luts,
+        100.0 * search.baseline.accuracy
+    );
+    if let Some(best) = &search.best {
+        println!(
+            "cheapest within floor: {} at {} LUTs, {:.2}% accuracy",
+            best.key,
+            best.luts,
+            100.0 * best.accuracy
+        );
+    }
+    Ok(())
+}

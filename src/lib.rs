@@ -26,6 +26,10 @@
 //! * [`dse`] — parallel design-space exploration over the recursive
 //!   configuration space with memoized error composition and Pareto
 //!   reporting (exhaustive at 8×8, random/hill-climb at 16×16).
+//! * [`nn`] — quantized int8 neural-network inference on pluggable
+//!   approximate multipliers: product-table MACs, a self-contained
+//!   trained classification task, accuracy-constrained DSE, and
+//!   stuck-at fault robustness sweeps.
 //! * [`lint`] — multi-pass static analysis over elaborated netlists:
 //!   structural sanity, dead-logic and fold detection, 7-series packing
 //!   legality, and static checks of the paper's Table 2/3 claims.
@@ -55,4 +59,5 @@ pub use axmul_dse as dse;
 pub use axmul_fabric as fabric;
 pub use axmul_lint as lint;
 pub use axmul_metrics as metrics;
+pub use axmul_nn as nn;
 pub use axmul_susan as susan;

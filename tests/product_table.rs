@@ -1,0 +1,71 @@
+//! Satellite property test: table-lookup products are bit-identical to
+//! direct `multiply()` for **every 8×8 kernel in the roster** — the
+//! proposed designs, every baseline family, the EvoApprox-style
+//! library, and composed DSE configurations — over the *entire* 256×256
+//! operand space (exhaustive subsumes sampling).
+
+use approx_multipliers::baselines::{evo, Drum, IpOpt, Kulkarni, RehmanW, Truncated, VivadoIp};
+use approx_multipliers::core::behavioral::{Ca, Cc, Summation};
+use approx_multipliers::core::{Exact, Multiplier, Swapped, TableMultiplier};
+use approx_multipliers::dse::{CharCache, Config, Leaf};
+use approx_multipliers::fabric::cost::Characterizer;
+
+fn roster() -> Vec<Box<dyn Multiplier>> {
+    let mut r: Vec<Box<dyn Multiplier>> = vec![
+        Box::new(Exact::new(8, 8)),
+        Box::new(Ca::new(8).unwrap()),
+        Box::new(Cc::new(8).unwrap()),
+        Box::new(Swapped::new(Ca::new(8).unwrap())),
+        Box::new(Swapped::new(Cc::new(8).unwrap())),
+        Box::new(Kulkarni::new(8).unwrap()),
+        Box::new(RehmanW::new(8).unwrap()),
+        Box::new(Truncated::new(8, 1)),
+        Box::new(Truncated::new(8, 2)),
+        Box::new(Truncated::new(8, 3)),
+        Box::new(Drum::new(8, 4)),
+        Box::new(VivadoIp::new(8, IpOpt::Area)),
+        Box::new(VivadoIp::new(8, IpOpt::Speed)),
+    ];
+    for design in evo::library() {
+        r.push(Box::new(design));
+    }
+    r
+}
+
+fn assert_bit_identical(m: &dyn Multiplier) {
+    let table = TableMultiplier::new(m);
+    assert_eq!(table.a_bits(), 8);
+    assert_eq!(table.b_bits(), 8);
+    assert_eq!(table.name(), m.name(), "wrapper must be a drop-in");
+    for a in 0..=255u64 {
+        for b in 0..=255u64 {
+            assert_eq!(
+                table.multiply(a, b),
+                m.multiply(a, b),
+                "{}: {a}*{b}",
+                m.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn table_lookup_matches_direct_multiply_across_the_roster() {
+    let designs = roster();
+    assert!(designs.len() > 40, "roster covers the evo library too");
+    for m in &designs {
+        assert_bit_identical(m.as_ref());
+    }
+}
+
+#[test]
+fn table_lookup_matches_composed_dse_configurations() {
+    let cache = CharCache::new(Characterizer::virtex7());
+    for summation in [Summation::Accurate, Summation::CarryFree] {
+        for leaf in Leaf::ALL {
+            let cfg = Config::uniform(Config::Leaf(leaf), summation);
+            let composed = cache.characterize(&cfg).unwrap().multiplier();
+            assert_bit_identical(&composed);
+        }
+    }
+}

@@ -11,6 +11,7 @@ use axmul_bench::roster::{characterize, fig7_roster, table5_roster};
 use axmul_core::behavioral::{approx_4x4, Ca, Cc};
 use axmul_core::structural::{approx_4x4_netlist, ca_netlist, verify_table3};
 use axmul_core::{Exact, Multiplier};
+use axmul_fabric::compile::CompiledNetlist;
 use axmul_fabric::sim::{for_each_operand_pair, WideSim};
 use axmul_fabric::timing::{analyze, DelayModel};
 use axmul_metrics::{bit_accuracy, pareto_front, DesignPoint, ErrorPmf, ErrorStats};
@@ -189,6 +190,35 @@ fn bench_netlist_sim(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    // Exhaustive 65 536-pair sweep per architecture: pairs/sec of the
+    // compiled bit-sliced path (compile included, as in exhaustive_wide).
+    for entry in fig7_roster(8) {
+        g.bench_function(
+            format!("exhaustive_sweep_{}", entry.name.replace(' ', "_")),
+            |b| {
+                b.iter(|| {
+                    let prog = CompiledNetlist::compile(&entry.netlist);
+                    let mut acc = 0u64;
+                    prog.for_each_operand_pair_in(0..1 << 16, |_, _, out| {
+                        acc = acc.wrapping_add(out[0]);
+                    })
+                    .expect("two-bus netlist");
+                    acc
+                })
+            },
+        );
+    }
+    // The full characterization record (stats accumulation included).
+    let nl = ca_netlist(8).expect("valid");
+    g.bench_function("error_stats_exhaustive_wide_ca8", |b| {
+        b.iter(|| ErrorStats::exhaustive_wide(black_box(&nl)).expect("two-bus netlist"))
+    });
+    g.finish();
+}
+
 fn bench_dse(c: &mut Criterion) {
     let mut g = c.benchmark_group("design_space_exploration");
     g.sample_size(10);
@@ -214,6 +244,7 @@ criterion_group!(
     bench_table1_apps,
     bench_multiplier_throughput,
     bench_netlist_sim,
+    bench_sim_throughput,
     bench_dse
 );
 criterion_main!(benches);

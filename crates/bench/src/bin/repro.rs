@@ -2,12 +2,15 @@
 //!
 //! ```text
 //! repro <experiment>... [--quick]
+//! repro sim-bench [--quick] [--json]
 //! repro all
 //! repro list
 //! ```
 //!
 //! `--quick` switches experiments that have a smoke variant (currently
-//! `nn`) to their reduced CI-friendly form.
+//! `nn` and `sim-bench`) to their reduced CI-friendly form. `--json`
+//! additionally writes `sim-bench` results to `BENCH_sim.json` in the
+//! working directory.
 
 use std::process::ExitCode;
 
@@ -101,14 +104,22 @@ const EXPERIMENTS: &[Experiment] = &[
         experiments::lint_roster,
         "static-analysis gate over the roster",
     ),
+    (
+        "sim-bench",
+        experiments::sim_bench,
+        "compiled-simulator throughput vs legacy",
+    ),
 ];
 
 /// Smoke variants selected by `--quick`.
 type Smoke = (&'static str, fn() -> String);
-const QUICK: &[Smoke] = &[("nn", experiments::nn_quick)];
+const QUICK: &[Smoke] = &[
+    ("nn", experiments::nn_quick),
+    ("sim-bench", experiments::sim_bench_quick),
+];
 
 fn usage() {
-    eprintln!("usage: repro <experiment>... [--quick] | all | list");
+    eprintln!("usage: repro <experiment>... [--quick] [--json] | all | list");
     eprintln!("experiments:");
     for (name, _, what) in EXPERIMENTS {
         eprintln!("  {name:<18} {what}");
@@ -118,7 +129,8 @@ fn usage() {
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    args.retain(|a| a != "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--quick" && a != "--json");
     if args.is_empty() {
         usage();
         return ExitCode::FAILURE;
@@ -127,6 +139,15 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "all" => print!("{}", experiments::all()),
             "list" => usage(),
+            "sim-bench" if json => {
+                let payload = experiments::sim_bench_json(quick);
+                if let Err(e) = std::fs::write("BENCH_sim.json", &payload) {
+                    eprintln!("cannot write BENCH_sim.json: {e}");
+                    return ExitCode::FAILURE;
+                }
+                print!("{payload}");
+                eprintln!("wrote BENCH_sim.json");
+            }
             name => {
                 let smoke = quick
                     .then(|| QUICK.iter().find(|(n, _)| *n == name))

@@ -8,6 +8,7 @@ mod extensions;
 mod figures;
 mod lint;
 mod nn;
+mod simbench;
 mod tables;
 
 pub use ablations::{ablate_4x2_trunc, ablate_cc_depth, ablate_elem, ablate_swap};
@@ -16,6 +17,7 @@ pub use extensions::{ablate_cfree_op, ext_adders, ext_correction, ext_signed};
 pub use figures::{fig1, fig10, fig12, fig7, fig8, fig9};
 pub use lint::{lint_all_reports, lint_roster};
 pub use nn::{nn_full, nn_quick};
+pub use simbench::{sim_bench, sim_bench_json, sim_bench_quick};
 pub use tables::{susan_area, table1, table2, table3, table4, table5, table6};
 
 /// Runs every experiment in paper order and concatenates the reports.

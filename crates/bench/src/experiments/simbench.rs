@@ -1,0 +1,324 @@
+//! The `repro sim-bench` experiment: compiled bit-sliced simulator
+//! throughput versus the interpretive [`WideSim`] path it replaced.
+//!
+//! For every 8×8 architecture in the Fig. 7 roster the experiment runs
+//! the exhaustive 65 536-pair error-characterization sweep twice —
+//! once through a faithful replica of the legacy interpretive loop
+//! (64-lane [`WideSim`] passes with per-lane transpose and gather) and
+//! once through the compiled instruction stream
+//! ([`CompiledNetlist::for_each_operand_pair_in`]) — with the *same*
+//! visitor workload, asserts the two product streams are bit-identical,
+//! and reports pairs/second and the speedup. It also cross-checks that
+//! [`ErrorStats`] built from the legacy product stream equal
+//! [`ErrorStats::exhaustive_wide`] exactly, and times the NN product
+//! table build (129×129 scalar [`eval_with_faults`] before the rework)
+//! both ways.
+//!
+//! `sim_bench_json` renders the same measurements as the
+//! `BENCH_sim.json` machine-readable artifact.
+
+use std::time::Instant;
+
+use axmul_core::Multiplier;
+use axmul_fabric::compile::CompiledNetlist;
+use axmul_fabric::fault::eval_with_faults;
+use axmul_fabric::sim::WideSim;
+use axmul_fabric::Netlist;
+use axmul_metrics::ErrorStats;
+use axmul_nn::ProductTable;
+
+use crate::report::{f, Table};
+use crate::roster::{fig7_roster, RosterEntry};
+
+/// Faithful replica of the pre-rework exhaustive sweep: 64 lanes per
+/// interpretive `WideSim` pass, lane-major operand transpose on the way
+/// in, per-lane output gather on the way out.
+fn legacy_for_each_operand_pair(netlist: &Netlist, mut visit: impl FnMut(u64, u64, &[u64])) {
+    let buses = netlist.input_buses();
+    assert_eq!(buses.len(), 2, "sweep needs exactly two operand buses");
+    let a_bits = buses[0].1.len() as u32;
+    let b_bits = buses[1].1.len() as u32;
+    let total: u64 = 1 << (a_bits + b_bits);
+    let a_mask = (1u64 << a_bits) - 1;
+    let mut sim = WideSim::new(netlist);
+    let mut out_buf = vec![0u64; netlist.output_buses().len()];
+    let mut idx = 0u64;
+    while idx < total {
+        let lanes = (total - idx).min(64);
+        let a_vals: Vec<u64> = (0..lanes).map(|l| (idx + l) & a_mask).collect();
+        let b_vals: Vec<u64> = (0..lanes).map(|l| (idx + l) >> a_bits).collect();
+        let outs = sim.eval(&[&a_vals, &b_vals]).expect("valid lanes");
+        for l in 0..lanes as usize {
+            for (slot, bus) in out_buf.iter_mut().zip(&outs) {
+                *slot = bus[l];
+            }
+            visit(a_vals[l], b_vals[l], &out_buf);
+        }
+        idx += lanes;
+    }
+}
+
+/// The shared visitor workload: the same running quantities the error
+/// characterization accumulates, so both paths pay identical per-pair
+/// cost and any output divergence changes the digest.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct SweepDigest {
+    pairs: u64,
+    sum_abs_error: u64,
+    max_abs_error: u64,
+    checksum: u64,
+}
+
+impl SweepDigest {
+    fn push(&mut self, a: u64, b: u64, out: &[u64]) {
+        let exact = a * b;
+        let err = out[0].abs_diff(exact);
+        self.pairs += 1;
+        self.sum_abs_error += err;
+        self.max_abs_error = self.max_abs_error.max(err);
+        self.checksum = self
+            .checksum
+            .rotate_left(7)
+            .wrapping_add(out[0] ^ (a << 32) ^ b);
+    }
+}
+
+/// Table-backed [`Multiplier`] over the legacy sweep's products: feeds
+/// [`ErrorStats::exhaustive`] the interpretive simulator's outputs so
+/// the statistics cross-check is end-to-end bit-identical or not.
+struct LegacyProducts {
+    name: String,
+    a_bits: u32,
+    b_bits: u32,
+    products: Vec<u64>,
+}
+
+impl Multiplier for LegacyProducts {
+    fn a_bits(&self) -> u32 {
+        self.a_bits
+    }
+    fn b_bits(&self) -> u32 {
+        self.b_bits
+    }
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        self.products[((b << self.a_bits) | a) as usize]
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// One architecture's measurements.
+struct ArchBench {
+    name: String,
+    pairs: u64,
+    legacy_pairs_per_sec: f64,
+    compiled_pairs_per_sec: f64,
+    speedup: f64,
+    stats_identical: bool,
+}
+
+fn time_runs(reps: u32, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        run();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_arch(entry: &RosterEntry, reps: u32) -> ArchBench {
+    let nl = &entry.netlist;
+    let a_bits = nl.input_buses()[0].1.len() as u32;
+    let b_bits = nl.input_buses()[1].1.len() as u32;
+    let pairs: u64 = 1 << (a_bits + b_bits);
+
+    let mut legacy_digest = SweepDigest::default();
+    let legacy_s = time_runs(reps, || {
+        let mut d = SweepDigest::default();
+        legacy_for_each_operand_pair(nl, |a, b, out| d.push(a, b, out));
+        legacy_digest = d;
+    });
+    let mut compiled_digest = SweepDigest::default();
+    let compiled_s = time_runs(reps, || {
+        let mut d = SweepDigest::default();
+        let prog = CompiledNetlist::compile(nl);
+        prog.for_each_operand_pair_in(0..pairs, |a, b, out| d.push(a, b, out))
+            .expect("two-bus netlist");
+        compiled_digest = d;
+    });
+    assert_eq!(
+        legacy_digest, compiled_digest,
+        "{}: compiled sweep diverged from the interpretive reference",
+        entry.name
+    );
+
+    // Statistics cross-check: ErrorStats over the legacy products must
+    // equal the compiled exhaustive_wide record exactly, float bits
+    // included.
+    let mut products = vec![0u64; pairs as usize];
+    legacy_for_each_operand_pair(nl, |a, b, out| {
+        products[((b << a_bits) | a) as usize] = out[0];
+    });
+    let legacy_stats = ErrorStats::exhaustive(&LegacyProducts {
+        name: nl.name().to_string(),
+        a_bits,
+        b_bits,
+        products,
+    });
+    let compiled_stats = ErrorStats::exhaustive_wide(nl).expect("two-bus netlist");
+    let stats_identical = legacy_stats == compiled_stats
+        && legacy_stats.avg_relative_error.to_bits() == compiled_stats.avg_relative_error.to_bits();
+
+    ArchBench {
+        name: entry.name.clone(),
+        pairs,
+        legacy_pairs_per_sec: pairs as f64 / legacy_s,
+        compiled_pairs_per_sec: pairs as f64 / compiled_s,
+        speedup: legacy_s / compiled_s,
+        stats_identical,
+    }
+}
+
+/// NN product-table build: the pre-rework path evaluated 129×129
+/// magnitude pairs through scalar [`eval_with_faults`]; the compiled
+/// path sweeps all 2¹⁶ pairs bit-sliced.
+fn bench_nn_table(reps: u32) -> (f64, f64) {
+    let nl = axmul_core::structural::ca_netlist(8).expect("8-bit Ca");
+    let legacy_s = time_runs(reps, || {
+        let mut mags = vec![0i64; 129 * 129];
+        for am in 0..=128u64 {
+            for bm in 0..=128u64 {
+                let out = eval_with_faults(&nl, &[am, bm], &[]).expect("valid vector");
+                mags[(am * 129 + bm) as usize] = out[0] as i64;
+            }
+        }
+        std::hint::black_box(&mags);
+    });
+    let compiled_s = time_runs(reps, || {
+        let t = ProductTable::from_netlist_with_faults(&nl, &[], "ca8").expect("8x8 netlist");
+        std::hint::black_box(&t);
+    });
+    (legacy_s, compiled_s)
+}
+
+fn run(quick: bool) -> (Vec<ArchBench>, f64, f64) {
+    let reps = if quick { 1 } else { 3 };
+    let mut roster = fig7_roster(8);
+    if quick {
+        roster.truncate(2);
+    }
+    let archs: Vec<ArchBench> = roster.iter().map(|e| bench_arch(e, reps)).collect();
+    let (nn_legacy_s, nn_compiled_s) = bench_nn_table(reps);
+    (archs, nn_legacy_s, nn_compiled_s)
+}
+
+fn render(archs: &[ArchBench], nn_legacy_s: f64, nn_compiled_s: f64) -> String {
+    let mut t = Table::new(
+        "Simulator throughput: exhaustive 8x8 characterization sweep",
+        &[
+            "design",
+            "pairs",
+            "legacy pairs/s",
+            "compiled pairs/s",
+            "speedup",
+            "stats",
+        ],
+    );
+    for a in archs {
+        t.row_owned(vec![
+            a.name.clone(),
+            a.pairs.to_string(),
+            f(a.legacy_pairs_per_sec, 0),
+            f(a.compiled_pairs_per_sec, 0),
+            format!("{}x", f(a.speedup, 1)),
+            if a.stats_identical {
+                "bit-identical".to_string()
+            } else {
+                "DIVERGED".to_string()
+            },
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\nNN product table build (Ca 8x8, fault-free): legacy {} s, compiled {} s ({}x)\n",
+        f(nn_legacy_s, 3),
+        f(nn_compiled_s, 3),
+        f(nn_legacy_s / nn_compiled_s, 1),
+    ));
+    out
+}
+
+fn render_json(archs: &[ArchBench], nn_legacy_s: f64, nn_compiled_s: f64, quick: bool) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"bench\": \"sim\",\n  \"mode\": \"{}\",\n  \"archs\": [\n",
+        if quick { "quick" } else { "full" }
+    ));
+    for (i, a) in archs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"pairs\": {}, \"legacy_pairs_per_sec\": {:.1}, \
+             \"compiled_pairs_per_sec\": {:.1}, \"speedup\": {:.2}, \"stats_identical\": {}}}{}\n",
+            a.name,
+            a.pairs,
+            a.legacy_pairs_per_sec,
+            a.compiled_pairs_per_sec,
+            a.speedup,
+            a.stats_identical,
+            if i + 1 < archs.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"nn_table_build\": {{\"legacy_s\": {:.4}, \"compiled_s\": {:.4}, \"speedup\": {:.2}}}\n",
+        nn_legacy_s,
+        nn_compiled_s,
+        nn_legacy_s / nn_compiled_s,
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Full simulator-throughput report over the Fig. 7 roster.
+#[must_use]
+pub fn sim_bench() -> String {
+    let (archs, nn_l, nn_c) = run(false);
+    render(&archs, nn_l, nn_c)
+}
+
+/// CI smoke variant: two architectures, single repetition.
+#[must_use]
+pub fn sim_bench_quick() -> String {
+    let (archs, nn_l, nn_c) = run(true);
+    render(&archs, nn_l, nn_c)
+}
+
+/// The same measurements as a `BENCH_sim.json` payload.
+#[must_use]
+pub fn sim_bench_json(quick: bool) -> String {
+    let (archs, nn_l, nn_c) = run(quick);
+    render_json(&archs, nn_l, nn_c, quick)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_runs_and_streams_agree() {
+        let report = sim_bench_quick();
+        assert!(report.contains("bit-identical"));
+        assert!(!report.contains("DIVERGED"));
+    }
+
+    #[test]
+    fn json_payload_is_well_formed_enough() {
+        let json = sim_bench_json(true);
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"bench\": \"sim\""));
+        assert!(json.contains("\"stats_identical\": true"));
+        assert!(!json.contains("\"stats_identical\": false"));
+    }
+}

@@ -28,8 +28,8 @@ use std::sync::{Arc, Mutex};
 
 use axmul_core::behavioral::{combine_products, Summation};
 use axmul_core::{mask_for, Multiplier};
+use axmul_fabric::compile::CompiledNetlist;
 use axmul_fabric::cost::{Characterizer, NetlistCost};
-use axmul_fabric::sim::for_each_operand_pair;
 use axmul_fabric::{FabricError, Netlist};
 use axmul_metrics::ErrorStats;
 
@@ -186,18 +186,22 @@ impl CharCache {
 
     fn build(&self, cfg: &Config, key: &str) -> Result<BlockChar, FabricError> {
         let bits = cfg.bits();
-        let (netlist, node) = match cfg {
+        // Each block is compiled into the fabric's bit-sliced program
+        // exactly once; the leaf value-table sweep and the
+        // energy-characterization stimulus both run over that program.
+        let (netlist, node, prog) = match cfg {
             Config::Leaf(leaf) => {
                 let nl = leaf.netlist();
+                let prog = CompiledNetlist::compile(&nl);
                 let mut table = vec![0u32; 1usize << (2 * bits)];
-                for_each_operand_pair(&nl, |a, b, out| {
+                prog.for_each_operand_pair_in(0..1u64 << (2 * bits), |a, b, out| {
                     table[((b as usize) << bits) | a as usize] = out[0] as u32;
                 })?;
                 let node = EvalNode::Table {
                     bits,
                     table: Arc::new(table),
                 };
-                (nl, node)
+                (nl, node, prog)
             }
             Config::Quad { summation, sub } => {
                 let subs = [
@@ -242,10 +246,11 @@ impl CharCache {
                 } else {
                     quad
                 };
-                (nl, node)
+                let prog = CompiledNetlist::compile(&nl);
+                (nl, node, prog)
             }
         };
-        let cost = self.characterizer.characterize(&netlist)?;
+        let cost = self.characterizer.characterize_with(&netlist, &prog)?;
         let evaluator = ComposedMultiplier {
             bits,
             name: key.to_string(),

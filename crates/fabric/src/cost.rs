@@ -11,7 +11,8 @@
 use std::fmt;
 
 use crate::area::AreaReport;
-use crate::power::{measure, uniform_stimulus, EnergyModel};
+use crate::compile::CompiledNetlist;
+use crate::power::{measure_with, uniform_stimulus, EnergyModel};
 use crate::timing::{analyze, DelayModel};
 use crate::{FabricError, Netlist};
 
@@ -235,10 +236,27 @@ impl Characterizer {
     ///
     /// Propagates simulation errors from the energy measurement.
     pub fn characterize(&self, netlist: &Netlist) -> Result<NetlistCost, FabricError> {
+        self.characterize_with(netlist, &CompiledNetlist::compile(netlist))
+    }
+
+    /// [`Characterizer::characterize`] over an already-compiled
+    /// program, for callers that also sweep the same netlist (e.g. the
+    /// DSE characterization cache) and want to compile it exactly once.
+    ///
+    /// `prog` must be the fault-free compilation of `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Characterizer::characterize`].
+    pub fn characterize_with(
+        &self,
+        netlist: &Netlist,
+        prog: &CompiledNetlist,
+    ) -> Result<NetlistCost, FabricError> {
         let area = AreaReport::of(netlist);
         let timing = analyze(netlist, &self.delay);
         let stim = uniform_stimulus(netlist, self.stimulus_len, self.stimulus_seed);
-        let power = measure(netlist, &self.energy, &self.delay, &stim)?;
+        let power = measure_with(netlist, prog, &self.energy, &self.delay, &stim)?;
         Ok(NetlistCost {
             area,
             critical_path_ns: timing.critical_path_ns,

@@ -12,6 +12,7 @@
 //! * [`fault_coverage`] — runs a vector set against every single
 //!   stuck-at fault and reports which are detected.
 
+use crate::compile::{CompiledNetlist, CompiledSim};
 use crate::netlist::{Cell, Driver};
 use crate::{FabricError, NetId, Netlist};
 
@@ -151,9 +152,20 @@ impl FaultCoverage {
     }
 }
 
+/// Lane-block width used by the fault campaign (256 vectors per pass).
+const FAULT_WORDS: usize = 4;
+
 /// Runs every single stuck-at fault (both polarities, on every
 /// observable cell-driven net and primary input) against the given
 /// test vectors, comparing faulty outputs to the fault-free reference.
+///
+/// Each fault is compiled into its own bit-sliced program
+/// ([`CompiledNetlist::compile_with_faults`]) and the vector set is
+/// streamed through it in 256-lane blocks; detection compares the
+/// bit-sliced output words directly against the fault-free reference
+/// words — no per-lane gather — and stops at the first differing
+/// block. Detection semantics are identical to the scalar
+/// [`eval_with_faults`] loop this replaces.
 ///
 /// # Errors
 ///
@@ -173,10 +185,53 @@ pub fn fault_coverage(
         .filter(|&(i, d)| !matches!(d, Driver::Const(_)) && fanouts[i] > 0)
         .map(|(i, _)| NetId(i as u32))
         .collect();
-    let golden: Vec<Vec<u64>> = vectors
-        .iter()
-        .map(|v| eval_with_faults(netlist, v, &[]))
-        .collect::<Result<_, _>>()?;
+    let n_buses = netlist.input_buses().len();
+    for v in vectors {
+        if v.len() != n_buses {
+            return Err(FabricError::InputArity {
+                expected: n_buses,
+                got: v.len(),
+            });
+        }
+    }
+    // Transpose the vector set once into lane-major per-block bus
+    // arrays shared by the golden run and every fault run.
+    let blocks: Vec<Vec<Vec<u64>>> = vectors
+        .chunks(64 * FAULT_WORDS)
+        .map(|chunk| {
+            (0..n_buses)
+                .map(|bus| chunk.iter().map(|v| v[bus]).collect())
+                .collect()
+        })
+        .collect();
+    let out_bits: usize = netlist.output_buses().iter().map(|(_, b)| b.len()).sum();
+    // Masked output words of one program over all blocks, flattened as
+    // `[block][output bit][word]`.
+    let run_all = |prog: &CompiledNetlist| -> Result<Vec<[u64; FAULT_WORDS]>, FabricError> {
+        let mut sim: CompiledSim<'_, FAULT_WORDS> = prog.simulator();
+        let mut words = Vec::with_capacity(blocks.len() * out_bits);
+        for block in &blocks {
+            let refs: Vec<&[u64]> = block.iter().map(Vec::as_slice).collect();
+            let lanes = sim.load(&refs)?;
+            sim.run();
+            for bus in 0..netlist.output_buses().len() {
+                for bit in 0..netlist.output_buses()[bus].1.len() {
+                    let mut w = sim.output_word(bus, bit);
+                    for (wi, word) in w.iter_mut().enumerate() {
+                        let used = lanes.saturating_sub(64 * wi).min(64);
+                        *word &= match used {
+                            64 => u64::MAX,
+                            0 => 0,
+                            n => (1u64 << n) - 1,
+                        };
+                    }
+                    words.push(w);
+                }
+            }
+        }
+        Ok(words)
+    };
+    let golden = run_all(&CompiledNetlist::compile(netlist))?;
     let mut detected = 0;
     let mut undetected = Vec::new();
     for &site in &sites {
@@ -185,11 +240,31 @@ pub fn fault_coverage(
                 net: site,
                 stuck_at: stuck,
             };
+            let prog = CompiledNetlist::compile_with_faults(netlist, &[fault]);
+            let mut sim: CompiledSim<'_, FAULT_WORDS> = prog.simulator();
             let mut seen = false;
-            for (v, gold) in vectors.iter().zip(&golden) {
-                if eval_with_faults(netlist, v, &[fault])? != *gold {
-                    seen = true;
-                    break;
+            'blocks: for (bi, block) in blocks.iter().enumerate() {
+                let refs: Vec<&[u64]> = block.iter().map(Vec::as_slice).collect();
+                let lanes = sim.load(&refs)?;
+                sim.run();
+                let mut flat = 0;
+                for bus in 0..netlist.output_buses().len() {
+                    for bit in 0..netlist.output_buses()[bus].1.len() {
+                        let mut w = sim.output_word(bus, bit);
+                        for (wi, word) in w.iter_mut().enumerate() {
+                            let used = lanes.saturating_sub(64 * wi).min(64);
+                            *word &= match used {
+                                64 => u64::MAX,
+                                0 => 0,
+                                n => (1u64 << n) - 1,
+                            };
+                        }
+                        if w != golden[bi * out_bits + flat] {
+                            seen = true;
+                            break 'blocks;
+                        }
+                        flat += 1;
+                    }
                 }
             }
             if seen {

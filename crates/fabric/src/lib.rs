@@ -12,6 +12,9 @@
 //! * [`Netlist`] / [`NetlistBuilder`] — a cell/net graph of `LUT6_2` and
 //!   `CARRY4` primitives with primary inputs/outputs and constants.
 //! * [`sim`] — scalar and 64-lane bit-parallel netlist simulation.
+//! * [`compile`] — the compiled bit-sliced simulator: mux-tree LUT
+//!   kernels over const-generic multi-word lane blocks, the backend of
+//!   every exhaustive sweep in the workspace.
 //! * [`timing`] — static timing analysis with a calibrated Virtex-7-like
 //!   delay model ([`timing::DelayModel`]).
 //! * [`area`] — LUT/carry/slice area accounting.
@@ -51,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod area;
+pub mod compile;
 pub mod cost;
 mod error;
 pub mod export;

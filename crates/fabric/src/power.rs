@@ -6,13 +6,14 @@
 //! multiplier netlists under identical stimulus — all the paper needs
 //! for Fig. 1 and Fig. 7 — the `C·V²·f` factors cancel and the ranking
 //! is determined by fanout-weighted toggle counts. This module measures
-//! exactly that, using the same 64-lane simulator as functional
-//! verification (adjacent lanes are consecutive stimulus vectors).
+//! exactly that, streaming the stimulus through the compiled bit-sliced
+//! simulator ([`crate::compile`]) 64 lanes at a time (adjacent lanes
+//! are consecutive stimulus vectors).
 
+use crate::compile::{CompiledNetlist, CompiledSim};
 use crate::netlist::Driver;
-use crate::sim::WideSim;
 use crate::timing::{analyze, DelayModel};
-use crate::{FabricError, Netlist};
+use crate::{FabricError, NetId, Netlist};
 
 /// Relative capacitance weights for the energy proxy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,6 +95,34 @@ pub fn measure(
     delay: &DelayModel,
     stimulus: &[Vec<u64>],
 ) -> Result<EnergyReport, FabricError> {
+    measure_with(
+        netlist,
+        &CompiledNetlist::compile(netlist),
+        energy,
+        delay,
+        stimulus,
+    )
+}
+
+/// [`measure`] over an already-compiled program, for callers that also
+/// sweep the same netlist (e.g. the DSE characterization cache) and
+/// want to compile it exactly once.
+///
+/// `prog` must be the compilation of `netlist` (without faults); the
+/// per-net toggle counts are read through the program's net-to-slot
+/// map, so they are bit-identical to what the interpretive simulator
+/// would have produced.
+///
+/// # Errors
+///
+/// Same as [`measure`].
+pub fn measure_with(
+    netlist: &Netlist,
+    prog: &CompiledNetlist,
+    energy: &EnergyModel,
+    delay: &DelayModel,
+    stimulus: &[Vec<u64>],
+) -> Result<EnergyReport, FabricError> {
     let n_buses = netlist.input_buses().len();
     for v in stimulus {
         if v.len() != n_buses {
@@ -118,7 +147,7 @@ pub fn measure(
         })
         .collect();
 
-    let mut sim = WideSim::new(netlist);
+    let mut sim: CompiledSim<'_, 1> = prog.simulator();
     let mut total = 0.0f64;
     let mut transitions = 0u64;
     let mut boundary: Option<Vec<bool>> = None;
@@ -135,11 +164,13 @@ pub fn measure(
             }
         }
         let refs: Vec<&[u64]> = buses.iter().map(Vec::as_slice).collect();
-        let nets = sim.eval_nets(&refs)?;
-        for (net, &word) in nets.iter().enumerate() {
-            if weights[net] == 0.0 {
+        sim.load(&refs)?;
+        sim.run();
+        for (net, &weight) in weights.iter().enumerate() {
+            if weight == 0.0 {
                 continue;
             }
+            let word = sim.net_word(NetId::new(net as u32))[0];
             // Toggles between adjacent lanes within the word.
             let within = (word ^ (word >> 1)) & ((1u64 << (n - 1)) - 1);
             let mut t = within.count_ones() as u64;
@@ -149,12 +180,12 @@ pub fn measure(
                     t += 1;
                 }
             }
-            total += weights[net] * t as f64;
+            total += weight * t as f64;
         }
         transitions += (n - 1) as u64 + u64::from(boundary.is_some());
         boundary = Some(
-            nets.iter()
-                .map(|&w| (w >> (n - 1)) & 1 == 1)
+            (0..netlist.net_count())
+                .map(|net| (sim.net_word(NetId::new(net as u32))[0] >> (n - 1)) & 1 == 1)
                 .collect::<Vec<bool>>(),
         );
         pos += n;

@@ -38,10 +38,16 @@ impl<'a> WideSim<'a> {
     /// Creates a simulator for `netlist`.
     #[must_use]
     pub fn new(netlist: &'a Netlist) -> Self {
-        WideSim {
-            netlist,
-            values: vec![0; netlist.net_count()],
+        let mut values = vec![0; netlist.net_count()];
+        // Constants broadcast once: every other net is rewritten by
+        // `load` (inputs) or `propagate` (cell outputs) on each pass,
+        // so no per-pass clearing or re-broadcast is needed.
+        for (net, driver) in netlist.drivers().iter().enumerate() {
+            if let Driver::Const(c) = driver {
+                values[net] = if *c { u64::MAX } else { 0 };
+            }
         }
+        WideSim { netlist, values }
     }
 
     /// Evaluates up to 64 lanes.
@@ -90,8 +96,9 @@ impl<'a> WideSim<'a> {
                 got: inputs.iter().map(|b| b.len()).max().unwrap_or(0),
             });
         }
-        self.values.iter_mut().for_each(|v| *v = 0);
         // Transpose: lane-major input words -> bit-sliced net values.
+        // Input words are fully overwritten (unused high lanes read 0),
+        // so no clearing of the previous pass is needed.
         for (bus_idx, (_, bits)) in buses.iter().enumerate() {
             for (bit_idx, net) in bits.iter().enumerate() {
                 let mut word = 0u64;
@@ -99,12 +106,6 @@ impl<'a> WideSim<'a> {
                     word |= ((val >> bit_idx) & 1) << lane;
                 }
                 self.values[net.index()] = word;
-            }
-        }
-        // Constants broadcast to all lanes.
-        for (net, driver) in self.netlist.drivers().iter().enumerate() {
-            if let Driver::Const(c) = driver {
-                self.values[net] = if *c { u64::MAX } else { 0 };
             }
         }
         Ok(lanes)
@@ -177,56 +178,37 @@ impl<'a> WideSim<'a> {
 }
 
 /// Exhaustively evaluates a two-input-bus netlist over all operand
-/// combinations, invoking `visit(a, b, outputs)` for each.
+/// combinations, invoking `visit(a, b, outputs)` for each, in ascending
+/// combined-index order with `a` (bus 0) as the fast axis.
 ///
-/// The netlist must have exactly two input buses (`a` first). Intended
-/// for operand widths whose product space fits in memory-free streaming
-/// (e.g. 8×8 → 65 536 evaluations).
+/// The netlist must have exactly two input buses (`a` first). Since the
+/// compiled-simulator rework this compiles the netlist once
+/// ([`crate::compile::CompiledNetlist`]) and streams 256-lane blocks
+/// through the bit-sliced instruction stream; callers that sweep the
+/// same netlist repeatedly (or in parallel shards) should compile it
+/// themselves and use
+/// [`crate::compile::CompiledNetlist::for_each_operand_pair_in`].
 ///
 /// # Errors
 ///
 /// Propagates simulation errors; also returns [`FabricError::InputArity`]
 /// if the netlist does not have exactly two input buses.
+///
+/// # Panics
+///
+/// Panics if the operand space exceeds 2³² pairs.
 pub fn for_each_operand_pair(
     netlist: &Netlist,
-    mut visit: impl FnMut(u64, u64, &[u64]),
+    visit: impl FnMut(u64, u64, &[u64]),
 ) -> Result<(), FabricError> {
-    let buses = netlist.input_buses();
-    if buses.len() != 2 {
-        return Err(FabricError::InputArity {
-            expected: 2,
-            got: buses.len(),
-        });
-    }
-    let a_bits = buses[0].1.len();
-    let b_bits = buses[1].1.len();
+    let prog = crate::compile::CompiledNetlist::compile(netlist);
+    let (a_bits, b_bits) = prog.operand_widths()?;
     assert!(
         a_bits + b_bits <= 32,
         "exhaustive sweep over {a_bits}x{b_bits} operands is infeasible"
     );
     let total: u64 = 1 << (a_bits + b_bits);
-    let mut sim = WideSim::new(netlist);
-    let mut idx = 0u64;
-    let mut a_lane = [0u64; 64];
-    let mut b_lane = [0u64; 64];
-    while idx < total {
-        let n = ((total - idx) as usize).min(64);
-        for k in 0..n {
-            let v = idx + k as u64;
-            a_lane[k] = v & ((1 << a_bits) - 1);
-            b_lane[k] = v >> a_bits;
-        }
-        let outs = sim.eval(&[&a_lane[..n], &b_lane[..n]])?;
-        let mut row = vec![0u64; outs.len()];
-        for k in 0..n {
-            for (j, bus) in outs.iter().enumerate() {
-                row[j] = bus[k];
-            }
-            visit(a_lane[k], b_lane[k], &row);
-        }
-        idx += n as u64;
-    }
-    Ok(())
+    prog.for_each_operand_pair_in(0..total, visit)
 }
 
 #[cfg(test)]

@@ -4,10 +4,13 @@
 //!
 //! For a netlist with `k` total primary-input bits, every net's
 //! function is a `2^k`-entry truth table, stored bit-packed (64 table
-//! entries per word). The tables are computed in one topological pass
-//! per 64 input assignments using the fabric's bit-parallel simulator —
-//! i.e. the same forward evaluation a synthesis tool would do
-//! symbolically, materialized exhaustively. This is what lets the
+//! entries per word). The netlist is compiled once into the fabric's
+//! bit-sliced instruction stream ([`axmul_fabric::compile`]) and the
+//! tables are filled 256 assignments per pass straight from the
+//! closed-form sweep loader — the per-net words the simulator computes
+//! *are* the truth-table words, so no transpose or gather is needed.
+//! This is the same forward evaluation a synthesis tool would do
+//! symbolically, materialized exhaustively, and is what lets the
 //! dead-logic pass *prove* a net constant and the claims pass *prove*
 //! functional equivalence rather than sample it.
 //!
@@ -16,7 +19,7 @@
 //! the paper fits; 16×16 netlists fall back to structural-only checks
 //! and the caller records the skip in its report.
 
-use axmul_fabric::sim::WideSim;
+use axmul_fabric::compile::{CompiledNetlist, CompiledSim, SWEEP_WORDS};
 use axmul_fabric::{FabricError, NetId, Netlist};
 
 /// Largest total primary-input width the engine will tabulate.
@@ -59,26 +62,27 @@ impl NetTables {
         let assignments: u64 = 1u64 << input_bits;
         let words = usize::try_from(assignments.div_ceil(64)).expect("bounded by MAX_TABLE_BITS");
         let mut tables = vec![vec![0u64; words]; netlist.net_count()];
-        let mut sim = WideSim::new(netlist);
-        let mut lanes: Vec<Vec<u64>> = widths.iter().map(|_| vec![0u64; 64]).collect();
-        let mut v = 0u64;
-        for word in 0..words {
-            let n = usize::try_from((assignments - v).min(64)).expect("<= 64");
-            for k in 0..n {
-                let mut rest = v + k as u64;
-                for (w, lane) in widths.iter().zip(lanes.iter_mut()) {
-                    lane[k] = rest & ((1u64 << w) - 1);
-                    rest >>= w;
+        // The sweep loader enumerates combined assignments with bus 0
+        // in the low bits — exactly this module's indexing convention —
+        // so each simulated lane word is a finished truth-table word.
+        let prog = CompiledNetlist::compile(netlist);
+        let mut sim: CompiledSim<'_, SWEEP_WORDS> = prog.simulator();
+        let mut base = 0u64;
+        while base < assignments {
+            sim.load_sweep(base);
+            sim.run();
+            let first = (base / 64) as usize;
+            let block_words = SWEEP_WORDS.min(words - first);
+            for (net, table) in tables.iter_mut().enumerate() {
+                let w = sim.net_word(NetId::new(net as u32));
+                for (wi, &word) in w.iter().enumerate().take(block_words) {
+                    // Mask off unused lanes of a partial final word.
+                    let n = (assignments - base - 64 * wi as u64).min(64);
+                    let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+                    table[first + wi] = word & mask;
                 }
             }
-            let refs: Vec<&[u64]> = lanes.iter().map(|l| &l[..n]).collect();
-            let values = sim.eval_nets(&refs)?;
-            for (net, table) in tables.iter_mut().enumerate() {
-                // Mask off unused lanes of a partial final word.
-                let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-                table[word] = values[net] & mask;
-            }
-            v += n as u64;
+            base += (64 * SWEEP_WORDS) as u64;
         }
         Ok(Some(NetTables {
             input_bits,

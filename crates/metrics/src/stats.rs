@@ -1,7 +1,7 @@
 use std::fmt;
 
 use axmul_core::{mask_for, Multiplier};
-use axmul_fabric::sim::for_each_operand_pair;
+use axmul_fabric::compile::CompiledNetlist;
 use axmul_fabric::{FabricError, Netlist};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -99,13 +99,15 @@ impl ErrorStats {
     }
 
     /// Exhaustively characterizes a structural multiplier *netlist* by
-    /// streaming the full operand space through a 64-lane
-    /// [`axmul_fabric::sim::WideSim`] — the gate-level twin of
-    /// [`ErrorStats::exhaustive`], and the evaluation backend of the
-    /// `axmul-dse` explorer.
+    /// compiling it once ([`CompiledNetlist`]) and streaming the full
+    /// operand space through the bit-sliced instruction stream — the
+    /// gate-level twin of [`ErrorStats::exhaustive`], and the
+    /// evaluation backend of the `axmul-dse` explorer.
     ///
     /// The netlist must have exactly two input buses (the operands, in
     /// `a`, `b` order) and its first output bus is taken as the product.
+    /// Equivalent to [`ErrorStats::exhaustive_wide_with`] with one
+    /// worker.
     ///
     /// # Errors
     ///
@@ -116,23 +118,89 @@ impl ErrorStats {
     ///
     /// Panics if the operand space exceeds 2³² pairs.
     pub fn exhaustive_wide(netlist: &Netlist) -> Result<Self, FabricError> {
-        let buses = netlist.input_buses();
-        if buses.len() != 2 {
-            return Err(FabricError::InputArity {
-                expected: 2,
-                got: buses.len(),
-            });
-        }
-        let (wa, wb) = (buses[0].1.len() as u32, buses[1].1.len() as u32);
-        let mut acc = Accumulator::default();
-        for_each_operand_pair(netlist, |a, b, out| acc.push(a * b, out[0]))?;
+        Self::exhaustive_wide_with(netlist, 1)
+    }
+
+    /// [`ErrorStats::exhaustive_wide`] sharded over `workers` threads.
+    ///
+    /// The operand space is split into contiguous ranges aligned to the
+    /// relative-error accumulation chunk, each worker sweeps its range
+    /// through its own simulator over the shared compiled program, and
+    /// the per-shard partial sums are merged in fixed shard order. The
+    /// result is **byte-identical** for every worker count — and to the
+    /// scalar [`ErrorStats::exhaustive`] path — because the float
+    /// accumulation order is preserved exactly (see [`Accumulator`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ErrorStats::exhaustive_wide`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand space exceeds 2³² pairs or if a worker
+    /// thread panics.
+    pub fn exhaustive_wide_with(netlist: &Netlist, workers: usize) -> Result<Self, FabricError> {
+        let prog = CompiledNetlist::compile(netlist);
+        let (wa, wb) = prog.operand_widths()?;
+        assert!(
+            wa + wb <= 32,
+            "exhaustive sweep over {wa}x{wb} is infeasible"
+        );
+        let total = 1u64 << (wa + wb);
+        // Shard boundaries must fall on REL_CHUNK multiples so every
+        // relative-error chunk is computed whole inside one shard.
+        let chunks = total.div_ceil(REL_CHUNK);
+        let workers = workers.clamp(1, chunks.max(1) as usize);
+        let per = chunks.div_ceil(workers as u64) * REL_CHUNK;
+        let sweep = |range: std::ops::Range<u64>| -> Result<Accumulator, FabricError> {
+            let mut acc = Accumulator::default();
+            prog.for_each_operand_pair_in(range, |a, b, out| acc.push(a * b, out[0]))?;
+            Ok(acc)
+        };
+        let acc = if workers == 1 {
+            sweep(0..total)?
+        } else {
+            let ranges: Vec<std::ops::Range<u64>> = (0..workers as u64)
+                .map(|w| (w * per).min(total)..((w + 1) * per).min(total))
+                .filter(|r| !r.is_empty())
+                .collect();
+            let shards: Vec<Accumulator> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .into_iter()
+                    .map(|range| scope.spawn(|| sweep(range)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep worker panicked"))
+                    .collect::<Result<_, FabricError>>()
+            })?;
+            let mut merged = Accumulator::default();
+            for shard in shards {
+                merged.merge(shard);
+            }
+            merged
+        };
         Ok(acc.finish(netlist.name().to_string(), wa, wb))
     }
 }
 
+/// Samples per relative-error accumulation chunk (a power of two so
+/// chunk boundaries coincide with the 64-lane sweep blocks).
+const REL_CHUNK: u64 = 4096;
+
 /// Streaming accumulator shared by the scalar ([`ErrorStats::over_pairs`])
 /// and wide ([`ErrorStats::exhaustive_wide`]) characterization paths, so
 /// both are guaranteed to aggregate identically.
+///
+/// The integer statistics (counts, `u128` error sums) are exactly
+/// associative, but the relative-error sum is floating point, where
+/// addition order matters. To make sharded parallel sweeps
+/// bit-identical to the sequential path, `rel` is accumulated in
+/// fixed-size chunks of [`REL_CHUNK`] samples: each chunk's partial sum
+/// involves only samples inside that chunk, and [`Accumulator::finish`]
+/// folds the chunk sums left-to-right. A parallel merge of shards whose
+/// boundaries fall on chunk multiples therefore reproduces the exact
+/// sequence of float additions the single-threaded sweep performs.
 #[derive(Debug, Default)]
 struct Accumulator {
     samples: u64,
@@ -141,11 +209,22 @@ struct Accumulator {
     max_occ: u64,
     sum: u128,
     sum_sq: u128,
-    rel: f64,
+    /// Completed relative-error chunk sums, in sample order.
+    rel_chunks: Vec<f64>,
+    /// Partial sum of the chunk currently being filled.
+    chunk_rel: f64,
+    /// Samples pushed into the current chunk so far.
+    in_chunk: u64,
 }
 
 impl Accumulator {
     fn push(&mut self, exact: u64, approx: u64) {
+        if self.in_chunk == REL_CHUNK {
+            self.rel_chunks.push(self.chunk_rel);
+            self.chunk_rel = 0.0;
+            self.in_chunk = 0;
+        }
+        self.in_chunk += 1;
         self.samples += 1;
         let err = (exact as i64 - approx as i64).abs();
         if err != 0 {
@@ -153,7 +232,7 @@ impl Accumulator {
             self.sum += err as u128;
             self.sum_sq += (err as u128) * (err as u128);
             if exact != 0 {
-                self.rel += err as f64 / exact as f64;
+                self.chunk_rel += err as f64 / exact as f64;
             }
             match err.cmp(&self.max) {
                 std::cmp::Ordering::Greater => {
@@ -166,10 +245,41 @@ impl Accumulator {
         }
     }
 
+    /// Appends `next`, which must hold the samples immediately
+    /// following `self`'s, with the boundary on a [`REL_CHUNK`]
+    /// multiple. Counts and integer sums add exactly; the maximum and
+    /// its occurrence count compose as they would have sequentially;
+    /// the relative-error chunks concatenate in sample order.
+    fn merge(&mut self, next: Accumulator) {
+        if self.in_chunk == REL_CHUNK {
+            self.rel_chunks.push(self.chunk_rel);
+            self.chunk_rel = 0.0;
+            self.in_chunk = 0;
+        }
+        assert_eq!(self.in_chunk, 0, "merge boundary must be chunk-aligned");
+        self.samples += next.samples;
+        self.occ += next.occ;
+        self.sum += next.sum;
+        self.sum_sq += next.sum_sq;
+        match next.max.cmp(&self.max) {
+            std::cmp::Ordering::Greater => {
+                self.max = next.max;
+                self.max_occ = next.max_occ;
+            }
+            std::cmp::Ordering::Equal => self.max_occ += next.max_occ,
+            std::cmp::Ordering::Less => {}
+        }
+        self.rel_chunks.extend_from_slice(&next.rel_chunks);
+        self.chunk_rel = next.chunk_rel;
+        self.in_chunk = next.in_chunk;
+    }
+
     fn finish(self, name: String, wa: u32, wb: u32) -> ErrorStats {
         let samples_f = self.samples.max(1) as f64;
         let max_product = (mask_for(wa) * mask_for(wb)).max(1) as f64;
         let mse = self.sum_sq as f64 / samples_f;
+        // Left fold in sample order: identical for any shard split.
+        let rel = self.rel_chunks.iter().fold(0.0f64, |acc, &c| acc + c) + self.chunk_rel;
         ErrorStats {
             name,
             samples: self.samples,
@@ -177,7 +287,7 @@ impl Accumulator {
             max_error: self.max,
             max_error_occurrences: self.max_occ,
             avg_error: self.sum as f64 / samples_f,
-            avg_relative_error: self.rel / samples_f,
+            avg_relative_error: rel / samples_f,
             error_probability: self.occ as f64 / samples_f,
             normalized_mean_error_distance: (self.sum as f64 / samples_f) / max_product,
             mean_squared_error: mse,
@@ -300,6 +410,27 @@ mod tests {
             };
             assert_same_numbers(&wide, &scalar);
             assert!(wide.error_occurrences > 0, "approximate 8x8 must err");
+        }
+    }
+
+    #[test]
+    fn exhaustive_wide_is_byte_stable_across_worker_counts() {
+        use axmul_core::structural::{approx_4x4_netlist, ca_netlist, cc_netlist};
+        for nl in [
+            approx_4x4_netlist(),
+            ca_netlist(8).unwrap(),
+            cc_netlist(8).unwrap(),
+        ] {
+            let one = ErrorStats::exhaustive_wide_with(&nl, 1).unwrap();
+            for workers in [2, 4] {
+                let many = ErrorStats::exhaustive_wide_with(&nl, workers).unwrap();
+                assert_eq!(one, many, "{} with {workers} workers", nl.name());
+                assert_eq!(
+                    one.avg_relative_error.to_bits(),
+                    many.avg_relative_error.to_bits(),
+                    "float fields must match to the last bit"
+                );
+            }
         }
     }
 

@@ -13,7 +13,8 @@
 //!   simulated into a table and then costs nothing extra per MAC.
 
 use axmul_core::{Multiplier, Signed};
-use axmul_fabric::fault::{eval_with_faults, Fault};
+use axmul_fabric::compile::CompiledNetlist;
+use axmul_fabric::fault::Fault;
 use axmul_fabric::Netlist;
 
 use crate::error::NnError;
@@ -150,8 +151,11 @@ impl ProductTable {
 
     /// Tabulates an unsigned 8×8 multiplier *netlist* with the given
     /// stuck-at faults injected — the bridge between the fabric's fault
-    /// model and network-level accuracy (each of the 129×129 magnitude
-    /// pairs is simulated gate-by-gate once).
+    /// model and network-level accuracy. The faults are baked into a
+    /// compiled bit-sliced program
+    /// ([`CompiledNetlist::compile_with_faults`]) and all 2¹⁶ magnitude
+    /// pairs are swept 256 lanes per pass; the signed table then reads
+    /// the |a|,|b| ≤ 128 entries it needs.
     ///
     /// # Errors
     ///
@@ -169,15 +173,15 @@ impl ProductTable {
                 b_bits: buses.get(1).map_or(0, |(_, b)| b.len() as u32),
             });
         }
-        let mut mags = vec![0i64; 129 * 129];
-        for am in 0..=128u64 {
-            for bm in 0..=128u64 {
-                let out = eval_with_faults(netlist, &[am, bm], faults)?;
-                mags[(am * 129 + bm) as usize] = out[0] as i64;
-            }
-        }
+        let prog = CompiledNetlist::compile_with_faults(netlist, faults);
+        let mut products = vec![0i64; 1 << 16];
+        prog.for_each_operand_pair_in(0..1 << 16, |a, b, out| {
+            products[((a << 8) | b) as usize] = out[0] as i64;
+        })
+        .map_err(NnError::Fabric)?;
         Ok(Self::from_fn(name, |a, b| {
-            let mag = mags[a.unsigned_abs() as usize * 129 + b.unsigned_abs() as usize];
+            let mag = products
+                [((u64::from(a.unsigned_abs()) << 8) | u64::from(b.unsigned_abs())) as usize];
             let p = if (a < 0) != (b < 0) { -mag } else { mag };
             p as i32
         }))

@@ -1,0 +1,145 @@
+//! Satellite property test for the compiled bit-sliced simulator: for
+//! **every structural netlist in the roster** — the paper's designs,
+//! every baseline family, the EvoApprox-style library, the adder
+//! netlists and a stride of the 1 250 enumerated recursive 8×8
+//! configurations — the compiled program's outputs and *per-net* words
+//! are bit-identical to the scalar [`Netlist::eval`] reference and the
+//! interpretive [`WideSim`]. Net-word equality over all nets subsumes
+//! toggle-count equality, so the energy proxy is covered too.
+
+use approx_multipliers::adders::{carry_free_adder_netlist, exact_adder_netlist, loa_netlist};
+use approx_multipliers::baselines::{
+    array_mult_netlist, csa_tree_mult_netlist, evo, kulkarni_kernel_netlist, kulkarni_netlist,
+    pp_truncated_netlist, rehman_kernel_netlist, rehman_netlist, IpOpt, VivadoIp,
+};
+use approx_multipliers::core::correction::correctable_4x4_netlist;
+use approx_multipliers::core::structural::{
+    approx_4x2_netlist, approx_4x4_accsum_netlist, approx_4x4_netlist, ca_netlist, cc_netlist,
+};
+use approx_multipliers::dse::Config;
+use approx_multipliers::fabric::compile::{CompiledNetlist, CompiledSim};
+use approx_multipliers::fabric::sim::WideSim;
+use approx_multipliers::fabric::{NetId, Netlist};
+
+fn roster() -> Vec<Netlist> {
+    let mut r = vec![
+        approx_4x2_netlist(),
+        approx_4x4_netlist(),
+        approx_4x4_accsum_netlist(),
+        correctable_4x4_netlist(),
+        ca_netlist(4).unwrap(),
+        ca_netlist(8).unwrap(),
+        cc_netlist(4).unwrap(),
+        cc_netlist(8).unwrap(),
+        kulkarni_kernel_netlist(),
+        kulkarni_netlist(8).unwrap(),
+        rehman_kernel_netlist(),
+        rehman_netlist(8).unwrap(),
+        pp_truncated_netlist(8, 8, 1),
+        pp_truncated_netlist(8, 8, 2),
+        pp_truncated_netlist(8, 8, 3),
+        array_mult_netlist(8, 8),
+        csa_tree_mult_netlist(8, 8),
+        VivadoIp::new(8, IpOpt::Area).netlist(),
+        VivadoIp::new(8, IpOpt::Speed).netlist(),
+        exact_adder_netlist(8),
+        loa_netlist(8, 3),
+        carry_free_adder_netlist(8),
+    ];
+    for design in evo::library() {
+        r.push(design.netlist());
+    }
+    r
+}
+
+/// Deterministic SplitMix64 stream (same generator the fabric's
+/// stimulus uses; no external RNG dependency).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// 128 lanes per bus: corners first, then a deterministic random fill,
+/// each masked to the bus width.
+fn lanes_for(netlist: &Netlist, seed: u64) -> Vec<Vec<u64>> {
+    let mut state = seed;
+    netlist
+        .input_buses()
+        .iter()
+        .map(|(_, bits)| {
+            let w = bits.len() as u32;
+            let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+            let mut lanes = vec![0, mask, 1 & mask, mask >> 1];
+            while lanes.len() < 128 {
+                lanes.push(splitmix(&mut state) & mask);
+            }
+            lanes
+        })
+        .collect()
+}
+
+/// Asserts the compiled program reproduces `Netlist::eval` outputs and
+/// every `WideSim` net word exactly, on a 128-lane stimulus.
+fn assert_compiled_matches(netlist: &Netlist) {
+    let name = netlist.name();
+    let lanes = lanes_for(netlist, 0x0D0C_5EED ^ netlist.net_count() as u64);
+    let refs: Vec<&[u64]> = lanes.iter().map(Vec::as_slice).collect();
+
+    let prog = CompiledNetlist::compile(netlist);
+    let mut sim: CompiledSim<'_, 2> = prog.simulator();
+    let loaded = sim.load(&refs).unwrap();
+    assert_eq!(loaded, 128);
+    sim.run();
+
+    // Outputs versus the scalar reference, lane by lane.
+    for lane in 0..128 {
+        let vector: Vec<u64> = lanes.iter().map(|bus| bus[lane]).collect();
+        let expect = netlist.eval(&vector).unwrap();
+        for (bus, &want) in expect.iter().enumerate() {
+            let mut got = 0u64;
+            for bit in 0..netlist.output_buses()[bus].1.len() {
+                let w = sim.output_word(bus, bit);
+                got |= ((w[lane / 64] >> (lane % 64)) & 1) << bit;
+            }
+            assert_eq!(got, want, "{name}: output bus {bus}, lane {lane}");
+        }
+    }
+
+    // Every net word versus the interpretive WideSim, 64 lanes at a
+    // time (equality over all nets subsumes toggle-count equality).
+    let mut wide = WideSim::new(netlist);
+    for half in 0..2 {
+        let half_refs: Vec<&[u64]> = lanes
+            .iter()
+            .map(|bus| &bus[64 * half..64 * (half + 1)])
+            .collect();
+        let nets = wide.eval_nets(&half_refs).unwrap();
+        for (net, &want) in nets.iter().enumerate() {
+            let got = sim.net_word(NetId::new(net as u32))[half];
+            assert_eq!(got, want, "{name}: net {net}, half {half}");
+        }
+    }
+}
+
+#[test]
+fn compiled_sim_matches_reference_across_the_roster() {
+    let designs = roster();
+    assert!(designs.len() > 40, "roster covers the evo library too");
+    for nl in &designs {
+        assert_compiled_matches(nl);
+    }
+}
+
+#[test]
+fn compiled_sim_matches_reference_on_enumerated_recursive_configs() {
+    let configs = Config::enumerate(8);
+    assert_eq!(configs.len(), 1250);
+    let sampled: Vec<&Config> = configs.iter().step_by(83).collect();
+    assert!(sampled.len() >= 15);
+    for cfg in sampled {
+        assert_compiled_matches(&cfg.assemble());
+    }
+}

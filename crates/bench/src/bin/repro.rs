@@ -3,14 +3,19 @@
 //! ```text
 //! repro <experiment>... [--quick]
 //! repro sim-bench [--quick] [--json]
+//! repro serve-bench [--quick] [--json]
+//! repro ext-dse --cache-dir DIR
 //! repro all
 //! repro list
 //! ```
 //!
 //! `--quick` switches experiments that have a smoke variant (currently
-//! `nn` and `sim-bench`) to their reduced CI-friendly form. `--json`
-//! additionally writes `sim-bench` results to `BENCH_sim.json` in the
-//! working directory.
+//! `nn`, `sim-bench` and `serve-bench`) to their reduced CI-friendly
+//! form. `--json` additionally writes `sim-bench` results to
+//! `BENCH_sim.json` and `serve-bench` results to `BENCH_serve.json` in
+//! the working directory. `--cache-dir DIR` routes `ext-dse` through
+//! the persistent characterization store rooted at `DIR`, so a second
+//! run warm-starts with zero recharacterizations.
 
 use std::process::ExitCode;
 
@@ -109,6 +114,16 @@ const EXPERIMENTS: &[Experiment] = &[
         experiments::sim_bench,
         "compiled-simulator throughput vs legacy",
     ),
+    (
+        "serve-bench",
+        experiments::serve_bench,
+        "daemon load test, cold vs warm store",
+    ),
+    (
+        "serve-smoke",
+        experiments::serve_smoke,
+        "daemon round-trip on a Unix socket",
+    ),
 ];
 
 /// Smoke variants selected by `--quick`.
@@ -116,10 +131,11 @@ type Smoke = (&'static str, fn() -> String);
 const QUICK: &[Smoke] = &[
     ("nn", experiments::nn_quick),
     ("sim-bench", experiments::sim_bench_quick),
+    ("serve-bench", experiments::serve_bench_quick),
 ];
 
 fn usage() {
-    eprintln!("usage: repro <experiment>... [--quick] [--json] | all | list");
+    eprintln!("usage: repro <experiment>... [--quick] [--json] [--cache-dir DIR] | all | list");
     eprintln!("experiments:");
     for (name, _, what) in EXPERIMENTS {
         eprintln!("  {name:<18} {what}");
@@ -131,6 +147,18 @@ fn main() -> ExitCode {
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--quick" && a != "--json");
+    let cache_dir = match args.iter().position(|a| a == "--cache-dir") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--cache-dir needs a directory argument");
+                return ExitCode::FAILURE;
+            }
+            let dir = std::path::PathBuf::from(args.remove(i + 1));
+            args.remove(i);
+            Some(dir)
+        }
+        None => None,
+    };
     if args.is_empty() {
         usage();
         return ExitCode::FAILURE;
@@ -147,6 +175,19 @@ fn main() -> ExitCode {
                 }
                 print!("{payload}");
                 eprintln!("wrote BENCH_sim.json");
+            }
+            "serve-bench" if json => {
+                let payload = experiments::serve_bench_json(quick);
+                if let Err(e) = std::fs::write("BENCH_serve.json", &payload) {
+                    eprintln!("cannot write BENCH_serve.json: {e}");
+                    return ExitCode::FAILURE;
+                }
+                print!("{payload}");
+                eprintln!("wrote BENCH_serve.json");
+            }
+            "ext-dse" if cache_dir.is_some() => {
+                let dir = cache_dir.as_deref().expect("checked above");
+                print!("{}", experiments::ext_dse_cached(dir));
             }
             name => {
                 let smoke = quick

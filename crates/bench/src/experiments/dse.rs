@@ -1,8 +1,11 @@
 //! Design-space exploration experiments (beyond the paper's two named
 //! configurations per width).
 
+use std::path::Path;
+use std::sync::Arc;
+
 use axmul_core::behavioral::Summation;
-use axmul_dse::{evaluate, run, Config, DseOptions, Leaf};
+use axmul_dse::{evaluate, run, Config, DiskStore, DseOptions, Leaf};
 
 use crate::report::{f, Table};
 
@@ -57,6 +60,50 @@ pub fn ext_dse() -> String {
         result.reports.len() as f64 / result.elapsed.as_secs_f64().max(1e-9),
     ));
     s
+}
+
+/// **Extension: 8×8 DSE with a persistent store.** The same exhaustive
+/// 1250-configuration sweep as [`ext_dse`], but every characterization
+/// is written to (and, on a second run, restored from) the on-disk
+/// store in `dir`. A warm rerun against a populated store reports zero
+/// builds — the whole sweep is served from disk.
+#[must_use]
+pub fn ext_dse_cached(dir: &Path) -> String {
+    let store = match DiskStore::open(dir) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            return format!(
+                "ext-dse --cache-dir {}: cannot open store: {e}\n",
+                dir.display()
+            )
+        }
+    };
+    let before = store.stored_records();
+    let mut opts = DseOptions::exhaustive_8x8();
+    opts.store = Some(Arc::clone(&store));
+    let result = run(&opts).expect("generated netlists simulate");
+    let front = result.lut_front().len();
+    format!(
+        "Extension: 8x8 DSE over persistent store {}\n\
+         phase: {}  ({} records on disk at start, {} at end)\n\
+         {} candidates in {:.2} s ({:.1} cand/s), error/LUT front size {}\n\
+         cache: {} builds, {} disk hits, {} in-memory hits\n",
+        store.root().display(),
+        if result.cache_builds == 0 {
+            "warm"
+        } else {
+            "cold"
+        },
+        before,
+        store.stored_records(),
+        result.reports.len(),
+        result.elapsed.as_secs_f64(),
+        result.reports.len() as f64 / result.elapsed.as_secs_f64().max(1e-9),
+        front,
+        result.cache_builds,
+        result.cache_disk_hits,
+        result.cache_hits,
+    )
 }
 
 /// **DSE worker scaling.** Evaluates a fixed 60-candidate set with 1,

@@ -8,15 +8,17 @@ mod extensions;
 mod figures;
 mod lint;
 mod nn;
+mod serve;
 mod simbench;
 mod tables;
 
 pub use ablations::{ablate_4x2_trunc, ablate_cc_depth, ablate_elem, ablate_swap};
-pub use dse::{dse_scaling, dse_subset, ext_dse};
+pub use dse::{dse_scaling, dse_subset, ext_dse, ext_dse_cached};
 pub use extensions::{ablate_cfree_op, ext_adders, ext_correction, ext_signed};
 pub use figures::{fig1, fig10, fig12, fig7, fig8, fig9};
 pub use lint::{lint_all_reports, lint_roster};
 pub use nn::{nn_full, nn_quick};
+pub use serve::{serve_bench, serve_bench_json, serve_bench_quick, serve_smoke};
 pub use simbench::{sim_bench, sim_bench_json, sim_bench_quick};
 pub use tables::{susan_area, table1, table2, table3, table4, table5, table6};
 

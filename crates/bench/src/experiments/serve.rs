@@ -1,0 +1,80 @@
+//! Serve-daemon experiments: the load-generator benchmark (cold vs
+//! warm persistent store) and the CI smoke check, both driving a real
+//! daemon over real sockets.
+
+use axmul_serve::loadgen::{self, LoadgenOptions};
+
+/// **Serve benchmark (full).** Tens of thousands of mixed requests over
+/// concurrent TCP connections against a cold store, then the identical
+/// workload against the warmed store; reports p50/p99 latency,
+/// throughput and the build/disk-hit counters of both phases.
+#[must_use]
+pub fn serve_bench() -> String {
+    bench(&LoadgenOptions::full())
+}
+
+/// CI-sized variant of [`serve_bench`].
+#[must_use]
+pub fn serve_bench_quick() -> String {
+    bench(&LoadgenOptions::quick())
+}
+
+fn bench(opts: &LoadgenOptions) -> String {
+    match loadgen::run(opts) {
+        Ok(report) => report.render_text(),
+        Err(e) => format!("serve-bench FAILED: {e}\n"),
+    }
+}
+
+/// Machine-readable serve benchmark — the contents of
+/// `BENCH_serve.json`. Errors become a JSON object with an `"error"`
+/// key so the artifact is always parseable.
+#[must_use]
+pub fn serve_bench_json(quick: bool) -> String {
+    let opts = if quick {
+        LoadgenOptions::quick()
+    } else {
+        LoadgenOptions::full()
+    };
+    match loadgen::run(&opts) {
+        Ok(report) => report.to_json(),
+        Err(e) => format!(
+            "{{\"bench\":\"serve\",\"error\":\"{}\"}}",
+            e.replace('"', "'")
+        ),
+    }
+}
+
+/// **Serve smoke.** Boots a daemon on a Unix socket, issues one request
+/// of every type, and prints a per-type verdict plus a final
+/// `serve smoke: PASS`/`FAIL` line for CI to grep.
+#[must_use]
+pub fn serve_smoke() -> String {
+    match loadgen::smoke() {
+        Ok(lines) => {
+            let mut s = lines.join("\n");
+            s.push_str("\nserve smoke: PASS\n");
+            s
+        }
+        Err(e) => format!("{e}\nserve smoke: FAIL\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_reports_pass_and_every_type() {
+        let out = serve_smoke();
+        assert!(out.contains("serve smoke: PASS"), "{out}");
+        for ty in [
+            "characterize-config",
+            "lint-netlist",
+            "nn-classify-batch",
+            "dse-query",
+        ] {
+            assert!(out.contains(ty), "missing {ty} in {out}");
+        }
+    }
+}

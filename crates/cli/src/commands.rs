@@ -155,6 +155,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "dse" => dse(&opts),
         "nn" => nn(&opts),
         "lint" => lint(&opts),
+        "serve" => serve(&opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
@@ -175,7 +176,10 @@ fn usage() -> String {
      \x20 nn          [--arch A | --all] [--workers W] [--quick]\n\
      \x20             [--dse [--floor F]]          int8 inference accuracy\n\
      \x20 lint        --arch A [--bits N] | --all [--bits N]\n\
-     \x20             [--json] [--deny warnings]   static netlist analysis\n"
+     \x20             [--json] [--deny warnings]   static netlist analysis\n\
+     \x20 serve       [--port N | --socket PATH] [--cache-dir DIR]\n\
+     \x20             [--workers W] [--duration-s S]\n\
+     \x20                                          characterization daemon\n"
         .to_string()
 }
 
@@ -433,6 +437,86 @@ fn nn(opts: &Opts) -> Result<String, CliError> {
         ));
     }
     Ok(out)
+}
+
+/// Starts the characterization-and-inference daemon. Blocks until
+/// killed, or for `--duration-s` seconds when given (used by smoke
+/// tests and CI). With no endpoint flag it listens on TCP port 7878.
+fn serve(opts: &Opts) -> Result<String, CliError> {
+    use axmul_serve::server::{serve, Endpoints, ServerOptions};
+    use axmul_serve::{open_store, Service};
+
+    let tcp_port: Option<u16> = opts
+        .get("port")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("bad --port `{v}`")))
+        })
+        .transpose()?;
+    let unix_path = opts.get("socket").map(std::path::PathBuf::from);
+    let endpoints = Endpoints {
+        // Default endpoint when neither flag is given.
+        tcp_port: if tcp_port.is_none() && unix_path.is_none() {
+            Some(7878)
+        } else {
+            tcp_port
+        },
+        unix_path,
+    };
+    let workers: usize = parse_num(opts, "workers", 4)?;
+    if workers == 0 {
+        return Err(CliError::Usage("--workers must be > 0".to_string()));
+    }
+    let duration_s: Option<f64> = opts
+        .get("duration-s")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("bad --duration-s `{v}`")))
+        })
+        .transpose()?;
+
+    let cache_dir = opts.get("cache-dir").map(std::path::PathBuf::from);
+    let store = open_store(cache_dir.as_deref())
+        .map_err(|e| CliError::Io(std::io::Error::other(e.to_string())))?;
+    let cache_desc = axmul_serve::storage::describe(&store);
+    let service = Service::new(Some(store));
+    let handle = serve(
+        service,
+        &endpoints,
+        &ServerOptions {
+            workers,
+            ..ServerOptions::default()
+        },
+    )?;
+
+    let mut banner = String::from("axmul serve: listening on");
+    if let Some(addr) = handle.tcp_addr() {
+        banner.push_str(&format!(" tcp://{addr}"));
+    }
+    if let Some(path) = handle.unix_path() {
+        banner.push_str(&format!(" unix://{}", path.display()));
+    }
+    banner.push_str(&format!("\n  cache: {cache_desc}\n  workers: {workers}\n"));
+
+    match duration_s {
+        Some(secs) => {
+            eprint!("{banner}");
+            std::thread::sleep(std::time::Duration::from_secs_f64(secs.max(0.0)));
+            let served = handle.connections();
+            handle.shutdown();
+            Ok(format!(
+                "{banner}stopped after {secs}s: {served} connection(s) served\n"
+            ))
+        }
+        None => {
+            // Daemon mode: print the banner immediately and block for
+            // the life of the process.
+            eprint!("{banner}");
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+    }
 }
 
 /// Warnings a design is *expected* to carry: the K baseline's deleted
@@ -713,6 +797,41 @@ mod tests {
         assert!(out.contains("baseline"), "{out}");
         assert!(out.contains("(a X X X X)"), "{out}");
         assert!(out.contains("best"), "{out}");
+    }
+
+    #[test]
+    fn serve_duration_mode_starts_and_stops() {
+        let dir = std::env::temp_dir().join("axmul_cli_serve_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run_str(&[
+            "serve",
+            "--port",
+            "0",
+            "--duration-s",
+            "0.2",
+            "--cache-dir",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("listening on tcp://127.0.0.1:"), "{out}");
+        assert!(out.contains("connection(s) served"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_usage_errors() {
+        assert!(matches!(
+            run_str(&["serve", "--port", "notaport"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_str(&["serve", "--workers", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_str(&["serve", "--duration-s", "soon"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

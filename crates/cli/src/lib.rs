@@ -10,6 +10,7 @@
 //! axmul stats      --arch w --bits 8
 //! axmul smooth     --width 128 --height 128 --arch ca -o out.pgm
 //! axmul lint       --all --deny warnings
+//! axmul serve      --socket /tmp/axmul.sock --cache-dir ~/.cache/axmul
 //! ```
 //!
 //! The library half ([`Arch`], [`run`]) is exposed so the command logic

@@ -28,12 +28,14 @@ use std::sync::{Arc, Mutex};
 
 use axmul_core::behavioral::{combine_products, Summation};
 use axmul_core::{mask_for, Multiplier};
+use axmul_fabric::area::AreaReport;
 use axmul_fabric::compile::CompiledNetlist;
 use axmul_fabric::cost::{Characterizer, NetlistCost};
 use axmul_fabric::{FabricError, Netlist};
 use axmul_metrics::ErrorStats;
 
 use crate::config::Config;
+use crate::store::{netlist_fingerprint, DiskStore, StoreError, StoredChar};
 
 /// Fully-characterized configuration block: netlist, hardware cost,
 /// exact evaluator and error statistics.
@@ -107,6 +109,19 @@ impl EvalNode {
     }
 }
 
+/// Exhaustive value table of a quad evaluator (`table[(b << bits) | a]`),
+/// shared by the build and restore paths so both produce bit-identical
+/// tables.
+fn flatten_quad(quad: &EvalNode, bits: u32) -> Vec<u32> {
+    let mut table = vec![0u32; 1usize << (2 * bits)];
+    for b in 0..=mask_for(bits) {
+        for a in 0..=mask_for(bits) {
+            table[((b as usize) << bits) | a as usize] = quad.eval(a, b) as u32;
+        }
+    }
+    table
+}
+
 impl Multiplier for ComposedMultiplier {
     fn a_bits(&self) -> u32 {
         self.bits
@@ -135,8 +150,26 @@ pub struct CharCache {
     /// Seed of the sampled-stats stream.
     sample_seed: u64,
     map: Mutex<HashMap<String, Arc<BlockChar>>>,
+    store: Option<Arc<DiskStore>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    disk_hits: AtomicU64,
+    builds: AtomicU64,
+    store_failures: AtomicU64,
+    last_store_error: Mutex<Option<String>>,
+}
+
+/// Why restoring a persisted record failed. Store-level failures fall
+/// back to a rebuild; fabric failures are real and propagate.
+enum RestoreError {
+    Store(StoreError),
+    Fabric(FabricError),
+}
+
+impl From<StoreError> for RestoreError {
+    fn from(e: StoreError) -> Self {
+        RestoreError::Store(e)
+    }
 }
 
 impl CharCache {
@@ -149,8 +182,13 @@ impl CharCache {
             samples: 100_000,
             sample_seed: 0x5EED,
             map: Mutex::new(HashMap::new()),
+            store: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+            store_failures: AtomicU64::new(0),
+            last_store_error: Mutex::new(None),
         }
     }
 
@@ -160,6 +198,24 @@ impl CharCache {
         self.samples = samples;
         self.sample_seed = seed;
         self
+    }
+
+    /// Backs the cache with a persistent on-disk store: in-memory
+    /// misses first consult the store (skipping characterization on a
+    /// hit), and freshly built records are persisted for the next
+    /// process. Restored characterizations are bit-identical to built
+    /// ones; any unreadable, corrupt or stale record falls back to a
+    /// clean rebuild (counted by [`CharCache::store_failures`]).
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<DiskStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The backing persistent store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<DiskStore>> {
+        self.store.as_ref()
     }
 
     /// Characterizes `cfg`, reusing every already-characterized
@@ -175,13 +231,179 @@ impl CharCache {
             return Ok(Arc::clone(hit));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let record = Arc::new(self.build(cfg, &key)?);
+        let record = match self.restore(cfg, &key) {
+            Ok(Some(rec)) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                Arc::new(rec)
+            }
+            Ok(None) => Arc::new(self.build_and_persist(cfg, &key)?),
+            Err(RestoreError::Fabric(e)) => return Err(e),
+            Err(RestoreError::Store(e)) => {
+                // Truncated, corrupt, version-mismatched or stale
+                // record: rebuild cleanly and overwrite it.
+                self.store_failures.fetch_add(1, Ordering::Relaxed);
+                *self.last_store_error.lock().expect("store error lock") = Some(e.to_string());
+                Arc::new(self.build_and_persist(cfg, &key)?)
+            }
+        };
         self.map
             .lock()
             .expect("cache lock")
             .entry(key)
             .or_insert_with(|| Arc::clone(&record));
         Ok(record)
+    }
+
+    /// Attempts to rebuild a [`BlockChar`] from the persistent store:
+    /// netlist reassembled from the key, leaf tables read back, quad
+    /// tables recomposed exactly from (recursively restored) children,
+    /// cost and stats taken from the record. `Ok(None)` = not stored.
+    fn restore(&self, cfg: &Config, key: &str) -> Result<Option<BlockChar>, RestoreError> {
+        let Some(store) = &self.store else {
+            return Ok(None);
+        };
+        let Some(rec) = store.load(key)? else {
+            return Ok(None);
+        };
+        let bits = cfg.bits();
+        if rec.bits != bits {
+            return Err(StoreError::Corrupt(format!(
+                "record width {} does not match key width {bits}",
+                rec.bits
+            ))
+            .into());
+        }
+        let netlist = cfg.assemble();
+        let expected = self.record_hash(&netlist, bits);
+        if rec.netlist_hash != expected {
+            return Err(StoreError::StaleNetlist {
+                expected,
+                found: rec.netlist_hash,
+            }
+            .into());
+        }
+        let node = match cfg {
+            Config::Leaf(_) => {
+                let Some(table) = rec.table.clone() else {
+                    return Err(StoreError::Corrupt("leaf record without table".into()).into());
+                };
+                if table.len() != 1usize << (2 * bits) {
+                    return Err(StoreError::Corrupt(format!(
+                        "leaf table has {} entries, expected {}",
+                        table.len(),
+                        1usize << (2 * bits)
+                    ))
+                    .into());
+                }
+                EvalNode::Table {
+                    bits,
+                    table: Arc::new(table),
+                }
+            }
+            Config::Quad { summation, sub } => {
+                let children = [
+                    self.characterize(&sub[0]).map_err(RestoreError::Fabric)?,
+                    self.characterize(&sub[1]).map_err(RestoreError::Fabric)?,
+                    self.characterize(&sub[2]).map_err(RestoreError::Fabric)?,
+                    self.characterize(&sub[3]).map_err(RestoreError::Fabric)?,
+                ];
+                let quad = EvalNode::Quad {
+                    summation: *summation,
+                    m: bits / 2,
+                    sub: Box::new([
+                        children[0].evaluator.node.clone(),
+                        children[1].evaluator.node.clone(),
+                        children[2].evaluator.node.clone(),
+                        children[3].evaluator.node.clone(),
+                    ]),
+                };
+                if bits <= 8 {
+                    EvalNode::Table {
+                        bits,
+                        table: Arc::new(flatten_quad(&quad, bits)),
+                    }
+                } else {
+                    quad
+                }
+            }
+        };
+        let cost = NetlistCost {
+            area: AreaReport {
+                luts: rec.luts as usize,
+                carry4s: rec.carry4s as usize,
+                wasted_sites: rec.wasted_sites as usize,
+                dead_outputs: rec.dead_outputs as usize,
+                ignored_pins: rec.ignored_pins as usize,
+            },
+            critical_path_ns: rec.critical_path_ns,
+            energy_per_op: rec.energy_per_op,
+            edp: rec.edp,
+        };
+        let evaluator = ComposedMultiplier {
+            bits,
+            name: key.to_string(),
+            node,
+        };
+        Ok(Some(BlockChar {
+            key: key.to_string(),
+            bits,
+            netlist: Arc::new(netlist),
+            cost,
+            stats: rec.stats.clone(),
+            table: match &evaluator.node {
+                EvalNode::Table { table, .. } => Some(Arc::clone(table)),
+                EvalNode::Quad { .. } => None,
+            },
+            evaluator,
+        }))
+    }
+
+    /// Per-record version hash: the structural netlist fingerprint,
+    /// with the sampling policy mixed in for widths whose statistics
+    /// are sampled rather than exhaustive.
+    fn record_hash(&self, netlist: &Netlist, bits: u32) -> u64 {
+        let mut h = netlist_fingerprint(netlist);
+        if 2 * bits > 16 {
+            for v in [self.samples, self.sample_seed] {
+                h ^= v;
+                h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                h ^= h >> 31;
+            }
+        }
+        h
+    }
+
+    fn build_and_persist(&self, cfg: &Config, key: &str) -> Result<BlockChar, FabricError> {
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let block = self.build(cfg, key)?;
+        if let Some(store) = &self.store {
+            // Leaf value tables are persisted; quad tables are cheap to
+            // recompose from children, so only stats/cost are stored.
+            let table = match cfg {
+                Config::Leaf(_) => block.table.as_deref().cloned(),
+                Config::Quad { .. } => None,
+            };
+            let rec = StoredChar {
+                key: key.to_string(),
+                bits: block.bits,
+                netlist_hash: self.record_hash(&block.netlist, block.bits),
+                luts: block.cost.area.luts as u64,
+                carry4s: block.cost.area.carry4s as u64,
+                wasted_sites: block.cost.area.wasted_sites as u64,
+                dead_outputs: block.cost.area.dead_outputs as u64,
+                ignored_pins: block.cost.area.ignored_pins as u64,
+                critical_path_ns: block.cost.critical_path_ns,
+                energy_per_op: block.cost.energy_per_op,
+                edp: block.cost.edp,
+                stats: block.stats.clone(),
+                table,
+            };
+            if store.save(&rec).is_err() {
+                self.store_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(block)
     }
 
     fn build(&self, cfg: &Config, key: &str) -> Result<BlockChar, FabricError> {
@@ -233,15 +455,9 @@ impl CharCache {
                 let node = if bits <= 8 {
                     // Flatten to an exhaustive table: parent queries then
                     // cost one lookup instead of a tree walk.
-                    let mut table = vec![0u32; 1usize << (2 * bits)];
-                    for b in 0..=mask_for(bits) {
-                        for a in 0..=mask_for(bits) {
-                            table[((b as usize) << bits) | a as usize] = quad.eval(a, b) as u32;
-                        }
-                    }
                     EvalNode::Table {
                         bits,
-                        table: Arc::new(table),
+                        table: Arc::new(flatten_quad(&quad, bits)),
                     }
                 } else {
                     quad
@@ -280,9 +496,39 @@ impl CharCache {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Cache misses (i.e. characterizations actually computed) so far.
+    /// In-memory cache misses so far. A miss is either restored from
+    /// the persistent store ([`CharCache::disk_hits`]) or characterized
+    /// from scratch ([`CharCache::builds`]).
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// In-memory misses served from the persistent store without any
+    /// recharacterization.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Characterizations actually computed (netlist sweeps + energy
+    /// stimulus). Zero on a fully warm store.
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Store records that could not be used (unreadable, truncated,
+    /// corrupt, stale) or written; each one fell back to a clean
+    /// rebuild / was skipped.
+    pub fn store_failures(&self) -> u64 {
+        self.store_failures.load(Ordering::Relaxed)
+    }
+
+    /// Human-readable description of the most recent store failure,
+    /// for diagnostics (e.g. a daemon's stats endpoint).
+    pub fn last_store_error(&self) -> Option<String> {
+        self.last_store_error
+            .lock()
+            .expect("store error lock")
+            .clone()
     }
 
     /// `hits / (hits + misses)`, or 0 before the first query.

@@ -300,6 +300,135 @@ impl fmt::Display for Config {
     }
 }
 
+/// Error parsing a canonical configuration key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseConfigError {
+    message: String,
+}
+
+impl ParseConfigError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad configuration key: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseConfigError {}
+
+/// Widest parseable configuration: depth 5 above the 4-bit leaves, i.e.
+/// 128×128. Guards the recursive parser against hostile input depth.
+const MAX_PARSE_BITS: u32 = 128;
+
+/// Parses the canonical key syntax emitted by [`Config::key`]:
+/// leaf codes `X`, `A`, `T1`–`T3`, quads `(a LL HL LH HH)` /
+/// `(c LL HL LH HH)`. The round trip `key → parse → key` is exact.
+impl std::str::FromStr for Config {
+    type Err = ParseConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut tokens = tokenize(s);
+        let cfg = parse_node(&mut tokens)?;
+        if let Some(extra) = tokens.next() {
+            return Err(ParseConfigError::new(format!(
+                "trailing input after configuration: `{extra}`"
+            )));
+        }
+        Ok(cfg)
+    }
+}
+
+/// Splits a key into `(`, `)` and atom tokens.
+fn tokenize(s: &str) -> std::vec::IntoIter<String> {
+    let mut tokens = Vec::new();
+    let mut atom = String::new();
+    for c in s.chars() {
+        match c {
+            '(' | ')' => {
+                if !atom.is_empty() {
+                    tokens.push(std::mem::take(&mut atom));
+                }
+                tokens.push(c.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !atom.is_empty() {
+                    tokens.push(std::mem::take(&mut atom));
+                }
+            }
+            c => atom.push(c),
+        }
+    }
+    if !atom.is_empty() {
+        tokens.push(atom);
+    }
+    tokens.into_iter()
+}
+
+fn parse_node(tokens: &mut std::vec::IntoIter<String>) -> Result<Config, ParseConfigError> {
+    let Some(tok) = tokens.next() else {
+        return Err(ParseConfigError::new("empty input"));
+    };
+    match tok.as_str() {
+        "(" => {
+            let summation = match tokens.next().as_deref() {
+                Some("a") => Summation::Accurate,
+                Some("c") => Summation::CarryFree,
+                Some(other) => {
+                    return Err(ParseConfigError::new(format!(
+                        "expected summation tag `a` or `c`, found `{other}`"
+                    )))
+                }
+                None => return Err(ParseConfigError::new("unterminated quad")),
+            };
+            let sub = [
+                parse_node(tokens)?,
+                parse_node(tokens)?,
+                parse_node(tokens)?,
+                parse_node(tokens)?,
+            ];
+            match tokens.next().as_deref() {
+                Some(")") => {}
+                Some(other) => {
+                    return Err(ParseConfigError::new(format!(
+                        "expected `)`, found `{other}`"
+                    )))
+                }
+                None => return Err(ParseConfigError::new("unterminated quad")),
+            }
+            let bits = sub[0].bits();
+            if sub.iter().any(|s| s.bits() != bits) {
+                return Err(ParseConfigError::new(
+                    "quad sub-blocks must all have the same width",
+                ));
+            }
+            if 2 * bits > MAX_PARSE_BITS {
+                return Err(ParseConfigError::new(format!(
+                    "configuration wider than {MAX_PARSE_BITS} bits"
+                )));
+            }
+            Ok(Config::Quad {
+                summation,
+                sub: Box::new(sub),
+            })
+        }
+        ")" => Err(ParseConfigError::new("unexpected `)`")),
+        "X" => Ok(Config::Leaf(Leaf::Exact)),
+        "A" => Ok(Config::Leaf(Leaf::Approx)),
+        "T1" => Ok(Config::Leaf(Leaf::Truncated(1))),
+        "T2" => Ok(Config::Leaf(Leaf::Truncated(2))),
+        "T3" => Ok(Config::Leaf(Leaf::Truncated(3))),
+        other => Err(ParseConfigError::new(format!(
+            "unknown leaf code `{other}` (expected X, A, T1, T2 or T3)"
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,6 +492,66 @@ mod tests {
             let diffs = a.iter().zip(&b).filter(|(x, y)| x != y).count();
             assert_eq!(diffs, 1, "{} vs {}", cfg.key(), mutant.key());
         }
+    }
+
+    #[test]
+    fn parse_round_trips_every_8x8_key() {
+        for cfg in Config::enumerate(8) {
+            let parsed: Config = cfg.key().parse().unwrap();
+            assert_eq!(parsed, cfg);
+            assert_eq!(parsed.key(), cfg.key());
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_random_wide_keys() {
+        let mut rng = StdRng::seed_from_u64(0xC0F);
+        for _ in 0..50 {
+            let cfg = Config::random(32, &mut rng);
+            let parsed: Config = cfg.key().parse().unwrap();
+            assert_eq!(parsed, cfg);
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_flexible_whitespace() {
+        let cfg: Config = "  (a\t(c X T1 T2 T3)  (a A A A A)\n (a X X X X) (c T2 T2 T2 T2))  "
+            .parse()
+            .unwrap();
+        assert_eq!(
+            cfg.key(),
+            "(a (c X T1 T2 T3) (a A A A A) (a X X X X) (c T2 T2 T2 T2))"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_keys() {
+        for bad in [
+            "",
+            "Q",
+            "T4",
+            "(a A A A)",
+            "(a A A A A A)",
+            "(b A A A A)",
+            "(a A A A A",
+            "a A A A A)",
+            "(a A A A A) X",
+            "(a A A (a A A A A) A)", // mixed sub-block widths
+            "()",
+            ")",
+        ] {
+            assert!(bad.parse::<Config>().is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_over_deep_trees() {
+        let mut key = "A".to_string();
+        for _ in 0..8 {
+            key = format!("(a {key} {key} {key} {key})");
+        }
+        let err = key.parse::<Config>().unwrap_err();
+        assert!(err.to_string().contains("wider"), "{err}");
     }
 
     #[test]

@@ -43,8 +43,12 @@ mod cache;
 mod config;
 mod report;
 mod search;
+pub mod store;
 
 pub use cache::{BlockChar, CharCache, ComposedMultiplier};
-pub use config::{Config, Leaf, LEAF_BITS};
+pub use config::{Config, Leaf, ParseConfigError, LEAF_BITS};
 pub use report::{text_report, to_csv};
-pub use search::{evaluate, run, CandidateReport, DseOptions, DseResult, Strategy, WorkerStat};
+pub use search::{
+    evaluate, evaluate_on, run, CandidateReport, DseOptions, DseResult, Strategy, WorkerStat,
+};
+pub use store::{DiskStore, StoreError, StoredChar, STORE_FORMAT_VERSION};

@@ -1,0 +1,188 @@
+//! Blocking client for the daemon's protocol, used by the CLI, the
+//! load generator, and the integration tests.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use crate::json::{self, Value};
+use crate::proto::{
+    read_frame, render_request, write_frame, FrameError, Op, Request, DEFAULT_MAX_FRAME,
+};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing problem.
+    Frame(FrameError),
+    /// The server closed the connection instead of responding.
+    Disconnected,
+    /// The response payload was not valid JSON.
+    BadResponse(String),
+    /// The server answered with an error envelope.
+    Server {
+        /// Machine-readable error code.
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::Disconnected => f.write_str("server closed the connection"),
+            ClientError::BadResponse(m) => write!(f, "unparseable response: {m}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Frame(FrameError::Io(e))
+    }
+}
+
+enum Transport {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Transport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.read(buf),
+            Transport::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Transport {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.write(buf),
+            Transport::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Transport::Tcp(s) => s.flush(),
+            Transport::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to the daemon.
+pub struct Client {
+    transport: Transport,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/timeout-configuration failures.
+    pub fn connect_tcp(addr: SocketAddr) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        Ok(Client {
+            transport: Transport::Tcp(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Connects over a Unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/timeout-configuration failures.
+    pub fn connect_unix(path: &Path) -> Result<Self, ClientError> {
+        let stream = UnixStream::connect(path)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        Ok(Client {
+            transport: Transport::Unix(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and waits for its response. Returns the
+    /// `result` value of a success envelope; error envelopes become
+    /// [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn call(&mut self, op: Op) -> Result<Value, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let payload = render_request(&Request { id, op });
+        write_frame(&mut self.transport, &payload)?;
+        self.read_response()
+    }
+
+    /// Sends a raw payload (possibly malformed, for tests) and reads
+    /// whatever envelope comes back.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn call_raw(&mut self, payload: &[u8]) -> Result<Value, ClientError> {
+        write_frame(&mut self.transport, payload)?;
+        match self.read_response() {
+            // A server-side error envelope is the expected outcome here;
+            // surface it as a value so tests can inspect the code.
+            Err(ClientError::Server { code, message }) => Ok(Value::obj([
+                ("code", Value::str(code)),
+                ("message", Value::str(message)),
+            ])),
+            other => other,
+        }
+    }
+
+    fn read_response(&mut self) -> Result<Value, ClientError> {
+        let Some(payload) = read_frame(&mut self.transport, DEFAULT_MAX_FRAME)? else {
+            return Err(ClientError::Disconnected);
+        };
+        let text =
+            std::str::from_utf8(&payload).map_err(|e| ClientError::BadResponse(e.to_string()))?;
+        let doc = json::parse(text).map_err(|e| ClientError::BadResponse(e.to_string()))?;
+        match doc.get("ok").and_then(Value::as_bool) {
+            Some(true) => doc
+                .get("result")
+                .cloned()
+                .ok_or_else(|| ClientError::BadResponse("missing `result`".into())),
+            Some(false) => {
+                let err = doc.get("error").cloned().unwrap_or(Value::Null);
+                Err(ClientError::Server {
+                    code: err
+                        .get("code")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unknown")
+                        .to_string(),
+                    message: err
+                        .get("message")
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                })
+            }
+            None => Err(ClientError::BadResponse("missing `ok`".into())),
+        }
+    }
+}

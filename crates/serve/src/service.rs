@@ -1,0 +1,597 @@
+//! Request execution: one [`Service`] owns the warm state (the
+//! characterization cache, tabulated NN backends, the linter) and turns
+//! request payloads into response payloads.
+//!
+//! The service is transport-agnostic and fully thread-safe: the server
+//! hands byte payloads to [`Service::handle_payload`] from any worker
+//! thread. Every failure becomes a typed error *response*; nothing in
+//! here panics on hostile input.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use axmul_dse::{evaluate_on, CharCache, Config, DiskStore, DseResult};
+use axmul_fabric::cost::Characterizer;
+use axmul_lint::{LintReport, Linter};
+use axmul_nn::{infer_batch, reference_model, ProductTable};
+
+use crate::json::{self, Value};
+use crate::proto::{parse_request, render_err, render_ok, ErrorCode, Op, RequestError};
+
+/// Widest configuration the daemon characterizes on demand. The cache
+/// itself goes to 128 bits, but a single blocking request has to stay
+/// interactive.
+pub const MAX_SERVE_BITS: u32 = 16;
+
+/// Cap on images per `nn-classify-batch` request.
+pub const MAX_BATCH_IMAGES: usize = 4096;
+
+/// Cap on candidates per `dse-query` request.
+pub const MAX_DSE_CANDIDATES: usize = 512;
+
+/// Per-request-type counters, all monotonically increasing.
+#[derive(Debug, Default)]
+struct Counters {
+    characterize: AtomicU64,
+    lint: AtomicU64,
+    nn_classify: AtomicU64,
+    dse_query: AtomicU64,
+    stats: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// The daemon's warm state and request dispatcher.
+pub struct Service {
+    cache: CharCache,
+    /// Signed 8-bit product tables keyed by configuration key; `""` is
+    /// the exact backend. Built once per configuration, then shared.
+    tables: Mutex<HashMap<String, Arc<ProductTable>>>,
+    linter: Linter,
+    counters: Counters,
+    started: Instant,
+    dse_workers: usize,
+}
+
+impl Service {
+    /// Builds a service around a fresh in-memory cache, optionally
+    /// backed by a persistent store.
+    #[must_use]
+    pub fn new(store: Option<Arc<DiskStore>>) -> Self {
+        let mut cache = CharCache::new(Characterizer::virtex7());
+        if let Some(store) = store {
+            cache = cache.with_store(store);
+        }
+        Service {
+            cache,
+            tables: Mutex::new(HashMap::new()),
+            linter: Linter::new(),
+            counters: Counters::default(),
+            started: Instant::now(),
+            dse_workers: 1,
+        }
+    }
+
+    /// Worker threads each `dse-query` request may use (default 1, so
+    /// concurrent requests don't oversubscribe the machine).
+    #[must_use]
+    pub fn with_dse_workers(mut self, workers: usize) -> Self {
+        self.dse_workers = workers.max(1);
+        self
+    }
+
+    /// The characterization cache (exposed for stats and benchmarks).
+    #[must_use]
+    pub fn cache(&self) -> &CharCache {
+        &self.cache
+    }
+
+    /// Executes one request payload and renders the response payload.
+    /// Infallible by design: every failure mode is an error response.
+    pub fn handle_payload(&self, payload: &[u8]) -> Vec<u8> {
+        let req = match parse_request(payload) {
+            Ok(r) => r,
+            Err(RequestError { id, code, message }) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                return render_err(id, code, &message);
+            }
+        };
+        let id = req.id;
+        match self.dispatch(&req.op) {
+            Ok(result) => render_ok(id, result),
+            Err((code, message)) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                render_err(id, code, &message)
+            }
+        }
+    }
+
+    fn dispatch(&self, op: &Op) -> Result<Value, (ErrorCode, String)> {
+        match op {
+            Op::Characterize { config } => {
+                self.counters.characterize.fetch_add(1, Ordering::Relaxed);
+                self.characterize(config)
+            }
+            Op::Lint { config } => {
+                self.counters.lint.fetch_add(1, Ordering::Relaxed);
+                self.lint(config)
+            }
+            Op::NnClassify { config, images } => {
+                self.counters.nn_classify.fetch_add(1, Ordering::Relaxed);
+                self.nn_classify(config.as_deref(), images)
+            }
+            Op::DseQuery { candidates } => {
+                self.counters.dse_query.fetch_add(1, Ordering::Relaxed);
+                self.dse_query(candidates)
+            }
+            Op::Stats => {
+                self.counters.stats.fetch_add(1, Ordering::Relaxed);
+                Ok(self.stats())
+            }
+        }
+    }
+
+    /// Parses and width-checks a configuration key.
+    fn config(&self, key: &str) -> Result<Config, (ErrorCode, String)> {
+        let cfg: Config = key
+            .parse()
+            .map_err(|e| (ErrorCode::InvalidConfig, format!("{e}")))?;
+        if cfg.bits() > MAX_SERVE_BITS {
+            return Err((
+                ErrorCode::InvalidConfig,
+                format!(
+                    "{}-bit configuration exceeds the {MAX_SERVE_BITS}-bit serving limit",
+                    cfg.bits()
+                ),
+            ));
+        }
+        Ok(cfg)
+    }
+
+    fn characterize(&self, key: &str) -> Result<Value, (ErrorCode, String)> {
+        let cfg = self.config(key)?;
+        let char = self
+            .cache
+            .characterize(&cfg)
+            .map_err(|e| (ErrorCode::Internal, format!("characterization failed: {e}")))?;
+        let cost = &char.cost;
+        let stats = &char.stats;
+        Ok(Value::obj([
+            ("key", Value::str(char.key.clone())),
+            ("bits", Value::num(char.bits)),
+            (
+                "cost",
+                Value::obj([
+                    ("luts", Value::num(char.cost.area.luts as u32)),
+                    ("carry4s", Value::num(cost.area.carry4s as u32)),
+                    ("wasted_sites", Value::num(cost.area.wasted_sites as u32)),
+                    ("dead_outputs", Value::num(cost.area.dead_outputs as u32)),
+                    ("ignored_pins", Value::num(cost.area.ignored_pins as u32)),
+                    ("critical_path_ns", Value::Num(cost.critical_path_ns)),
+                    ("energy_per_op", Value::Num(cost.energy_per_op)),
+                    ("edp", Value::Num(cost.edp)),
+                ]),
+            ),
+            (
+                "stats",
+                Value::obj([
+                    ("samples", Value::Num(stats.samples as f64)),
+                    (
+                        "error_occurrences",
+                        Value::Num(stats.error_occurrences as f64),
+                    ),
+                    ("max_error", Value::Num(stats.max_error as f64)),
+                    (
+                        "max_error_occurrences",
+                        Value::Num(stats.max_error_occurrences as f64),
+                    ),
+                    ("avg_error", Value::Num(stats.avg_error)),
+                    ("avg_relative_error", Value::Num(stats.avg_relative_error)),
+                    ("error_probability", Value::Num(stats.error_probability)),
+                    (
+                        "normalized_mean_error_distance",
+                        Value::Num(stats.normalized_mean_error_distance),
+                    ),
+                    ("mean_squared_error", Value::Num(stats.mean_squared_error)),
+                    ("rmse", Value::Num(stats.rmse)),
+                ]),
+            ),
+        ]))
+    }
+
+    fn lint(&self, key: &str) -> Result<Value, (ErrorCode, String)> {
+        let cfg = self.config(key)?;
+        let char = self
+            .cache
+            .characterize(&cfg)
+            .map_err(|e| (ErrorCode::Internal, format!("characterization failed: {e}")))?;
+        let report = self.linter.lint_against(&char.netlist, &char.multiplier());
+        Ok(lint_report_value(&report))
+    }
+
+    fn nn_classify(
+        &self,
+        config: Option<&str>,
+        images: &[Vec<u8>],
+    ) -> Result<Value, (ErrorCode, String)> {
+        if images.len() > MAX_BATCH_IMAGES {
+            return Err((
+                ErrorCode::BadRequest,
+                format!(
+                    "{} images exceed the {MAX_BATCH_IMAGES}-image batch limit",
+                    images.len()
+                ),
+            ));
+        }
+        let model = reference_model();
+        let pixels = model.input().len();
+        if let Some(bad) = images.iter().position(|img| img.len() != pixels) {
+            return Err((
+                ErrorCode::BadRequest,
+                format!(
+                    "image {bad} has {} pixels, expected {pixels}",
+                    images[bad].len()
+                ),
+            ));
+        }
+        let backend = self.backend(config)?;
+        let predictions = infer_batch(model, backend.as_ref(), images, 1)
+            .map_err(|e| (ErrorCode::Internal, format!("inference failed: {e}")))?;
+        Ok(Value::obj([
+            ("backend", Value::str(config.unwrap_or("exact"))),
+            (
+                "predictions",
+                Value::Arr(
+                    predictions
+                        .iter()
+                        .map(|&p| Value::num(u32::from(p)))
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    /// Fetches or builds the signed product table for a configuration
+    /// key (`None` = exact int8).
+    fn backend(&self, config: Option<&str>) -> Result<Arc<ProductTable>, (ErrorCode, String)> {
+        let cache_key = config.unwrap_or("");
+        if let Some(t) = self.tables.lock().expect("table lock").get(cache_key) {
+            return Ok(Arc::clone(t));
+        }
+        let table = match config {
+            None => ProductTable::exact(),
+            Some(key) => {
+                let cfg = self.config(key)?;
+                if cfg.bits() != 8 {
+                    return Err((
+                        ErrorCode::InvalidConfig,
+                        format!("NN backend must be 8x8, got {}x{}", cfg.bits(), cfg.bits()),
+                    ));
+                }
+                let char = self
+                    .cache
+                    .characterize(&cfg)
+                    .map_err(|e| (ErrorCode::Internal, format!("characterization failed: {e}")))?;
+                ProductTable::new(&char.multiplier())
+                    .map_err(|e| (ErrorCode::Internal, format!("tabulation failed: {e}")))?
+            }
+        };
+        let table = Arc::new(table);
+        self.tables
+            .lock()
+            .expect("table lock")
+            .insert(cache_key.to_string(), Arc::clone(&table));
+        Ok(table)
+    }
+
+    fn dse_query(&self, candidates: &[String]) -> Result<Value, (ErrorCode, String)> {
+        if candidates.is_empty() {
+            return Err((ErrorCode::BadRequest, "empty candidate list".into()));
+        }
+        if candidates.len() > MAX_DSE_CANDIDATES {
+            return Err((
+                ErrorCode::BadRequest,
+                format!(
+                    "{} candidates exceed the {MAX_DSE_CANDIDATES}-candidate limit",
+                    candidates.len()
+                ),
+            ));
+        }
+        let cfgs: Vec<Config> = candidates
+            .iter()
+            .map(|k| self.config(k))
+            .collect::<Result<_, _>>()?;
+        let result = evaluate_on(&self.cache, &cfgs, self.dse_workers)
+            .map_err(|e| (ErrorCode::Internal, format!("evaluation failed: {e}")))?;
+        Ok(dse_result_value(&result))
+    }
+
+    fn stats(&self) -> Value {
+        let c = &self.counters;
+        let store = self.cache.store().map(|s| {
+            Value::obj([
+                ("root", Value::str(s.root().display().to_string())),
+                ("records", Value::num(s.stored_records() as u32)),
+            ])
+        });
+        Value::obj([
+            ("uptime_s", Value::Num(self.started.elapsed().as_secs_f64())),
+            (
+                "requests",
+                Value::obj([
+                    (
+                        "characterize-config",
+                        Value::Num(c.characterize.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "lint-netlist",
+                        Value::Num(c.lint.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "nn-classify-batch",
+                        Value::Num(c.nn_classify.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "dse-query",
+                        Value::Num(c.dse_query.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "server-stats",
+                        Value::Num(c.stats.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "errors",
+                        Value::Num(c.errors.load(Ordering::Relaxed) as f64),
+                    ),
+                ]),
+            ),
+            (
+                "cache",
+                Value::obj([
+                    ("hits", Value::Num(self.cache.hits() as f64)),
+                    ("misses", Value::Num(self.cache.misses() as f64)),
+                    ("disk_hits", Value::Num(self.cache.disk_hits() as f64)),
+                    ("builds", Value::Num(self.cache.builds() as f64)),
+                    (
+                        "store_failures",
+                        Value::Num(self.cache.store_failures() as f64),
+                    ),
+                    (
+                        "last_store_error",
+                        self.cache
+                            .last_store_error()
+                            .map_or(Value::Null, Value::str),
+                    ),
+                ]),
+            ),
+            ("store", store.unwrap_or(Value::Null)),
+        ])
+    }
+}
+
+/// Converts a [`LintReport`] to a protocol value by parsing the lint
+/// crate's own JSON rendering — one source of truth for the schema.
+fn lint_report_value(report: &LintReport) -> Value {
+    json::parse(&report.to_json()).unwrap_or_else(|e| {
+        Value::obj([
+            ("netlist", Value::str(report.netlist.clone())),
+            ("render_error", Value::str(e.to_string())),
+        ])
+    })
+}
+
+fn dse_result_value(result: &DseResult) -> Value {
+    let reports = result
+        .reports
+        .iter()
+        .map(|r| {
+            Value::obj([
+                ("key", Value::str(r.key.clone())),
+                ("bits", Value::num(r.bits)),
+                ("luts", Value::num(r.luts as u32)),
+                ("critical_path_ns", Value::Num(r.critical_path_ns)),
+                ("energy_per_op", Value::Num(r.energy_per_op)),
+                ("edp", Value::Num(r.edp)),
+                ("avg_error", Value::Num(r.avg_error)),
+                ("avg_relative_error", Value::Num(r.avg_relative_error)),
+                ("max_error", Value::Num(r.max_error as f64)),
+                ("error_probability", Value::Num(r.error_probability)),
+                ("on_lut_front", Value::Bool(r.on_lut_front)),
+                ("on_edp_front", Value::Bool(r.on_edp_front)),
+            ])
+        })
+        .collect();
+    Value::obj([
+        ("reports", Value::Arr(reports)),
+        ("cache_hits", Value::Num(result.cache_hits as f64)),
+        ("cache_misses", Value::Num(result.cache_misses as f64)),
+        ("cache_disk_hits", Value::Num(result.cache_disk_hits as f64)),
+        ("cache_builds", Value::Num(result.cache_builds as f64)),
+        ("elapsed_us", Value::Num(result.elapsed.as_micros() as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{render_request, Request};
+
+    fn response(svc: &Service, op: Op) -> Value {
+        let payload = render_request(&Request { id: 1, op });
+        let out = svc.handle_payload(&payload);
+        json::parse(std::str::from_utf8(&out).unwrap()).unwrap()
+    }
+
+    fn assert_ok(v: &Value) -> &Value {
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{v}");
+        v.get("result").unwrap()
+    }
+
+    fn assert_err(v: &Value, code: &str) {
+        assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{v}");
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("code").and_then(Value::as_str), Some(code), "{v}");
+    }
+
+    #[test]
+    fn characterize_reports_cost_and_stats() {
+        let svc = Service::new(None);
+        let v = response(
+            &svc,
+            Op::Characterize {
+                config: "(a A A A A)".into(),
+            },
+        );
+        let r = assert_ok(&v);
+        assert_eq!(r.get("bits").and_then(Value::as_u64), Some(8));
+        let luts = r
+            .get("cost")
+            .unwrap()
+            .get("luts")
+            .and_then(Value::as_u64)
+            .unwrap();
+        assert!(luts > 0);
+        let stats = r.get("stats").unwrap();
+        assert_eq!(stats.get("samples").and_then(Value::as_u64), Some(65536));
+        let are = stats
+            .get("avg_relative_error")
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert!(are.is_finite() && are >= 0.0, "{are}");
+    }
+
+    #[test]
+    fn invalid_and_oversized_configs_are_typed_errors() {
+        let svc = Service::new(None);
+        assert_err(
+            &response(
+                &svc,
+                Op::Characterize {
+                    config: "(a A A".into(),
+                },
+            ),
+            "invalid-config",
+        );
+        // 32-bit key: within the parser's limits, beyond the serving cap.
+        let wide = "(a (a A A A A) (a A A A A) (a A A A A) (a A A A A))";
+        let wide32 = format!("(a {wide} {wide} {wide} {wide})");
+        assert_err(
+            &response(&svc, Op::Characterize { config: wide32 }),
+            "invalid-config",
+        );
+    }
+
+    #[test]
+    fn lint_of_shipped_config_is_clean_of_errors() {
+        let svc = Service::new(None);
+        let v = response(
+            &svc,
+            Op::Lint {
+                config: "(c A A A A)".into(),
+            },
+        );
+        let r = assert_ok(&v);
+        assert_eq!(r.get("errors").and_then(Value::as_u64), Some(0), "{r}");
+        assert!(r.get("luts").and_then(Value::as_u64).unwrap() > 0);
+    }
+
+    #[test]
+    fn nn_classify_matches_direct_inference() {
+        let svc = Service::new(None);
+        let ds = axmul_nn::test_set();
+        let images: Vec<Vec<u8>> = ds.images[..8].to_vec();
+        // `config: null` selects the exact int8 backend, so the served
+        // predictions must match direct in-process inference exactly.
+        let v = response(
+            &svc,
+            Op::NnClassify {
+                config: None,
+                images: images.clone(),
+            },
+        );
+        let r = assert_ok(&v);
+        let got: Vec<u64> = r
+            .get("predictions")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .map(|p| p.as_u64().unwrap())
+            .collect();
+        let table = ProductTable::exact();
+        let want = infer_batch(reference_model(), &table, &images, 1).unwrap();
+        assert_eq!(got, want.iter().map(|&p| u64::from(p)).collect::<Vec<_>>());
+
+        // An approximate backend still classifies the whole batch.
+        let v = response(
+            &svc,
+            Op::NnClassify {
+                config: Some("(a A A A A)".into()),
+                images: images.clone(),
+            },
+        );
+        let preds = assert_ok(&v)
+            .get("predictions")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .len();
+        assert_eq!(preds, images.len());
+    }
+
+    #[test]
+    fn nn_classify_rejects_wrong_pixel_counts() {
+        let svc = Service::new(None);
+        let v = response(
+            &svc,
+            Op::NnClassify {
+                config: None,
+                images: vec![vec![0; 63]],
+            },
+        );
+        assert_err(&v, "bad-request");
+    }
+
+    #[test]
+    fn dse_query_ranks_candidates_and_flags_fronts() {
+        let svc = Service::new(None);
+        let v = response(
+            &svc,
+            Op::DseQuery {
+                candidates: vec![
+                    "(a A A A A)".into(),
+                    "(c X X X X)".into(),
+                    "(a T3 A X X)".into(),
+                ],
+            },
+        );
+        let r = assert_ok(&v);
+        let reports = r.get("reports").and_then(Value::as_arr).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert!(reports
+            .iter()
+            .any(|rep| rep.get("on_lut_front") == Some(&Value::Bool(true))));
+    }
+
+    #[test]
+    fn stats_counts_requests_and_exposes_cache_counters() {
+        let svc = Service::new(None);
+        let _ = response(&svc, Op::Characterize { config: "A".into() });
+        let _ = response(
+            &svc,
+            Op::Characterize {
+                config: "bogus(".into(),
+            },
+        );
+        let v = response(&svc, Op::Stats);
+        let r = assert_ok(&v);
+        let reqs = r.get("requests").unwrap();
+        assert_eq!(
+            reqs.get("characterize-config").and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(reqs.get("errors").and_then(Value::as_u64), Some(1));
+        let cache = r.get("cache").unwrap();
+        assert_eq!(cache.get("builds").and_then(Value::as_u64), Some(1));
+        assert_eq!(r.get("store"), Some(&Value::Null));
+    }
+}

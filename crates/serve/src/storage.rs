@@ -1,0 +1,66 @@
+//! Cache-directory management: a thin policy layer over the dse
+//! crate's [`DiskStore`].
+//!
+//! The store itself (record format, sharding, atomicity) lives in
+//! `axmul-dse` so that both the daemon and the offline `repro ext-dse`
+//! flow share one on-disk format; this module only decides *where* the
+//! directory lives and reports on it.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use axmul_dse::{DiskStore, StoreError};
+
+/// Directory name used under a state root when the caller doesn't pick
+/// an explicit `--cache-dir`.
+pub const DEFAULT_DIR_NAME: &str = "axmul-cache";
+
+/// Resolves the default cache directory: `$XDG_STATE_HOME/axmul-cache`,
+/// falling back to `<tmp>/axmul-cache` when no state home is set.
+/// Consulting the environment keeps warm starts working across runs
+/// without any flags.
+#[must_use]
+pub fn default_cache_dir() -> PathBuf {
+    match std::env::var_os("XDG_STATE_HOME") {
+        Some(state) if !state.is_empty() => PathBuf::from(state).join(DEFAULT_DIR_NAME),
+        _ => std::env::temp_dir().join(DEFAULT_DIR_NAME),
+    }
+}
+
+/// Opens (creating if needed) the persistent store under `dir`, or
+/// under [`default_cache_dir`] when `dir` is `None`.
+///
+/// # Errors
+///
+/// Propagates directory-creation failures.
+pub fn open_store(dir: Option<&Path>) -> Result<Arc<DiskStore>, StoreError> {
+    let dir = dir.map_or_else(default_cache_dir, Path::to_path_buf);
+    Ok(Arc::new(DiskStore::open(&dir)?))
+}
+
+/// A human-readable one-liner about a store, for startup banners and
+/// `server-stats`.
+#[must_use]
+pub fn describe(store: &DiskStore) -> String {
+    format!(
+        "{} ({} records)",
+        store.root().display(),
+        store.stored_records()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_store_creates_the_directory() {
+        let dir = std::env::temp_dir().join(format!("axmul_storage_t_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = open_store(Some(&dir)).unwrap();
+        assert!(store.root().is_dir());
+        assert_eq!(store.stored_records(), 0);
+        assert!(describe(&store).contains("0 records"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

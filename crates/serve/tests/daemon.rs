@@ -1,0 +1,288 @@
+//! End-to-end daemon tests over real sockets: every request type on
+//! both transports, payload-level error recovery on a live connection,
+//! framing-error teardown, and the zero-rebuild warm restart.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+use axmul_serve::json::Value;
+use axmul_serve::proto::{read_frame, write_frame, Op, DEFAULT_MAX_FRAME};
+use axmul_serve::server::{serve, Endpoints, ServerOptions};
+use axmul_serve::{Client, ClientError, Service};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "axmul_daemon_it_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("axmul_daemon_it_{tag}_{}.sock", std::process::id()))
+}
+
+fn start(tag: &str, cache_dir: Option<&PathBuf>) -> (axmul_serve::ServerHandle, PathBuf) {
+    let store = cache_dir.map(|d| axmul_serve::open_store(Some(d)).unwrap());
+    let service = Service::new(store);
+    let socket = socket_path(tag);
+    let handle = serve(
+        service,
+        &Endpoints {
+            tcp_port: Some(0),
+            unix_path: Some(socket.clone()),
+        },
+        &ServerOptions::default(),
+    )
+    .unwrap();
+    (handle, socket)
+}
+
+fn exercise_every_request_type(client: &mut Client) {
+    let r = client
+        .call(Op::Characterize {
+            config: "(a A A A A)".into(),
+        })
+        .unwrap();
+    assert!(
+        r.get("cost")
+            .and_then(|c| c.get("luts"))
+            .and_then(Value::as_u64)
+            .unwrap()
+            > 0
+    );
+
+    let r = client
+        .call(Op::Lint {
+            config: "(c A A A A)".into(),
+        })
+        .unwrap();
+    assert_eq!(r.get("errors").and_then(Value::as_u64), Some(0), "{r}");
+
+    let images = vec![vec![128u8; 64]; 2];
+    let r = client
+        .call(Op::NnClassify {
+            config: None,
+            images,
+        })
+        .unwrap();
+    assert_eq!(
+        r.get("predictions").and_then(Value::as_arr).unwrap().len(),
+        2
+    );
+
+    let r = client
+        .call(Op::DseQuery {
+            candidates: vec!["(a A A A A)".into(), "(c X X X X)".into()],
+        })
+        .unwrap();
+    assert_eq!(r.get("reports").and_then(Value::as_arr).unwrap().len(), 2);
+
+    let r = client.call(Op::Stats).unwrap();
+    assert!(r.get("uptime_s").and_then(Value::as_f64).unwrap() >= 0.0);
+}
+
+#[test]
+fn serves_every_request_type_on_both_transports() {
+    let (handle, socket) = start("both", None);
+    let mut tcp = Client::connect_tcp(handle.tcp_addr().unwrap()).unwrap();
+    exercise_every_request_type(&mut tcp);
+    let mut unix = Client::connect_unix(&socket).unwrap();
+    exercise_every_request_type(&mut unix);
+    assert!(handle.connections() >= 2);
+    handle.shutdown();
+    assert!(!socket.exists(), "socket file must be removed on shutdown");
+}
+
+#[test]
+fn payload_errors_keep_the_connection_alive() {
+    let (handle, _socket) = start("payload", None);
+    let mut client = Client::connect_tcp(handle.tcp_addr().unwrap()).unwrap();
+
+    // Three malformed payloads in a row, each answered in order.
+    let e = client.call_raw(b"this is not json").unwrap();
+    assert_eq!(e.get("code").and_then(Value::as_str), Some("bad-json"));
+    let e = client.call_raw(br#"{"id": 5, "type": "no-such"}"#).unwrap();
+    assert_eq!(e.get("code").and_then(Value::as_str), Some("bad-request"));
+    let e = client
+        .call_raw(br#"{"id": 6, "type": "characterize-config", "params": {"config": "((("}}"#)
+        .unwrap();
+    assert_eq!(
+        e.get("code").and_then(Value::as_str),
+        Some("invalid-config")
+    );
+    let e = client.call_raw(br#"{"id": 7, "params": {"#).unwrap();
+    assert_eq!(e.get("code").and_then(Value::as_str), Some("bad-json"));
+
+    // The same connection still serves real requests.
+    exercise_every_request_type(&mut client);
+    handle.shutdown();
+}
+
+#[test]
+fn invalid_config_is_a_typed_error_not_a_crash() {
+    let (handle, _socket) = start("invalid", None);
+    let mut client = Client::connect_tcp(handle.tcp_addr().unwrap()).unwrap();
+    match client.call(Op::Characterize {
+        config: "(a A A".into(),
+    }) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "invalid-config"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    exercise_every_request_type(&mut client);
+    handle.shutdown();
+}
+
+#[test]
+fn framing_errors_get_a_final_typed_frame_then_close() {
+    let (handle, _socket) = start("framing", None);
+    let addr = handle.tcp_addr().unwrap();
+
+    // Bad magic: one typed error frame, then close. (The header alone
+    // is enough to trip the check; sending no payload keeps the close a
+    // clean FIN rather than an RST over unread bytes.)
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(b"ZZ\x01\x00\x08\x00\x00\x00").unwrap();
+    raw.flush().unwrap();
+    let payload = read_frame(&mut raw, DEFAULT_MAX_FRAME).unwrap().unwrap();
+    let doc = axmul_serve::json::parse(std::str::from_utf8(&payload).unwrap()).unwrap();
+    let err = doc.get("error").unwrap();
+    assert_eq!(
+        err.get("code").and_then(Value::as_str),
+        Some("malformed-frame")
+    );
+    let mut rest = Vec::new();
+    match raw.read_to_end(&mut rest) {
+        Ok(_) => assert!(rest.is_empty(), "server must close after a framing error"),
+        // A reset is also a close; platform-dependent.
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset),
+    }
+
+    // Unknown version.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(b"AX\x63\x00\x00\x00\x00\x00").unwrap();
+    let payload = read_frame(&mut raw, DEFAULT_MAX_FRAME).unwrap().unwrap();
+    let doc = axmul_serve::json::parse(std::str::from_utf8(&payload).unwrap()).unwrap();
+    let err = doc.get("error").unwrap();
+    assert_eq!(
+        err.get("code").and_then(Value::as_str),
+        Some("unsupported-version")
+    );
+
+    // Oversized length prefix: rejected before any allocation of that
+    // size, with a typed error.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(b"AX\x01\x00");
+    frame.extend_from_slice(&u32::MAX.to_le_bytes());
+    raw.write_all(&frame).unwrap();
+    let payload = read_frame(&mut raw, DEFAULT_MAX_FRAME).unwrap().unwrap();
+    let doc = axmul_serve::json::parse(std::str::from_utf8(&payload).unwrap()).unwrap();
+    let err = doc.get("error").unwrap();
+    assert_eq!(err.get("code").and_then(Value::as_str), Some("oversized"));
+
+    // The daemon is still alive for well-behaved clients.
+    let mut client = Client::connect_tcp(addr).unwrap();
+    exercise_every_request_type(&mut client);
+    handle.shutdown();
+}
+
+#[test]
+fn warm_restart_reuses_the_store_with_zero_builds() {
+    let dir = tempdir("warmstart");
+    let roster = ["(a A A A A)", "(c X T1 T2 T3)", "(a T3 A X X)"];
+
+    let (cold, _) = start("warm_a", Some(&dir));
+    let mut client = Client::connect_tcp(cold.tcp_addr().unwrap()).unwrap();
+    let mut cold_results = Vec::new();
+    for key in roster {
+        cold_results.push(
+            client
+                .call(Op::Characterize { config: key.into() })
+                .unwrap(),
+        );
+    }
+    let stats = client.call(Op::Stats).unwrap();
+    let cold_builds = stats
+        .get("cache")
+        .and_then(|c| c.get("builds"))
+        .and_then(Value::as_u64)
+        .unwrap();
+    assert!(cold_builds > 0);
+    drop(client);
+    cold.shutdown();
+
+    // A brand-new server over the same cache directory: identical
+    // responses, zero recharacterizations.
+    let (warm, _) = start("warm_b", Some(&dir));
+    let mut client = Client::connect_tcp(warm.tcp_addr().unwrap()).unwrap();
+    for (key, cold_result) in roster.iter().zip(&cold_results) {
+        let r = client
+            .call(Op::Characterize {
+                config: (*key).into(),
+            })
+            .unwrap();
+        assert_eq!(&r, cold_result, "{key}");
+    }
+    let stats = client.call(Op::Stats).unwrap();
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("builds").and_then(Value::as_u64), Some(0));
+    assert!(cache.get("disk_hits").and_then(Value::as_u64).unwrap() > 0);
+    assert_eq!(cache.get("store_failures").and_then(Value::as_u64), Some(0));
+    drop(client);
+    warm.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_clients_are_all_served() {
+    let (handle, _socket) = start("concurrent", None);
+    let addr = handle.tcp_addr().unwrap();
+    std::thread::scope(|s| {
+        for i in 0..8 {
+            s.spawn(move || {
+                let mut client = Client::connect_tcp(addr).unwrap();
+                for _ in 0..5 {
+                    let key = if i % 2 == 0 {
+                        "(a A A A A)"
+                    } else {
+                        "(c X X X X)"
+                    };
+                    let r = client
+                        .call(Op::Characterize { config: key.into() })
+                        .unwrap();
+                    assert_eq!(r.get("key").and_then(Value::as_str), Some(key));
+                }
+            });
+        }
+    });
+    handle.shutdown();
+}
+
+#[test]
+fn smoke_helper_reports_every_type() {
+    let lines = axmul_serve::loadgen::smoke().unwrap();
+    assert_eq!(lines.len(), 5, "{lines:?}");
+    assert!(lines.iter().all(|l| l.contains(": ok")), "{lines:?}");
+}
+
+#[test]
+fn write_frame_is_what_read_frame_reads_over_a_socket() {
+    // Round-trip through a real socketpair rather than an in-memory
+    // cursor, covering partial reads.
+    let (handle, socket) = start("roundtrip", None);
+    let mut stream = std::os::unix::net::UnixStream::connect(&socket).unwrap();
+    let req = axmul_serve::proto::render_request(&axmul_serve::Request {
+        id: 99,
+        op: Op::Stats,
+    });
+    write_frame(&mut stream, &req).unwrap();
+    let resp = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap().unwrap();
+    let doc = axmul_serve::json::parse(std::str::from_utf8(&resp).unwrap()).unwrap();
+    assert_eq!(doc.get("id").and_then(Value::as_u64), Some(99));
+    assert_eq!(doc.get("ok"), Some(&Value::Bool(true)));
+    handle.shutdown();
+}

@@ -33,6 +33,10 @@
 //! * [`lint`] — multi-pass static analysis over elaborated netlists:
 //!   structural sanity, dead-logic and fold detection, 7-series packing
 //!   legality, and static checks of the paper's Table 2/3 claims.
+//! * [`serve`] — the characterization-and-inference daemon: a std-only
+//!   multi-threaded server speaking a length-prefixed JSON protocol
+//!   over TCP and Unix sockets, backed by a persistent on-disk
+//!   characterization store for zero-rebuild warm starts.
 //!
 //! ## Quickstart
 //!
@@ -60,4 +64,5 @@ pub use axmul_fabric as fabric;
 pub use axmul_lint as lint;
 pub use axmul_metrics as metrics;
 pub use axmul_nn as nn;
+pub use axmul_serve as serve;
 pub use axmul_susan as susan;

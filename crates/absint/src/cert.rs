@@ -1,0 +1,233 @@
+//! Machine-checkable soundness certificates.
+//!
+//! [`analyze_tree`](crate::tree::analyze_tree) records its derivation
+//! as a topologically-ordered list of steps — one per tree node, leaf
+//! seeds first, each compose step naming its children by index. A
+//! certificate is *self-contained*: [`Certificate::verify`] replays
+//! every rule application with the crate's pure transfer functions and
+//! accepts a recorded bound only if it equals the recomputed one or is
+//! a sound weakening of it ([`ErrorBound::weakens`]). Because the
+//! compose rules are monotone in that weakening order and the leaf
+//! seeds are checked against the built-in table, any certificate that
+//! verifies yields sound root bounds — independent of who produced it.
+
+use std::fmt;
+
+use axmul_core::behavioral::Summation;
+
+use crate::domain::ErrorBound;
+use crate::tree::{compose, leaf_seed, LeafKind};
+
+/// The rule that justifies one certificate step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rule {
+    /// Leaf bound taken from the built-in seed table.
+    Seed(LeafKind),
+    /// Quadrant composition of four earlier steps (`LL`, `HL`, `LH`,
+    /// `HH` indices into the step list), children of width `m`.
+    Compose {
+        /// Summation scheme of the quad node.
+        summation: Summation,
+        /// Child operand width in bits.
+        m: u32,
+        /// Indices of the four child steps.
+        children: [usize; 4],
+    },
+}
+
+/// One derivation step: a claimed bound and the rule deriving it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertStep {
+    /// Canonical key of the (sub-)tree this step bounds.
+    pub key: String,
+    /// The justifying rule.
+    pub rule: Rule,
+    /// The claimed bound.
+    pub bound: ErrorBound,
+}
+
+/// A full derivation; the last step is the root.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Certificate {
+    steps: Vec<CertStep>,
+}
+
+/// Why a certificate failed to verify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertError {
+    /// The certificate has no steps.
+    Empty,
+    /// A compose step references a step at or after itself.
+    ForwardReference {
+        /// Index of the offending step.
+        step: usize,
+        /// The out-of-range child index.
+        child: usize,
+    },
+    /// A claimed bound is neither the recomputed bound nor a sound
+    /// weakening of it.
+    Mismatch {
+        /// Index of the offending step.
+        step: usize,
+        /// Key of the offending step.
+        key: String,
+    },
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::Empty => write!(f, "empty certificate"),
+            CertError::ForwardReference { step, child } => {
+                write!(f, "step {step} references non-earlier step {child}")
+            }
+            CertError::Mismatch { step, key } => {
+                write!(
+                    f,
+                    "step {step} ({key}) claims a bound stronger than its rule derives"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+impl Certificate {
+    /// Wraps a step list (root last).
+    #[must_use]
+    pub fn new(steps: Vec<CertStep>) -> Self {
+        Certificate { steps }
+    }
+
+    /// All derivation steps in topological order.
+    #[must_use]
+    pub fn steps(&self) -> &[CertStep] {
+        &self.steps
+    }
+
+    /// The root step.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty certificate.
+    #[must_use]
+    pub fn root(&self) -> &CertStep {
+        self.steps
+            .last()
+            .expect("certificate has at least one step")
+    }
+
+    /// Replays every rule application and checks each claimed bound
+    /// against the recomputation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing step, see [`CertError`].
+    pub fn verify(&self) -> Result<(), CertError> {
+        if self.steps.is_empty() {
+            return Err(CertError::Empty);
+        }
+        for (i, step) in self.steps.iter().enumerate() {
+            let recomputed = match &step.rule {
+                Rule::Seed(kind) => leaf_seed(*kind),
+                Rule::Compose {
+                    summation,
+                    m,
+                    children,
+                } => {
+                    for &c in children {
+                        if c >= i {
+                            return Err(CertError::ForwardReference { step: i, child: c });
+                        }
+                    }
+                    let bounds = [
+                        self.steps[children[0]].bound.clone(),
+                        self.steps[children[1]].bound.clone(),
+                        self.steps[children[2]].bound.clone(),
+                        self.steps[children[3]].bound.clone(),
+                    ];
+                    compose(*summation, *m, &bounds)
+                }
+            };
+            if !step.bound.weakens(&recomputed) {
+                return Err(CertError::Mismatch {
+                    step: i,
+                    key: step.key.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{analyze_tree, AbsTree};
+
+    fn ca8() -> AbsTree {
+        let a = AbsTree::Leaf(LeafKind::Approx4x4);
+        AbsTree::Quad {
+            summation: Summation::Accurate,
+            sub: Box::new([a.clone(), a.clone(), a.clone(), a]),
+        }
+    }
+
+    #[test]
+    fn generated_certificates_verify() {
+        let analysis = analyze_tree(&ca8()).unwrap();
+        assert_eq!(analysis.certificate.steps().len(), 5);
+        analysis.certificate.verify().unwrap();
+        assert_eq!(analysis.certificate.root().bound, analysis.bound);
+    }
+
+    #[test]
+    fn weakened_bounds_still_verify() {
+        let analysis = analyze_tree(&ca8()).unwrap();
+        let mut cert = analysis.certificate.clone();
+        let mut steps = cert.steps().to_vec();
+        let root = steps.len() - 1;
+        steps[root].bound.err_lo -= 1000;
+        steps[root].bound.wce_lb = 0;
+        steps[root].bound.mre += 0.5;
+        cert = Certificate::new(steps);
+        cert.verify().unwrap();
+    }
+
+    #[test]
+    fn tightened_bounds_are_rejected() {
+        let analysis = analyze_tree(&ca8()).unwrap();
+        let mut steps = analysis.certificate.steps().to_vec();
+        let root = steps.len() - 1;
+        steps[root].bound.err_lo = -1; // claims Ca is nearly exact
+        let err = Certificate::new(steps).verify().unwrap_err();
+        assert!(matches!(err, CertError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn tampered_leaf_seed_is_rejected() {
+        let analysis = analyze_tree(&ca8()).unwrap();
+        let mut steps = analysis.certificate.steps().to_vec();
+        steps[0].bound.err_lo = 0; // claims the approx leaf is exact
+        let err = Certificate::new(steps).verify().unwrap_err();
+        assert!(matches!(err, CertError::Mismatch { step: 0, .. }));
+    }
+
+    #[test]
+    fn forward_references_are_rejected() {
+        let analysis = analyze_tree(&ca8()).unwrap();
+        let mut steps = analysis.certificate.steps().to_vec();
+        let root = steps.len() - 1;
+        if let Rule::Compose { children, .. } = &mut steps[root].rule {
+            children[0] = root; // self-reference
+        }
+        let err = Certificate::new(steps).verify().unwrap_err();
+        assert!(matches!(err, CertError::ForwardReference { .. }));
+    }
+
+    #[test]
+    fn empty_certificate_is_rejected() {
+        assert_eq!(Certificate::new(Vec::new()).verify(), Err(CertError::Empty));
+    }
+}

@@ -1,0 +1,316 @@
+//! The three abstract domains the engine propagates.
+//!
+//! * [`KnownBit`] — a single net abstracted to `0`, `1` or unknown
+//!   (`⊤`): the lattice of the per-net forward propagation.
+//! * [`Interval`] — an unsigned value interval `[lo, hi]` attached to
+//!   a weighted bit group (a primary bus, LSB-first).
+//! * [`ErrorBound`] — the error-interval element: a signed interval
+//!   containing every possible deviation `approx − exact`, together
+//!   with an *achievable* worst-case-error lower bound (with operand
+//!   witness), a pointwise relative-error bound and the block's value
+//!   interval.
+//!
+//! All three are plain data; the transfer functions live in
+//! [`crate::knownbits`] (netlist level) and [`crate::tree`] (config
+//! tree level).
+
+use std::fmt;
+
+/// Abstract value of one net: known `0`, known `1`, or unknown (`⊤`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KnownBit {
+    /// Provably 0 under every input assignment.
+    Zero,
+    /// Provably 1 under every input assignment.
+    One,
+    /// Not determined by the analysis.
+    #[default]
+    Top,
+}
+
+impl KnownBit {
+    /// Lifts a concrete bit into the domain.
+    #[must_use]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            KnownBit::One
+        } else {
+            KnownBit::Zero
+        }
+    }
+
+    /// The concrete value, if the bit is known.
+    #[must_use]
+    pub fn as_const(self) -> Option<bool> {
+        match self {
+            KnownBit::Zero => Some(false),
+            KnownBit::One => Some(true),
+            KnownBit::Top => None,
+        }
+    }
+
+    /// Three-valued XOR (exact on the known sublattice).
+    #[must_use]
+    pub fn xor(self, other: Self) -> Self {
+        match (self.as_const(), other.as_const()) {
+            (Some(a), Some(b)) => KnownBit::from_bool(a ^ b),
+            _ => KnownBit::Top,
+        }
+    }
+
+    /// Three-valued 2:1 mux `sel ? a : b` — exact when the select is
+    /// known, and still known when both branches agree.
+    #[must_use]
+    pub fn mux(sel: Self, a: Self, b: Self) -> Self {
+        match sel.as_const() {
+            Some(true) => a,
+            Some(false) => b,
+            None => {
+                if a != KnownBit::Top && a == b {
+                    a
+                } else {
+                    KnownBit::Top
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for KnownBit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            KnownBit::Zero => "0",
+            KnownBit::One => "1",
+            KnownBit::Top => "⊤",
+        })
+    }
+}
+
+/// An unsigned interval `[lo, hi]`, `lo ≤ hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: u128,
+    /// Inclusive upper bound.
+    pub hi: u128,
+}
+
+impl Interval {
+    /// `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn new(lo: u128, hi: u128) -> Self {
+        assert!(lo <= hi, "malformed interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The singleton interval `[v, v]`.
+    #[must_use]
+    pub fn exact(v: u128) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, v: u128) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// `true` if `other` lies entirely inside `self`.
+    #[must_use]
+    pub fn encloses(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Interval addition.
+    #[must_use]
+    pub fn add(&self, other: &Interval) -> Self {
+        Interval {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
+    }
+
+    /// Interval left shift (multiplication by `2^k`).
+    #[must_use]
+    pub fn shl(&self, k: u32) -> Self {
+        Interval {
+            lo: self.lo << k,
+            hi: self.hi << k,
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// The error-interval domain element attached to one (sub-)multiplier.
+///
+/// Soundness contract, for every operand pair `(a, b)` of the block,
+/// writing `e(a, b) = approx(a, b) − exact(a, b)` (signed):
+///
+/// * `err_lo ≤ e(a, b) ≤ err_hi` — the error interval contains every
+///   deviation, so `wce_ub()` over-approximates the true worst-case
+///   error magnitude;
+/// * some pair achieves `|e| ≥ wce_lb` — when [`ErrorBound::witness`]
+///   is present, that pair achieves `|e| = wce_lb` exactly, so the
+///   true worst-case error is bracketed in `[wce_lb, wce_ub()]`;
+/// * `|e(a, b)| ≤ mre · exact(a, b)` whenever `exact(a, b) > 0` — a
+///   *pointwise* relative bound, strictly stronger than bounding the
+///   maximum observed relative error (and what makes the bound
+///   compose through quadrant summation);
+/// * `value.lo ≤ approx(a, b) ≤ value.hi`;
+/// * if [`ErrorBound::no_error_at_zero`], then `exact(a, b) = 0`
+///   implies `approx(a, b) = 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorBound {
+    /// Most negative possible deviation `approx − exact`.
+    pub err_lo: i128,
+    /// Most positive possible deviation `approx − exact`.
+    pub err_hi: i128,
+    /// Achievable worst-case-error magnitude: a sound *lower* bound on
+    /// the true maximum `|e|`.
+    pub wce_lb: u128,
+    /// Operand pair `(a, b)` achieving `|e| = wce_lb`, when the
+    /// analysis can name one (config trees always can; generic
+    /// netlist bounds cannot).
+    pub witness: Option<(u64, u64)>,
+    /// Pointwise relative-error bound (see the contract above).
+    pub mre: f64,
+    /// Interval containing every output value of the block.
+    pub value: Interval,
+    /// The block provably returns 0 when the exact product is 0.
+    pub no_error_at_zero: bool,
+}
+
+impl ErrorBound {
+    /// Sound upper bound on the worst-case error magnitude.
+    #[must_use]
+    pub fn wce_ub(&self) -> u128 {
+        let neg = self.err_lo.unsigned_abs();
+        let pos = if self.err_hi > 0 {
+            self.err_hi.unsigned_abs()
+        } else {
+            0
+        };
+        neg.max(pos)
+    }
+
+    /// The exact (zero-error) bound with output values in `value`.
+    #[must_use]
+    pub fn exact(value: Interval) -> Self {
+        ErrorBound {
+            err_lo: 0,
+            err_hi: 0,
+            wce_lb: 0,
+            witness: Some((0, 0)),
+            mre: 0.0,
+            value,
+            no_error_at_zero: true,
+        }
+    }
+
+    /// `true` if `other`'s guarantees are at least as strong on every
+    /// axis — i.e. replacing `self` by `other` never weakens a claim.
+    /// Used by certificate verification: a recorded bound is accepted
+    /// when it is the recomputed bound *or any sound weakening of it*.
+    #[must_use]
+    pub fn weakens(&self, recomputed: &ErrorBound) -> bool {
+        self.err_lo <= recomputed.err_lo
+            && self.err_hi >= recomputed.err_hi
+            && self.wce_lb <= recomputed.wce_lb
+            && self.mre >= recomputed.mre
+            && self.value.encloses(&recomputed.value)
+            && (!self.no_error_at_zero || recomputed.no_error_at_zero)
+    }
+}
+
+impl fmt::Display for ErrorBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "e ∈ [{}, {}], WCE ∈ [{}, {}], MRE ≤ {:.6}, value {}",
+            self.err_lo,
+            self.err_hi,
+            self.wce_lb,
+            self.wce_ub(),
+            self.mre,
+            self.value
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knownbit_ops() {
+        use KnownBit::{One, Top, Zero};
+        assert_eq!(Zero.xor(One), One);
+        assert_eq!(One.xor(One), Zero);
+        assert_eq!(Top.xor(One), Top);
+        assert_eq!(KnownBit::mux(One, Zero, Top), Zero);
+        assert_eq!(KnownBit::mux(Zero, Top, One), One);
+        assert_eq!(KnownBit::mux(Top, One, One), One);
+        assert_eq!(KnownBit::mux(Top, One, Zero), Top);
+        assert_eq!(KnownBit::mux(Top, Top, Top), Top);
+        assert_eq!(KnownBit::from_bool(true).as_const(), Some(true));
+        assert_eq!(Top.as_const(), None);
+    }
+
+    #[test]
+    fn interval_arith() {
+        let a = Interval::new(1, 5);
+        let b = Interval::exact(3);
+        assert_eq!(a.add(&b), Interval::new(4, 8));
+        assert_eq!(a.shl(2), Interval::new(4, 20));
+        assert!(a.contains(5));
+        assert!(!a.contains(6));
+        assert!(a.encloses(&Interval::new(2, 4)));
+        assert!(!Interval::new(2, 4).encloses(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed interval")]
+    fn interval_rejects_inverted_bounds() {
+        let _ = Interval::new(2, 1);
+    }
+
+    #[test]
+    fn wce_ub_takes_the_worse_side() {
+        let mut b = ErrorBound::exact(Interval::exact(0));
+        b.err_lo = -10;
+        b.err_hi = 3;
+        assert_eq!(b.wce_ub(), 10);
+        b.err_hi = 12;
+        assert_eq!(b.wce_ub(), 12);
+    }
+
+    #[test]
+    fn weakens_is_reflexive_and_directional() {
+        let tight = ErrorBound {
+            err_lo: -8,
+            err_hi: 0,
+            wce_lb: 8,
+            witness: Some((7, 6)),
+            mre: 0.2,
+            value: Interval::new(0, 225),
+            no_error_at_zero: true,
+        };
+        let mut loose = tight.clone();
+        loose.err_lo = -20;
+        loose.wce_lb = 0;
+        loose.mre = 1.0;
+        loose.no_error_at_zero = false;
+        assert!(tight.weakens(&tight));
+        assert!(loose.weakens(&tight));
+        assert!(!tight.weakens(&loose));
+    }
+}

@@ -1,0 +1,321 @@
+//! Known-bits propagation over an elaborated netlist.
+//!
+//! One forward pass in topological order assigns each net a
+//! [`KnownBit`]: `0`, `1`, or `⊤`. The LUT transfer function
+//! enumerates the *distinct* unknown input nets of a cell (so a net
+//! wired to several pins is assigned consistently, not independently —
+//! e.g. `O6 = I0 XOR I0` is proven constant 0 even when the net is
+//! unknown), and the `CARRY4` transfer mirrors the simulator's
+//! per-stage `O[i] = S[i] XOR C[i]`, `C[i+1] = S[i] ? C[i] : DI[i]`
+//! semantics in three-valued logic, including the `C == DI` shortcut
+//! where the mux result is known although its select is not.
+//!
+//! Stuck-at faults are modeled exactly as
+//! [`axmul_fabric::fault::eval_with_faults`] applies them: a faulted
+//! net reads its stuck value everywhere it is consumed, while the
+//! carry cascade *inside* one `CARRY4` keeps the internally computed
+//! carry.
+
+use axmul_fabric::fault::Fault;
+use axmul_fabric::{Cell, Driver, Init, NetId, Netlist};
+
+use crate::domain::{Interval, KnownBit};
+
+/// The known-bits abstract state of every net in a netlist.
+#[derive(Debug, Clone)]
+pub struct KnownBits {
+    vals: Vec<KnownBit>,
+}
+
+impl KnownBits {
+    /// Runs the propagation on a fault-free netlist.
+    #[must_use]
+    pub fn analyze(netlist: &Netlist) -> Self {
+        Self::analyze_with_faults(netlist, &[])
+    }
+
+    /// Runs the propagation with the given stuck-at faults injected.
+    #[must_use]
+    pub fn analyze_with_faults(netlist: &Netlist, faults: &[Fault]) -> Self {
+        let n = netlist.net_count();
+        let mut forced: Vec<Option<bool>> = vec![None; n];
+        for f in faults {
+            forced[f.net.index()] = Some(f.stuck_at);
+        }
+        let mut vals = vec![KnownBit::Top; n];
+        for (i, d) in netlist.drivers().iter().enumerate() {
+            if let Driver::Const(c) = d {
+                vals[i] = KnownBit::from_bool(*c);
+            }
+        }
+        for (i, f) in forced.iter().enumerate() {
+            if let Some(b) = f {
+                vals[i] = KnownBit::from_bool(*b);
+            }
+        }
+        let set = |vals: &mut [KnownBit], net: NetId, v: KnownBit| {
+            // A forced net keeps its stuck value regardless of what the
+            // driving cell computes.
+            if forced[net.index()].is_none() {
+                vals[net.index()] = v;
+            }
+        };
+        for cell in netlist.cells() {
+            match cell {
+                Cell::Lut {
+                    init,
+                    inputs: pins,
+                    o6,
+                    o5,
+                } => {
+                    let (k6, k5) = lut_transfer(*init, pins, &vals);
+                    set(&mut vals, *o6, k6);
+                    if let Some(o5) = o5 {
+                        set(&mut vals, *o5, k5);
+                    }
+                }
+                Cell::Carry4 { cin, s, di, o, co } => {
+                    let mut carry = vals[cin.index()];
+                    for stage in 0..4 {
+                        let sv = vals[s[stage].index()];
+                        let dv = vals[di[stage].index()];
+                        if let Some(net) = o[stage] {
+                            set(&mut vals, net, sv.xor(carry));
+                        }
+                        carry = KnownBit::mux(sv, carry, dv);
+                        if let Some(net) = co[stage] {
+                            set(&mut vals, net, carry);
+                        }
+                    }
+                }
+            }
+        }
+        KnownBits { vals }
+    }
+
+    /// Abstract value of one net.
+    #[must_use]
+    pub fn get(&self, net: NetId) -> KnownBit {
+        self.vals[net.index()]
+    }
+
+    /// Concrete value of the net, if proven constant.
+    #[must_use]
+    pub fn constant_of(&self, net: NetId) -> Option<bool> {
+        self.get(net).as_const()
+    }
+
+    /// Value interval of a weighted bit group (LSB-first nets, bit `i`
+    /// carrying weight `2^i`): known-one bits contribute to both
+    /// bounds, unknown bits only to the upper bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is wider than 128 bits.
+    #[must_use]
+    pub fn group_interval(&self, nets: &[NetId]) -> Interval {
+        assert!(nets.len() <= 128, "bit group wider than 128 bits");
+        let mut lo = 0u128;
+        let mut hi = 0u128;
+        for (bit, net) in nets.iter().enumerate() {
+            let w = 1u128 << bit;
+            match self.get(*net) {
+                KnownBit::One => {
+                    lo += w;
+                    hi += w;
+                }
+                KnownBit::Top => hi += w,
+                KnownBit::Zero => {}
+            }
+        }
+        Interval::new(lo, hi)
+    }
+
+    /// Nets proven constant that are *driven by a cell output* —
+    /// i.e. genuinely derived facts, excluding `Driver::Const` ties
+    /// and primary inputs. Each entry is `(net, value)`.
+    #[must_use]
+    pub fn derived_constants(&self, netlist: &Netlist) -> Vec<(NetId, bool)> {
+        netlist
+            .drivers()
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| {
+                matches!(
+                    d,
+                    Driver::LutO6(_)
+                        | Driver::LutO5(_)
+                        | Driver::CarrySum(_, _)
+                        | Driver::CarryCout(_, _)
+                )
+            })
+            .filter_map(|(i, _)| {
+                let net = NetId::new(i as u32);
+                self.constant_of(net).map(|v| (net, v))
+            })
+            .collect()
+    }
+}
+
+/// Three-valued LUT evaluation: enumerates every assignment of the
+/// cell's distinct unknown input nets (at most `2^6`), and returns the
+/// (`O6`, `O5`) abstractions — known iff the output agrees across all
+/// assignments.
+fn lut_transfer(init: Init, pins: &[NetId; 6], vals: &[KnownBit]) -> (KnownBit, KnownBit) {
+    let mut base = 0u8;
+    // Distinct unknown nets and the pin-position masks they drive.
+    let mut unknown: Vec<(NetId, u8)> = Vec::new();
+    for (k, net) in pins.iter().enumerate() {
+        match vals[net.index()] {
+            KnownBit::One => base |= 1 << k,
+            KnownBit::Zero => {}
+            KnownBit::Top => {
+                if let Some(entry) = unknown.iter_mut().find(|(n, _)| n == net) {
+                    entry.1 |= 1 << k;
+                } else {
+                    unknown.push((*net, 1 << k));
+                }
+            }
+        }
+    }
+    let mut r6: Option<bool> = None;
+    let mut r5: Option<bool> = None;
+    let mut c6 = true;
+    let mut c5 = true;
+    for assign in 0u32..(1u32 << unknown.len()) {
+        let mut idx = base;
+        for (j, (_, mask)) in unknown.iter().enumerate() {
+            if assign >> j & 1 == 1 {
+                idx |= mask;
+            }
+        }
+        let v6 = init.o6(idx);
+        let v5 = init.o5(idx);
+        match r6 {
+            None => r6 = Some(v6),
+            Some(prev) if prev != v6 => c6 = false,
+            _ => {}
+        }
+        match r5 {
+            None => r5 = Some(v5),
+            Some(prev) if prev != v5 => c5 = false,
+            _ => {}
+        }
+        if !c6 && !c5 {
+            break;
+        }
+    }
+    let lift = |consistent: bool, v: Option<bool>| {
+        if consistent {
+            v.map_or(KnownBit::Top, KnownBit::from_bool)
+        } else {
+            KnownBit::Top
+        }
+    };
+    (lift(c6, r6), lift(c5, r5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmul_fabric::{FabricError, Init, NetlistBuilder};
+
+    fn xor_self_netlist() -> Result<Netlist, FabricError> {
+        let mut b = NetlistBuilder::new("xor-self");
+        let a = b.inputs("a", 1);
+        let (o6, _) = b.lut2(Init::XOR2, a[0], a[0]);
+        b.output("y", o6);
+        b.finish()
+    }
+
+    #[test]
+    fn repeated_pin_net_is_assigned_consistently() {
+        let n = xor_self_netlist().unwrap();
+        let kb = KnownBits::analyze(&n);
+        let y = n.output_buses()[0].1[0];
+        assert_eq!(kb.get(y), KnownBit::Zero);
+        // lut2 emits both O6 and O5; the XOR2 O5 half is constant too.
+        assert!(kb.derived_constants(&n).contains(&(y, false)));
+    }
+
+    #[test]
+    fn and_with_stuck_zero_input_is_constant() {
+        let mut b = NetlistBuilder::new("and2");
+        let a = b.inputs("a", 1);
+        let c = b.inputs("b", 1);
+        let (o6, _) = b.lut2(Init::AND2, a[0], c[0]);
+        b.output("y", o6);
+        let n = b.finish().unwrap();
+        let y = n.output_buses()[0].1[0];
+
+        let free = KnownBits::analyze(&n);
+        assert_eq!(free.get(y), KnownBit::Top);
+
+        let faulted = KnownBits::analyze_with_faults(&n, &[Fault::sa0(a[0])]);
+        assert_eq!(faulted.get(y), KnownBit::Zero);
+        // The fault also pins the input net itself.
+        assert_eq!(faulted.constant_of(a[0]), Some(false));
+    }
+
+    #[test]
+    fn fault_on_cell_output_overrides_computation() {
+        let n = xor_self_netlist().unwrap();
+        let y = n.output_buses()[0].1[0];
+        // The LUT computes 0, but the stuck-at-1 fault wins.
+        let kb = KnownBits::analyze_with_faults(&n, &[Fault::sa1(y)]);
+        assert_eq!(kb.get(y), KnownBit::One);
+    }
+
+    #[test]
+    fn group_interval_mixes_known_and_unknown_bits() {
+        let mut b = NetlistBuilder::new("grp");
+        let a = b.inputs("a", 2);
+        let one = b.constant(true);
+        let zero = b.constant(false);
+        let n = {
+            b.output("y0", one); // weight 1, known 1
+            b.output("y1", a[0]); // weight 2, unknown
+            b.output("y2", zero); // weight 4, known 0
+            b.output("y3", a[1]); // weight 8, unknown
+            b.finish().unwrap()
+        };
+        let kb = KnownBits::analyze(&n);
+        let group: Vec<NetId> = n.output_buses().iter().map(|(_, bits)| bits[0]).collect();
+        assert_eq!(kb.group_interval(&group), Interval::new(1, 11));
+    }
+
+    #[test]
+    fn carry_chain_sum_of_constants_is_constant() {
+        // 4-bit ripple add of two constant operands through CARRY4:
+        // exercises the xor/mux transfer end to end.
+        let mut b = NetlistBuilder::new("const-add");
+        let a_bits = [true, false, true, false]; // a = 5
+        let c_bits = [true, true, false, false]; // b = 3
+        let mut props = Vec::new();
+        let mut gens = Vec::new();
+        for i in 0..4 {
+            let an = b.constant(a_bits[i]);
+            let cn = b.constant(c_bits[i]);
+            let (o6, _) = b.lut2(Init::XOR2, an, cn);
+            props.push(o6);
+            gens.push(an);
+        }
+        let zero = b.constant(false);
+        let (sums, cout) = b.carry4(zero, props.try_into().unwrap(), gens.try_into().unwrap());
+        for (i, s) in sums.iter().enumerate() {
+            b.output(format!("s{i}"), *s);
+        }
+        b.output("cout", cout);
+        let n = b.finish().unwrap();
+        let kb = KnownBits::analyze(&n);
+        // 5 + 3 = 8 = 0b1000, cout = 0.
+        let expect = [false, false, false, true, false];
+        for (i, (_, bits)) in n.output_buses().iter().enumerate() {
+            assert_eq!(
+                kb.constant_of(bits[0]),
+                Some(expect[i]),
+                "output {i} of constant adder"
+            );
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The soundness harness: randomized ground-truth containment.
+//!
+//! Every claim the abstract interpreter makes is checked against
+//! bit-exact simulation of the very designs it analyzed:
+//!
+//! * random configuration trees at 4×4 and 8×8 are swept
+//!   *exhaustively* — every deviation must lie in the static error
+//!   interval, every output in the value interval, the true worst-case
+//!   error inside `[wce_lb, wce_ub]`, every pointwise relative error
+//!   under `mre`, and the recorded witness must achieve `wce_lb`;
+//! * 16×16 trees are checked on seeded random vectors (2³² pairs are
+//!   out of reach) — upper bounds and the witness remain checkable;
+//! * random stuck-at faults are injected into netlists and the faulted
+//!   known-bits analysis must still contain the faulted simulation.
+
+use axmul_absint::analyze_netlist_with_faults;
+use axmul_core::behavioral::Summation;
+use axmul_core::Multiplier;
+use axmul_dse::{static_bounds, CharCache, Config, Leaf};
+use axmul_fabric::compile::CompiledNetlist;
+use axmul_fabric::cost::Characterizer;
+use axmul_fabric::fault::Fault;
+use axmul_fabric::{NetId, Netlist};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sweeps one operand pair through every containment claim of a tree
+/// analysis. Returns the deviation magnitude for worst-case tracking.
+fn check_pair(bound: &axmul_absint::ErrorBound, m: &impl Multiplier, a: u64, b: u64) -> u128 {
+    let out = m.multiply(a, b);
+    let exact = i128::from(a) * i128::from(b);
+    let dev = i128::from(out) - exact;
+    assert!(
+        bound.err_lo <= dev && dev <= bound.err_hi,
+        "{}: deviation {dev} at ({a}, {b}) escapes [{}, {}]",
+        m.name(),
+        bound.err_lo,
+        bound.err_hi,
+    );
+    assert!(
+        bound.value.contains(u128::from(out)),
+        "{}: output {out} at ({a}, {b}) escapes {}",
+        m.name(),
+        bound.value,
+    );
+    if exact > 0 {
+        let rel = dev.unsigned_abs() as f64 / exact as f64;
+        assert!(
+            rel <= bound.mre * (1.0 + 1e-9),
+            "{}: relative error {rel} at ({a}, {b}) exceeds mre {}",
+            m.name(),
+            bound.mre,
+        );
+    }
+    if bound.no_error_at_zero && (a == 0 || b == 0) {
+        assert_eq!(dev, 0, "{}: error at a zero operand ({a}, {b})", m.name());
+    }
+    dev.unsigned_abs()
+}
+
+/// Checks the recorded witness achieves the claimed lower bound and
+/// the certificate replays.
+fn check_witness_and_cert(analysis: &axmul_absint::TreeAnalysis, m: &impl Multiplier) {
+    analysis.certificate.verify().expect("certificate replays");
+    match analysis.bound.witness {
+        Some((wa, wb)) => {
+            let dev =
+                (i128::from(m.multiply(wa, wb)) - i128::from(wa) * i128::from(wb)).unsigned_abs();
+            assert!(
+                dev >= analysis.bound.wce_lb,
+                "{}: witness ({wa}, {wb}) achieves {dev} < claimed lower bound {}",
+                analysis.key,
+                analysis.bound.wce_lb,
+            );
+        }
+        None => assert_eq!(analysis.bound.wce_lb, 0),
+    }
+}
+
+/// Exhaustive soundness check of one configuration tree (widths ≤ 8).
+fn assert_tree_sound_exhaustive(cache: &CharCache, cfg: &Config) {
+    let block = cache.characterize(cfg).expect("config simulates");
+    let m = block.multiplier();
+    let analysis = static_bounds(cfg).expect("width fits the interpreter");
+    let bits = cfg.bits();
+    let mut max_dev: u128 = 0;
+    for a in 0..1u64 << bits {
+        for b in 0..1u64 << bits {
+            max_dev = max_dev.max(check_pair(&analysis.bound, &m, a, b));
+        }
+    }
+    assert!(
+        analysis.bound.wce_lb <= max_dev && max_dev <= analysis.bound.wce_ub(),
+        "{}: true WCE {max_dev} escapes [{}, {}]",
+        analysis.key,
+        analysis.bound.wce_lb,
+        analysis.bound.wce_ub(),
+    );
+    check_witness_and_cert(&analysis, &m);
+}
+
+/// Sampled soundness check for widths whose operand space cannot be
+/// enumerated (16×16): pointwise containment plus the witness.
+fn assert_tree_sound_sampled(cache: &CharCache, cfg: &Config, samples: u64, seed: u64) {
+    let block = cache.characterize(cfg).expect("config simulates");
+    let m = block.multiplier();
+    let analysis = static_bounds(cfg).expect("width fits the interpreter");
+    let mask = (1u64 << cfg.bits()) - 1;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut max_dev: u128 = 0;
+    for _ in 0..samples {
+        let a = rng.random::<u64>() & mask;
+        let b = rng.random::<u64>() & mask;
+        max_dev = max_dev.max(check_pair(&analysis.bound, &m, a, b));
+    }
+    assert!(
+        max_dev <= analysis.bound.wce_ub(),
+        "{}: sampled WCE {max_dev} exceeds upper bound {}",
+        analysis.key,
+        analysis.bound.wce_ub(),
+    );
+    check_witness_and_cert(&analysis, &m);
+}
+
+/// Sweeps every operand pair of a faulted netlist and asserts the
+/// faulted static analysis contains the observed outputs.
+fn assert_faulted_netlist_contained(nl: &Netlist, faults: &[Fault]) {
+    let analysis = analyze_netlist_with_faults(nl, faults);
+    let bits = nl.input_bits();
+    let prog = CompiledNetlist::compile_with_faults(nl, faults);
+    prog.for_each_operand_pair_in(0..1u64 << bits, |a, b, out| {
+        for (range, &o) in analysis.outputs.iter().zip(out) {
+            assert!(
+                range.interval.contains(u128::from(o)),
+                "{} under {faults:?}: bus {} value {o} at ({a}, {b}) escapes {}",
+                nl.name(),
+                range.bus,
+                range.interval,
+            );
+        }
+    })
+    .expect("two-bus netlist");
+}
+
+#[test]
+fn all_4x4_leaves_are_exhaustively_sound() {
+    let cache = CharCache::new(Characterizer::virtex7());
+    for leaf in Leaf::ALL {
+        assert_tree_sound_exhaustive(&cache, &Config::Leaf(leaf));
+    }
+}
+
+#[test]
+fn homogeneous_8x8_quads_are_exhaustively_sound() {
+    let cache = CharCache::new(Characterizer::virtex7());
+    for summation in [Summation::Accurate, Summation::CarryFree] {
+        for leaf in Leaf::ALL {
+            let cfg = Config::uniform(Config::Leaf(leaf), summation);
+            assert_tree_sound_exhaustive(&cache, &cfg);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random heterogeneous 8×8 trees: the full 65 536-pair sweep
+    /// stays inside the static bounds.
+    #[test]
+    fn random_8x8_trees_are_exhaustively_sound(seed in 0u64..1 << 48) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = Config::random(8, &mut rng);
+        let cache = CharCache::new(Characterizer::virtex7());
+        assert_tree_sound_exhaustive(&cache, &cfg);
+    }
+
+    /// Random stuck-at faults in random 8×8 netlists: the faulted
+    /// known-bits pass still brackets the faulted simulation.
+    #[test]
+    fn random_faults_in_8x8_netlists_are_contained(seed in 0u64..1 << 48) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = Config::random(8, &mut rng);
+        let nl = cfg.assemble();
+        let n_faults = rng.random_range(1..=3usize);
+        let faults: Vec<Fault> = (0..n_faults)
+            .map(|_| Fault {
+                net: NetId::new(rng.random_range(0..nl.net_count() as u32)),
+                stuck_at: rng.random::<bool>(),
+            })
+            .collect();
+        assert_faulted_netlist_contained(&nl, &faults);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Random 16×16 trees on seeded vectors: sampled deviations stay
+    /// inside the static interval and under the upper bound.
+    #[test]
+    fn random_16x16_trees_are_sound_on_sampled_vectors(seed in 0u64..1 << 48) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = Config::random(16, &mut rng);
+        let cache = CharCache::new(Characterizer::virtex7());
+        assert_tree_sound_sampled(&cache, &cfg, 4096, seed ^ 0xA51);
+    }
+}
+
+/// Every single stuck-at fault of every 4×4 leaf kernel, swept over
+/// all 256 operand pairs: a complete (not sampled) containment proof
+/// at leaf scale.
+#[test]
+fn every_single_fault_in_every_leaf_is_contained() {
+    for leaf in Leaf::ALL {
+        let nl = Config::Leaf(leaf).assemble();
+        for net in 0..nl.net_count() as u32 {
+            for stuck_at in [false, true] {
+                let fault = Fault {
+                    net: NetId::new(net),
+                    stuck_at,
+                };
+                assert_faulted_netlist_contained(&nl, &[fault]);
+            }
+        }
+    }
+}

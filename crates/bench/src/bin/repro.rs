@@ -4,16 +4,18 @@
 //! repro <experiment>... [--quick]
 //! repro sim-bench [--quick] [--json]
 //! repro serve-bench [--quick] [--json]
+//! repro absint [--quick] [--json]
 //! repro ext-dse --cache-dir DIR
 //! repro all
 //! repro list
 //! ```
 //!
 //! `--quick` switches experiments that have a smoke variant (currently
-//! `nn`, `sim-bench` and `serve-bench`) to their reduced CI-friendly
-//! form. `--json` additionally writes `sim-bench` results to
-//! `BENCH_sim.json` and `serve-bench` results to `BENCH_serve.json` in
-//! the working directory. `--cache-dir DIR` routes `ext-dse` through
+//! `nn`, `sim-bench`, `serve-bench` and `absint`) to their reduced
+//! CI-friendly form. `--json` additionally writes `sim-bench` results
+//! to `BENCH_sim.json`, `serve-bench` results to `BENCH_serve.json`
+//! and `absint` results to `BENCH_absint.json` in the working
+//! directory. `--cache-dir DIR` routes `ext-dse` through
 //! the persistent characterization store rooted at `DIR`, so a second
 //! run warm-starts with zero recharacterizations.
 
@@ -124,6 +126,11 @@ const EXPERIMENTS: &[Experiment] = &[
         experiments::serve_smoke,
         "daemon round-trip on a Unix socket",
     ),
+    (
+        "absint",
+        experiments::absint_report,
+        "sound static bounds vs exhaustive truth",
+    ),
 ];
 
 /// Smoke variants selected by `--quick`.
@@ -132,6 +139,7 @@ const QUICK: &[Smoke] = &[
     ("nn", experiments::nn_quick),
     ("sim-bench", experiments::sim_bench_quick),
     ("serve-bench", experiments::serve_bench_quick),
+    ("absint", experiments::absint_quick),
 ];
 
 fn usage() {
@@ -184,6 +192,15 @@ fn main() -> ExitCode {
                 }
                 print!("{payload}");
                 eprintln!("wrote BENCH_serve.json");
+            }
+            "absint" if json => {
+                let payload = experiments::absint_json(quick);
+                if let Err(e) = std::fs::write("BENCH_absint.json", &payload) {
+                    eprintln!("cannot write BENCH_absint.json: {e}");
+                    return ExitCode::FAILURE;
+                }
+                print!("{payload}");
+                eprintln!("wrote BENCH_absint.json");
             }
             "ext-dse" if cache_dir.is_some() => {
                 let dir = cache_dir.as_deref().expect("checked above");

@@ -3,6 +3,7 @@
 //! can all drive the same code.
 
 mod ablations;
+mod absint;
 mod dse;
 mod extensions;
 mod figures;
@@ -13,6 +14,7 @@ mod simbench;
 mod tables;
 
 pub use ablations::{ablate_4x2_trunc, ablate_cc_depth, ablate_elem, ablate_swap};
+pub use absint::{absint_json, absint_quick, absint_report};
 pub use dse::{dse_scaling, dse_subset, ext_dse, ext_dse_cached};
 pub use extensions::{ablate_cfree_op, ext_adders, ext_correction, ext_signed};
 pub use figures::{fig1, fig10, fig12, fig7, fig8, fig9};
@@ -51,6 +53,7 @@ pub fn all() -> String {
         dse_scaling(),
         nn_full(),
         lint_roster(),
+        absint_report(),
     ]
     .join("\n")
 }

@@ -153,6 +153,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "stats" => stats(&opts),
         "smooth" => smooth(&opts),
         "dse" => dse(&opts),
+        "absint" => absint(&opts),
         "nn" => nn(&opts),
         "lint" => lint(&opts),
         "serve" => serve(&opts),
@@ -173,6 +174,8 @@ fn usage() -> String {
      \x20 dse         --width N [--strategy exhaustive|random|hill] [--workers W]\n\
      \x20             [--budget B] [--restarts R] [--seed S] [--out-dir DIR]\n\
      \x20                                          design-space exploration\n\
+     \x20 absint      --config KEY | --arch A [--bits N]\n\
+     \x20             [--json]                     sound static error/range bounds\n\
      \x20 nn          [--arch A | --all] [--workers W] [--quick]\n\
      \x20             [--dse [--floor F]]          int8 inference accuracy\n\
      \x20 lint        --arch A [--bits N] | --all [--bits N]\n\
@@ -343,6 +346,85 @@ fn dse(opts: &Opts) -> Result<String, CliError> {
         let path = format!("{dir}/dse_{bits}x{bits}.csv");
         std::fs::write(&path, to_csv(&result))?;
         out.push_str(&format!("wrote {path} ({} rows)\n", result.reports.len()));
+    }
+    Ok(out)
+}
+
+/// Static error/range analysis — no simulation anywhere in this path.
+/// With `--config KEY` the abstract interpreter walks the
+/// configuration tree and reports sound worst-case-error brackets plus
+/// a verified certificate; with `--arch A` it propagates known bits
+/// through the elaborated netlist and reports proven output ranges.
+fn absint(opts: &Opts) -> Result<String, CliError> {
+    use axmul_dse::{static_bounds, Config};
+
+    if let Some(key) = opts.get("config") {
+        let cfg: Config = key
+            .parse()
+            .map_err(|e: axmul_dse::ParseConfigError| CliError::Usage(e.to_string()))?;
+        let a = static_bounds(&cfg).map_err(|e| CliError::Usage(e.to_string()))?;
+        if opts.flag("json") {
+            return Ok(format!("{}\n", a.to_json()));
+        }
+        let b = &a.bound;
+        let verdict = match a.certificate.verify() {
+            Ok(()) => "VERIFIED".to_string(),
+            Err(e) => format!("FAILED ({e})"),
+        };
+        let mut out = format!(
+            "static analysis of {} at {}x{}\n  \
+             worst-case error: in [{}, {}] (deviation interval [{}, {}])\n  \
+             max relative error: <= {:.6}\n  \
+             output value: in [{}, {}]\n",
+            a.key,
+            a.bits,
+            a.bits,
+            b.wce_lb,
+            b.wce_ub(),
+            b.err_lo,
+            b.err_hi,
+            b.mre,
+            b.value.lo,
+            b.value.hi
+        );
+        if let Some((wa, wb)) = b.witness {
+            out.push_str(&format!(
+                "  witness: {wa} x {wb} deviates by at least {}\n",
+                b.wce_lb
+            ));
+        }
+        out.push_str(&format!(
+            "  certificate: {} steps, {verdict}\n",
+            a.certificate.steps().len()
+        ));
+        return Ok(out);
+    }
+
+    let arch = opts.arch()?;
+    let bits = opts.bits()?;
+    let nl = arch.netlist(bits)?;
+    let a = axmul_absint::analyze_netlist(&nl);
+    if opts.flag("json") {
+        return Ok(format!("{}\n", a.to_json()));
+    }
+    let mut out = format!("static analysis of {} ({})\n", arch, a.name);
+    for o in &a.outputs {
+        out.push_str(&format!(
+            "  output {}: in [{}, {}]\n",
+            o.bus, o.interval.lo, o.interval.hi
+        ));
+    }
+    out.push_str(&format!(
+        "  derived constant nets: {}\n",
+        a.derived_constants.len()
+    ));
+    if let Some(e) = &a.error {
+        out.push_str(&format!(
+            "  worst-case deviation: <= {} (interval [{}, {}])\n",
+            e.wce_ub(),
+            e.err_lo,
+            e.err_hi
+        ));
     }
     Ok(out)
 }
@@ -731,6 +813,39 @@ mod tests {
         ));
         assert!(matches!(
             run_str(&["dse", "--workers", "0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn absint_config_reports_exact_bracket_for_paper_ca() {
+        let out = run_str(&["absint", "--config", "(a A A A A)"]).unwrap();
+        assert!(out.contains("8x8"), "{out}");
+        assert!(out.contains("worst-case error: in [2312, 2312]"), "{out}");
+        assert!(out.contains("witness: 119 x 102"), "{out}");
+        assert!(out.contains("VERIFIED"), "{out}");
+    }
+
+    #[test]
+    fn absint_config_json_is_sound_at_16_bits() {
+        let key = "(c (a A A A A) (a A A A A) (a A A A A) (a A A A A))";
+        let out = run_str(&["absint", "--config", key, "--json"]).unwrap();
+        assert!(out.contains("\"bits\":16"), "{out}");
+        assert!(out.contains("\"sound\":true"), "{out}");
+    }
+
+    #[test]
+    fn absint_arch_reports_output_range() {
+        let out = run_str(&["absint", "--arch", "truncated", "--bits", "8"]).unwrap();
+        assert!(out.contains("output"), "{out}");
+        assert!(out.contains("worst-case deviation"), "{out}");
+    }
+
+    #[test]
+    fn absint_usage_errors() {
+        assert!(matches!(run_str(&["absint"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_str(&["absint", "--config", "(q A A A A)"]),
             Err(CliError::Usage(_))
         ));
     }

@@ -1,0 +1,203 @@
+//! Static bounds for configurations: the bridge from [`Config`] trees
+//! to the `axmul-absint` abstract-interpretation engine.
+//!
+//! Exhaustive characterization is exact but costs a full sweep (or a
+//! large sample) per candidate; the abstract interpreter walks the
+//! configuration *tree* instead and returns sound worst-case-error
+//! brackets in microseconds, at any width. The search uses those
+//! brackets two ways:
+//!
+//! * **Constraint pruning** — a candidate whose *lower* bound already
+//!   exceeds the caller's worst-case-error budget can never satisfy
+//!   it; skipping it is admissible (no qualifying design is lost).
+//! * **Dominance pruning** — a candidate whose lower bound is at least
+//!   the *upper* bound of an already-seen design that is also no
+//!   larger can never beat that design on the (LUT, worst-case-error)
+//!   plane; it cannot join that Pareto front.
+//!
+//! Both predicates consult only sound bounds, so pruning never
+//! discards a design the exact evaluation would have kept — the
+//! headline property the `repro absint` experiment checks.
+
+use axmul_absint::{analyze_tree, AbsTree, AbsintError, LeafKind, TreeAnalysis};
+use axmul_core::behavioral::Summation;
+
+use crate::config::{Config, Leaf};
+
+/// Converts a configuration tree into the abstract interpreter's
+/// mirror representation.
+#[must_use]
+pub fn abs_tree(cfg: &Config) -> AbsTree {
+    match cfg {
+        Config::Leaf(l) => AbsTree::Leaf(match l {
+            Leaf::Exact => LeafKind::Exact,
+            Leaf::Approx => LeafKind::Approx4x4,
+            Leaf::Truncated(k) => LeafKind::PpTruncated(*k),
+        }),
+        Config::Quad { summation, sub } => AbsTree::Quad {
+            summation: *summation,
+            sub: Box::new([
+                abs_tree(&sub[0]),
+                abs_tree(&sub[1]),
+                abs_tree(&sub[2]),
+                abs_tree(&sub[3]),
+            ]),
+        },
+    }
+}
+
+/// Runs the abstract interpreter on a configuration: sound error
+/// brackets, value interval and a verifiable certificate — no netlist,
+/// no simulation.
+///
+/// # Errors
+///
+/// Fails only when the configuration is wider than the interpreter's
+/// arithmetic headroom ([`axmul_absint::MAX_ABSINT_BITS`]).
+pub fn static_bounds(cfg: &Config) -> Result<TreeAnalysis, AbsintError> {
+    analyze_tree(&abs_tree(cfg))
+}
+
+/// One design's static footprint on the (area, worst-case-error)
+/// plane: everything the dominance predicate needs, nothing exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticPoint {
+    /// Canonical configuration key.
+    pub key: String,
+    /// LUT count of the assembled netlist (structural, exact).
+    pub luts: usize,
+    /// Sound lower bound on the worst-case error magnitude.
+    pub wce_lb: u128,
+    /// Sound upper bound on the worst-case error magnitude.
+    pub wce_ub: u128,
+}
+
+impl StaticPoint {
+    /// Builds the point for a configuration; assembles the netlist for
+    /// the LUT count but never simulates it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`static_bounds`] width errors.
+    pub fn of(cfg: &Config) -> Result<StaticPoint, AbsintError> {
+        let analysis = static_bounds(cfg)?;
+        Ok(StaticPoint {
+            key: analysis.key.clone(),
+            luts: cfg.assemble().lut_count(),
+            wce_lb: analysis.bound.wce_lb,
+            wce_ub: analysis.bound.wce_ub(),
+        })
+    }
+
+    /// Whether this point *provably* dominates a candidate with the
+    /// given area and worst-case-error lower bound: no larger, no
+    /// worse, strictly better on at least one axis — judged entirely
+    /// from sound bounds (`self.wce_ub` vs the candidate's `wce_lb`),
+    /// so a `true` here can never be wrong about the exact values.
+    #[must_use]
+    pub fn provably_dominates(&self, luts: usize, wce_lb: u128) -> bool {
+        self.luts <= luts && self.wce_ub <= wce_lb && (self.luts < luts || self.wce_ub < wce_lb)
+    }
+}
+
+/// Bound-guided pruning knobs for [`crate::DseOptions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneOptions {
+    /// Skip candidates whose static lower bound exceeds this
+    /// worst-case-error budget.
+    pub max_wce: Option<u128>,
+    /// Skip candidates provably dominated on the (LUT, worst-case
+    /// error) plane by an already-screened design. The verdicts depend
+    /// on screening order, so multi-worker hill-climbs with this on
+    /// trade run-to-run reproducibility for fewer evaluations
+    /// (single-worker runs stay deterministic).
+    pub dominance: bool,
+}
+
+impl PruneOptions {
+    /// Constraint-only pruning with the given worst-case-error budget.
+    #[must_use]
+    pub fn max_wce(budget: u128) -> Self {
+        PruneOptions {
+            max_wce: Some(budget),
+            dominance: false,
+        }
+    }
+}
+
+/// The paper's homogeneous configurations as static points — a cheap
+/// smoke test of the whole bridge.
+#[must_use]
+pub fn paper_points(bits: u32) -> Vec<StaticPoint> {
+    [Summation::Accurate, Summation::CarryFree]
+        .into_iter()
+        .map(|s| StaticPoint::of(&Config::paper(bits, s)).expect("paper widths fit"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_preserves_key_and_width() {
+        for cfg in Config::enumerate(8) {
+            let t = abs_tree(&cfg);
+            assert_eq!(t.key(), cfg.key());
+            assert_eq!(t.bits(), cfg.bits());
+        }
+    }
+
+    #[test]
+    fn paper_ca_8x8_static_point_is_exact() {
+        let pts = paper_points(8);
+        assert_eq!(pts[0].key, "(a A A A A)");
+        assert_eq!(pts[0].luts, 57);
+        // The combined witness lift makes the uniform accurate tree
+        // exact: both brackets collapse onto the true WCE.
+        assert_eq!(pts[0].wce_lb, 2312);
+        assert_eq!(pts[0].wce_ub, 2312);
+        // Carry-free keeps a gap (the dropped-carry bound is conservative)
+        // but stays a bracket.
+        assert_eq!(pts[1].key, "(c A A A A)");
+        assert!(pts[1].wce_lb >= 2048);
+        assert!(pts[1].wce_ub >= pts[1].wce_lb);
+    }
+
+    #[test]
+    fn exact_configs_have_zero_bounds() {
+        let cfg = Config::uniform(Config::Leaf(Leaf::Exact), Summation::Accurate);
+        let a = static_bounds(&cfg).unwrap();
+        assert_eq!(a.bound.wce_lb, 0);
+        assert_eq!(a.bound.wce_ub(), 0);
+        assert!(a.certificate.verify().is_ok());
+    }
+
+    #[test]
+    fn dominance_is_judged_from_sound_bounds_only() {
+        let strong = StaticPoint {
+            key: "p".into(),
+            luts: 40,
+            wce_lb: 10,
+            wce_ub: 100,
+        };
+        // Candidate with lb 100: p's ub == lb and fewer LUTs → dominated.
+        assert!(strong.provably_dominates(50, 100));
+        // Equal on both axes: not strictly better anywhere.
+        assert!(!strong.provably_dominates(40, 100));
+        // Candidate could still be better (lb 50 < p's ub 100).
+        assert!(!strong.provably_dominates(50, 50));
+        // Candidate is smaller: never dominated by a larger design.
+        assert!(!strong.provably_dominates(30, 200));
+    }
+
+    #[test]
+    fn width_overflow_is_an_error_not_a_panic() {
+        let mut cfg = Config::Leaf(Leaf::Approx);
+        for _ in 0..5 {
+            cfg = Config::uniform(cfg, Summation::Accurate);
+        }
+        assert_eq!(cfg.bits(), 128);
+        assert!(static_bounds(&cfg).is_err());
+    }
+}

@@ -39,12 +39,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bounds;
 mod cache;
 mod config;
 mod report;
 mod search;
 pub mod store;
 
+pub use bounds::{abs_tree, static_bounds, PruneOptions, StaticPoint};
 pub use cache::{BlockChar, CharCache, ComposedMultiplier};
 pub use config::{Config, Leaf, ParseConfigError, LEAF_BITS};
 pub use report::{text_report, to_csv};

@@ -111,6 +111,15 @@ pub fn text_report(result: &DseResult) -> String {
         result.cache_misses,
         100.0 * result.hit_rate()
     );
+    if result.pruned() > 0 {
+        let _ = writeln!(
+            out,
+            "  static pruning: {} candidates skipped ({} over the error budget, {} provably dominated)",
+            result.pruned(),
+            result.pruned_constraint,
+            result.pruned_dominance
+        );
+    }
     for w in &result.workers {
         let _ = writeln!(
             out,

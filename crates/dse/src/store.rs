@@ -12,10 +12,10 @@
 //! # Layout and format
 //!
 //! ```text
-//! <cache-dir>/char-v1/<hh>/<hash16>.bin
+//! <cache-dir>/char-v2/<hh>/<hash16>.bin
 //! ```
 //!
-//! `char-v1` pins [`STORE_FORMAT_VERSION`]; `<hh>` is the first byte of
+//! `char-v2` pins [`STORE_FORMAT_VERSION`]; `<hh>` is the first byte of
 //! the key's FNV-1a hash (256-way directory sharding); `<hash16>` the
 //! full 64-bit hash in hex. Each file is one length-prefixed binary
 //! record:
@@ -61,7 +61,8 @@ use axmul_metrics::ErrorStats;
 /// Bump whenever the record layout or the characterization models
 /// (delay, energy, stimulus policy, error-statistics definition)
 /// change; old cache directories are then ignored rather than misread.
-pub const STORE_FORMAT_VERSION: u32 = 1;
+/// v2 added the worst-case operand witness list to the error stats.
+pub const STORE_FORMAT_VERSION: u32 = 2;
 
 /// Record file magic.
 const MAGIC: [u8; 4] = *b"AXCH";
@@ -443,6 +444,11 @@ pub fn encode_record(rec: &StoredChar) -> Vec<u8> {
     p.f64(s.normalized_mean_error_distance);
     p.f64(s.mean_squared_error);
     p.f64(s.rmse);
+    p.u32(u32::try_from(s.worst_case_inputs.len()).expect("witness list fits u32"));
+    for &(a, b) in &s.worst_case_inputs {
+        p.u64(a);
+        p.u64(b);
+    }
     match &rec.table {
         None => p.0.push(0),
         Some(t) => {
@@ -556,7 +562,7 @@ pub fn decode_record(bytes: &[u8]) -> Result<StoredChar, StoreError> {
     let critical_path_ns = d.f64()?;
     let energy_per_op = d.f64()?;
     let edp = d.f64()?;
-    let stats = ErrorStats {
+    let mut stats = ErrorStats {
         name: d.str()?,
         samples: d.u64()?,
         error_occurrences: d.u64()?,
@@ -568,7 +574,19 @@ pub fn decode_record(bytes: &[u8]) -> Result<StoredChar, StoreError> {
         normalized_mean_error_distance: d.f64()?,
         mean_squared_error: d.f64()?,
         rmse: d.f64()?,
+        worst_case_inputs: Vec::new(),
     };
+    let witnesses = d.u32()? as usize;
+    if witnesses > 64 {
+        return Err(StoreError::Corrupt(format!(
+            "witness list length {witnesses} too large"
+        )));
+    }
+    for _ in 0..witnesses {
+        let a = d.u64()?;
+        let b = d.u64()?;
+        stats.worst_case_inputs.push((a, b));
+    }
     let table = match d.take(1)?[0] {
         0 => None,
         1 => {
@@ -635,6 +653,7 @@ mod tests {
                 normalized_mean_error_distance: 0.005,
                 mean_squared_error: 9.5,
                 rmse: 3.082_207_001_484_488,
+                worst_case_inputs: vec![(7, 6), (13, 13)],
             },
             table: table.clone(),
         }

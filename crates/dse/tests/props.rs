@@ -7,7 +7,8 @@
 
 use axmul_core::behavioral::Summation;
 use axmul_dse::{
-    evaluate, run, text_report, to_csv, CharCache, Config, DseOptions, Leaf, Strategy,
+    evaluate, run, static_bounds, text_report, to_csv, CharCache, Config, DseOptions, Leaf,
+    PruneOptions, Strategy,
 };
 use axmul_fabric::cost::Characterizer;
 use axmul_fabric::sim::WideSim;
@@ -182,6 +183,91 @@ fn random_strategy_is_deterministic_and_respects_budget() {
     assert_eq!(a.reports, b.reports);
     assert!(a.reports.len() <= 15);
     assert!(!a.reports.is_empty());
+}
+
+#[test]
+fn static_bounds_bracket_exact_stats_stratified() {
+    let cache = CharCache::new(Characterizer::virtex7());
+    for cfg in stratified_8x8(12) {
+        let c = cache.characterize(&cfg).unwrap();
+        let a = static_bounds(&cfg).unwrap();
+        let wce = c.stats.max_error.unsigned_abs() as u128;
+        assert!(
+            a.bound.wce_lb <= wce && wce <= a.bound.wce_ub(),
+            "{}: exact WCE {wce} outside static bracket [{}, {}]",
+            cfg.key(),
+            a.bound.wce_lb,
+            a.bound.wce_ub()
+        );
+        assert!(a.certificate.verify().is_ok(), "{}", cfg.key());
+    }
+}
+
+#[test]
+fn constraint_pruning_is_admissible_on_random_8x8() {
+    let mut opts = DseOptions::exhaustive_8x8();
+    opts.strategy = Strategy::Random {
+        budget: 60,
+        seed: 7,
+    };
+    opts.workers = 2;
+    let full = run(&opts).unwrap();
+
+    let tau: u128 = 2000;
+    opts.prune = Some(PruneOptions::max_wce(tau));
+    let screened = run(&opts).unwrap();
+
+    // The draw includes designs whose lower bound alone exceeds the
+    // budget (e.g. anything with an approximate HH quadrant).
+    assert!(screened.pruned_constraint > 0, "nothing was pruned");
+    assert_eq!(screened.pruned_dominance, 0);
+    // Admissible: every design that actually meets the budget survives
+    // the screen …
+    for r in &full.reports {
+        if r.max_error.unsigned_abs() as u128 <= tau {
+            assert!(
+                screened.find(&r.key).is_some(),
+                "feasible design {} was wrongly pruned",
+                r.key
+            );
+        }
+    }
+    // … and the screen only ever removes candidates (same draw).
+    for r in &screened.reports {
+        assert!(full.find(&r.key).is_some());
+    }
+    assert_eq!(
+        screened.reports.len() as u64 + screened.pruned(),
+        full.reports.len() as u64
+    );
+}
+
+#[test]
+fn pruned_hill_climb_at_16x16_skips_provably_bad_mutants() {
+    let mut opts = DseOptions::exhaustive_8x8();
+    opts.bits = 16;
+    opts.strategy = Strategy::HillClimb {
+        budget: 8,
+        restarts: 1,
+        seed: 0xDAC18,
+    };
+    opts.workers = 1;
+    opts.samples = 4096;
+    opts.prune = Some(PruneOptions {
+        max_wce: Some(1 << 20),
+        dominance: true,
+    });
+    let result = run(&opts).unwrap();
+    assert!(
+        result.pruned() > 0,
+        "a 16x16 random walk must hit statically-bad mutants"
+    );
+    // Single worker + fixed seed: the pruned run is reproducible.
+    let again = run(&opts).unwrap();
+    assert_eq!(result.reports, again.reports);
+    assert_eq!(result.pruned(), again.pruned());
+    let report = text_report(&result);
+    assert!(report.contains("static pruning:"), "{report}");
 }
 
 #[test]

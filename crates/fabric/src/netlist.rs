@@ -113,6 +113,31 @@ pub enum Cell {
     },
 }
 
+/// Weighted bit-group metadata: where a net sits inside a named
+/// primary bus (see [`Netlist::bit_of`]).
+///
+/// Buses are little-endian weighted groups: bit `i` of a bus carries
+/// weight `2^i` in the bus value, so a `BitRef` pins down both the
+/// net's name (`bus[bit]`) and its arithmetic weight — the metadata
+/// range analyses and lint messages need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitRef<'a> {
+    /// Name of the bus.
+    pub bus: &'a str,
+    /// Bit index within the bus, LSB-first.
+    pub bit: u32,
+    /// `true` for an output bus, `false` for an input bus.
+    pub is_output: bool,
+}
+
+impl BitRef<'_> {
+    /// The bit's weight in the bus value (`2^bit`).
+    #[must_use]
+    pub fn weight(&self) -> u128 {
+        1u128 << self.bit
+    }
+}
+
 /// An elaborated, validated LUT-level netlist.
 ///
 /// Create one with [`NetlistBuilder`]. The cell list is guaranteed to be
@@ -167,6 +192,37 @@ impl Netlist {
     #[must_use]
     pub fn output_buses(&self) -> &[(String, Vec<NetId>)] {
         &self.outputs
+    }
+
+    /// Total primary-input bits across all buses — the width the
+    /// truth-table and known-bits engines reason over.
+    #[must_use]
+    pub fn input_bits(&self) -> u32 {
+        self.inputs.iter().map(|(_, b)| b.len() as u32).sum()
+    }
+
+    /// Locates `net` inside the primary buses: the bus name, the bit
+    /// index (LSB-first, so the bit carries weight `2^bit` in the bus
+    /// value) and whether the bus is an output. Output buses are
+    /// searched first, so a net that is both an input and an output
+    /// bit reports its output position. Returns `None` for internal
+    /// nets.
+    #[must_use]
+    pub fn bit_of(&self, net: NetId) -> Option<BitRef<'_>> {
+        fn find<'a>(
+            buses: &'a [(String, Vec<NetId>)],
+            net: NetId,
+            is_output: bool,
+        ) -> Option<BitRef<'a>> {
+            buses.iter().find_map(|(name, bits)| {
+                bits.iter().position(|&n| n == net).map(|bit| BitRef {
+                    bus: name.as_str(),
+                    bit: bit as u32,
+                    is_output,
+                })
+            })
+        }
+        find(&self.outputs, net, true).or_else(|| find(&self.inputs, net, false))
     }
 
     /// Number of LUT cells — the paper's area unit.

@@ -1,0 +1,87 @@
+//! Pass 5 — static bounds from the abstract-interpretation engine.
+//!
+//! Where passes 2–4 judge *structure*, this pass reports what the
+//! `axmul-absint` known-bits / interval analysis can prove about the
+//! netlist's *values* — at any width, with no simulation:
+//!
+//! * `output-range` — a primary-output bus whose value interval is
+//!   provably tighter than the trivial `[0, 2^w − 1]`.
+//! * `const-output-bit` — an output bit proven constant although it is
+//!   driven by real logic (a `Driver::Const` tie is the designer
+//!   saying so; a *derived* constant output is information).
+//! * `static-error-bound` — for two-operand multiplier shapes, the
+//!   sound worst-case-deviation bound of the output interval.
+//!
+//! Everything here is `Severity::Info`: a tight range or a constant
+//! output bit is a *fact*, not a defect — truncation designs pin
+//! product bits by construction. The dead-logic pass separately
+//! escalates constants that waste area; this pass is the place the
+//! numbers themselves surface (and the CI lint gate stays meaningful
+//! for the roster designs that legitimately carry pinned outputs).
+
+use axmul_absint::NetlistAnalysis;
+use axmul_fabric::{Driver, Netlist};
+
+use crate::diag::{Diagnostic, Locus, Pass, Severity};
+
+/// Runs the pass, appending findings to `diags`.
+pub fn run(netlist: &Netlist, analysis: &NetlistAnalysis, diags: &mut Vec<Diagnostic>) {
+    let diag = |code, locus, message: String| Diagnostic {
+        pass: Pass::Bounds,
+        severity: Severity::Info,
+        code,
+        locus,
+        message,
+    };
+    let drivers = netlist.drivers();
+    for (bus, bits) in netlist.output_buses() {
+        let Some(range) = analysis.outputs.iter().find(|o| &o.bus == bus) else {
+            continue;
+        };
+        if bits.len() > 128 {
+            continue;
+        }
+        let trivial_hi = if bits.len() == 128 {
+            u128::MAX
+        } else {
+            (1u128 << bits.len()) - 1
+        };
+        if range.interval.lo > 0 || range.interval.hi < trivial_hi {
+            diags.push(diag(
+                "output-range",
+                Locus::Global,
+                format!(
+                    "output bus {bus} is confined to {} (trivial range [0, {trivial_hi}])",
+                    range.interval
+                ),
+            ));
+        }
+        for (bit, &net) in bits.iter().enumerate() {
+            if matches!(drivers[net.index()], Driver::Const(_)) {
+                continue; // an explicit tie, not a derived fact
+            }
+            if let Some(v) = analysis.known.constant_of(net) {
+                diags.push(diag(
+                    "const-output-bit",
+                    Locus::Net(net.index()),
+                    format!(
+                        "output bit {bus}[{bit}] is driven by logic yet provably constant {}",
+                        u8::from(v)
+                    ),
+                ));
+            }
+        }
+    }
+    if let Some(err) = &analysis.error {
+        diags.push(diag(
+            "static-error-bound",
+            Locus::Global,
+            format!(
+                "worst-case deviation from the exact product is statically bounded by {} (deviation interval [{}, {}])",
+                err.wce_ub(),
+                err.err_lo,
+                err.err_hi
+            ),
+        ));
+    }
+}

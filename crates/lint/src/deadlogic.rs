@@ -9,6 +9,7 @@
 //! are `Warning` — the roster must be free of them for the CI gate's
 //! `--deny warnings` to pass.
 
+use axmul_absint::KnownBits;
 use axmul_fabric::{Cell, Driver};
 use axmul_fabric::{NetId, Netlist};
 
@@ -18,19 +19,29 @@ use crate::tables::NetTables;
 /// Runs the pass, appending findings to `diags`.
 ///
 /// `tables` is the truth-table engine's output when the netlist was
-/// small enough to tabulate; without it the constant-output checks
-/// degrade to driver-level reasoning.
-pub fn run(netlist: &Netlist, tables: Option<&NetTables>, diags: &mut Vec<Diagnostic>) {
+/// small enough to tabulate (exact constant verdicts); `known` is the
+/// known-bits abstract state, available at any width, which keeps the
+/// constant-output checks sound — if incomplete — on netlists the
+/// tables cannot cover.
+pub fn run(
+    netlist: &Netlist,
+    tables: Option<&NetTables>,
+    known: &KnownBits,
+    diags: &mut Vec<Diagnostic>,
+) {
     let fanouts = netlist.fanouts();
     let drivers = netlist.drivers();
     let used = |net: NetId| fanouts[net.index()] > 0;
     let is_const = |net: NetId| matches!(drivers[net.index()], Driver::Const(_));
     // A net's proven constant value: from the driver table for tied
-    // nets, from the exhaustive tables for everything else.
+    // nets, from the exhaustive tables where available, and from the
+    // known-bits propagation otherwise (wide netlists).
     let const_of = |net: NetId| -> Option<bool> {
         match drivers[net.index()] {
             Driver::Const(v) => Some(v),
-            _ => tables.and_then(|t| t.constant_of(net)),
+            _ => tables
+                .and_then(|t| t.constant_of(net))
+                .or_else(|| known.constant_of(net)),
         }
     };
     let diag = |severity, code, k: usize, message: String| Diagnostic {

@@ -58,6 +58,10 @@ pub enum Pass {
     /// Claim checking: structural-vs-behavioral equivalence and the
     /// paper's Table 2/3 properties.
     Claims,
+    /// Static bounds: known-bits output ranges, constant output bits
+    /// and sound error intervals from the abstract-interpretation
+    /// engine (`axmul-absint`), at any width.
+    Bounds,
 }
 
 impl Pass {
@@ -69,6 +73,7 @@ impl Pass {
             Pass::DeadLogic => "dead-logic",
             Pass::Packing => "packing",
             Pass::Claims => "claims",
+            Pass::Bounds => "bounds",
         }
     }
 }

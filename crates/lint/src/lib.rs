@@ -5,7 +5,7 @@
 //! pins the INIT ignores, carry stages wedged to a constant), it does
 //! not enforce the 7-series packing rules the device imposes on top of
 //! the primitives, and it knows nothing about what a netlist is
-//! supposed to compute. This crate closes those gaps with four passes
+//! supposed to compute. This crate closes those gaps with five passes
 //! over an already-built [`Netlist`]:
 //!
 //! 1. [`structure`] — driver-table consistency, single-driver,
@@ -21,6 +21,12 @@
 //! 4. [`claims`] — structural-vs-behavioral equivalence with
 //!    counterexample minimization, plus the paper's Table 2, Table 3
 //!    and slice-packing claims.
+//! 5. [`bounds`] — static value facts from the `axmul-absint`
+//!    abstract-interpretation engine: proven output ranges, derived
+//!    constant output bits and sound worst-case-error bounds, at any
+//!    width (the truth-table engine stops at [`MAX_TABLE_BITS`] input
+//!    bits; the known-bits domain also backstops the dead-logic pass
+//!    beyond that limit).
 //!
 //! The severity policy: idioms the designs rely on (an unused
 //! fracturable `O5`, a discarded final carry-out) are `Info`; anything
@@ -46,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bounds;
 pub mod claims;
 pub mod deadlogic;
 pub mod diag;
@@ -150,7 +157,8 @@ impl Linter {
                     if t.is_none() {
                         report.skipped.push(format!(
                             "truth-table engine: more than {MAX_TABLE_BITS} input bits; \
-                             constant-propagation checks degraded to driver-level reasoning"
+                             constant-propagation checks fall back to the known-bits \
+                             abstract interpretation (sound, possibly incomplete)"
                         ));
                     }
                     t
@@ -160,8 +168,15 @@ impl Linter {
                     None
                 }
             };
-            deadlogic::run(netlist, tables.as_ref(), &mut report.diagnostics);
+            let analysis = axmul_absint::analyze_netlist(netlist);
+            deadlogic::run(
+                netlist,
+                tables.as_ref(),
+                &analysis.known,
+                &mut report.diagnostics,
+            );
             packing::run(netlist, &mut report.diagnostics);
+            bounds::run(netlist, &analysis, &mut report.diagnostics);
         } else {
             report
                 .skipped
@@ -213,6 +228,44 @@ mod tests {
     use super::*;
     use axmul_core::behavioral::Approx4x4;
     use axmul_core::structural::approx_4x4_netlist;
+
+    #[test]
+    fn wide_netlists_keep_constant_detection() {
+        // 16×16 operands (32 input bits) put the netlist far beyond
+        // MAX_TABLE_BITS, where the dead-logic pass used to skip every
+        // constant check. The known-bits fallback must still catch a
+        // provably-constant LUT: y = a[0] XOR a[0] ≡ 0.
+        use axmul_fabric::{Init, NetlistBuilder};
+        let mut b = NetlistBuilder::new("wide-const");
+        let a = b.inputs("a", 16);
+        let c = b.inputs("b", 16);
+        let (dead, _) = b.lut2(Init::XOR2, a[0], a[0]);
+        let (live, _) = b.lut2(Init::AND2, a[1], c[1]);
+        let (merged, _) = b.lut2(Init::OR2, dead, live);
+        b.output("y", merged);
+        let nl = b.finish().unwrap();
+        assert!(nl.input_bits() > MAX_TABLE_BITS);
+
+        let report = Linter::new().lint(&nl);
+        let codes = report.by_code();
+        assert!(
+            codes.contains_key("const-lut"),
+            "known-bits fallback must flag the constant LUT: {report}"
+        );
+        assert!(
+            report.skipped.iter().any(|s| s.contains("known-bits")),
+            "the skip note should say what the fallback is: {report}"
+        );
+    }
+
+    #[test]
+    fn bounds_pass_reports_static_error_bound() {
+        let report = Linter::new().lint(&approx_4x4_netlist());
+        let codes = report.by_code();
+        assert!(codes.contains_key("static-error-bound"), "{report}");
+        // Info findings never dirty a report.
+        assert!(report.is_clean(true), "{report}");
+    }
 
     #[test]
     fn table3_netlist_is_clean_and_equivalent() {

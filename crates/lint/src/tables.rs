@@ -50,12 +50,7 @@ impl NetTables {
     /// Propagates simulation failures ([`FabricError`]); on a netlist
     /// accepted by `NetlistBuilder::finish` this cannot happen.
     pub fn build(netlist: &Netlist) -> Result<Option<NetTables>, FabricError> {
-        let widths: Vec<u32> = netlist
-            .input_buses()
-            .iter()
-            .map(|(_, bits)| bits.len() as u32)
-            .collect();
-        let input_bits: u32 = widths.iter().sum();
+        let input_bits = netlist.input_bits();
         if input_bits > MAX_TABLE_BITS {
             return Ok(None);
         }

@@ -43,7 +43,17 @@ pub struct ErrorStats {
     pub mean_squared_error: f64,
     /// Root of [`ErrorStats::mean_squared_error`].
     pub rmse: f64,
+    /// Operand pairs `(a, b)` achieving [`ErrorStats::max_error`]: the
+    /// first [`WITNESS_CAP`] such pairs in sample order (empty when no
+    /// sample errs). Deterministic across worker counts — sharded
+    /// sweeps reproduce the sequential list exactly — and the hook
+    /// that lets static analyses check their worst-case-error bounds
+    /// against a *witnessed* concrete error.
+    pub worst_case_inputs: Vec<(u64, u64)>,
 }
+
+/// Maximum number of worst-case operand witnesses kept per sweep.
+pub const WITNESS_CAP: usize = 4;
 
 impl ErrorStats {
     /// Exhaustively characterizes `m` over its full operand space.
@@ -93,7 +103,7 @@ impl ErrorStats {
     ) -> Self {
         let mut acc = Accumulator::default();
         for (a, b) in pairs {
-            acc.push(m.exact(a, b), m.multiply(a, b));
+            acc.push(a, b, m.exact(a, b), m.multiply(a, b));
         }
         acc.finish(m.name().to_string(), m.a_bits(), m.b_bits())
     }
@@ -154,7 +164,7 @@ impl ErrorStats {
         let per = chunks.div_ceil(workers as u64) * REL_CHUNK;
         let sweep = |range: std::ops::Range<u64>| -> Result<Accumulator, FabricError> {
             let mut acc = Accumulator::default();
-            prog.for_each_operand_pair_in(range, |a, b, out| acc.push(a * b, out[0]))?;
+            prog.for_each_operand_pair_in(range, |a, b, out| acc.push(a, b, a * b, out[0]))?;
             Ok(acc)
         };
         let acc = if workers == 1 {
@@ -215,10 +225,13 @@ struct Accumulator {
     chunk_rel: f64,
     /// Samples pushed into the current chunk so far.
     in_chunk: u64,
+    /// First [`WITNESS_CAP`] operand pairs achieving the current
+    /// maximum, in sample order.
+    witnesses: Vec<(u64, u64)>,
 }
 
 impl Accumulator {
-    fn push(&mut self, exact: u64, approx: u64) {
+    fn push(&mut self, a: u64, b: u64, exact: u64, approx: u64) {
         if self.in_chunk == REL_CHUNK {
             self.rel_chunks.push(self.chunk_rel);
             self.chunk_rel = 0.0;
@@ -238,8 +251,15 @@ impl Accumulator {
                 std::cmp::Ordering::Greater => {
                     self.max = err;
                     self.max_occ = 1;
+                    self.witnesses.clear();
+                    self.witnesses.push((a, b));
                 }
-                std::cmp::Ordering::Equal => self.max_occ += 1,
+                std::cmp::Ordering::Equal => {
+                    self.max_occ += 1;
+                    if self.witnesses.len() < WITNESS_CAP {
+                        self.witnesses.push((a, b));
+                    }
+                }
                 std::cmp::Ordering::Less => {}
             }
         }
@@ -265,8 +285,18 @@ impl Accumulator {
             std::cmp::Ordering::Greater => {
                 self.max = next.max;
                 self.max_occ = next.max_occ;
+                self.witnesses = next.witnesses;
             }
-            std::cmp::Ordering::Equal => self.max_occ += next.max_occ,
+            std::cmp::Ordering::Equal => {
+                self.max_occ += next.max_occ;
+                // `self`'s samples precede `next`'s, so appending (up
+                // to the cap) reproduces the sequential witness list.
+                for w in next.witnesses {
+                    if self.witnesses.len() < WITNESS_CAP {
+                        self.witnesses.push(w);
+                    }
+                }
+            }
             std::cmp::Ordering::Less => {}
         }
         self.rel_chunks.extend_from_slice(&next.rel_chunks);
@@ -292,6 +322,7 @@ impl Accumulator {
             normalized_mean_error_distance: (self.sum as f64 / samples_f) / max_product,
             mean_squared_error: mse,
             rmse: mse.sqrt(),
+            worst_case_inputs: self.witnesses,
         }
     }
 }
@@ -381,6 +412,7 @@ mod tests {
         );
         assert_eq!(wide.mean_squared_error, scalar.mean_squared_error);
         assert_eq!(wide.rmse, scalar.rmse);
+        assert_eq!(wide.worst_case_inputs, scalar.worst_case_inputs);
     }
 
     #[test]
@@ -443,6 +475,43 @@ mod tests {
         b.output("y", o6);
         let nl = b.finish().unwrap();
         assert!(ErrorStats::exhaustive_wide(&nl).is_err());
+    }
+
+    #[test]
+    fn worst_case_witnesses_achieve_the_maximum() {
+        use axmul_core::behavioral::Approx4x4;
+        let m = Approx4x4::new();
+        let s = ErrorStats::exhaustive(&m);
+        assert_eq!(s.max_error, 8);
+        // 6 erring pairs, capped at WITNESS_CAP witnesses.
+        assert_eq!(s.worst_case_inputs.len(), WITNESS_CAP);
+        for &(a, b) in &s.worst_case_inputs {
+            assert_eq!(m.error(a, b), 8, "witness ({a}, {b})");
+        }
+        // Exact designs report no witness.
+        let z = ErrorStats::exhaustive(&axmul_core::Exact::new(4, 4));
+        assert!(z.worst_case_inputs.is_empty());
+    }
+
+    #[test]
+    fn witnesses_are_first_in_sample_order() {
+        // Mult(8,4) errs by `p mod 16`; scanning b-slow/a-fast, the
+        // first pair with p ≡ 15 (mod 16) is (a, b) = (15, 1).
+        let s = ErrorStats::exhaustive(&Truncated::new(8, 4));
+        assert_eq!(s.max_error, 15);
+        assert_eq!(s.worst_case_inputs.first(), Some(&(15, 1)));
+    }
+
+    #[test]
+    fn witnesses_are_stable_across_worker_counts() {
+        use axmul_core::structural::ca_netlist;
+        let nl = ca_netlist(8).unwrap();
+        let one = ErrorStats::exhaustive_wide_with(&nl, 1).unwrap();
+        assert!(!one.worst_case_inputs.is_empty());
+        for workers in [2, 4] {
+            let many = ErrorStats::exhaustive_wide_with(&nl, workers).unwrap();
+            assert_eq!(one.worst_case_inputs, many.worst_case_inputs);
+        }
     }
 
     #[test]

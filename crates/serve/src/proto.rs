@@ -216,6 +216,12 @@ pub enum Op {
         /// Candidate configuration keys.
         candidates: Vec<String>,
     },
+    /// Static error/range bounds of a configuration from the abstract
+    /// interpreter — no simulation, answers in microseconds.
+    AbsintQuery {
+        /// Canonical configuration key.
+        config: String,
+    },
     /// Server counters: requests served, cache hits, builds, uptime.
     Stats,
 }
@@ -229,6 +235,7 @@ impl Op {
             Op::Lint { .. } => "lint-netlist",
             Op::NnClassify { .. } => "nn-classify-batch",
             Op::DseQuery { .. } => "dse-query",
+            Op::AbsintQuery { .. } => "absint-query",
             Op::Stats => "server-stats",
         }
     }
@@ -357,6 +364,9 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, RequestError> {
             }
             Op::DseQuery { candidates }
         }
+        "absint-query" => Op::AbsintQuery {
+            config: str_param("config")?,
+        },
         "server-stats" => Op::Stats,
         other => {
             return fail(
@@ -373,7 +383,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, RequestError> {
 #[must_use]
 pub fn render_request(req: &Request) -> Vec<u8> {
     let params = match &req.op {
-        Op::Characterize { config } | Op::Lint { config } => {
+        Op::Characterize { config } | Op::Lint { config } | Op::AbsintQuery { config } => {
             Value::obj([("config", Value::str(config.clone()))])
         }
         Op::NnClassify { config, images } => {
@@ -523,6 +533,12 @@ mod tests {
             },
             Request {
                 id: 12,
+                op: Op::AbsintQuery {
+                    config: "(c A A A A)".into(),
+                },
+            },
+            Request {
+                id: 13,
                 op: Op::Stats,
             },
         ];

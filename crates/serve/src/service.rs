@@ -38,6 +38,7 @@ struct Counters {
     lint: AtomicU64,
     nn_classify: AtomicU64,
     dse_query: AtomicU64,
+    absint_query: AtomicU64,
     stats: AtomicU64,
     errors: AtomicU64,
 }
@@ -124,6 +125,10 @@ impl Service {
             Op::DseQuery { candidates } => {
                 self.counters.dse_query.fetch_add(1, Ordering::Relaxed);
                 self.dse_query(candidates)
+            }
+            Op::AbsintQuery { config } => {
+                self.counters.absint_query.fetch_add(1, Ordering::Relaxed);
+                self.absint_query(config)
             }
             Op::Stats => {
                 self.counters.stats.fetch_add(1, Ordering::Relaxed);
@@ -307,6 +312,19 @@ impl Service {
         Ok(dse_result_value(&result))
     }
 
+    /// Static bounds from the abstract interpreter. Pure tree walk, no
+    /// characterization — the one request type that never touches the
+    /// cache. Reuses the analysis' own JSON rendering (one source of
+    /// truth for the schema); every numeric field fits `f64` exactly at
+    /// the served widths.
+    fn absint_query(&self, key: &str) -> Result<Value, (ErrorCode, String)> {
+        let cfg = self.config(key)?;
+        let analysis = axmul_dse::static_bounds(&cfg)
+            .map_err(|e| (ErrorCode::InvalidConfig, e.to_string()))?;
+        json::parse(&analysis.to_json())
+            .map_err(|e| (ErrorCode::Internal, format!("render failed: {e}")))
+    }
+
     fn stats(&self) -> Value {
         let c = &self.counters;
         let store = self.cache.store().map(|s| {
@@ -335,6 +353,10 @@ impl Service {
                     (
                         "dse-query",
                         Value::Num(c.dse_query.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "absint-query",
+                        Value::Num(c.absint_query.load(Ordering::Relaxed) as f64),
                     ),
                     (
                         "server-stats",
@@ -570,6 +592,34 @@ mod tests {
         assert!(reports
             .iter()
             .any(|rep| rep.get("on_lut_front") == Some(&Value::Bool(true))));
+    }
+
+    #[test]
+    fn absint_query_returns_sound_bounds_without_touching_the_cache() {
+        let svc = Service::new(None);
+        let v = response(
+            &svc,
+            Op::AbsintQuery {
+                config: "(a A A A A)".into(),
+            },
+        );
+        let r = assert_ok(&v);
+        assert_eq!(r.get("bits").and_then(Value::as_u64), Some(8));
+        // Uniform accurate paper config: the bracket is exact.
+        assert_eq!(r.get("wce_lb").and_then(Value::as_u64), Some(2312));
+        assert_eq!(r.get("wce_ub").and_then(Value::as_u64), Some(2312));
+        assert_eq!(r.get("sound"), Some(&Value::Bool(true)), "{r}");
+        // Static analysis must not have characterized anything.
+        assert_eq!(svc.cache().builds(), 0);
+        assert_err(
+            &response(
+                &svc,
+                Op::AbsintQuery {
+                    config: "(a A".into(),
+                },
+            ),
+            "invalid-config",
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! cargo run --release --example design_space_exploration
 //! ```
 
-use approx_multipliers::dse::{run, text_report, DseOptions, Strategy};
+use approx_multipliers::dse::{run, text_report, DseOptions, PruneOptions, Strategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Exhaustive 8x8: every per-quadrant choice of {exact, approx-4x4,
@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 16x16 is doubly exponential (each quadrant is itself an 8x8
     // configuration), so explore it with a multi-restart hill-climb.
     // Sub-block characterizations are shared through the cache, so the
-    // climb mostly re-combines already-characterized 8x8 blocks.
+    // climb mostly re-combines already-characterized 8x8 blocks. The
+    // static error bounds from `axmul-absint` screen each mutant first:
+    // anything provably over the worst-case-error budget (or provably
+    // dominated on the LUT/error plane) is skipped without simulation.
     let opts16 = DseOptions {
         bits: 16,
         strategy: Strategy::HillClimb {
@@ -31,6 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             restarts: 4,
             seed: 0xDAC18,
         },
+        prune: Some(PruneOptions {
+            max_wce: Some(1 << 20),
+            dominance: true,
+        }),
         ..DseOptions::exhaustive_8x8()
     };
     let result16 = run(&opts16)?;

@@ -33,6 +33,10 @@
 //! * [`lint`] — multi-pass static analysis over elaborated netlists:
 //!   structural sanity, dead-logic and fold detection, 7-series packing
 //!   legality, and static checks of the paper's Table 2/3 claims.
+//! * [`absint`] — sound static error/range analysis by abstract
+//!   interpretation: known-bits, value-interval and error-interval
+//!   domains over configuration trees and netlists, machine-checkable
+//!   certificates, and the bound-guided pruning behind the 16×16 DSE.
 //! * [`serve`] — the characterization-and-inference daemon: a std-only
 //!   multi-threaded server speaking a length-prefixed JSON protocol
 //!   over TCP and Unix sockets, backed by a persistent on-disk
@@ -55,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use axmul_absint as absint;
 pub use axmul_adders as adders;
 pub use axmul_apps as apps;
 pub use axmul_baselines as baselines;

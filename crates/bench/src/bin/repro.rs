@@ -5,17 +5,18 @@
 //! repro sim-bench [--quick] [--json]
 //! repro serve-bench [--quick] [--json]
 //! repro absint [--quick] [--json]
+//! repro netio [--quick] [--json]
 //! repro ext-dse --cache-dir DIR
 //! repro all
 //! repro list
 //! ```
 //!
 //! `--quick` switches experiments that have a smoke variant (currently
-//! `nn`, `sim-bench`, `serve-bench` and `absint`) to their reduced
-//! CI-friendly form. `--json` additionally writes `sim-bench` results
-//! to `BENCH_sim.json`, `serve-bench` results to `BENCH_serve.json`
-//! and `absint` results to `BENCH_absint.json` in the working
-//! directory. `--cache-dir DIR` routes `ext-dse` through
+//! `nn`, `sim-bench`, `serve-bench`, `absint` and `netio`) to their
+//! reduced CI-friendly form. `--json` additionally writes `sim-bench`
+//! results to `BENCH_sim.json`, `serve-bench` results to
+//! `BENCH_serve.json`, `absint` results to `BENCH_absint.json` and
+//! `netio` results to `BENCH_netio.json` in the working directory. `--cache-dir DIR` routes `ext-dse` through
 //! the persistent characterization store rooted at `DIR`, so a second
 //! run warm-starts with zero recharacterizations.
 
@@ -131,6 +132,11 @@ const EXPERIMENTS: &[Experiment] = &[
         experiments::absint_report,
         "sound static bounds vs exhaustive truth",
     ),
+    (
+        "netio",
+        experiments::netio_report,
+        "interchange byte fixpoint + import throughput",
+    ),
 ];
 
 /// Smoke variants selected by `--quick`.
@@ -140,6 +146,7 @@ const QUICK: &[Smoke] = &[
     ("sim-bench", experiments::sim_bench_quick),
     ("serve-bench", experiments::serve_bench_quick),
     ("absint", experiments::absint_quick),
+    ("netio", experiments::netio_quick),
 ];
 
 fn usage() {
@@ -201,6 +208,15 @@ fn main() -> ExitCode {
                 }
                 print!("{payload}");
                 eprintln!("wrote BENCH_absint.json");
+            }
+            "netio" if json => {
+                let payload = experiments::netio_json(quick);
+                if let Err(e) = std::fs::write("BENCH_netio.json", &payload) {
+                    eprintln!("cannot write BENCH_netio.json: {e}");
+                    return ExitCode::FAILURE;
+                }
+                print!("{payload}");
+                eprintln!("wrote BENCH_netio.json");
             }
             "ext-dse" if cache_dir.is_some() => {
                 let dir = cache_dir.as_deref().expect("checked above");

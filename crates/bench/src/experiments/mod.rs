@@ -8,6 +8,7 @@ mod dse;
 mod extensions;
 mod figures;
 mod lint;
+mod netio;
 mod nn;
 mod serve;
 mod simbench;
@@ -19,6 +20,7 @@ pub use dse::{dse_scaling, dse_subset, ext_dse, ext_dse_cached};
 pub use extensions::{ablate_cfree_op, ext_adders, ext_correction, ext_signed};
 pub use figures::{fig1, fig10, fig12, fig7, fig8, fig9};
 pub use lint::{lint_all_reports, lint_roster};
+pub use netio::{netio_json, netio_quick, netio_report};
 pub use nn::{nn_full, nn_quick};
 pub use serve::{serve_bench, serve_bench_json, serve_bench_quick, serve_smoke};
 pub use simbench::{sim_bench, sim_bench_json, sim_bench_quick};
@@ -54,6 +56,7 @@ pub fn all() -> String {
         nn_full(),
         lint_roster(),
         absint_report(),
+        netio_report(),
     ]
     .join("\n")
 }

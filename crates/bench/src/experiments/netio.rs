@@ -1,0 +1,245 @@
+//! The `repro netio` experiment: the interchange layer's headline
+//! guarantee — `export → import → export` is a **byte fixpoint** — plus
+//! import throughput over the paper roster.
+//!
+//! Three parts:
+//!
+//! 1. **Roster fixpoint** — every Fig. 7 design (4/8/16 bits; 4/8 in
+//!    `--quick` mode) re-imports from its own Verilog to the identical
+//!    byte string, keeps its fingerprint, and survives an axnl-v1 JSON
+//!    round trip losslessly.
+//! 2. **Config-space fixpoint** — a stride of the 1250-point 8×8 DSE
+//!    space gets the same treatment, so the guarantee holds across the
+//!    whole generator, not just the named designs.
+//! 3. **Import throughput** — repeated parses of the roster's Verilog,
+//!    reported in MiB/s and designs/s.
+//!
+//! `netio_json` renders the same measurements as the
+//! `BENCH_netio.json` artifact the CI gate greps for
+//! `"fixpoint": true`.
+
+use std::time::Instant;
+
+use axmul_dse::Config;
+use axmul_fabric::export::to_verilog;
+use axmul_netio::{fingerprint, from_axnl, from_verilog, to_axnl};
+
+use crate::report::Table;
+use crate::roster::fig7_roster;
+
+/// One design's round-trip verdict.
+struct TripRow {
+    name: String,
+    bits: u32,
+    verilog_bytes: usize,
+    axnl_bytes: usize,
+    fixpoint: bool,
+    lossless_json: bool,
+}
+
+/// Runs both round trips on one netlist.
+fn round_trip(name: &str, bits: u32, n: &axmul_fabric::Netlist) -> TripRow {
+    let v = to_verilog(n);
+    let doc = to_axnl(n);
+    let fixpoint = match from_verilog(&v) {
+        Ok(back) => to_verilog(&back) == v && fingerprint(&back) == fingerprint(n),
+        Err(_) => false,
+    };
+    let lossless_json = match from_axnl(&doc) {
+        Ok(back) => to_axnl(&back) == doc && to_verilog(&back) == v,
+        Err(_) => false,
+    };
+    TripRow {
+        name: name.to_string(),
+        bits,
+        verilog_bytes: v.len(),
+        axnl_bytes: doc.len(),
+        fixpoint,
+        lossless_json,
+    }
+}
+
+/// Round-trips the Fig. 7 roster at the given widths.
+fn sweep_roster(widths: &[u32]) -> Vec<TripRow> {
+    let mut rows = Vec::new();
+    for &bits in widths {
+        for entry in fig7_roster(bits) {
+            rows.push(round_trip(&entry.name, bits, &entry.netlist));
+        }
+    }
+    rows
+}
+
+/// Round-trips every `stride`-th enumerable 8×8 configuration.
+fn sweep_configs(stride: usize) -> (usize, usize) {
+    let configs = Config::enumerate(8);
+    let mut checked = 0;
+    let mut ok = 0;
+    for cfg in configs.iter().step_by(stride) {
+        let row = round_trip(&cfg.key(), 8, &cfg.assemble());
+        checked += 1;
+        if row.fixpoint && row.lossless_json {
+            ok += 1;
+        }
+    }
+    (checked, ok)
+}
+
+/// Import throughput over the roster's Verilog text.
+struct Throughput {
+    designs_per_s: f64,
+    mib_per_s: f64,
+    designs: usize,
+}
+
+fn measure_throughput(widths: &[u32], reps: usize) -> Throughput {
+    let texts: Vec<String> = widths
+        .iter()
+        .flat_map(|&bits| fig7_roster(bits))
+        .map(|e| to_verilog(&e.netlist))
+        .collect();
+    let bytes: usize = texts.iter().map(String::len).sum();
+    let start = Instant::now();
+    for _ in 0..reps {
+        for t in &texts {
+            let n = from_verilog(t).expect("roster Verilog imports");
+            assert!(n.lut_count() > 0);
+        }
+    }
+    let dt = start.elapsed().as_secs_f64().max(1e-9);
+    Throughput {
+        designs_per_s: (texts.len() * reps) as f64 / dt,
+        mib_per_s: (bytes * reps) as f64 / dt / (1024.0 * 1024.0),
+        designs: texts.len(),
+    }
+}
+
+struct Measurements {
+    roster: Vec<TripRow>,
+    configs_checked: usize,
+    configs_ok: usize,
+    throughput: Throughput,
+}
+
+impl Measurements {
+    /// The headline verdict: every round trip on every design held.
+    fn fixpoint(&self) -> bool {
+        self.roster.iter().all(|r| r.fixpoint && r.lossless_json)
+            && self.configs_ok == self.configs_checked
+    }
+}
+
+fn measure(quick: bool) -> Measurements {
+    let (widths, stride, reps) = if quick {
+        (&[4u32, 8][..], 125, 3)
+    } else {
+        (&[4u32, 8, 16][..], 25, 20)
+    };
+    let (configs_checked, configs_ok) = sweep_configs(stride);
+    Measurements {
+        roster: sweep_roster(widths),
+        configs_checked,
+        configs_ok,
+        throughput: measure_throughput(widths, reps),
+    }
+}
+
+fn render(m: &Measurements) -> String {
+    let mut t = Table::new(
+        "Interchange round trips over the Fig. 7 roster",
+        &[
+            "design",
+            "bits",
+            "verilog B",
+            "axnl B",
+            "fixpoint",
+            "axnl lossless",
+        ],
+    );
+    for r in &m.roster {
+        t.row_owned(vec![
+            r.name.clone(),
+            r.bits.to_string(),
+            r.verilog_bytes.to_string(),
+            r.axnl_bytes.to_string(),
+            if r.fixpoint { "yes" } else { "NO" }.to_string(),
+            if r.lossless_json { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    let mut out = t.render();
+    let p = &m.throughput;
+    out.push_str(&format!(
+        "\n8x8 config space: {}/{} sampled configurations round-trip\n\
+         import throughput: {:.0} designs/s, {:.1} MiB/s over {} roster designs\n\
+         \nnetio verdict: {}\n",
+        m.configs_ok,
+        m.configs_checked,
+        p.designs_per_s,
+        p.mib_per_s,
+        p.designs,
+        if m.fixpoint() { "FIXPOINT" } else { "DIVERGED" }
+    ));
+    out
+}
+
+fn render_json(m: &Measurements, quick: bool) -> String {
+    let p = &m.throughput;
+    format!(
+        "{{\n  \"bench\": \"netio\",\n  \"mode\": \"{}\",\n\
+         \x20 \"roster_designs\": {},\n  \"roster_fixpoint\": {},\n\
+         \x20 \"roster_axnl_lossless\": {},\n\
+         \x20 \"configs_checked\": {},\n  \"configs_ok\": {},\n\
+         \x20 \"import_designs_per_s\": {:.1},\n  \"import_mib_per_s\": {:.2},\n\
+         \x20 \"fixpoint\": {}\n}}\n",
+        if quick { "quick" } else { "full" },
+        m.roster.len(),
+        m.roster.iter().filter(|r| r.fixpoint).count(),
+        m.roster.iter().filter(|r| r.lossless_json).count(),
+        m.configs_checked,
+        m.configs_ok,
+        p.designs_per_s,
+        p.mib_per_s,
+        m.fixpoint(),
+    )
+}
+
+/// Full report: roster at 4/8/16 bits, every 25th 8×8 configuration,
+/// 20 throughput repetitions.
+#[must_use]
+pub fn netio_report() -> String {
+    render(&measure(false))
+}
+
+/// CI smoke variant: roster at 4/8 bits, every 125th configuration,
+/// 3 throughput repetitions.
+#[must_use]
+pub fn netio_quick() -> String {
+    render(&measure(true))
+}
+
+/// The same measurements as a `BENCH_netio.json` payload.
+#[must_use]
+pub fn netio_json(quick: bool) -> String {
+    render_json(&measure(quick), quick)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_is_a_fixpoint() {
+        let m = measure(true);
+        assert!(m.fixpoint(), "interchange round trip diverged");
+        let report = render(&m);
+        assert!(report.contains("netio verdict: FIXPOINT"));
+        assert!(!report.contains("NO"));
+    }
+
+    #[test]
+    fn json_payload_carries_the_gate_fields() {
+        let json = netio_json(true);
+        assert!(json.contains("\"bench\": \"netio\""));
+        assert!(json.contains("\"fixpoint\": true"));
+    }
+}

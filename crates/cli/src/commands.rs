@@ -34,6 +34,8 @@ pub enum CliError {
     Nn(axmul_nn::NnError),
     /// The lint gate failed; the payload is the full rendered report.
     Lint(String),
+    /// A netlist interchange document failed to import.
+    Netio(axmul_netio::NetioError),
 }
 
 impl fmt::Display for CliError {
@@ -47,6 +49,7 @@ impl fmt::Display for CliError {
             CliError::Fabric(e) => write!(f, "{e}"),
             CliError::Nn(e) => write!(f, "{e}"),
             CliError::Lint(report) => write!(f, "lint gate failed\n{report}"),
+            CliError::Netio(e) => write!(f, "import failed [{}]: {e}", e.code()),
         }
     }
 }
@@ -83,12 +86,25 @@ impl From<axmul_nn::NnError> for CliError {
         CliError::Nn(e)
     }
 }
+impl From<axmul_netio::NetioError> for CliError {
+    fn from(e: axmul_netio::NetioError) -> Self {
+        CliError::Netio(e)
+    }
+}
 
 /// Parsed `--key value` options.
 struct Opts(HashMap<String, String>);
 
 /// Options that are bare flags (no value follows them).
-const FLAGS: &[&str] = &["all", "json", "quick", "dse"];
+const FLAGS: &[&str] = &[
+    "all",
+    "json",
+    "quick",
+    "dse",
+    "lint",
+    "absint",
+    "characterize",
+];
 
 impl Opts {
     fn parse(args: &[String]) -> Result<Self, CliError> {
@@ -145,6 +161,19 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some((cmd, rest)) = args.split_first() else {
         return Ok(usage());
     };
+    // `import` takes a positional FILE argument, which the `--key
+    // value` option parser would reject; peel it off first.
+    if cmd == "import" {
+        let Some((file, rest)) = rest.split_first() else {
+            return Err(CliError::Usage("import needs a FILE argument".into()));
+        };
+        if file.starts_with('-') {
+            return Err(CliError::Usage(
+                "import needs the FILE before any options".into(),
+            ));
+        }
+        return import(file, &Opts::parse(rest)?);
+    }
     let opts = Opts::parse(rest)?;
     match cmd.as_str() {
         "list" => Ok(list()),
@@ -182,7 +211,10 @@ fn usage() -> String {
      \x20             [--json] [--deny warnings]   static netlist analysis\n\
      \x20 serve       [--port N | --socket PATH] [--cache-dir DIR]\n\
      \x20             [--workers W] [--duration-s S]\n\
-     \x20                                          characterization daemon\n"
+     \x20                                          characterization daemon\n\
+     \x20 import      FILE [--format verilog|axnl] [--lint] [--absint]\n\
+     \x20             [--characterize] [--json] [-o FILE]\n\
+     \x20                                          read a netlist back in\n"
         .to_string()
 }
 
@@ -601,6 +633,83 @@ fn serve(opts: &Opts) -> Result<String, CliError> {
     }
 }
 
+/// Reads a netlist interchange document (structural Verilog or
+/// `axnl-v1` JSON) back into a validated netlist and reports on it.
+/// `--lint`, `--absint` and `--characterize` chain the imported design
+/// straight into the respective analyses; `--json` re-emits it as an
+/// `axnl-v1` document (`-o` writes it to a file instead of stdout).
+fn import(file: &str, opts: &Opts) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(file)?;
+    let netlist = match opts.get("format") {
+        None => axmul_netio::import(&text)?,
+        Some(f) => match f.parse::<axmul_netio::Format>() {
+            Ok(axmul_netio::Format::Verilog) => axmul_netio::from_verilog(&text)?,
+            Ok(axmul_netio::Format::Axnl) => axmul_netio::from_axnl(&text)?,
+            Err(()) => {
+                return Err(CliError::Usage(format!(
+                    "unknown format `{f}` (verilog|axnl)"
+                )))
+            }
+        },
+    };
+
+    if opts.flag("json") {
+        let doc = axmul_netio::to_axnl(&netlist);
+        return if let Some(path) = opts.get("o") {
+            std::fs::write(path, &doc)?;
+            Ok(format!("wrote {path}: {} as axnl-v1\n", netlist.name()))
+        } else {
+            Ok(doc)
+        };
+    }
+
+    let mut out = format!(
+        "imported {} from {file} ({})\n  {} LUTs, {} CARRY4s, {} nets, fingerprint {:016x}\n",
+        netlist.name(),
+        axmul_netio::detect_format(&text).name(),
+        netlist.lut_count(),
+        netlist.carry4_count(),
+        netlist.drivers().len(),
+        axmul_netio::fingerprint(&netlist),
+    );
+    for (name, bits) in netlist.input_buses() {
+        out.push_str(&format!("  input  {name}[{}:0]\n", bits.len() - 1));
+    }
+    for (name, bits) in netlist.output_buses() {
+        out.push_str(&format!("  output {name}[{}:0]\n", bits.len() - 1));
+    }
+
+    if opts.flag("lint") {
+        let report = axmul_lint::Linter::new().lint(&netlist);
+        out.push_str(&report.to_string());
+    }
+    if opts.flag("absint") {
+        let a = axmul_absint::analyze_netlist(&netlist);
+        for o in &a.outputs {
+            out.push_str(&format!(
+                "  absint output {}: in [{}, {}]\n",
+                o.bus, o.interval.lo, o.interval.hi
+            ));
+        }
+    }
+    if opts.flag("characterize") {
+        let area = AreaReport::of(&netlist);
+        let delay = DelayModel::virtex7();
+        let timing = analyze(&netlist, &delay);
+        let stim = uniform_stimulus(&netlist, 2000, 0xDAC18);
+        let energy = measure(&netlist, &EnergyModel::virtex7(), &delay, &stim)?;
+        out.push_str(&format!(
+            "  area:   {area}\n  timing: {timing}\n  energy: {:.3} units/op, EDP {:.3}\n",
+            energy.energy_per_op, energy.edp
+        ));
+    }
+    if let Some(path) = opts.get("o") {
+        std::fs::write(path, &out)?;
+        return Ok(format!("wrote {path}\n"));
+    }
+    Ok(out)
+}
+
 /// Warnings a design is *expected* to carry: the K baseline's deleted
 /// kernel bit leaves a provably-constant summation LUT, and the
 /// VivadoIP emulations reproduce the IP's wasteful mapping on purpose
@@ -959,5 +1068,98 @@ mod tests {
             run_str(&["nn", "--dse", "--floor", "1.5"]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn import_round_trips_generated_verilog() {
+        let dir = std::env::temp_dir().join("axmul_cli_import_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let vfile = dir.join("ca8.v");
+        run_str(&[
+            "generate",
+            "--arch",
+            "ca",
+            "--bits",
+            "8",
+            "-o",
+            vfile.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_str(&["import", vfile.to_str().unwrap()]).unwrap();
+        assert!(out.contains("(verilog)"), "{out}");
+        assert!(out.contains("57 LUTs"), "{out}");
+        assert!(out.contains("fingerprint"), "{out}");
+        assert!(out.contains("input  a[7:0]"), "{out}");
+        assert!(out.contains("output p[15:0]"), "{out}");
+
+        // Re-emit as axnl-v1, import that back, and check it lints clean.
+        let jfile = dir.join("ca8.axnl");
+        let wrote = run_str(&[
+            "import",
+            vfile.to_str().unwrap(),
+            "--json",
+            "-o",
+            jfile.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(wrote.contains("axnl-v1"), "{wrote}");
+        let out2 = run_str(&["import", jfile.to_str().unwrap(), "--lint"]).unwrap();
+        assert!(out2.contains("(axnl)"), "{out2}");
+        assert!(out2.contains("0 error(s)"), "{out2}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn import_chains_absint_and_characterize() {
+        let dir = std::env::temp_dir().join("axmul_cli_import_chain_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let vfile = dir.join("trunc8.v");
+        run_str(&[
+            "generate",
+            "--arch",
+            "truncated",
+            "--bits",
+            "8",
+            "-o",
+            vfile.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_str(&[
+            "import",
+            vfile.to_str().unwrap(),
+            "--absint",
+            "--characterize",
+        ])
+        .unwrap();
+        assert!(out.contains("absint output"), "{out}");
+        assert!(out.contains("critical path"), "{out}");
+        assert!(out.contains("EDP"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn import_reports_typed_errors() {
+        let dir = std::env::temp_dir().join("axmul_cli_import_err_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.v");
+        std::fs::write(&bad, "module broken (").unwrap();
+        let err = run_str(&["import", bad.to_str().unwrap()]).unwrap_err();
+        assert!(matches!(err, CliError::Netio(_)), "{err}");
+        assert!(err.to_string().contains("[syntax]"), "{err}");
+
+        assert!(matches!(
+            run_str(&["import", bad.to_str().unwrap(), "--format", "edif"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(run_str(&["import"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_str(&["import", "--lint"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_str(&["import", dir.join("nope.v").to_str().unwrap()]),
+            Err(CliError::Io(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

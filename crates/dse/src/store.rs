@@ -54,7 +54,6 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use axmul_fabric::export::to_verilog;
 use axmul_fabric::Netlist;
 use axmul_metrics::ErrorStats;
 
@@ -184,9 +183,15 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// export (cells, INITs, connectivity and port order all feed the
 /// text). Any change to the generators changes the fingerprint and
 /// invalidates persisted records for the affected keys.
+///
+/// The canonical implementation lives in [`axmul_netio::fingerprint`]:
+/// because `export → import → export` is a byte fixpoint there, an
+/// imported netlist fingerprints identically to its in-process twin
+/// and warm cache records keep hitting for externally supplied
+/// designs.
 #[must_use]
 pub fn netlist_fingerprint(netlist: &Netlist) -> u64 {
-    fnv1a(to_verilog(netlist).as_bytes())
+    axmul_netio::fingerprint(netlist)
 }
 
 /// One LRU shard: decoded records plus a logical clock for eviction.

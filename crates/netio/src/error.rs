@@ -1,0 +1,266 @@
+//! The typed error taxonomy of the interchange layer.
+//!
+//! Every failure an importer can hit — lexical, grammatical, schema,
+//! elaboration — is a [`NetioError`] variant carrying enough structure
+//! for a caller (CLI, daemon) to render a precise message without
+//! string matching, plus a stable kebab-case [`NetioError::code`] for
+//! wire protocols and documentation. Verilog-side variants carry the
+//! source [`Loc`] of the offending token; `axnl` schema variants carry
+//! the JSON path instead.
+
+use std::fmt;
+
+use crate::json::JsonError;
+
+/// A position in the imported source text (1-based, like editors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Loc {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes; the dialect is ASCII).
+    pub col: u32,
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.col)
+    }
+}
+
+/// Why an import failed. See [`NetioError::code`] for the stable wire
+/// spelling of each class.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetioError {
+    /// The text violated the grammar (unexpected token, missing
+    /// punctuation, unterminated construct, bad literal).
+    Syntax {
+        /// Where the parse failed.
+        loc: Loc,
+        /// What the parser expected or found.
+        message: String,
+    },
+    /// An instantiated primitive is neither `LUT6_2` nor `CARRY4`.
+    UnknownPrimitive {
+        /// Location of the instantiation.
+        loc: Loc,
+        /// The primitive name found.
+        primitive: String,
+    },
+    /// A named port connection the primitive does not have, a duplicate
+    /// connection, or a required connection left out.
+    BadPort {
+        /// Location of the instantiation or connection.
+        loc: Loc,
+        /// Instance name.
+        cell: String,
+        /// What is wrong with the port list.
+        message: String,
+    },
+    /// A connection or concatenation has the wrong number of bits.
+    WidthMismatch {
+        /// Location of the expression.
+        loc: Loc,
+        /// What was being connected (port or net name).
+        what: String,
+        /// Bits required.
+        expected: usize,
+        /// Bits found.
+        found: usize,
+    },
+    /// A bit-select outside the declared bus range.
+    OutOfRange {
+        /// Location of the reference.
+        loc: Loc,
+        /// Bus name.
+        name: String,
+        /// Offending index.
+        index: usize,
+        /// Declared width.
+        width: usize,
+    },
+    /// A reference to an identifier that is neither a declared wire nor
+    /// a port.
+    UnknownNet {
+        /// Location of the reference.
+        loc: Loc,
+        /// The undeclared name.
+        name: String,
+    },
+    /// A declared wire or output bit that nothing ever drives.
+    UndrivenNet {
+        /// Location of the declaration (or of the output port).
+        loc: Loc,
+        /// Net or output-bit name.
+        name: String,
+    },
+    /// Two drivers claim the same net (or the same name is declared
+    /// twice).
+    DuplicateDriver {
+        /// Location of the second driver.
+        loc: Loc,
+        /// The multiply-driven net.
+        name: String,
+    },
+    /// A `LUT6_2` without a 64-bit `INIT`, or an `INIT` literal that is
+    /// not exactly 16 hex digits.
+    BadInit {
+        /// Location of the parameter (or instantiation, when missing).
+        loc: Loc,
+        /// What is wrong with the attribute.
+        message: String,
+    },
+    /// The cells form a combinational cycle; no topological order
+    /// exists.
+    CombLoop {
+        /// Indices (file order) of the cells on or behind the cycle.
+        cells: Vec<usize>,
+    },
+    /// The design exceeds a hard importer resource limit (hostile or
+    /// runaway input must not exhaust memory).
+    LimitExceeded {
+        /// Which limit.
+        what: &'static str,
+        /// The configured maximum.
+        limit: usize,
+    },
+    /// An `axnl` document that is not valid JSON.
+    Json(JsonError),
+    /// An `axnl` document that parsed but violates the schema.
+    Schema {
+        /// JSON path of the offending value, e.g. `cells[3].init`.
+        path: String,
+        /// What the schema requires there.
+        message: String,
+    },
+    /// The `format` field names a version this reader does not speak.
+    UnsupportedFormat {
+        /// The format string found.
+        found: String,
+    },
+    /// The document's metadata hash disagrees with the reconstructed
+    /// netlist (the file was edited after export, or corrupted).
+    HashMismatch {
+        /// Hash recomputed from the reconstruction.
+        expected: u64,
+        /// Hash the document claims.
+        found: u64,
+    },
+}
+
+impl NetioError {
+    /// Stable kebab-case class code, used by the daemon's error
+    /// responses and documented in `docs/interchange.md`.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            NetioError::Syntax { .. } => "syntax",
+            NetioError::UnknownPrimitive { .. } => "unknown-primitive",
+            NetioError::BadPort { .. } => "bad-port",
+            NetioError::WidthMismatch { .. } => "width-mismatch",
+            NetioError::OutOfRange { .. } => "out-of-range",
+            NetioError::UnknownNet { .. } => "unknown-net",
+            NetioError::UndrivenNet { .. } => "undriven-net",
+            NetioError::DuplicateDriver { .. } => "duplicate-driver",
+            NetioError::BadInit { .. } => "bad-init",
+            NetioError::CombLoop { .. } => "comb-loop",
+            NetioError::LimitExceeded { .. } => "limit-exceeded",
+            NetioError::Json(_) => "bad-json",
+            NetioError::Schema { .. } => "bad-schema",
+            NetioError::UnsupportedFormat { .. } => "unsupported-format",
+            NetioError::HashMismatch { .. } => "hash-mismatch",
+        }
+    }
+
+    /// The source location, for variants that have one.
+    #[must_use]
+    pub fn loc(&self) -> Option<Loc> {
+        match self {
+            NetioError::Syntax { loc, .. }
+            | NetioError::UnknownPrimitive { loc, .. }
+            | NetioError::BadPort { loc, .. }
+            | NetioError::WidthMismatch { loc, .. }
+            | NetioError::OutOfRange { loc, .. }
+            | NetioError::UnknownNet { loc, .. }
+            | NetioError::UndrivenNet { loc, .. }
+            | NetioError::DuplicateDriver { loc, .. }
+            | NetioError::BadInit { loc, .. } => Some(*loc),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for NetioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetioError::Syntax { loc, message } => write!(f, "{loc}: syntax error: {message}"),
+            NetioError::UnknownPrimitive { loc, primitive } => {
+                write!(
+                    f,
+                    "{loc}: unknown primitive `{primitive}` (this importer speaks LUT6_2 and CARRY4)"
+                )
+            }
+            NetioError::BadPort { loc, cell, message } => {
+                write!(f, "{loc}: bad port connection on `{cell}`: {message}")
+            }
+            NetioError::WidthMismatch {
+                loc,
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{loc}: width mismatch on {what}: expected {expected} bit(s), found {found}"
+            ),
+            NetioError::OutOfRange {
+                loc,
+                name,
+                index,
+                width,
+            } => write!(
+                f,
+                "{loc}: bit-select `{name}[{index}]` outside the declared [{}:0] range",
+                width.saturating_sub(1)
+            ),
+            NetioError::UnknownNet { loc, name } => {
+                write!(f, "{loc}: reference to undeclared net `{name}`")
+            }
+            NetioError::UndrivenNet { loc, name } => {
+                write!(f, "{loc}: net `{name}` is never driven")
+            }
+            NetioError::DuplicateDriver { loc, name } => {
+                write!(f, "{loc}: net `{name}` has more than one driver")
+            }
+            NetioError::BadInit { loc, message } => {
+                write!(f, "{loc}: bad INIT attribute: {message}")
+            }
+            NetioError::CombLoop { cells } => {
+                write!(f, "combinational loop through {} cell(s)", cells.len())
+            }
+            NetioError::LimitExceeded { what, limit } => {
+                write!(f, "design exceeds the importer limit of {limit} {what}")
+            }
+            NetioError::Json(e) => write!(f, "{e}"),
+            NetioError::Schema { path, message } => {
+                write!(f, "schema violation at `{path}`: {message}")
+            }
+            NetioError::UnsupportedFormat { found } => write!(
+                f,
+                "unsupported netlist format `{found}` (this reader speaks `{}`)",
+                crate::axnl::AXNL_FORMAT
+            ),
+            NetioError::HashMismatch { expected, found } => write!(
+                f,
+                "metadata hash {found:016x} does not match the reconstructed netlist ({expected:016x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetioError {}
+
+impl From<JsonError> for NetioError {
+    fn from(e: JsonError) -> Self {
+        NetioError::Json(e)
+    }
+}

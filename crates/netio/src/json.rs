@@ -1,12 +1,16 @@
 //! Minimal JSON value model, parser and writer.
 //!
-//! The offline container has no serde, so the protocol layer carries
-//! its own JSON implementation: a [`Value`] tree, a recursive-descent
-//! parser with depth and size guards (hostile input reaches it straight
-//! off the wire), and a writer whose output round-trips through the
-//! parser. Numbers are `f64` — every quantity the protocol carries
-//! (counts, table entries, statistics) fits `f64` exactly or is a float
-//! to begin with.
+//! The offline container has no serde, so the workspace carries its own
+//! JSON implementation: a [`Value`] tree, a recursive-descent parser
+//! with depth guards (hostile input reaches it straight off the wire or
+//! from untrusted files), and a writer whose output round-trips through
+//! the parser. Numbers are `f64` — every quantity the `axnl` schema and
+//! the daemon protocol carry is either well below 2^53 or a float to
+//! begin with; the one exception, 64-bit LUT INITs, travels as a hex
+//! string (see [`crate::axnl`]). This module started life inside
+//! `axmul-serve`; it lives here so both the interchange formats and the
+//! wire protocol share one parser, and `axmul-serve` re-exports it
+//! unchanged.
 
 use std::collections::BTreeMap;
 use std::fmt;

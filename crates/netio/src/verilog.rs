@@ -1,0 +1,1678 @@
+//! Structural-Verilog importer for the dialect
+//! [`axmul_fabric::export::to_verilog`] emits.
+//!
+//! The grammar is deliberately exactly the exported subset — one
+//! module, scalar/`[N:0]` wire ports, scalar internal wires, `LUT6_2`
+//! instantiations with a 64-bit hex `INIT` parameter, `CARRY4`
+//! instantiations with named connections and 4-bit concatenations
+//! (empty slots allowed), and `assign` statements onto output bits.
+//! Three stages:
+//!
+//! 1. a hand-written lexer tracking [`Loc`] per token,
+//! 2. a recursive-descent parser producing a small AST,
+//! 3. an elaborator that resolves names, checks widths, single-driver
+//!    and topological-order invariants, and assembles a validated
+//!    [`Netlist`] via [`Netlist::from_parts`].
+//!
+//! **Fixpoint guarantee.** When every internal wire follows the
+//! exporter's canonical `n<index>` naming, the elaborator reuses those
+//! indices as net ids, so `to_verilog(from_verilog(to_verilog(n)))`
+//! reproduces the input byte for byte (input and constant nets never
+//! appear by index in the text, so their placement in the driver table
+//! is free). Foreign files with arbitrary wire names still import —
+//! they are renumbered sequentially and re-export in canonical form.
+//! Cells listed out of topological order are stably sorted (a no-op
+//! for exporter output); true combinational cycles are a typed error.
+//!
+//! Nothing in here panics on hostile input: every failure is a
+//! [`NetioError`] with the source location.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+use axmul_fabric::{Cell, CellId, Driver, Init, NetId, Netlist};
+
+use crate::error::{Loc, NetioError};
+
+/// Hard cap on nets an imported design may declare.
+pub const MAX_NETS: usize = 1 << 20;
+/// Hard cap on primitive instances.
+pub const MAX_CELLS: usize = 1 << 18;
+/// Hard cap on ports.
+pub const MAX_PORTS: usize = 1 << 12;
+/// Hard cap on the width of a single port bus.
+pub const MAX_BUS_WIDTH: usize = 1 << 12;
+
+/// Parses one structural-Verilog module into a validated [`Netlist`].
+///
+/// # Errors
+///
+/// Any lexical, grammatical or elaboration failure; see [`NetioError`].
+pub fn from_verilog(text: &str) -> Result<Netlist, NetioError> {
+    let module = Parser::new(text)?.module()?;
+    elaborate(text, &module)
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    /// Plain decimal integer (bit indices, range bounds).
+    Int(u64),
+    /// `1'b0` / `1'b1`.
+    BitLit(bool),
+    /// Sized hex literal: value and digit count, e.g. `64'h…` (16).
+    HexLit(u64, u32),
+    LParen,
+    RParen,
+    LBrack,
+    RBrack,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Colon,
+    Hash,
+    Dot,
+    Eq,
+    Eof,
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Int(v) => format!("number `{v}`"),
+            Tok::BitLit(b) => format!("literal `1'b{}`", u8::from(*b)),
+            Tok::HexLit(v, d) => format!("literal `{d}'h{v:X}`"),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBrack => "`[`".into(),
+            Tok::RBrack => "`]`".into(),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Colon => "`:`".into(),
+            Tok::Hash => "`#`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    loc: Loc,
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Lexer {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn loc(&self) -> Loc {
+        Loc {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn err(&self, message: impl Into<String>) -> NetioError {
+        NetioError::Syntax {
+            loc: self.loc(),
+            message: message.into(),
+        }
+    }
+
+    /// Skips whitespace and `//` / `/* */` comments.
+    fn skip_trivia(&mut self) -> Result<(), NetioError> {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.bump();
+                }
+                Some(b'/') if self.bytes.get(self.pos + 1) == Some(&b'/') => {
+                    while !matches!(self.peek(), None | Some(b'\n')) {
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.bytes.get(self.pos + 1) == Some(&b'*') => {
+                    let open = self.loc();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => {
+                                return Err(NetioError::Syntax {
+                                    loc: open,
+                                    message: "unterminated block comment".into(),
+                                })
+                            }
+                            Some(b'*') if self.bytes.get(self.pos + 1) == Some(&b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, NetioError> {
+        self.skip_trivia()?;
+        let loc = self.loc();
+        let Some(b) = self.peek() else {
+            return Ok(Token { tok: Tok::Eof, loc });
+        };
+        let tok = match b {
+            b'(' => self.punct(Tok::LParen),
+            b')' => self.punct(Tok::RParen),
+            b'[' => self.punct(Tok::LBrack),
+            b']' => self.punct(Tok::RBrack),
+            b'{' => self.punct(Tok::LBrace),
+            b'}' => self.punct(Tok::RBrace),
+            b',' => self.punct(Tok::Comma),
+            b';' => self.punct(Tok::Semi),
+            b':' => self.punct(Tok::Colon),
+            b'#' => self.punct(Tok::Hash),
+            b'.' => self.punct(Tok::Dot),
+            b'=' => self.punct(Tok::Eq),
+            b'0'..=b'9' => self.number()?,
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'\\' => self.ident()?,
+            other => return Err(self.err(format!("unexpected byte {:#04x}", other))),
+        };
+        Ok(Token { tok, loc })
+    }
+
+    fn punct(&mut self, tok: Tok) -> Tok {
+        self.bump();
+        tok
+    }
+
+    fn ident(&mut self) -> Result<Tok, NetioError> {
+        if self.peek() == Some(b'\\') {
+            return Err(self.err("escaped identifiers are not supported"));
+        }
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'$')
+        ) {
+            self.bump();
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("identifier bytes are ASCII")
+            .to_string();
+        Ok(Tok::Ident(s))
+    }
+
+    /// A decimal integer, or a sized literal `<w>'b<bit>` / `<w>'h<hex>`.
+    fn number(&mut self) -> Result<Tok, NetioError> {
+        let mut value: u64 = 0;
+        while let Some(d @ b'0'..=b'9') = self.peek() {
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(u64::from(d - b'0')))
+                .ok_or_else(|| self.err("number does not fit 64 bits"))?;
+            self.bump();
+        }
+        if self.peek() != Some(b'\'') {
+            return Ok(Tok::Int(value));
+        }
+        self.bump();
+        match self.bump() {
+            Some(b'b' | b'B') => {
+                let bit = match self.bump() {
+                    Some(b'0') => false,
+                    Some(b'1') => true,
+                    _ => return Err(self.err("expected `0` or `1` after `'b`")),
+                };
+                if matches!(self.peek(), Some(b'0'..=b'9' | b'_')) {
+                    return Err(self.err("only 1-bit binary literals are supported"));
+                }
+                Ok(Tok::BitLit(bit))
+            }
+            Some(b'h' | b'H') => {
+                let mut digits = 0u32;
+                let mut v: u64 = 0;
+                while let Some(d) = self.peek() {
+                    let nibble = match d {
+                        b'0'..=b'9' => d - b'0',
+                        b'a'..=b'f' => d - b'a' + 10,
+                        b'A'..=b'F' => d - b'A' + 10,
+                        _ => break,
+                    };
+                    if digits == 16 {
+                        return Err(self.err("hex literal wider than 64 bits"));
+                    }
+                    v = (v << 4) | u64::from(nibble);
+                    digits += 1;
+                    self.bump();
+                }
+                if digits == 0 {
+                    return Err(self.err("expected hex digits after `'h`"));
+                }
+                Ok(Tok::HexLit(v, digits))
+            }
+            _ => Err(self.err("unsupported literal base (only 'b and 'h)")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// AST + parser
+// ---------------------------------------------------------------------
+
+/// One bit-level operand: a literal or a (possibly indexed) reference.
+#[derive(Debug, Clone)]
+enum Bit {
+    Const(bool),
+    Ref {
+        name: String,
+        index: Option<usize>,
+        loc: Loc,
+    },
+}
+
+/// An expression: a single bit, or a concatenation (MSB first, empty
+/// slots as `None`).
+#[derive(Debug, Clone)]
+struct Expr {
+    bits: Vec<Option<Bit>>,
+    loc: Loc,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Input,
+    Output,
+}
+
+#[derive(Debug)]
+struct Port {
+    dir: Dir,
+    name: String,
+    width: usize,
+    loc: Loc,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ParamValue {
+    Hex(u64, u32),
+    Bit(bool),
+    Int(u64),
+}
+
+#[derive(Debug)]
+struct Instance {
+    primitive: String,
+    name: String,
+    params: Vec<(String, ParamValue, Loc)>,
+    conns: Vec<(String, Expr, Loc)>,
+    loc: Loc,
+}
+
+#[derive(Debug)]
+enum Item {
+    Wire { name: String, loc: Loc },
+    Instance(Instance),
+    Assign { lhs: Bit, rhs: Expr, loc: Loc },
+}
+
+#[derive(Debug)]
+struct Module {
+    name: String,
+    ports: Vec<Port>,
+    items: Vec<Item>,
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(text: &str) -> Result<Self, NetioError> {
+        let mut lexer = Lexer::new(text);
+        let mut tokens = Vec::new();
+        loop {
+            let t = lexer.next_token()?;
+            let done = t.tok == Tok::Eof;
+            tokens.push(t);
+            if done {
+                break;
+            }
+        }
+        Ok(Parser { tokens, pos: 0 })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_at(&self, loc: Loc, message: impl Into<String>) -> NetioError {
+        NetioError::Syntax {
+            loc,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<Token, NetioError> {
+        let t = self.bump();
+        if &t.tok == tok {
+            Ok(t)
+        } else {
+            Err(self.err_at(
+                t.loc,
+                format!("expected {what}, found {}", t.tok.describe()),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Loc), NetioError> {
+        let t = self.bump();
+        match t.tok {
+            Tok::Ident(s) => Ok((s, t.loc)),
+            other => Err(self.err_at(
+                t.loc,
+                format!("expected {what}, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<Loc, NetioError> {
+        let (s, loc) = self.ident(&format!("keyword `{kw}`"))?;
+        if s == kw {
+            Ok(loc)
+        } else {
+            Err(self.err_at(loc, format!("expected keyword `{kw}`, found `{s}`")))
+        }
+    }
+
+    fn int(&mut self, what: &str) -> Result<(u64, Loc), NetioError> {
+        let t = self.bump();
+        match t.tok {
+            Tok::Int(v) => Ok((v, t.loc)),
+            other => Err(self.err_at(
+                t.loc,
+                format!("expected {what}, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn module(&mut self) -> Result<Module, NetioError> {
+        self.keyword("module")?;
+        let (name, _) = self.ident("module name")?;
+        self.expect(&Tok::LParen, "`(` opening the port list")?;
+        let mut ports = Vec::new();
+        loop {
+            ports.push(self.port()?);
+            if ports.len() > MAX_PORTS {
+                return Err(NetioError::LimitExceeded {
+                    what: "ports",
+                    limit: MAX_PORTS,
+                });
+            }
+            let t = self.bump();
+            match t.tok {
+                Tok::Comma => {}
+                Tok::RParen => break,
+                other => {
+                    return Err(self.err_at(
+                        t.loc,
+                        format!(
+                            "expected `,` or `)` in port list, found {}",
+                            other.describe()
+                        ),
+                    ))
+                }
+            }
+        }
+        self.expect(&Tok::Semi, "`;` after the port list")?;
+        let mut items = Vec::new();
+        loop {
+            let t = self.peek().clone();
+            match &t.tok {
+                Tok::Ident(kw) if kw == "endmodule" => {
+                    self.bump();
+                    break;
+                }
+                Tok::Ident(kw) if kw == "wire" => {
+                    self.bump();
+                    let (wname, wloc) = self.ident("wire name")?;
+                    if self.peek().tok == Tok::LBrack {
+                        return Err(self.err_at(wloc, "vector wires are not supported"));
+                    }
+                    self.expect(&Tok::Semi, "`;` after wire declaration")?;
+                    items.push(Item::Wire {
+                        name: wname,
+                        loc: wloc,
+                    });
+                }
+                Tok::Ident(kw) if kw == "assign" => {
+                    let loc = self.bump().loc;
+                    let lhs = self.bit("assign target")?;
+                    self.expect(&Tok::Eq, "`=` in assign")?;
+                    let rhs = self.expr()?;
+                    self.expect(&Tok::Semi, "`;` after assign")?;
+                    items.push(Item::Assign { lhs, rhs, loc });
+                }
+                Tok::Ident(_) => items.push(Item::Instance(self.instance()?)),
+                Tok::Eof => {
+                    return Err(self.err_at(t.loc, "unexpected end of input (missing `endmodule`?)"))
+                }
+                other => {
+                    return Err(self.err_at(
+                        t.loc,
+                        format!(
+                            "expected a wire declaration, instantiation, `assign` or `endmodule`, \
+                             found {}",
+                            other.describe()
+                        ),
+                    ))
+                }
+            }
+            if items.len() > MAX_CELLS + MAX_NETS {
+                return Err(NetioError::LimitExceeded {
+                    what: "module items",
+                    limit: MAX_CELLS + MAX_NETS,
+                });
+            }
+        }
+        let t = self.bump();
+        if t.tok != Tok::Eof {
+            return Err(self.err_at(
+                t.loc,
+                format!("trailing {} after `endmodule`", t.tok.describe()),
+            ));
+        }
+        Ok(Module { name, ports, items })
+    }
+
+    fn port(&mut self) -> Result<Port, NetioError> {
+        let (kw, loc) = self.ident("`input` or `output`")?;
+        let dir = match kw.as_str() {
+            "input" => Dir::Input,
+            "output" => Dir::Output,
+            other => {
+                return Err(self.err_at(
+                    loc,
+                    format!("expected `input` or `output`, found `{other}`"),
+                ))
+            }
+        };
+        // Optional `wire` keyword.
+        if matches!(&self.peek().tok, Tok::Ident(s) if s == "wire") {
+            self.bump();
+        }
+        let width = if self.peek().tok == Tok::LBrack {
+            self.bump();
+            let (msb, mloc) = self.int("range MSB")?;
+            self.expect(&Tok::Colon, "`:` in range")?;
+            let (lsb, lloc) = self.int("range LSB")?;
+            self.expect(&Tok::RBrack, "`]` closing the range")?;
+            if lsb != 0 {
+                return Err(self.err_at(lloc, "only [N:0] ranges are supported"));
+            }
+            let w = (msb as usize).saturating_add(1);
+            if w > MAX_BUS_WIDTH {
+                return Err(self.err_at(mloc, format!("bus wider than {MAX_BUS_WIDTH} bits")));
+            }
+            w
+        } else {
+            1
+        };
+        let (name, nloc) = self.ident("port name")?;
+        let _ = nloc;
+        Ok(Port {
+            dir,
+            name,
+            width,
+            loc,
+        })
+    }
+
+    fn instance(&mut self) -> Result<Instance, NetioError> {
+        let (primitive, loc) = self.ident("primitive name")?;
+        let mut params = Vec::new();
+        if self.peek().tok == Tok::Hash {
+            self.bump();
+            self.expect(&Tok::LParen, "`(` opening the parameter list")?;
+            loop {
+                self.expect(&Tok::Dot, "`.` starting a parameter")?;
+                let (pname, ploc) = self.ident("parameter name")?;
+                self.expect(&Tok::LParen, "`(` around the parameter value")?;
+                let t = self.bump();
+                let value = match t.tok {
+                    Tok::HexLit(v, d) => ParamValue::Hex(v, d),
+                    Tok::BitLit(b) => ParamValue::Bit(b),
+                    Tok::Int(v) => ParamValue::Int(v),
+                    other => {
+                        return Err(self.err_at(
+                            t.loc,
+                            format!(
+                                "expected a literal parameter value, found {}",
+                                other.describe()
+                            ),
+                        ))
+                    }
+                };
+                self.expect(&Tok::RParen, "`)` after the parameter value")?;
+                params.push((pname, value, ploc));
+                let t = self.bump();
+                match t.tok {
+                    Tok::Comma => {}
+                    Tok::RParen => break,
+                    other => {
+                        return Err(self.err_at(
+                            t.loc,
+                            format!(
+                                "expected `,` or `)` in parameters, found {}",
+                                other.describe()
+                            ),
+                        ))
+                    }
+                }
+            }
+        }
+        let (name, _) = self.ident("instance name")?;
+        self.expect(&Tok::LParen, "`(` opening the connection list")?;
+        let mut conns = Vec::new();
+        if self.peek().tok == Tok::RParen {
+            self.bump();
+        } else {
+            loop {
+                self.expect(&Tok::Dot, "`.` starting a connection")?;
+                let (port, ploc) = self.ident("port name")?;
+                self.expect(&Tok::LParen, "`(` around the connection")?;
+                let expr = self.expr()?;
+                self.expect(&Tok::RParen, "`)` after the connection")?;
+                conns.push((port, expr, ploc));
+                let t = self.bump();
+                match t.tok {
+                    Tok::Comma => {}
+                    Tok::RParen => break,
+                    other => {
+                        return Err(self.err_at(
+                            t.loc,
+                            format!(
+                                "expected `,` or `)` in connections, found {}",
+                                other.describe()
+                            ),
+                        ))
+                    }
+                }
+            }
+        }
+        self.expect(&Tok::Semi, "`;` after the instantiation")?;
+        Ok(Instance {
+            primitive,
+            name,
+            params,
+            conns,
+            loc,
+        })
+    }
+
+    /// A single-bit operand: literal or (indexed) identifier.
+    fn bit(&mut self, what: &str) -> Result<Bit, NetioError> {
+        let t = self.bump();
+        match t.tok {
+            Tok::BitLit(b) => Ok(Bit::Const(b)),
+            Tok::Ident(name) => {
+                let index = if self.peek().tok == Tok::LBrack {
+                    self.bump();
+                    let (i, iloc) = self.int("bit index")?;
+                    self.expect(&Tok::RBrack, "`]` after the bit index")?;
+                    if i as usize >= MAX_BUS_WIDTH {
+                        return Err(self.err_at(iloc, format!("bit index above {MAX_BUS_WIDTH}")));
+                    }
+                    Some(i as usize)
+                } else {
+                    None
+                };
+                Ok(Bit::Ref {
+                    name,
+                    index,
+                    loc: t.loc,
+                })
+            }
+            other => Err(self.err_at(
+                t.loc,
+                format!("expected {what}, found {}", other.describe()),
+            )),
+        }
+    }
+
+    /// A connection expression: one bit, or a `{…}` concatenation whose
+    /// slots may be empty (the exporter's unused CARRY4 outputs).
+    fn expr(&mut self) -> Result<Expr, NetioError> {
+        let loc = self.peek().loc;
+        if self.peek().tok != Tok::LBrace {
+            // Empty connection `.O()` shows up as the closing paren.
+            if self.peek().tok == Tok::RParen {
+                return Ok(Expr { bits: vec![], loc });
+            }
+            let b = self.bit("a net or literal")?;
+            return Ok(Expr {
+                bits: vec![Some(b)],
+                loc,
+            });
+        }
+        self.bump();
+        let mut bits = Vec::new();
+        loop {
+            match self.peek().tok {
+                Tok::Comma => {
+                    bits.push(None);
+                    self.bump();
+                }
+                Tok::RBrace => {
+                    bits.push(None);
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    bits.push(Some(self.bit("a net or literal")?));
+                    let t = self.bump();
+                    match t.tok {
+                        Tok::Comma => {}
+                        Tok::RBrace => break,
+                        other => {
+                            return Err(self.err_at(
+                                t.loc,
+                                format!(
+                                    "expected `,` or `}}` in concatenation, found {}",
+                                    other.describe()
+                                ),
+                            ))
+                        }
+                    }
+                }
+            }
+            if bits.len() > MAX_BUS_WIDTH {
+                return Err(self.err_at(loc, format!("concatenation wider than {MAX_BUS_WIDTH}")));
+            }
+        }
+        Ok(Expr { bits, loc })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Elaboration
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Sym {
+    /// Input bus: index into the inputs vec, plus its nets.
+    InBus { bus: usize },
+    /// Output bus: index into the outputs vec.
+    OutBus { bus: usize },
+    /// Internal wire: its net id.
+    Wire { net: u32, loc: Loc, driven: bool },
+}
+
+struct Elab {
+    /// One slot per net; `None` = not yet driven.
+    drivers: Vec<Option<Driver>>,
+    /// Net indices below `drivers.len()` that no wire declaration
+    /// claimed, available for inputs/constants (canonical mode).
+    gaps: Vec<u32>,
+    symbols: HashMap<String, Sym>,
+    input_nets: Vec<Vec<NetId>>,
+    input_names: Vec<String>,
+    /// Per output bus: name, declaration loc, and per-bit resolved net.
+    outputs: Vec<(String, Loc, Vec<Option<NetId>>)>,
+    consts: [Option<u32>; 2],
+}
+
+impl Elab {
+    /// Mints a net id for an input/constant: reuse a numbering gap if
+    /// one exists, else grow the driver table.
+    fn alloc_aux(&mut self) -> Result<u32, NetioError> {
+        if let Some(idx) = self.gaps.pop() {
+            return Ok(idx);
+        }
+        let idx = self.drivers.len();
+        if idx >= MAX_NETS {
+            return Err(NetioError::LimitExceeded {
+                what: "nets",
+                limit: MAX_NETS,
+            });
+        }
+        self.drivers.push(None);
+        Ok(idx as u32)
+    }
+
+    fn const_net(&mut self, value: bool) -> Result<u32, NetioError> {
+        if let Some(n) = self.consts[usize::from(value)] {
+            return Ok(n);
+        }
+        let n = self.alloc_aux()?;
+        self.drivers[n as usize] = Some(Driver::Const(value));
+        self.consts[usize::from(value)] = Some(n);
+        Ok(n)
+    }
+
+    /// Resolves a bit used as a cell/assign *source* to its net.
+    fn source_net(&mut self, bit: &Bit) -> Result<u32, NetioError> {
+        match bit {
+            Bit::Const(b) => self.const_net(*b),
+            Bit::Ref { name, index, loc } => match self.symbols.get(name) {
+                Some(Sym::InBus { bus }) => {
+                    let nets = &self.input_nets[*bus];
+                    let i = index.unwrap_or(0);
+                    if index.is_none() && nets.len() != 1 {
+                        return Err(NetioError::WidthMismatch {
+                            loc: *loc,
+                            what: format!("`{name}`"),
+                            expected: 1,
+                            found: nets.len(),
+                        });
+                    }
+                    nets.get(i)
+                        .copied()
+                        .map(|n| n.index() as u32)
+                        .ok_or(NetioError::OutOfRange {
+                            loc: *loc,
+                            name: name.clone(),
+                            index: i,
+                            width: nets.len(),
+                        })
+                }
+                Some(Sym::Wire { net, .. }) => Ok(*net),
+                Some(Sym::OutBus { .. }) => Err(NetioError::UnknownNet {
+                    loc: *loc,
+                    name: format!("{name} (output ports cannot be read back)"),
+                }),
+                None => Err(NetioError::UnknownNet {
+                    loc: *loc,
+                    name: name.clone(),
+                }),
+            },
+        }
+    }
+
+    /// Resolves a bit used as a cell-output *target*, marks it driven,
+    /// and returns the net. Targets may be declared wires or output
+    /// port bits (the latter mints a fresh net).
+    fn target_net(&mut self, bit: &Bit, driver: Driver) -> Result<u32, NetioError> {
+        let Bit::Ref { name, index, loc } = bit else {
+            return Err(NetioError::Syntax {
+                loc: Loc::default(),
+                message: "a literal cannot be driven".into(),
+            });
+        };
+        match self.symbols.get_mut(name) {
+            Some(Sym::Wire { net, driven, .. }) => {
+                if *driven {
+                    return Err(NetioError::DuplicateDriver {
+                        loc: *loc,
+                        name: name.clone(),
+                    });
+                }
+                *driven = true;
+                let net = *net;
+                self.drivers[net as usize] = Some(driver);
+                Ok(net)
+            }
+            Some(Sym::OutBus { bus }) => {
+                let bus = *bus;
+                let width = self.outputs[bus].2.len();
+                let i = index.unwrap_or(0);
+                if index.is_none() && width != 1 {
+                    return Err(NetioError::WidthMismatch {
+                        loc: *loc,
+                        what: format!("`{name}`"),
+                        expected: 1,
+                        found: width,
+                    });
+                }
+                if i >= width {
+                    return Err(NetioError::OutOfRange {
+                        loc: *loc,
+                        name: name.clone(),
+                        index: i,
+                        width,
+                    });
+                }
+                if self.outputs[bus].2[i].is_some() {
+                    return Err(NetioError::DuplicateDriver {
+                        loc: *loc,
+                        name: format!("{name}[{i}]"),
+                    });
+                }
+                let net = self.alloc_aux()?;
+                self.drivers[net as usize] = Some(driver);
+                self.outputs[bus].2[i] = Some(NetId::new(net));
+                Ok(net)
+            }
+            Some(Sym::InBus { .. }) => Err(NetioError::DuplicateDriver {
+                loc: *loc,
+                name: name.clone(),
+            }),
+            None => Err(NetioError::UnknownNet {
+                loc: *loc,
+                name: name.clone(),
+            }),
+        }
+    }
+}
+
+/// Scans the raw text for the exporter's provenance comment, which
+/// preserves the (unsanitized) netlist name across a round trip.
+fn source_name(text: &str) -> Option<&str> {
+    const TAG: &str = "// Generated by axmul-fabric: ";
+    text.lines()
+        .take_while(|l| l.trim_start().starts_with("//") || l.trim().is_empty())
+        .find_map(|l| l.strip_prefix(TAG))
+}
+
+/// Requires an expression to be exactly one present bit.
+fn single_bit<'e>(expr: &'e Expr, what: &str) -> Result<&'e Bit, NetioError> {
+    match expr.bits.as_slice() {
+        [Some(b)] => Ok(b),
+        bits => Err(NetioError::WidthMismatch {
+            loc: expr.loc,
+            what: what.to_string(),
+            expected: 1,
+            found: bits.iter().filter(|b| b.is_some()).count(),
+        }),
+    }
+}
+
+/// Requires an expression to be a 4-slot concatenation (or a single
+/// bit for width-1 contexts is *not* allowed here), returning slots in
+/// LSB-first order (the text is MSB-first).
+fn four_slots<'e>(expr: &'e Expr, what: &str) -> Result<[Option<&'e Bit>; 4], NetioError> {
+    if expr.bits.len() != 4 {
+        return Err(NetioError::WidthMismatch {
+            loc: expr.loc,
+            what: what.to_string(),
+            expected: 4,
+            found: expr.bits.len(),
+        });
+    }
+    Ok([
+        expr.bits[3].as_ref(),
+        expr.bits[2].as_ref(),
+        expr.bits[1].as_ref(),
+        expr.bits[0].as_ref(),
+    ])
+}
+
+fn elaborate(text: &str, module: &Module) -> Result<Netlist, NetioError> {
+    // --- Pass 1: wires decide the numbering mode. -----------------
+    let wires: Vec<(&String, Loc)> = module
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            Item::Wire { name, loc } => Some((name, *loc)),
+            _ => None,
+        })
+        .collect();
+    if wires.len() > MAX_NETS {
+        return Err(NetioError::LimitExceeded {
+            what: "nets",
+            limit: MAX_NETS,
+        });
+    }
+    let canonical: Option<Vec<u32>> = {
+        let mut ids = Vec::with_capacity(wires.len());
+        let ok = wires.iter().all(|(name, _)| {
+            name.strip_prefix('n')
+                .filter(|d| !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()))
+                .and_then(|d| d.parse::<u32>().ok())
+                .filter(|&i| (i as usize) < MAX_NETS)
+                .map(|i| ids.push(i))
+                .is_some()
+        });
+        ok.then_some(ids)
+    };
+
+    let mut elab = Elab {
+        drivers: Vec::new(),
+        gaps: Vec::new(),
+        symbols: HashMap::new(),
+        input_nets: Vec::new(),
+        input_names: Vec::new(),
+        outputs: Vec::new(),
+        consts: [None, None],
+    };
+
+    // Declare wires (canonical ids or sequential).
+    match &canonical {
+        Some(ids) => {
+            let top = ids.iter().map(|&i| i as usize + 1).max().unwrap_or(0);
+            elab.drivers = vec![None; top];
+            let mut claimed = vec![false; top];
+            for ((name, loc), &id) in wires.iter().zip(ids) {
+                if claimed[id as usize] {
+                    return Err(NetioError::DuplicateDriver {
+                        loc: *loc,
+                        name: (*name).clone(),
+                    });
+                }
+                claimed[id as usize] = true;
+                elab.symbols.insert(
+                    (*name).clone(),
+                    Sym::Wire {
+                        net: id,
+                        loc: *loc,
+                        driven: false,
+                    },
+                );
+            }
+            // Unclaimed indices become the pool for inputs/constants
+            // (popped lowest-first to mirror the builder's layout).
+            elab.gaps = (0..top as u32)
+                .filter(|&i| !claimed[i as usize])
+                .rev()
+                .collect();
+        }
+        None => {
+            for (name, loc) in &wires {
+                let id = elab.alloc_aux()?;
+                match elab.symbols.entry((*name).clone()) {
+                    Entry::Occupied(_) => {
+                        return Err(NetioError::DuplicateDriver {
+                            loc: *loc,
+                            name: (*name).clone(),
+                        })
+                    }
+                    Entry::Vacant(v) => v.insert(Sym::Wire {
+                        net: id,
+                        loc: *loc,
+                        driven: false,
+                    }),
+                };
+            }
+        }
+    }
+
+    // --- Pass 2: ports. -------------------------------------------
+    for port in &module.ports {
+        if elab.symbols.contains_key(&port.name) {
+            return Err(NetioError::DuplicateDriver {
+                loc: port.loc,
+                name: port.name.clone(),
+            });
+        }
+        match port.dir {
+            Dir::Input => {
+                let bus = elab.input_nets.len();
+                if bus >= usize::from(u16::MAX) || port.width > usize::from(u16::MAX) {
+                    return Err(NetioError::LimitExceeded {
+                        what: "input buses",
+                        limit: usize::from(u16::MAX),
+                    });
+                }
+                let mut nets = Vec::with_capacity(port.width);
+                for bit in 0..port.width {
+                    let n = elab.alloc_aux()?;
+                    elab.drivers[n as usize] = Some(Driver::Input(bus as u16, bit as u16));
+                    nets.push(NetId::new(n));
+                }
+                elab.input_nets.push(nets);
+                elab.input_names.push(port.name.clone());
+                elab.symbols.insert(port.name.clone(), Sym::InBus { bus });
+            }
+            Dir::Output => {
+                let bus = elab.outputs.len();
+                elab.outputs
+                    .push((port.name.clone(), port.loc, vec![None; port.width]));
+                elab.symbols.insert(port.name.clone(), Sym::OutBus { bus });
+            }
+        }
+    }
+
+    // --- Pass 3: cells and assigns, in file order. ----------------
+    let mut cells: Vec<Cell> = Vec::new();
+    // Driver slots referencing provisional (file-order) cell ids, to be
+    // remapped after the topological sort.
+    let mut cell_driven: Vec<(u32, Driver)> = Vec::new();
+    for item in &module.items {
+        match item {
+            Item::Wire { .. } => {}
+            Item::Instance(inst) => {
+                if cells.len() >= MAX_CELLS {
+                    return Err(NetioError::LimitExceeded {
+                        what: "cells",
+                        limit: MAX_CELLS,
+                    });
+                }
+                let cell_id = CellId::new(cells.len() as u32);
+                let cell = match inst.primitive.as_str() {
+                    "LUT6_2" => elab_lut(&mut elab, inst, cell_id, &mut cell_driven)?,
+                    "CARRY4" => elab_carry(&mut elab, inst, cell_id, &mut cell_driven)?,
+                    other => {
+                        return Err(NetioError::UnknownPrimitive {
+                            loc: inst.loc,
+                            primitive: other.to_string(),
+                        })
+                    }
+                };
+                cells.push(cell);
+            }
+            Item::Assign { lhs, rhs, loc } => {
+                let Bit::Ref {
+                    name,
+                    index,
+                    loc: lloc,
+                } = lhs
+                else {
+                    return Err(NetioError::Syntax {
+                        loc: *loc,
+                        message: "assign target must be an output port bit".into(),
+                    });
+                };
+                let Some(Sym::OutBus { bus }) = elab.symbols.get(name) else {
+                    return Err(NetioError::Syntax {
+                        loc: *lloc,
+                        message: format!("assign target `{name}` is not an output port"),
+                    });
+                };
+                let bus = *bus;
+                let width = elab.outputs[bus].2.len();
+                let i = index.unwrap_or(0);
+                if index.is_none() && width != 1 {
+                    return Err(NetioError::WidthMismatch {
+                        loc: *lloc,
+                        what: format!("`{name}`"),
+                        expected: 1,
+                        found: width,
+                    });
+                }
+                if i >= width {
+                    return Err(NetioError::OutOfRange {
+                        loc: *lloc,
+                        name: name.clone(),
+                        index: i,
+                        width,
+                    });
+                }
+                if elab.outputs[bus].2[i].is_some() {
+                    return Err(NetioError::DuplicateDriver {
+                        loc: *lloc,
+                        name: format!("{name}[{i}]"),
+                    });
+                }
+                let src = elab.source_net(single_bit(rhs, &format!("assign to `{name}`"))?)?;
+                elab.outputs[bus].2[i] = Some(NetId::new(src));
+            }
+        }
+    }
+
+    // --- Pass 4: completeness. ------------------------------------
+    for sym in elab.symbols.values() {
+        if let Sym::Wire {
+            driven: false,
+            loc,
+            net,
+        } = sym
+        {
+            let name = format!("n{net}");
+            // Find the declared name for the message (canonical names
+            // match `n{net}`; sequential mode needs the reverse map).
+            let declared = elab
+                .symbols
+                .iter()
+                .find_map(|(k, v)| match v {
+                    Sym::Wire { net: n, .. } if n == net => Some(k.clone()),
+                    _ => None,
+                })
+                .unwrap_or(name);
+            return Err(NetioError::UndrivenNet {
+                loc: *loc,
+                name: declared,
+            });
+        }
+    }
+    for (name, loc, bits) in &elab.outputs {
+        if let Some(i) = bits.iter().position(Option::is_none) {
+            return Err(NetioError::UndrivenNet {
+                loc: *loc,
+                name: if bits.len() == 1 {
+                    name.clone()
+                } else {
+                    format!("{name}[{i}]")
+                },
+            });
+        }
+    }
+
+    // --- Pass 5: stable topological order. ------------------------
+    let order = topo_order(&cells, &elab.drivers, &cell_driven)?;
+    let mut perm = vec![0u32; order.len()];
+    for (new, &old) in order.iter().enumerate() {
+        perm[old] = new as u32;
+    }
+    let sorted: Vec<Cell> = order.iter().map(|&i| cells[i].clone()).collect();
+    for (net, driver) in &cell_driven {
+        let remap = |c: CellId| CellId::new(perm[c.index()]);
+        elab.drivers[*net as usize] = Some(match *driver {
+            Driver::LutO6(c) => Driver::LutO6(remap(c)),
+            Driver::LutO5(c) => Driver::LutO5(remap(c)),
+            Driver::CarrySum(c, k) => Driver::CarrySum(remap(c), k),
+            Driver::CarryCout(c, k) => Driver::CarryCout(remap(c), k),
+            other => other,
+        });
+    }
+
+    // Leftover numbering gaps are unreferenced filler nets: tie them
+    // low so the driver table is total (they print nowhere).
+    let drivers: Vec<Driver> = elab
+        .drivers
+        .into_iter()
+        .map(|d| d.unwrap_or(Driver::Const(false)))
+        .collect();
+
+    let inputs: Vec<(String, Vec<NetId>)> =
+        elab.input_names.into_iter().zip(elab.input_nets).collect();
+    let outputs: Vec<(String, Vec<NetId>)> = elab
+        .outputs
+        .into_iter()
+        .map(|(name, _, bits)| {
+            (
+                name,
+                bits.into_iter()
+                    .map(|b| b.expect("checked above"))
+                    .collect(),
+            )
+        })
+        .collect();
+
+    let name = source_name(text).unwrap_or(&module.name).to_string();
+    Ok(Netlist::from_parts(name, drivers, sorted, inputs, outputs))
+}
+
+fn elab_lut(
+    elab: &mut Elab,
+    inst: &Instance,
+    cell: CellId,
+    cell_driven: &mut Vec<(u32, Driver)>,
+) -> Result<Cell, NetioError> {
+    let mut init: Option<u64> = None;
+    for (pname, value, ploc) in &inst.params {
+        if pname != "INIT" {
+            return Err(NetioError::BadPort {
+                loc: *ploc,
+                cell: inst.name.clone(),
+                message: format!("unknown parameter `{pname}`"),
+            });
+        }
+        match value {
+            ParamValue::Hex(v, 16) => init = Some(*v),
+            ParamValue::Hex(_, d) => {
+                return Err(NetioError::BadInit {
+                    loc: *ploc,
+                    message: format!("expected 16 hex digits (64'h…), found {d}"),
+                })
+            }
+            ParamValue::Bit(b) => {
+                return Err(NetioError::BadInit {
+                    loc: *ploc,
+                    message: format!(
+                        "expected a sized hex literal (64'h…), found 1'b{}",
+                        u8::from(*b)
+                    ),
+                })
+            }
+            ParamValue::Int(v) => {
+                return Err(NetioError::BadInit {
+                    loc: *ploc,
+                    message: format!("expected a sized hex literal (64'h…), found {v}"),
+                })
+            }
+        }
+    }
+    let Some(init) = init else {
+        return Err(NetioError::BadInit {
+            loc: inst.loc,
+            message: "LUT6_2 without an INIT parameter".into(),
+        });
+    };
+
+    let mut pins: [Option<u32>; 6] = [None; 6];
+    let mut o6: Option<u32> = None;
+    let mut o5: Option<u32> = None;
+    for (port, expr, ploc) in &inst.conns {
+        let dup = |had: bool| -> Result<(), NetioError> {
+            if had {
+                Err(NetioError::BadPort {
+                    loc: *ploc,
+                    cell: inst.name.clone(),
+                    message: format!("port `{port}` connected twice"),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        match port.as_str() {
+            "I0" | "I1" | "I2" | "I3" | "I4" | "I5" => {
+                let k = (port.as_bytes()[1] - b'0') as usize;
+                dup(pins[k].is_some())?;
+                pins[k] = Some(elab.source_net(single_bit(expr, &format!("pin `{port}`"))?)?);
+            }
+            "O6" => {
+                dup(o6.is_some())?;
+                let bit = single_bit(expr, "pin `O6`")?;
+                let n = elab.target_net(bit, Driver::LutO6(cell))?;
+                cell_driven.push((n, Driver::LutO6(cell)));
+                o6 = Some(n);
+            }
+            "O5" => {
+                dup(o5.is_some())?;
+                if expr.bits.is_empty() {
+                    continue; // `.O5()` — explicitly unconnected.
+                }
+                let bit = single_bit(expr, "pin `O5`")?;
+                let n = elab.target_net(bit, Driver::LutO5(cell))?;
+                cell_driven.push((n, Driver::LutO5(cell)));
+                o5 = Some(n);
+            }
+            other => {
+                return Err(NetioError::BadPort {
+                    loc: *ploc,
+                    cell: inst.name.clone(),
+                    message: format!("LUT6_2 has no port `{other}`"),
+                })
+            }
+        }
+    }
+    let inputs = match pins {
+        [Some(a), Some(b), Some(c), Some(d), Some(e), Some(f)] => [
+            NetId::new(a),
+            NetId::new(b),
+            NetId::new(c),
+            NetId::new(d),
+            NetId::new(e),
+            NetId::new(f),
+        ],
+        _ => {
+            let missing = (0..6)
+                .filter(|&k| pins[k].is_none())
+                .map(|k| format!("I{k}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            return Err(NetioError::BadPort {
+                loc: inst.loc,
+                cell: inst.name.clone(),
+                message: format!("missing input pin(s) {missing}"),
+            });
+        }
+    };
+    let Some(o6) = o6 else {
+        return Err(NetioError::BadPort {
+            loc: inst.loc,
+            cell: inst.name.clone(),
+            message: "missing output pin O6".into(),
+        });
+    };
+    Ok(Cell::Lut {
+        init: Init::from_raw(init),
+        inputs,
+        o6: NetId::new(o6),
+        o5: o5.map(NetId::new),
+    })
+}
+
+fn elab_carry(
+    elab: &mut Elab,
+    inst: &Instance,
+    cell: CellId,
+    cell_driven: &mut Vec<(u32, Driver)>,
+) -> Result<Cell, NetioError> {
+    if let Some((pname, _, ploc)) = inst.params.first() {
+        return Err(NetioError::BadPort {
+            loc: *ploc,
+            cell: inst.name.clone(),
+            message: format!("CARRY4 takes no parameters (found `{pname}`)"),
+        });
+    }
+    let mut cin: Option<u32> = None;
+    let mut di: Option<[Option<u32>; 4]> = None;
+    let mut s: Option<[Option<u32>; 4]> = None;
+    let mut o: [Option<NetId>; 4] = [None; 4];
+    let mut co: [Option<NetId>; 4] = [None; 4];
+    let mut seen_o = false;
+    let mut seen_co = false;
+    for (port, expr, ploc) in &inst.conns {
+        let dup = |had: bool| -> Result<(), NetioError> {
+            if had {
+                Err(NetioError::BadPort {
+                    loc: *ploc,
+                    cell: inst.name.clone(),
+                    message: format!("port `{port}` connected twice"),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        match port.as_str() {
+            "CI" => {
+                dup(cin.is_some())?;
+                cin = Some(elab.source_net(single_bit(expr, "pin `CI`")?)?);
+            }
+            "CYINIT" => match single_bit(expr, "pin `CYINIT`")? {
+                Bit::Const(false) => {}
+                _ => {
+                    return Err(NetioError::BadPort {
+                        loc: *ploc,
+                        cell: inst.name.clone(),
+                        message: "CYINIT must be tied to 1'b0 (the fabric model has no \
+                                  CYINIT input)"
+                            .into(),
+                    })
+                }
+            },
+            "DI" | "S" => {
+                let target = if port == "DI" { &mut di } else { &mut s };
+                dup(target.is_some())?;
+                let slots = four_slots(expr, &format!("pin `{port}`"))?;
+                let mut nets = [None; 4];
+                for (k, slot) in slots.into_iter().enumerate() {
+                    let Some(bit) = slot else {
+                        return Err(NetioError::WidthMismatch {
+                            loc: expr.loc,
+                            what: format!("pin `{port}`"),
+                            expected: 4,
+                            found: slots.iter().filter(|b| b.is_some()).count(),
+                        });
+                    };
+                    nets[k] = Some(elab.source_net(bit)?);
+                }
+                *target = Some(nets);
+            }
+            "O" | "CO" => {
+                let is_o = port == "O";
+                dup(if is_o { seen_o } else { seen_co })?;
+                if is_o {
+                    seen_o = true;
+                } else {
+                    seen_co = true;
+                }
+                if expr.bits.is_empty() {
+                    continue; // `.O()` — all four unused.
+                }
+                let slots = four_slots(expr, &format!("pin `{port}`"))?;
+                for (k, slot) in slots.into_iter().enumerate() {
+                    let Some(bit) = slot else { continue };
+                    let driver = if is_o {
+                        Driver::CarrySum(cell, k as u8)
+                    } else {
+                        Driver::CarryCout(cell, k as u8)
+                    };
+                    let n = elab.target_net(bit, driver)?;
+                    cell_driven.push((n, driver));
+                    if is_o {
+                        o[k] = Some(NetId::new(n));
+                    } else {
+                        co[k] = Some(NetId::new(n));
+                    }
+                }
+            }
+            other => {
+                return Err(NetioError::BadPort {
+                    loc: *ploc,
+                    cell: inst.name.clone(),
+                    message: format!("CARRY4 has no port `{other}`"),
+                })
+            }
+        }
+    }
+    let require4 = |v: Option<[Option<u32>; 4]>, port: &str| -> Result<[NetId; 4], NetioError> {
+        let Some(slots) = v else {
+            return Err(NetioError::BadPort {
+                loc: inst.loc,
+                cell: inst.name.clone(),
+                message: format!("missing input pin {port}"),
+            });
+        };
+        Ok(slots.map(|n| NetId::new(n.expect("filled by four_slots walk"))))
+    };
+    let Some(cin) = cin else {
+        return Err(NetioError::BadPort {
+            loc: inst.loc,
+            cell: inst.name.clone(),
+            message: "missing input pin CI".into(),
+        });
+    };
+    Ok(Cell::Carry4 {
+        cin: NetId::new(cin),
+        s: require4(s, "S")?,
+        di: require4(di, "DI")?,
+        o,
+        co,
+    })
+}
+
+/// Stable topological order over cells: Kahn's algorithm with a
+/// min-index heap, so an already-sorted cell list (every exporter
+/// output) comes back as the identity permutation.
+fn topo_order(
+    cells: &[Cell],
+    drivers: &[Option<Driver>],
+    cell_driven: &[(u32, Driver)],
+) -> Result<Vec<usize>, NetioError> {
+    let _ = cell_driven;
+    // net -> producing cell (file order).
+    let producer: Vec<Option<usize>> = drivers
+        .iter()
+        .map(|d| match d {
+            Some(
+                Driver::LutO6(c)
+                | Driver::LutO5(c)
+                | Driver::CarrySum(c, _)
+                | Driver::CarryCout(c, _),
+            ) => Some(c.index()),
+            _ => None,
+        })
+        .collect();
+    let mut indegree = vec![0usize; cells.len()];
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); cells.len()];
+    for (i, cell) in cells.iter().enumerate() {
+        let mut dep = |net: NetId| {
+            if let Some(Some(p)) = producer.get(net.index()) {
+                if *p != i {
+                    edges[*p].push(i);
+                    indegree[i] += 1;
+                }
+            }
+        };
+        match cell {
+            Cell::Lut { inputs, .. } => inputs.iter().copied().for_each(&mut dep),
+            Cell::Carry4 { cin, s, di, .. } => {
+                dep(*cin);
+                s.iter().copied().for_each(&mut dep);
+                di.iter().copied().for_each(&mut dep);
+            }
+        }
+    }
+    let mut heap: BinaryHeap<std::cmp::Reverse<usize>> = indegree
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(i, _)| std::cmp::Reverse(i))
+        .collect();
+    let mut order = Vec::with_capacity(cells.len());
+    while let Some(std::cmp::Reverse(i)) = heap.pop() {
+        order.push(i);
+        for &j in &edges[i] {
+            indegree[j] -= 1;
+            if indegree[j] == 0 {
+                heap.push(std::cmp::Reverse(j));
+            }
+        }
+    }
+    if order.len() != cells.len() {
+        let stuck: Vec<usize> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0)
+            .map(|(i, _)| i)
+            .collect();
+        return Err(NetioError::CombLoop { cells: stuck });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmul_fabric::export::to_verilog;
+    use axmul_fabric::NetlistBuilder;
+
+    fn adder() -> Netlist {
+        let mut b = NetlistBuilder::new("adder-4!");
+        let a = b.inputs("a", 4);
+        let c = b.inputs("b", 4);
+        let mut props = Vec::new();
+        for i in 0..4 {
+            let (o6, _) = b.lut2(Init::XOR2, a[i], c[i]);
+            props.push(o6);
+        }
+        let zero = b.constant(false);
+        let (sums, cout) = b.carry_chain(zero, &props, &a);
+        b.output_bus("s", &sums);
+        b.output("cout", cout);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn adder_round_trips_to_fixpoint() {
+        let nl = adder();
+        let v1 = to_verilog(&nl);
+        let back = from_verilog(&v1).unwrap();
+        assert_eq!(back.name(), "adder-4!", "provenance comment restores name");
+        let v2 = to_verilog(&back);
+        assert_eq!(v1, v2, "export → import → export must be a fixpoint");
+        // And semantics: identical truth table over all 256 pairs.
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(
+                    nl.eval(&[a, b]).unwrap(),
+                    back.eval(&[a, b]).unwrap(),
+                    "({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_wire_names_still_import() {
+        let src = "module m (\n  input  wire x,\n  output wire y\n);\n  wire t0;\n  \
+                   LUT6_2 #(.INIT(64'h0000000000000002)) u1 (.I0(x), .I1(1'b0), .I2(1'b0), \
+                   .I3(1'b0), .I4(1'b0), .I5(1'b0), .O6(t0));\n  assign y = t0;\nendmodule\n";
+        let nl = from_verilog(src).unwrap();
+        assert_eq!(nl.lut_count(), 1);
+        // x=1, others 0 → truth-table index 1 → bit 1 of INIT 0x2 → 1.
+        assert_eq!(nl.eval(&[1]).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn out_of_order_cells_are_stably_sorted() {
+        // u2 consumes t0 which u1 (textually later) produces.
+        let src = "module m (\n  input  wire x,\n  output wire y\n);\n  wire t0;\n  wire t1;\n  \
+                   LUT6_2 #(.INIT(64'h0000000000000002)) u2 (.I0(t0), .I1(1'b0), .I2(1'b0), \
+                   .I3(1'b0), .I4(1'b0), .I5(1'b0), .O6(t1));\n  \
+                   LUT6_2 #(.INIT(64'h0000000000000002)) u1 (.I0(x), .I1(1'b0), .I2(1'b0), \
+                   .I3(1'b0), .I4(1'b0), .I5(1'b0), .O6(t0));\n  assign y = t1;\nendmodule\n";
+        let nl = from_verilog(src).unwrap();
+        assert_eq!(nl.eval(&[1]).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn typed_errors_carry_locations() {
+        let cases: &[(&str, &str)] = &[
+            ("module m (\n  input wire a\n);\n  FDRE r (.D(a));\nendmodule\n", "unknown-primitive"),
+            (
+                "module m (\n  input wire a,\n  output wire y\n);\n  assign y = b;\nendmodule\n",
+                "unknown-net",
+            ),
+            (
+                "module m (\n  input wire a,\n  output wire y\n);\n  wire t;\n  assign y = a;\nendmodule\n",
+                "undriven-net",
+            ),
+            (
+                "module m (\n  input wire a,\n  output wire y\n);\n  assign y = a;\n  assign y = a;\nendmodule\n",
+                "duplicate-driver",
+            ),
+            (
+                "module m (\n  input wire [3:0] a,\n  output wire y\n);\n  assign y = a;\nendmodule\n",
+                "width-mismatch",
+            ),
+            (
+                "module m (\n  input wire a,\n  output wire y\n);\n  LUT6_2 l (.I0(a), .I1(a), \
+                 .I2(a), .I3(a), .I4(a), .I5(a), .O6(y));\nendmodule\n",
+                "bad-init",
+            ),
+            ("module m (", "syntax"),
+        ];
+        for (src, code) in cases {
+            let err = from_verilog(src).unwrap_err();
+            assert_eq!(err.code(), *code, "{src:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn combinational_loops_are_detected() {
+        let src = "module m (\n  input  wire x,\n  output wire y\n);\n  wire t0;\n  wire t1;\n  \
+                   LUT6_2 #(.INIT(64'h0000000000000002)) u0 (.I0(t1), .I1(1'b0), .I2(1'b0), \
+                   .I3(1'b0), .I4(1'b0), .I5(1'b0), .O6(t0));\n  \
+                   LUT6_2 #(.INIT(64'h0000000000000002)) u1 (.I0(t0), .I1(1'b0), .I2(1'b0), \
+                   .I3(1'b0), .I4(1'b0), .I5(1'b0), .O6(t1));\n  assign y = t0;\nendmodule\n";
+        assert!(matches!(
+            from_verilog(src).unwrap_err(),
+            NetioError::CombLoop { .. }
+        ));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based fuzzing of both interchange readers: arbitrary
+//! mutations of valid documents — and raw byte soup — must always
+//! produce a typed [`NetioError`], never a panic, and accepted inputs
+//! must re-export to a byte fixpoint.
+
+use axmul_core::structural::ca_netlist;
+use axmul_fabric::export::to_verilog;
+use axmul_netio::{from_axnl, from_verilog, import, to_axnl, NetioError};
+use proptest::prelude::*;
+
+fn seed_verilog() -> String {
+    to_verilog(&ca_netlist(4).expect("valid width"))
+}
+
+fn seed_axnl() -> String {
+    to_axnl(&ca_netlist(4).expect("valid width"))
+}
+
+/// Applies `(offset, byte)` splices to `base`, keeping the result valid
+/// UTF-8 by lowering every replacement byte into the ASCII range.
+fn mutate(base: &str, edits: &[(usize, u8)]) -> String {
+    let mut bytes = base.as_bytes().to_vec();
+    for &(off, b) in edits {
+        let i = off % bytes.len();
+        bytes[i] = b & 0x7F;
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Every error the readers produce must carry a stable kebab-case code
+/// (the CLI/daemon key the caller switches on).
+fn assert_typed(e: &NetioError) {
+    let code = e.code();
+    assert!(
+        !code.is_empty() && code.bytes().all(|b| b.is_ascii_lowercase() || b == b'-'),
+        "unstable error code {code:?} for {e}"
+    );
+    // Display must never be empty either — errors surface verbatim in
+    // CLI output and daemon responses.
+    assert!(!e.to_string().is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Byte splices into a valid Verilog module either still parse (and
+    /// then re-export deterministically) or fail with a typed error.
+    #[test]
+    fn mutated_verilog_never_panics(
+        edits in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..16)
+    ) {
+        let text = mutate(&seed_verilog(), &edits);
+        match from_verilog(&text) {
+            Ok(n) => {
+                // Whatever survived mutation must itself round-trip.
+                let v = to_verilog(&n);
+                let again = from_verilog(&v).expect("re-import of accepted design");
+                prop_assert_eq!(to_verilog(&again), v);
+            }
+            Err(e) => assert_typed(&e),
+        }
+    }
+
+    /// Byte splices into a valid axnl-v1 document are caught by the
+    /// JSON parser, the schema validator, or the content hash — typed
+    /// errors all the way down.
+    #[test]
+    fn mutated_axnl_never_panics(
+        edits in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..16)
+    ) {
+        let text = mutate(&seed_axnl(), &edits);
+        match from_axnl(&text) {
+            Ok(n) => prop_assert_eq!(to_axnl(&n), text),
+            Err(e) => assert_typed(&e),
+        }
+    }
+
+    /// Raw ASCII soup through the auto-detecting entry point.
+    #[test]
+    fn arbitrary_text_never_panics(
+        bytes in proptest::collection::vec(0u8..=0x7F, 0..512)
+    ) {
+        let text = String::from_utf8(bytes).expect("ASCII");
+        if let Err(e) = import(&text) {
+            assert_typed(&e);
+        }
+    }
+
+    /// Truncations at every prefix length: unterminated comments,
+    /// half-written instances, dangling concats — all typed.
+    #[test]
+    fn truncated_verilog_never_panics(cut in 0usize..4096) {
+        let full = seed_verilog();
+        let cut = cut % full.len();
+        // Respect char boundaries (exported Verilog is ASCII, but don't
+        // rely on it).
+        let prefix: String = full.chars().take(cut).collect();
+        if let Err(e) = from_verilog(&prefix) {
+            assert_typed(&e);
+        }
+    }
+}

@@ -25,12 +25,17 @@
 #![warn(missing_docs)]
 
 pub mod client;
-pub mod json;
 pub mod loadgen;
 pub mod proto;
 pub mod server;
 pub mod service;
 pub mod storage;
+
+// The generic JSON value/parser/printer started life here and moved to
+// `axmul-netio` so the wire protocol and the netlist interchange
+// formats share one implementation; the re-export keeps every
+// `axmul_serve::json::…` path working.
+pub use axmul_netio::json;
 
 pub use client::{Client, ClientError};
 pub use loadgen::{BenchReport, LoadgenOptions};

@@ -162,6 +162,9 @@ pub enum ErrorCode {
     BadRequest,
     /// A multiplier configuration key failed to parse or validate.
     InvalidConfig,
+    /// An imported netlist document failed to parse or validate; the
+    /// message carries the importer's own error class and location.
+    InvalidNetlist,
     /// The request was valid but the server failed to execute it.
     Internal,
 }
@@ -177,6 +180,7 @@ impl ErrorCode {
             ErrorCode::BadJson => "bad-json",
             ErrorCode::BadRequest => "bad-request",
             ErrorCode::InvalidConfig => "invalid-config",
+            ErrorCode::InvalidNetlist => "invalid-netlist",
             ErrorCode::Internal => "internal",
         }
     }
@@ -222,6 +226,22 @@ pub enum Op {
         /// Canonical configuration key.
         config: String,
     },
+    /// Import an external netlist document (structural Verilog or
+    /// `axnl-v1` JSON), validate it, and answer with its fingerprint,
+    /// structure summary, and lint verdict — optionally matched
+    /// against a configuration's in-process twin and characterized
+    /// through the warm cache.
+    ImportNetlist {
+        /// The interchange document itself.
+        text: String,
+        /// Explicit format (`"verilog"` / `"axnl"`); `None` = detect.
+        format: Option<String>,
+        /// Configuration key the netlist claims to implement; when
+        /// given, the server checks fingerprint equality against
+        /// `config.assemble()` and answers with the cached
+        /// characterization.
+        config: Option<String>,
+    },
     /// Server counters: requests served, cache hits, builds, uptime.
     Stats,
 }
@@ -236,6 +256,7 @@ impl Op {
             Op::NnClassify { .. } => "nn-classify-batch",
             Op::DseQuery { .. } => "dse-query",
             Op::AbsintQuery { .. } => "absint-query",
+            Op::ImportNetlist { .. } => "import-netlist",
             Op::Stats => "server-stats",
         }
     }
@@ -367,6 +388,24 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, RequestError> {
         "absint-query" => Op::AbsintQuery {
             config: str_param("config")?,
         },
+        "import-netlist" => {
+            let opt_str = |name: &str| -> Result<Option<String>, RequestError> {
+                match params.get(name) {
+                    None | Some(Value::Null) => Ok(None),
+                    Some(Value::Str(s)) => Ok(Some(s.clone())),
+                    Some(_) => Err(RequestError {
+                        id,
+                        code: ErrorCode::BadRequest,
+                        message: format!("`{name}` must be a string or null"),
+                    }),
+                }
+            };
+            Op::ImportNetlist {
+                text: str_param("text")?,
+                format: opt_str("format")?,
+                config: opt_str("config")?,
+            }
+        }
         "server-stats" => Op::Stats,
         other => {
             return fail(
@@ -403,6 +442,21 @@ pub fn render_request(req: &Request) -> Vec<u8> {
             "candidates",
             Value::Arr(candidates.iter().map(|c| Value::str(c.clone())).collect()),
         )]),
+        Op::ImportNetlist {
+            text,
+            format,
+            config,
+        } => {
+            let opt = |v: &Option<String>| match v {
+                Some(s) => Value::str(s.clone()),
+                None => Value::Null,
+            };
+            Value::obj([
+                ("text", Value::str(text.clone())),
+                ("format", opt(format)),
+                ("config", opt(config)),
+            ])
+        }
         Op::Stats => Value::obj([]),
     };
     let doc = Value::obj([
@@ -540,6 +594,22 @@ mod tests {
             Request {
                 id: 13,
                 op: Op::Stats,
+            },
+            Request {
+                id: 14,
+                op: Op::ImportNetlist {
+                    text: "module m (\n  input  wire a\n);\nendmodule\n".into(),
+                    format: Some("verilog".into()),
+                    config: Some("(a A A A A)".into()),
+                },
+            },
+            Request {
+                id: 15,
+                op: Op::ImportNetlist {
+                    text: "{\"format\":\"axnl-v1\"}".into(),
+                    format: None,
+                    config: None,
+                },
             },
         ];
         for req in reqs {

@@ -39,6 +39,7 @@ struct Counters {
     nn_classify: AtomicU64,
     dse_query: AtomicU64,
     absint_query: AtomicU64,
+    import_netlist: AtomicU64,
     stats: AtomicU64,
     errors: AtomicU64,
 }
@@ -130,6 +131,14 @@ impl Service {
                 self.counters.absint_query.fetch_add(1, Ordering::Relaxed);
                 self.absint_query(config)
             }
+            Op::ImportNetlist {
+                text,
+                format,
+                config,
+            } => {
+                self.counters.import_netlist.fetch_add(1, Ordering::Relaxed);
+                self.import_netlist(text, format.as_deref(), config.as_deref())
+            }
             Op::Stats => {
                 self.counters.stats.fetch_add(1, Ordering::Relaxed);
                 Ok(self.stats())
@@ -200,8 +209,84 @@ impl Service {
                     ),
                     ("mean_squared_error", Value::Num(stats.mean_squared_error)),
                     ("rmse", Value::Num(stats.rmse)),
+                    (
+                        // Worst-case operand witnesses (store v2): pairs
+                        // `[a, b]` attaining `max_error`. Exact in f64 at
+                        // every served width (≤ 16-bit operands).
+                        "worst_case_inputs",
+                        Value::Arr(
+                            stats
+                                .worst_case_inputs
+                                .iter()
+                                .map(|&(a, b)| {
+                                    Value::Arr(vec![Value::Num(a as f64), Value::Num(b as f64)])
+                                })
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
+        ]))
+    }
+
+    /// Imports an external netlist document, lints it, and — when the
+    /// client names the configuration it claims to implement — verifies
+    /// fingerprint equality against the in-process twin and answers
+    /// with the (warm-cache) characterization.
+    fn import_netlist(
+        &self,
+        text: &str,
+        format: Option<&str>,
+        config: Option<&str>,
+    ) -> Result<Value, (ErrorCode, String)> {
+        let netlist = match format {
+            None => axmul_netio::import(text),
+            Some(f) => match f.parse::<axmul_netio::Format>() {
+                Ok(axmul_netio::Format::Verilog) => axmul_netio::from_verilog(text),
+                Ok(axmul_netio::Format::Axnl) => axmul_netio::from_axnl(text),
+                Err(()) => {
+                    return Err((
+                        ErrorCode::BadRequest,
+                        format!("unknown format `{f}` (expected `verilog` or `axnl`)"),
+                    ))
+                }
+            },
+        }
+        .map_err(|e| (ErrorCode::InvalidNetlist, format!("{}: {e}", e.code())))?;
+        let fp = axmul_netio::fingerprint(&netlist);
+        let report = self.linter.lint(&netlist);
+        let characterization = match config {
+            None => Value::Null,
+            Some(key) => {
+                let cfg = self.config(key)?;
+                let twin = axmul_netio::fingerprint(&cfg.assemble());
+                if twin != fp {
+                    return Err((
+                        ErrorCode::InvalidNetlist,
+                        format!(
+                            "imported netlist (fingerprint {fp:016x}) does not match \
+                             configuration `{key}` (fingerprint {twin:016x})"
+                        ),
+                    ));
+                }
+                self.characterize(key)?
+            }
+        };
+        Ok(Value::obj([
+            ("name", Value::str(netlist.name())),
+            (
+                "format",
+                Value::str(match format {
+                    Some(f) => f.parse::<axmul_netio::Format>().map_or("?", |f| f.name()),
+                    None => axmul_netio::detect_format(text).name(),
+                }),
+            ),
+            ("fingerprint", Value::str(format!("{fp:016x}"))),
+            ("luts", Value::num(netlist.lut_count() as u32)),
+            ("carry4s", Value::num(netlist.carry4_count() as u32)),
+            ("nets", Value::num(netlist.drivers().len() as u32)),
+            ("lint", lint_report_value(&report)),
+            ("characterization", characterization),
         ]))
     }
 
@@ -357,6 +442,10 @@ impl Service {
                     (
                         "absint-query",
                         Value::Num(c.absint_query.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "import-netlist",
+                        Value::Num(c.import_netlist.load(Ordering::Relaxed) as f64),
                     ),
                     (
                         "server-stats",
@@ -620,6 +709,89 @@ mod tests {
             ),
             "invalid-config",
         );
+    }
+
+    #[test]
+    fn import_netlist_round_trips_an_exported_design() {
+        let svc = Service::new(None);
+        let cfg: axmul_dse::Config = "(a A A A A)".parse().unwrap();
+        let text = axmul_fabric::export::to_verilog(&cfg.assemble());
+        // No config hint: structure + lint only.
+        let v = response(
+            &svc,
+            Op::ImportNetlist {
+                text: text.clone(),
+                format: None,
+                config: None,
+            },
+        );
+        let r = assert_ok(&v);
+        assert_eq!(r.get("format").and_then(Value::as_str), Some("verilog"));
+        assert!(r.get("luts").and_then(Value::as_u64).unwrap() > 0);
+        assert_eq!(
+            r.get("lint").unwrap().get("errors").and_then(Value::as_u64),
+            Some(0),
+            "{r}"
+        );
+        assert_eq!(r.get("characterization"), Some(&Value::Null));
+
+        // With the matching config: full characterization, including
+        // the worst-case witnesses (stats carry `worst_case_inputs`).
+        let v = response(
+            &svc,
+            Op::ImportNetlist {
+                text,
+                format: Some("verilog".into()),
+                config: Some("(a A A A A)".into()),
+            },
+        );
+        let r = assert_ok(&v);
+        let ch = r.get("characterization").unwrap();
+        assert_eq!(ch.get("bits").and_then(Value::as_u64), Some(8));
+        let wci = ch
+            .get("stats")
+            .unwrap()
+            .get("worst_case_inputs")
+            .and_then(Value::as_arr)
+            .unwrap();
+        assert!(!wci.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn import_netlist_rejects_malformed_and_mismatched_input() {
+        let svc = Service::new(None);
+        // Typed importer error, surfaced with its class code.
+        let v = response(
+            &svc,
+            Op::ImportNetlist {
+                text: "module broken (".into(),
+                format: None,
+                config: None,
+            },
+        );
+        assert_err(&v, "invalid-netlist");
+        // A valid netlist that does not implement the claimed config.
+        let cfg: axmul_dse::Config = "(c X X X X)".parse().unwrap();
+        let text = axmul_fabric::export::to_verilog(&cfg.assemble());
+        let v = response(
+            &svc,
+            Op::ImportNetlist {
+                text,
+                format: None,
+                config: Some("(a A A A A)".into()),
+            },
+        );
+        assert_err(&v, "invalid-netlist");
+        // Unknown explicit format string.
+        let v = response(
+            &svc,
+            Op::ImportNetlist {
+                text: "module m (\n  input wire a\n);\nendmodule\n".into(),
+                format: Some("edif".into()),
+                config: None,
+            },
+        );
+        assert_err(&v, "bad-request");
     }
 
     #[test]

@@ -238,6 +238,121 @@ fn warm_restart_reuses_the_store_with_zero_builds() {
 }
 
 #[test]
+fn import_netlist_round_trips_external_verilog_with_warm_witnesses() {
+    let dir = tempdir("import");
+    let key = "(a A A A A)";
+    let cfg: axmul_dse::Config = key.parse().unwrap();
+    let text = axmul_fabric::export::to_verilog(&cfg.assemble());
+
+    let (cold, socket) = start("import_a", Some(&dir));
+    let mut tcp = Client::connect_tcp(cold.tcp_addr().unwrap()).unwrap();
+    let r = tcp
+        .call(Op::ImportNetlist {
+            text: text.clone(),
+            format: None,
+            config: Some(key.into()),
+        })
+        .unwrap();
+    assert_eq!(r.get("format").and_then(Value::as_str), Some("verilog"));
+    assert!(r.get("luts").and_then(Value::as_u64).unwrap() > 0);
+    let stats = r.get("characterization").unwrap().get("stats").unwrap();
+    let witnesses = stats
+        .get("worst_case_inputs")
+        .and_then(Value::as_arr)
+        .unwrap();
+    assert!(
+        !witnesses.is_empty(),
+        "worst-case witnesses must survive import → characterize"
+    );
+
+    // `builds` counts per-node characterizations (the leaf and the
+    // composed quad), so capture the cold total before re-importing.
+    let stats_cold = tcp.call(Op::Stats).unwrap();
+    let builds_cold = stats_cold
+        .get("cache")
+        .and_then(|c| c.get("builds"))
+        .and_then(Value::as_u64)
+        .unwrap();
+    assert!(builds_cold > 0);
+
+    // Same request over the Unix socket with an explicit format:
+    // byte-identical answer (served warm from the same cache entry).
+    let mut unix = Client::connect_unix(&socket).unwrap();
+    let r2 = unix
+        .call(Op::ImportNetlist {
+            text: text.clone(),
+            format: Some("verilog".into()),
+            config: Some(key.into()),
+        })
+        .unwrap();
+    assert_eq!(r2.get("characterization"), r.get("characterization"));
+    assert_eq!(r2.get("fingerprint"), r.get("fingerprint"));
+
+    let stats_warm = tcp.call(Op::Stats).unwrap();
+    let cache = stats_warm.get("cache").unwrap();
+    assert_eq!(
+        cache.get("builds").and_then(Value::as_u64),
+        Some(builds_cold),
+        "second import must hit the warm cache, not rebuild"
+    );
+    assert!(cache.get("hits").and_then(Value::as_u64).unwrap() > 0);
+
+    // Typed errors: malformed text, a config the netlist does not
+    // implement, and an unknown format — all answered, never a crash.
+    match tcp.call(Op::ImportNetlist {
+        text: "module broken (".into(),
+        format: None,
+        config: None,
+    }) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "invalid-netlist"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    match tcp.call(Op::ImportNetlist {
+        text: text.clone(),
+        format: None,
+        config: Some("(c X X X X)".into()),
+    }) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, "invalid-netlist");
+            assert!(message.contains("fingerprint"), "{message}");
+        }
+        other => panic!("expected server error, got {other:?}"),
+    }
+    match tcp.call(Op::ImportNetlist {
+        text: text.clone(),
+        format: Some("edif".into()),
+        config: None,
+    }) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "bad-request"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    exercise_every_request_type(&mut tcp);
+    drop((tcp, unix));
+    cold.shutdown();
+
+    // Warm restart over the same store: the imported netlist hashes
+    // identically to its in-process twin, so the characterization —
+    // witnesses included — comes straight off disk with zero rebuilds.
+    let (warm, _) = start("import_b", Some(&dir));
+    let mut client = Client::connect_tcp(warm.tcp_addr().unwrap()).unwrap();
+    let r3 = client
+        .call(Op::ImportNetlist {
+            text,
+            format: None,
+            config: Some(key.into()),
+        })
+        .unwrap();
+    assert_eq!(r3.get("characterization"), r.get("characterization"));
+    let cache = client.call(Op::Stats).unwrap();
+    let cache = cache.get("cache").unwrap();
+    assert_eq!(cache.get("builds").and_then(Value::as_u64), Some(0));
+    assert!(cache.get("disk_hits").and_then(Value::as_u64).unwrap() > 0);
+    drop(client);
+    warm.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn concurrent_clients_are_all_served() {
     let (handle, _socket) = start("concurrent", None);
     let addr = handle.tcp_addr().unwrap();

@@ -41,6 +41,11 @@
 //!   multi-threaded server speaking a length-prefixed JSON protocol
 //!   over TCP and Unix sockets, backed by a persistent on-disk
 //!   characterization store for zero-rebuild warm starts.
+//! * [`netio`] — netlist interchange: a structural-Verilog importer
+//!   for the exported `LUT6_2`/`CARRY4` dialect (export → import →
+//!   export is a byte-level fixpoint) and the versioned `axnl-v1`
+//!   JSON schema, with typed source-located errors and the canonical
+//!   content fingerprint shared with the characterization cache.
 //!
 //! ## Quickstart
 //!
@@ -68,6 +73,7 @@ pub use axmul_dse as dse;
 pub use axmul_fabric as fabric;
 pub use axmul_lint as lint;
 pub use axmul_metrics as metrics;
+pub use axmul_netio as netio;
 pub use axmul_nn as nn;
 pub use axmul_serve as serve;
 pub use axmul_susan as susan;

@@ -6,6 +6,7 @@
 //! repro serve-bench [--quick] [--json]
 //! repro absint [--quick] [--json]
 //! repro netio [--quick] [--json]
+//! repro ext-dse [--json]
 //! repro ext-dse --cache-dir DIR
 //! repro all
 //! repro list
@@ -16,7 +17,9 @@
 //! reduced CI-friendly form. `--json` additionally writes `sim-bench`
 //! results to `BENCH_sim.json`, `serve-bench` results to
 //! `BENCH_serve.json`, `absint` results to `BENCH_absint.json` and
-//! `netio` results to `BENCH_netio.json` in the working directory. `--cache-dir DIR` routes `ext-dse` through
+//! `netio` results to `BENCH_netio.json` and `ext-dse` results (with
+//! the error/energy/STA wall-clock split) to `BENCH_extdse.json` in
+//! the working directory. `--cache-dir DIR` routes `ext-dse` through
 //! the persistent characterization store rooted at `DIR`, so a second
 //! run warm-starts with zero recharacterizations.
 
@@ -217,6 +220,15 @@ fn main() -> ExitCode {
                 }
                 print!("{payload}");
                 eprintln!("wrote BENCH_netio.json");
+            }
+            "ext-dse" if json => {
+                let payload = experiments::ext_dse_json();
+                if let Err(e) = std::fs::write("BENCH_extdse.json", &payload) {
+                    eprintln!("cannot write BENCH_extdse.json: {e}");
+                    return ExitCode::FAILURE;
+                }
+                print!("{payload}");
+                eprintln!("wrote BENCH_extdse.json");
             }
             "ext-dse" if cache_dir.is_some() => {
                 let dir = cache_dir.as_deref().expect("checked above");

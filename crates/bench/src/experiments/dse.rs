@@ -59,7 +59,42 @@ pub fn ext_dse() -> String {
         100.0 * result.hit_rate(),
         result.reports.len() as f64 / result.elapsed.as_secs_f64().max(1e-9),
     ));
+    s.push_str(&format!(
+        "characterization: error {:.3}s, energy {:.3}s, STA {:.3}s (of {:.2}s total)\n",
+        result.char_time.error.as_secs_f64(),
+        result.char_time.energy.as_secs_f64(),
+        result.char_time.sta.as_secs_f64(),
+        result.elapsed.as_secs_f64(),
+    ));
     s
+}
+
+/// [`ext_dse`] as a machine-readable JSON digest, including the
+/// wall-clock split of where the characterization time went (error
+/// sweeps vs energy measurements vs STA) so future optimization passes
+/// can see the hot path without re-profiling.
+#[must_use]
+pub fn ext_dse_json() -> String {
+    let opts = DseOptions::exhaustive_8x8();
+    let result = run(&opts).expect("generated netlists simulate");
+    let elapsed = result.elapsed.as_secs_f64();
+    format!(
+        "{{\n  \"bench\": \"ext-dse\",\n  \"configs\": {},\n  \"elapsed_s\": {:.4},\n  \
+         \"cand_per_s\": {:.1},\n  \"char_time_s\": {{\"error\": {:.4}, \"energy\": {:.4}, \
+         \"sta\": {:.4}}},\n  \"cache\": {{\"hits\": {}, \"misses\": {}, \"builds\": {}}},\n  \
+         \"lut_front\": {},\n  \"edp_front\": {}\n}}\n",
+        result.reports.len(),
+        elapsed,
+        result.reports.len() as f64 / elapsed.max(1e-9),
+        result.char_time.error.as_secs_f64(),
+        result.char_time.energy.as_secs_f64(),
+        result.char_time.sta.as_secs_f64(),
+        result.cache_hits,
+        result.cache_misses,
+        result.cache_builds,
+        result.lut_front().len(),
+        result.edp_front().len(),
+    )
 }
 
 /// **Extension: 8×8 DSE with a persistent store.** The same exhaustive

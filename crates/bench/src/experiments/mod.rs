@@ -16,7 +16,7 @@ mod tables;
 
 pub use ablations::{ablate_4x2_trunc, ablate_cc_depth, ablate_elem, ablate_swap};
 pub use absint::{absint_json, absint_quick, absint_report};
-pub use dse::{dse_scaling, dse_subset, ext_dse, ext_dse_cached};
+pub use dse::{dse_scaling, dse_subset, ext_dse, ext_dse_cached, ext_dse_json};
 pub use extensions::{ablate_cfree_op, ext_adders, ext_correction, ext_signed};
 pub use figures::{fig1, fig10, fig12, fig7, fig8, fig9};
 pub use lint::{lint_all_reports, lint_roster};

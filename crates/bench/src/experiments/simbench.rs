@@ -14,16 +14,34 @@
 //! table build (129×129 scalar [`eval_with_faults`] before the rework)
 //! both ways.
 //!
+//! The energy section does the same for characterization: a faithful
+//! replica of the pre-rework energy loop (scalar 64-lane passes,
+//! per-batch bus transpose and boundary snapshot, per-batch float
+//! accumulation, duplicate STA) against the packed wide-lane
+//! [`measure_packed`] path, reporting net-transitions/second, the
+//! roster-level characterize speedup, and whether the packed report is
+//! bit-identical to the scalar interpretive [`measure_reference`] for
+//! worker counts 1–4 (`"energy_identical"` — gated in CI). Full mode
+//! also times a cold exhaustive 8×8 DSE end to end.
+//!
 //! `sim_bench_json` renders the same measurements as the
 //! `BENCH_sim.json` machine-readable artifact.
 
 use std::time::Instant;
 
+use axmul_core::behavioral::Summation;
 use axmul_core::Multiplier;
-use axmul_fabric::compile::CompiledNetlist;
+use axmul_dse::{run as dse_run, CharCache, Config, DseOptions};
+use axmul_fabric::area::AreaReport;
+use axmul_fabric::compile::{CompiledNetlist, CompiledSim};
+use axmul_fabric::cost::Characterizer;
 use axmul_fabric::fault::eval_with_faults;
+use axmul_fabric::power::{
+    measure_packed, measure_reference, uniform_stimulus, EnergyReport, PackedStimulus,
+};
 use axmul_fabric::sim::WideSim;
-use axmul_fabric::Netlist;
+use axmul_fabric::timing::analyze;
+use axmul_fabric::{Driver, NetId, Netlist};
 use axmul_metrics::ErrorStats;
 use axmul_nn::ProductTable;
 
@@ -181,6 +199,169 @@ fn bench_arch(entry: &RosterEntry, reps: u32) -> ArchBench {
     }
 }
 
+/// Faithful replica of the pre-rework `characterize_with`: area walk,
+/// the STA it ran for its cost record, step-major stimulus generation
+/// (one heap `Vec` per vector), then the old `measure_with` loop —
+/// scalar 64-lane passes with a `Vec<Vec<u64>>` bus transpose per
+/// batch, a freshly allocated per-net `Vec<bool>` boundary snapshot
+/// per batch, float weight accumulation inside the per-net loop, and a
+/// *second* STA for the report's delay field.
+fn legacy_characterize_energy(
+    netlist: &Netlist,
+    prog: &CompiledNetlist,
+    ch: &Characterizer,
+) -> EnergyReport {
+    let (energy, delay) = (&ch.energy, &ch.delay);
+    let area = AreaReport::of(netlist);
+    std::hint::black_box(area.luts);
+    let cost_timing = analyze(netlist, delay);
+    std::hint::black_box(cost_timing.critical_path_ns);
+    let stimulus = uniform_stimulus(netlist, ch.stimulus_len, ch.stimulus_seed);
+    let n_buses = netlist.input_buses().len();
+    let fanouts = netlist.fanouts();
+    let drivers = netlist.drivers();
+    let weights: Vec<f64> = drivers
+        .iter()
+        .enumerate()
+        .map(|(net, d)| match d {
+            Driver::Const(_) => 0.0,
+            Driver::CarrySum(..) | Driver::CarryCout(..) => {
+                energy.c_carry + energy.c_fanout * f64::from(fanouts[net])
+            }
+            _ => energy.c_lut + energy.c_fanout * f64::from(fanouts[net]),
+        })
+        .collect();
+
+    let mut sim: CompiledSim<'_, 1> = prog.simulator();
+    let mut total = 0.0f64;
+    let mut transitions = 0u64;
+    let mut boundary: Option<Vec<bool>> = None;
+    let mut pos = 0usize;
+    while pos < stimulus.len() {
+        let n = (stimulus.len() - pos).min(64);
+        let mut buses: Vec<Vec<u64>> = vec![Vec::with_capacity(n); n_buses];
+        for step in &stimulus[pos..pos + n] {
+            for (bus, &val) in step.iter().enumerate() {
+                buses[bus].push(val);
+            }
+        }
+        let refs: Vec<&[u64]> = buses.iter().map(Vec::as_slice).collect();
+        sim.load(&refs).expect("stimulus matches netlist");
+        sim.run();
+        for (net, &weight) in weights.iter().enumerate() {
+            if weight == 0.0 {
+                continue;
+            }
+            let word = sim.net_word(NetId::new(net as u32))[0];
+            let within = (word ^ (word >> 1)) & ((1u64 << (n - 1)) - 1);
+            let mut t = u64::from(within.count_ones());
+            if let Some(prev) = &boundary {
+                if prev[net] != (word & 1 == 1) {
+                    t += 1;
+                }
+            }
+            total += weight * t as f64;
+        }
+        transitions += (n - 1) as u64 + u64::from(boundary.is_some());
+        boundary = Some(
+            (0..netlist.net_count())
+                .map(|net| (sim.net_word(NetId::new(net as u32))[0] >> (n - 1)) & 1 == 1)
+                .collect::<Vec<bool>>(),
+        );
+        pos += n;
+    }
+
+    let transitions = transitions.max(1);
+    let energy_per_op = total / transitions as f64;
+    let critical_path_ns = analyze(netlist, delay).critical_path_ns;
+    EnergyReport {
+        energy_per_op,
+        critical_path_ns,
+        edp: energy_per_op * critical_path_ns,
+        transitions,
+    }
+}
+
+/// One architecture's energy-characterization measurements.
+struct EnergyBench {
+    name: String,
+    /// Scalar interpretive characterize: STA for the cost record, then
+    /// a step-at-a-time [`measure_reference`] (with its own STA) — the
+    /// pre-compiled-simulator shape of the energy path.
+    scalar_char_s: f64,
+    /// Compiled 64-lane batch characterize (the immediate
+    /// predecessor): [`legacy_characterize_energy`].
+    legacy_char_s: f64,
+    /// Packed wide-lane characterize: `Characterizer::characterize_timed`.
+    packed_char_s: f64,
+    /// `scalar_char_s / packed_char_s` — the headline speedup against
+    /// the scalar reference the report is gated bit-identical to.
+    speedup: f64,
+    /// `legacy_char_s / packed_char_s`.
+    speedup_vs_batched: f64,
+    /// Net-level adjacent-step transitions examined per second, in
+    /// millions: `non-const nets × (steps − 1) / seconds / 1e6`.
+    legacy_mtrans_per_sec: f64,
+    packed_mtrans_per_sec: f64,
+    /// Packed path bit-identical (`energy_per_op`, `edp`) to the
+    /// scalar interpretive reference for worker counts 1–4.
+    energy_identical: bool,
+}
+
+fn bench_energy(entry: &RosterEntry, reps: u32) -> EnergyBench {
+    let nl = &entry.netlist;
+    let prog = CompiledNetlist::compile(nl);
+    let ch = Characterizer::virtex7();
+    let stimulus = uniform_stimulus(nl, ch.stimulus_len, ch.stimulus_seed);
+    let packed = PackedStimulus::uniform(nl, ch.stimulus_len, ch.stimulus_seed);
+
+    let scalar_s = time_runs(reps, || {
+        let cost_timing = analyze(nl, &ch.delay);
+        std::hint::black_box(cost_timing.critical_path_ns);
+        let stim = uniform_stimulus(nl, ch.stimulus_len, ch.stimulus_seed);
+        let r = measure_reference(nl, &ch.energy, &ch.delay, &stim).expect("reference measures");
+        std::hint::black_box(r.edp);
+    });
+    let legacy_s = time_runs(reps, || {
+        let r = legacy_characterize_energy(nl, &prog, &ch);
+        std::hint::black_box(r.edp);
+    });
+    let packed_s = time_runs(reps, || {
+        let (cost, _) = ch
+            .characterize_timed(nl, &prog)
+            .expect("roster netlist characterizes");
+        std::hint::black_box(cost.edp);
+    });
+
+    let reference =
+        measure_reference(nl, &ch.energy, &ch.delay, &stimulus).expect("reference measures");
+    let critical_path_ns = analyze(nl, &ch.delay).critical_path_ns;
+    let energy_identical = (1..=4).all(|workers| {
+        let r = measure_packed(nl, &prog, &ch.energy, critical_path_ns, &packed, workers)
+            .expect("packed measure");
+        r.energy_per_op.to_bits() == reference.energy_per_op.to_bits()
+            && r.edp.to_bits() == reference.edp.to_bits()
+    });
+
+    let tracked = nl
+        .drivers()
+        .iter()
+        .filter(|d| !matches!(d, Driver::Const(_)))
+        .count() as u64;
+    let net_transitions = (tracked * (ch.stimulus_len as u64 - 1)) as f64;
+    EnergyBench {
+        name: entry.name.clone(),
+        scalar_char_s: scalar_s,
+        legacy_char_s: legacy_s,
+        packed_char_s: packed_s,
+        speedup: scalar_s / packed_s,
+        speedup_vs_batched: legacy_s / packed_s,
+        legacy_mtrans_per_sec: net_transitions / legacy_s / 1e6,
+        packed_mtrans_per_sec: net_transitions / packed_s / 1e6,
+        energy_identical,
+    }
+}
+
 /// NN product-table build: the pre-rework path evaluated 129×129
 /// magnitude pairs through scalar [`eval_with_faults`]; the compiled
 /// path sweeps all 2¹⁶ pairs bit-sliced.
@@ -203,18 +384,65 @@ fn bench_nn_table(reps: u32) -> (f64, f64) {
     (legacy_s, compiled_s)
 }
 
-fn run(quick: bool) -> (Vec<ArchBench>, f64, f64) {
+/// Everything one `sim-bench` invocation measures.
+struct SimBench {
+    archs: Vec<ArchBench>,
+    energy: Vec<EnergyBench>,
+    nn_legacy_s: f64,
+    nn_compiled_s: f64,
+    /// Cold exhaustive 8×8 DSE wall clock (full mode only): the
+    /// end-to-end number the characterization rework is accountable
+    /// for.
+    ext_dse_cold_s: Option<f64>,
+}
+
+fn run(quick: bool) -> SimBench {
     let reps = if quick { 1 } else { 3 };
     let mut roster = fig7_roster(8);
     if quick {
         roster.truncate(2);
     }
     let archs: Vec<ArchBench> = roster.iter().map(|e| bench_arch(e, reps)).collect();
+    // The energy section also covers the two paper DSE points as
+    // LUT-mapped quad netlists — several times larger than the
+    // structural roster designs, and the shape the characterization
+    // cache actually hammers.
+    let cache = CharCache::new(Characterizer::virtex7());
+    for summation in [Summation::Accurate, Summation::CarryFree] {
+        let cfg = Config::paper(8, summation);
+        let bc = cache
+            .characterize(&cfg)
+            .expect("paper config characterizes");
+        roster.push(RosterEntry {
+            name: format!("DSE {}", cfg.key()),
+            netlist: (*bc.netlist).clone(),
+        });
+    }
+    let energy: Vec<EnergyBench> = roster.iter().map(|e| bench_energy(e, reps)).collect();
     let (nn_legacy_s, nn_compiled_s) = bench_nn_table(reps);
-    (archs, nn_legacy_s, nn_compiled_s)
+    let ext_dse_cold_s = (!quick).then(|| {
+        let t = Instant::now();
+        let result = dse_run(&DseOptions::exhaustive_8x8()).expect("generated netlists simulate");
+        std::hint::black_box(result.reports.len());
+        t.elapsed().as_secs_f64()
+    });
+    SimBench {
+        archs,
+        energy,
+        nn_legacy_s,
+        nn_compiled_s,
+        ext_dse_cold_s,
+    }
 }
 
-fn render(archs: &[ArchBench], nn_legacy_s: f64, nn_compiled_s: f64) -> String {
+fn render(b: &SimBench) -> String {
+    let SimBench {
+        archs,
+        nn_legacy_s,
+        nn_compiled_s,
+        ..
+    } = b;
+    let (nn_legacy_s, nn_compiled_s) = (*nn_legacy_s, *nn_compiled_s);
     let mut t = Table::new(
         "Simulator throughput: exhaustive 8x8 characterization sweep",
         &[
@@ -241,6 +469,55 @@ fn render(archs: &[ArchBench], nn_legacy_s: f64, nn_compiled_s: f64) -> String {
         ]);
     }
     let mut out = t.render();
+    let mut e = Table::new(
+        "Energy characterization: packed wide-lane vs scalar reference and 64-lane batch loop",
+        &[
+            "design",
+            "scalar ms",
+            "batch ms",
+            "packed ms",
+            "vs scalar",
+            "vs batch",
+            "packed Mtr/s",
+            "report",
+        ],
+    );
+    for a in &b.energy {
+        e.row_owned(vec![
+            a.name.clone(),
+            f(a.scalar_char_s * 1e3, 3),
+            f(a.legacy_char_s * 1e3, 3),
+            f(a.packed_char_s * 1e3, 3),
+            format!("{}x", f(a.speedup, 1)),
+            format!("{}x", f(a.speedup_vs_batched, 1)),
+            f(a.packed_mtrans_per_sec, 1),
+            if a.energy_identical {
+                "bit-identical".to_string()
+            } else {
+                "DIVERGED".to_string()
+            },
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&e.render());
+    let scalar_total: f64 = b.energy.iter().map(|a| a.scalar_char_s).sum();
+    let legacy_total: f64 = b.energy.iter().map(|a| a.legacy_char_s).sum();
+    let packed_total: f64 = b.energy.iter().map(|a| a.packed_char_s).sum();
+    out.push_str(&format!(
+        "\ncharacterize (STA + energy) over the roster: scalar {} s, 64-lane batch {} s, \
+         packed {} s ({}x vs scalar, {}x vs batch)\n",
+        f(scalar_total, 4),
+        f(legacy_total, 4),
+        f(packed_total, 4),
+        f(scalar_total / packed_total, 1),
+        f(legacy_total / packed_total, 1),
+    ));
+    if let Some(cold) = b.ext_dse_cold_s {
+        out.push_str(&format!(
+            "cold exhaustive 8x8 DSE (repro ext-dse): {} s\n",
+            f(cold, 2),
+        ));
+    }
     out.push_str(&format!(
         "\nNN product table build (Ca 8x8, fault-free): legacy {} s, compiled {} s ({}x)\n",
         f(nn_legacy_s, 3),
@@ -250,13 +527,13 @@ fn render(archs: &[ArchBench], nn_legacy_s: f64, nn_compiled_s: f64) -> String {
     out
 }
 
-fn render_json(archs: &[ArchBench], nn_legacy_s: f64, nn_compiled_s: f64, quick: bool) -> String {
+fn render_json(b: &SimBench, quick: bool) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!(
         "  \"bench\": \"sim\",\n  \"mode\": \"{}\",\n  \"archs\": [\n",
         if quick { "quick" } else { "full" }
     ));
-    for (i, a) in archs.iter().enumerate() {
+    for (i, a) in b.archs.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"pairs\": {}, \"legacy_pairs_per_sec\": {:.1}, \
              \"compiled_pairs_per_sec\": {:.1}, \"speedup\": {:.2}, \"stats_identical\": {}}}{}\n",
@@ -266,15 +543,46 @@ fn render_json(archs: &[ArchBench], nn_legacy_s: f64, nn_compiled_s: f64, quick:
             a.compiled_pairs_per_sec,
             a.speedup,
             a.stats_identical,
-            if i + 1 < archs.len() { "," } else { "" },
+            if i + 1 < b.archs.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n  \"energy\": [\n");
+    for (i, a) in b.energy.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scalar_char_s\": {:.6}, \"legacy_char_s\": {:.6}, \
+             \"packed_char_s\": {:.6}, \"speedup_vs_scalar\": {:.2}, \
+             \"speedup_vs_batched\": {:.2}, \"legacy_mtrans_per_sec\": {:.1}, \
+             \"packed_mtrans_per_sec\": {:.1}}}{}\n",
+            a.name,
+            a.scalar_char_s,
+            a.legacy_char_s,
+            a.packed_char_s,
+            a.speedup,
+            a.speedup_vs_batched,
+            a.legacy_mtrans_per_sec,
+            a.packed_mtrans_per_sec,
+            if i + 1 < b.energy.len() { "," } else { "" },
         ));
     }
     s.push_str("  ],\n");
+    let scalar_total: f64 = b.energy.iter().map(|a| a.scalar_char_s).sum();
+    let legacy_total: f64 = b.energy.iter().map(|a| a.legacy_char_s).sum();
+    let packed_total: f64 = b.energy.iter().map(|a| a.packed_char_s).sum();
+    s.push_str(&format!(
+        "  \"characterize_speedup\": {:.2},\n  \"characterize_speedup_vs_batched\": {:.2},\n  \
+         \"energy_identical\": {},\n",
+        scalar_total / packed_total,
+        legacy_total / packed_total,
+        b.energy.iter().all(|a| a.energy_identical),
+    ));
+    if let Some(cold) = b.ext_dse_cold_s {
+        s.push_str(&format!("  \"ext_dse_cold_s\": {cold:.3},\n"));
+    }
     s.push_str(&format!(
         "  \"nn_table_build\": {{\"legacy_s\": {:.4}, \"compiled_s\": {:.4}, \"speedup\": {:.2}}}\n",
-        nn_legacy_s,
-        nn_compiled_s,
-        nn_legacy_s / nn_compiled_s,
+        b.nn_legacy_s,
+        b.nn_compiled_s,
+        b.nn_legacy_s / b.nn_compiled_s,
     ));
     s.push_str("}\n");
     s
@@ -283,22 +591,19 @@ fn render_json(archs: &[ArchBench], nn_legacy_s: f64, nn_compiled_s: f64, quick:
 /// Full simulator-throughput report over the Fig. 7 roster.
 #[must_use]
 pub fn sim_bench() -> String {
-    let (archs, nn_l, nn_c) = run(false);
-    render(&archs, nn_l, nn_c)
+    render(&run(false))
 }
 
 /// CI smoke variant: two architectures, single repetition.
 #[must_use]
 pub fn sim_bench_quick() -> String {
-    let (archs, nn_l, nn_c) = run(true);
-    render(&archs, nn_l, nn_c)
+    render(&run(true))
 }
 
 /// The same measurements as a `BENCH_sim.json` payload.
 #[must_use]
 pub fn sim_bench_json(quick: bool) -> String {
-    let (archs, nn_l, nn_c) = run(quick);
-    render_json(&archs, nn_l, nn_c, quick)
+    render_json(&run(quick), quick)
 }
 
 #[cfg(test)]
@@ -320,5 +625,24 @@ mod tests {
         assert!(json.contains("\"bench\": \"sim\""));
         assert!(json.contains("\"stats_identical\": true"));
         assert!(!json.contains("\"stats_identical\": false"));
+        assert!(json.contains("\"energy_identical\": true"));
+        assert!(!json.contains("\"energy_identical\": false"));
+        // The cold DSE run is a full-mode measurement only.
+        assert!(!json.contains("\"ext_dse_cold_s\""));
+    }
+
+    #[test]
+    fn legacy_energy_replica_agrees_on_totals() {
+        // The replica's float accumulation order differs from the new
+        // end-of-run fold, so the values agree to rounding, not bits —
+        // which is exactly why the store records carry an algorithm
+        // version.
+        let entry = &fig7_roster(8)[0];
+        let ch = Characterizer::virtex7();
+        let prog = CompiledNetlist::compile(&entry.netlist);
+        let legacy = legacy_characterize_energy(&entry.netlist, &prog, &ch);
+        let (cost, _) = ch.characterize_timed(&entry.netlist, &prog).unwrap();
+        assert!((legacy.energy_per_op - cost.energy_per_op).abs() / cost.energy_per_op < 1e-12);
+        assert!((legacy.edp - cost.edp).abs() / cost.edp < 1e-12);
     }
 }

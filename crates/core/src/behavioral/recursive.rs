@@ -201,6 +201,7 @@ impl<F: Fn(u64, u64) -> u64> Multiplier for Recursive<F> {
 /// assert_eq!(p, 13 * 11);
 /// ```
 #[must_use]
+#[inline]
 pub fn combine_products(ll: u64, hl: u64, lh: u64, hh: u64, m: u32, summation: Summation) -> u64 {
     match summation {
         Summation::Accurate => ll + ((hl + lh) << m) + (hh << (2 * m)),

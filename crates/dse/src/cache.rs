@@ -25,6 +25,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use axmul_core::behavioral::{combine_products, Summation};
 use axmul_core::{mask_for, Multiplier};
@@ -32,7 +33,15 @@ use axmul_fabric::area::AreaReport;
 use axmul_fabric::compile::CompiledNetlist;
 use axmul_fabric::cost::{Characterizer, NetlistCost};
 use axmul_fabric::{FabricError, Netlist};
-use axmul_metrics::ErrorStats;
+use axmul_metrics::{ErrorStats, StatsBuilder};
+
+/// Version of the characterization algorithm, mixed into every
+/// persisted record's hash. Bump it whenever a change alters the float
+/// values a build produces (e.g. the wide-lane energy rework moved the
+/// weight fold to the end of the run, changing `energy_per_op`/`edp`
+/// in the last bits) so stale records rebuild instead of silently
+/// serving the old numbers.
+const CHAR_ALGO_VERSION: u64 = 2;
 
 use crate::config::Config;
 use crate::store::{netlist_fingerprint, DiskStore, StoreError, StoredChar};
@@ -122,6 +131,58 @@ fn flatten_quad(quad: &EvalNode, bits: u32) -> Vec<u32> {
     table
 }
 
+/// The DSE hot loop: flattens a quad whose four children are value
+/// tables AND accumulates its exhaustive error statistics in one pass,
+/// composing products directly from hoisted child-table rows instead of
+/// walking the evaluator tree per pair. Sweep order is the canonical
+/// `b` outer / `a` fast axis and the accumulator is
+/// [`StatsBuilder`], so both outputs are bit-identical to
+/// [`flatten_quad`] + [`ErrorStats::exhaustive`].
+#[allow(clippy::too_many_arguments)]
+fn fused_quad_table_stats(
+    name: &str,
+    bits: u32,
+    m: u32,
+    summation: Summation,
+    ll: &[u32],
+    hl: &[u32],
+    lh: &[u32],
+    hh: &[u32],
+) -> (Vec<u32>, ErrorStats) {
+    let half = 1usize << m;
+    let mut table = vec![0u32; 1usize << (2 * bits)];
+    let mut sb = StatsBuilder::new();
+    let mut out = table.iter_mut();
+    for b in 0..1u64 << bits {
+        let bl = (b as usize) & (half - 1);
+        let bh = (b as usize) >> m;
+        let r_ll = &ll[bl << m..(bl << m) + half];
+        let r_hl = &hl[bl << m..(bl << m) + half];
+        let r_lh = &lh[bh << m..(bh << m) + half];
+        let r_hh = &hh[bh << m..(bh << m) + half];
+        for ah in 0..half {
+            let p_hl = u64::from(r_hl[ah]);
+            let p_hh = u64::from(r_hh[ah]);
+            let a_hi = (ah as u64) << m;
+            for al in 0..half {
+                let a = a_hi | al as u64;
+                let p = combine_products(
+                    u64::from(r_ll[al]),
+                    p_hl,
+                    u64::from(r_lh[al]),
+                    p_hh,
+                    m,
+                    summation,
+                );
+                // Index (b << bits) | a is exactly the write cursor.
+                *out.next().expect("table sized to the operand space") = p as u32;
+                sb.push(a, b, a * b, p);
+            }
+        }
+    }
+    (table, sb.finish(name.to_string(), bits, bits))
+}
+
 impl Multiplier for ComposedMultiplier {
     fn a_bits(&self) -> u32 {
         self.bits
@@ -157,6 +218,21 @@ pub struct CharCache {
     builds: AtomicU64,
     store_failures: AtomicU64,
     last_store_error: Mutex<Option<String>>,
+    time_sta_ns: AtomicU64,
+    time_energy_ns: AtomicU64,
+    time_error_ns: AtomicU64,
+}
+
+/// Cumulative wall-clock split of the characterizations a [`CharCache`]
+/// has built, by phase (see [`CharCache::time_breakdown`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CharTimeBreakdown {
+    /// Error-statistics sweeps (exhaustive value tables / sampling).
+    pub error: Duration,
+    /// Packed-stimulus energy measurements.
+    pub energy: Duration,
+    /// Static timing analysis.
+    pub sta: Duration,
 }
 
 /// Why restoring a persisted record failed. Store-level failures fall
@@ -189,6 +265,9 @@ impl CharCache {
             builds: AtomicU64::new(0),
             store_failures: AtomicU64::new(0),
             last_store_error: Mutex::new(None),
+            time_sta_ns: AtomicU64::new(0),
+            time_energy_ns: AtomicU64::new(0),
+            time_error_ns: AtomicU64::new(0),
         }
     }
 
@@ -358,18 +437,21 @@ impl CharCache {
         }))
     }
 
-    /// Per-record version hash: the structural netlist fingerprint,
-    /// with the sampling policy mixed in for widths whose statistics
-    /// are sampled rather than exhaustive.
+    /// Per-record version hash: the structural netlist fingerprint
+    /// mixed with [`CHAR_ALGO_VERSION`], plus the sampling policy for
+    /// widths whose statistics are sampled rather than exhaustive.
     fn record_hash(&self, netlist: &Netlist, bits: u32) -> u64 {
         let mut h = netlist_fingerprint(netlist);
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 31;
+        };
+        mix(CHAR_ALGO_VERSION);
         if 2 * bits > 16 {
-            for v in [self.samples, self.sample_seed] {
-                h ^= v;
-                h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                h ^= h >> 31;
-            }
+            mix(self.samples);
+            mix(self.sample_seed);
         }
         h
     }
@@ -452,30 +534,73 @@ impl CharCache {
                     m,
                     sub: sub_nodes,
                 };
-                let node = if bits <= 8 {
-                    // Flatten to an exhaustive table: parent queries then
-                    // cost one lookup instead of a tree walk.
-                    EvalNode::Table {
-                        bits,
-                        table: Arc::new(flatten_quad(&quad, bits)),
-                    }
-                } else {
-                    quad
-                };
                 let prog = CompiledNetlist::compile(&nl);
-                (nl, node, prog)
+                (nl, quad, prog)
             }
         };
-        let cost = self.characterizer.characterize_with(&netlist, &prog)?;
+        let (cost, char_times) = self.characterizer.characterize_timed(&netlist, &prog)?;
+        self.time_sta_ns
+            .fetch_add(char_times.sta.as_nanos() as u64, Ordering::Relaxed);
+        self.time_energy_ns
+            .fetch_add(char_times.energy.as_nanos() as u64, Ordering::Relaxed);
+        let t_err = Instant::now();
+        // For quads at ≤ 8 bits the flattening sweep and the exhaustive
+        // statistics visit the same pairs in the same order, so one pass
+        // ([`ErrorStats::exhaustive_tap`]) produces both; the table is
+        // bit-identical to [`flatten_quad`] and the restore path.
+        let (node, stats) = match node {
+            EvalNode::Quad {
+                summation,
+                m,
+                ref sub,
+            } if bits <= 8 => {
+                if let [EvalNode::Table { table: ll, .. }, EvalNode::Table { table: hl, .. }, EvalNode::Table { table: lh, .. }, EvalNode::Table { table: hh, .. }] =
+                    &**sub
+                {
+                    let (table, stats) =
+                        fused_quad_table_stats(key, bits, m, summation, ll, hl, lh, hh);
+                    let node = EvalNode::Table {
+                        bits,
+                        table: Arc::new(table),
+                    };
+                    (node, stats)
+                } else {
+                    let walker = ComposedMultiplier {
+                        bits,
+                        name: key.to_string(),
+                        node,
+                    };
+                    let mut table = vec![0u32; 1usize << (2 * bits)];
+                    let stats = ErrorStats::exhaustive_tap(&walker, |a, b, p| {
+                        table[((b as usize) << bits) | a as usize] = p as u32;
+                    });
+                    let node = EvalNode::Table {
+                        bits,
+                        table: Arc::new(table),
+                    };
+                    (node, stats)
+                }
+            }
+            node => {
+                let evaluator = ComposedMultiplier {
+                    bits,
+                    name: key.to_string(),
+                    node,
+                };
+                let stats = if 2 * bits <= 16 {
+                    ErrorStats::exhaustive(&evaluator)
+                } else {
+                    ErrorStats::sampled(&evaluator, self.samples, self.sample_seed)
+                };
+                (evaluator.node, stats)
+            }
+        };
+        self.time_error_ns
+            .fetch_add(t_err.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let evaluator = ComposedMultiplier {
             bits,
             name: key.to_string(),
             node,
-        };
-        let stats = if 2 * bits <= 16 {
-            ErrorStats::exhaustive(&evaluator)
-        } else {
-            ErrorStats::sampled(&evaluator, self.samples, self.sample_seed)
         };
         Ok(BlockChar {
             key: key.to_string(),
@@ -513,6 +638,18 @@ impl CharCache {
     /// stimulus). Zero on a fully warm store.
     pub fn builds(&self) -> u64 {
         self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative wall-clock split of the characterizations this cache
+    /// has built: error-statistics sweeps vs energy measurements vs
+    /// STA. Restores and in-memory hits add nothing — the split covers
+    /// actual compute only.
+    pub fn time_breakdown(&self) -> CharTimeBreakdown {
+        CharTimeBreakdown {
+            error: Duration::from_nanos(self.time_error_ns.load(Ordering::Relaxed)),
+            energy: Duration::from_nanos(self.time_energy_ns.load(Ordering::Relaxed)),
+            sta: Duration::from_nanos(self.time_sta_ns.load(Ordering::Relaxed)),
+        }
     }
 
     /// Store records that could not be used (unreadable, truncated,

@@ -47,7 +47,7 @@ mod search;
 pub mod store;
 
 pub use bounds::{abs_tree, static_bounds, PruneOptions, StaticPoint};
-pub use cache::{BlockChar, CharCache, ComposedMultiplier};
+pub use cache::{BlockChar, CharCache, CharTimeBreakdown, ComposedMultiplier};
 pub use config::{Config, Leaf, ParseConfigError, LEAF_BITS};
 pub use report::{text_report, to_csv};
 pub use search::{

@@ -111,6 +111,16 @@ pub fn text_report(result: &DseResult) -> String {
         result.cache_misses,
         100.0 * result.hit_rate()
     );
+    let ct = result.char_time;
+    if ct.error + ct.energy + ct.sta > std::time::Duration::ZERO {
+        let _ = writeln!(
+            out,
+            "  characterization: error {:.3}s, energy {:.3}s, STA {:.3}s",
+            ct.error.as_secs_f64(),
+            ct.energy.as_secs_f64(),
+            ct.sta.as_secs_f64()
+        );
+    }
     if result.pruned() > 0 {
         let _ = writeln!(
             out,

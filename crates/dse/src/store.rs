@@ -38,6 +38,15 @@
 //! structural netlist the record describes; on load the caller
 //! re-assembles the netlist from the key and rejects the record with
 //! [`StoreError::StaleNetlist`] if the generators have since changed.
+//! The record hash the [`crate::CharCache`] computes also mixes in its
+//! characterization-algorithm version (`CHAR_ALGO_VERSION` in
+//! `cache.rs`), which is bumped whenever the *semantics* of the stored
+//! floats change — e.g. the packed-stimulus energy rework, which
+//! accumulates integer toggle counts and applies the float weights
+//! once at the end, shifting `energy_per_op`/`edp` by final-rounding
+//! bits relative to the old per-batch accumulation. Records written by
+//! an older algorithm therefore miss (via the netlist-hash mismatch
+//! path) and are rebuilt instead of silently serving stale floats.
 //!
 //! # Hot tier
 //!

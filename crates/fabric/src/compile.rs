@@ -455,6 +455,25 @@ impl CompiledNetlist {
         self.slot_count
     }
 
+    /// The value slot backing `net` — aliased and CSE-merged nets share
+    /// a slot, so slot-level readouts (e.g. toggle counting) touch each
+    /// distinct value exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range for the compiled netlist.
+    #[must_use]
+    pub fn net_slot(&self, net: NetId) -> u32 {
+        self.net_src[net.index()]
+    }
+
+    /// Total combined input bits (all buses, bus 0 first) — the row
+    /// count a packed stimulus must supply to [`CompiledSim::load_packed`].
+    #[must_use]
+    pub fn input_bit_count(&self) -> usize {
+        self.sweep_slots.len()
+    }
+
     /// Creates a fresh simulator over this program with `64 * W` lanes
     /// per pass.
     #[must_use]
@@ -641,6 +660,39 @@ impl<'p, const W: usize> CompiledSim<'p, W> {
         Ok(lanes)
     }
 
+    /// Loads `W` consecutive lane words per combined input bit from a
+    /// pre-packed stimulus: `bits[k]` holds the packed words of input
+    /// bit `k` (bus 0 in the low positions, step `l` in bit `l % 64` of
+    /// word `l / 64`), and the pass covers words
+    /// `word_offset..word_offset + W`. Words past the end of a row are
+    /// zero-filled, so a trailing partial pass is well-defined — callers
+    /// mask out the lanes beyond the stimulus length themselves.
+    ///
+    /// This is the no-transpose path for consecutive-step workloads
+    /// (toggle counting): packing happens once per stimulus, and each
+    /// pass is a straight `W`-word copy per input bit.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::InputArity`] unless `bits` supplies exactly
+    /// [`CompiledNetlist::input_bit_count`] rows.
+    pub fn load_packed(&mut self, bits: &[&[u64]], word_offset: usize) -> Result<(), FabricError> {
+        if bits.len() != self.prog.sweep_slots.len() {
+            return Err(FabricError::InputArity {
+                expected: self.prog.sweep_slots.len(),
+                got: bits.len(),
+            });
+        }
+        for (row, &slot) in bits.iter().zip(&self.prog.sweep_slots) {
+            let mut word = [0u64; W];
+            for (wi, w) in word.iter_mut().enumerate() {
+                *w = row.get(word_offset + wi).copied().unwrap_or(0);
+            }
+            self.values[slot as usize] = word;
+        }
+        Ok(())
+    }
+
     /// Loads the block of `64 * W` consecutive combined-input
     /// assignments starting at `base` (bus 0 in the low bits of the
     /// assignment index). Each input bit's lane word is a fixed
@@ -716,6 +768,18 @@ impl<'p, const W: usize> CompiledSim<'p, W> {
     #[must_use]
     pub fn net_word(&self, net: NetId) -> [u64; W] {
         self.values[self.prog.net_src[net.index()] as usize]
+    }
+
+    /// The lane words of value slot `slot` after [`CompiledSim::run`].
+    /// Combined with [`CompiledNetlist::net_slot`] this reads shared
+    /// (aliased/CSE-merged) values once instead of once per net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range for the program.
+    #[must_use]
+    pub fn slot_word(&self, slot: u32) -> [u64; W] {
+        self.values[slot as usize]
     }
 
     /// The lane words of output bus `bus`, bit `bit`.
@@ -821,6 +885,60 @@ mod tests {
         for (net, &want) in nets.iter().enumerate() {
             assert_eq!(sim.net_word(NetId::new(net as u32))[0], want, "net {net}");
         }
+    }
+
+    #[test]
+    fn load_packed_matches_explicit_transpose() {
+        let nl = adder4();
+        let prog = CompiledNetlist::compile(&nl);
+        assert_eq!(prog.input_bit_count(), 8);
+        // 300 consecutive steps: a = step & 15, b = (step >> 4) & 15.
+        let a: Vec<u64> = (0..300u64).map(|v| v & 15).collect();
+        let c: Vec<u64> = (0..300u64).map(|v| (v >> 4) & 15).collect();
+        // Pack: bits[k][w] holds step `64*w + sh` in bit `sh`.
+        let words = 300usize.div_ceil(64);
+        let mut bits = vec![vec![0u64; words]; 8];
+        for step in 0..300usize {
+            let (w, sh) = (step / 64, step % 64);
+            for bit in 0..4 {
+                bits[bit][w] |= ((a[step] >> bit) & 1) << sh;
+                bits[4 + bit][w] |= ((c[step] >> bit) & 1) << sh;
+            }
+        }
+        let rows: Vec<&[u64]> = bits.iter().map(Vec::as_slice).collect();
+        let mut packed: CompiledSim<'_, 2> = prog.simulator();
+        let mut lane: CompiledSim<'_, 2> = prog.simulator();
+        for pass in 0..words.div_ceil(2) {
+            packed.load_packed(&rows, pass * 2).unwrap();
+            packed.run();
+            let lo = pass * 128;
+            let n = (300 - lo).min(128);
+            lane.load(&[&a[lo..lo + n], &c[lo..lo + n]]).unwrap();
+            lane.run();
+            for net in 0..nl.net_count() {
+                let id = NetId::new(net as u32);
+                let got = packed.net_word(id);
+                let want = lane.net_word(id);
+                for (wi, (&g, &w)) in got.iter().zip(&want).enumerate() {
+                    let lanes_here = n.saturating_sub(wi * 64).min(64);
+                    if lanes_here == 0 {
+                        continue;
+                    }
+                    let mask = if lanes_here == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << lanes_here) - 1
+                    };
+                    assert_eq!(g & mask, w & mask, "pass {pass} net {net} word {wi}");
+                }
+                assert_eq!(
+                    prog.net_slot(id) as usize,
+                    prog.net_src[id.index()] as usize
+                );
+            }
+        }
+        // Wrong row count is rejected.
+        assert!(packed.load_packed(&rows[..7], 0).is_err());
     }
 
     #[test]

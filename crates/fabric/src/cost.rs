@@ -9,10 +9,11 @@
 //! `axmul-apps` crate maps those applications through.
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use crate::area::AreaReport;
 use crate::compile::CompiledNetlist;
-use crate::power::{measure_with, uniform_stimulus, EnergyModel};
+use crate::power::{measure_packed, EnergyModel, PackedStimulus};
 use crate::timing::{analyze, DelayModel};
 use crate::{FabricError, Netlist};
 
@@ -216,6 +217,10 @@ pub struct Characterizer {
     pub stimulus_len: usize,
     /// Seed of the deterministic stimulus stream.
     pub stimulus_seed: u64,
+    /// Worker threads for the energy stimulus sweep. The result is
+    /// bit-identical for every value (integer toggle counts merge in
+    /// fixed order); raise it for very long stimulus streams.
+    pub energy_workers: usize,
 }
 
 impl Characterizer {
@@ -227,6 +232,7 @@ impl Characterizer {
             energy: EnergyModel::virtex7(),
             stimulus_len: 1024,
             stimulus_seed: 0xDAC18 ^ 0x5EED,
+            energy_workers: 1,
         }
     }
 
@@ -253,17 +259,60 @@ impl Characterizer {
         netlist: &Netlist,
         prog: &CompiledNetlist,
     ) -> Result<NetlistCost, FabricError> {
+        self.characterize_timed(netlist, prog).map(|(cost, _)| cost)
+    }
+
+    /// [`Characterizer::characterize_with`] that also reports where the
+    /// time went (STA vs energy sweep), so callers like the DSE cache
+    /// can expose a wall-clock split without re-profiling.
+    ///
+    /// STA runs exactly once: its `critical_path_ns` feeds both the
+    /// cost record and the EDP inside the energy measurement.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Characterizer::characterize`].
+    pub fn characterize_timed(
+        &self,
+        netlist: &Netlist,
+        prog: &CompiledNetlist,
+    ) -> Result<(NetlistCost, CharTimings), FabricError> {
         let area = AreaReport::of(netlist);
+        let t0 = Instant::now();
         let timing = analyze(netlist, &self.delay);
-        let stim = uniform_stimulus(netlist, self.stimulus_len, self.stimulus_seed);
-        let power = measure_with(netlist, prog, &self.energy, &self.delay, &stim)?;
-        Ok(NetlistCost {
+        let t1 = Instant::now();
+        let stim = PackedStimulus::uniform(netlist, self.stimulus_len, self.stimulus_seed);
+        let power = measure_packed(
+            netlist,
+            prog,
+            &self.energy,
+            timing.critical_path_ns,
+            &stim,
+            self.energy_workers,
+        )?;
+        let t2 = Instant::now();
+        let cost = NetlistCost {
             area,
             critical_path_ns: timing.critical_path_ns,
             energy_per_op: power.energy_per_op,
             edp: power.edp,
-        })
+        };
+        let timings = CharTimings {
+            sta: t1 - t0,
+            energy: t2 - t1,
+        };
+        Ok((cost, timings))
     }
+}
+
+/// Wall-clock split of one characterization (see
+/// [`Characterizer::characterize_timed`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CharTimings {
+    /// Time in static timing analysis.
+    pub sta: Duration,
+    /// Time in the packed-stimulus energy sweep.
+    pub energy: Duration,
 }
 
 impl Default for Characterizer {

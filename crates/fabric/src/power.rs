@@ -6,14 +6,24 @@
 //! multiplier netlists under identical stimulus — all the paper needs
 //! for Fig. 1 and Fig. 7 — the `C·V²·f` factors cancel and the ranking
 //! is determined by fanout-weighted toggle counts. This module measures
-//! exactly that, streaming the stimulus through the compiled bit-sliced
-//! simulator ([`crate::compile`]) 64 lanes at a time (adjacent lanes
-//! are consecutive stimulus vectors).
+//! exactly that on the compiled bit-sliced simulator
+//! ([`crate::compile`]): the stimulus is packed once into lane words
+//! ([`PackedStimulus`], step `l` in bit `l % 64`), each pass evaluates
+//! `64 * SWEEP_WORDS` consecutive steps, and toggles are counted as
+//! exact integer popcounts of `word ^ (word >> 1)` accumulated per
+//! value slot over the whole run. The float [`EnergyModel`] weights are
+//! applied exactly once at the end, in ascending-net order — so the
+//! resulting [`EnergyReport`] is **bit-identical** for any lane width,
+//! batch size, or worker count, the same guarantee the error path's
+//! `exhaustive_wide` gives `ErrorStats`. [`measure_reference`] is the
+//! scalar single-step ground truth that property tests and the CI
+//! bench gate compare against.
 
-use crate::compile::{CompiledNetlist, CompiledSim};
+use crate::compile::{CompiledNetlist, CompiledSim, SWEEP_WORDS};
 use crate::netlist::Driver;
+use crate::sim::WideSim;
 use crate::timing::{analyze, DelayModel};
-use crate::{FabricError, NetId, Netlist};
+use crate::{FabricError, Netlist};
 
 /// Relative capacitance weights for the energy proxy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,6 +66,265 @@ pub struct EnergyReport {
     pub edp: f64,
     /// Number of input transitions measured.
     pub transitions: u64,
+}
+
+/// A stimulus sequence packed into lane words, ready for
+/// [`CompiledSim::load_packed`]: row `k` is combined input bit `k`
+/// (bus 0 in the low positions), and step `l` lives in bit `l % 64` of
+/// word `l / 64`. Packing happens once per measurement instead of a
+/// `Vec<Vec<u64>>` transpose per 64-step batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedStimulus {
+    bits: Vec<Vec<u64>>,
+    steps: usize,
+    bus_widths: Vec<usize>,
+}
+
+impl PackedStimulus {
+    /// Packs step-major stimulus vectors (one word per input bus per
+    /// step, as in [`Netlist::eval`]) into lane words.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::InputArity`] if any vector has the wrong number
+    /// of buses.
+    pub fn pack(netlist: &Netlist, stimulus: &[Vec<u64>]) -> Result<Self, FabricError> {
+        let bus_widths: Vec<usize> = netlist.input_buses().iter().map(|(_, b)| b.len()).collect();
+        for v in stimulus {
+            if v.len() != bus_widths.len() {
+                return Err(FabricError::InputArity {
+                    expected: bus_widths.len(),
+                    got: v.len(),
+                });
+            }
+        }
+        let total_bits: usize = bus_widths.iter().sum();
+        let words = stimulus.len().div_ceil(64);
+        let mut bits = vec![vec![0u64; words]; total_bits];
+        for (step, v) in stimulus.iter().enumerate() {
+            let (w, sh) = (step / 64, step % 64);
+            let mut k = 0usize;
+            for (bus, &val) in v.iter().enumerate() {
+                for bit in 0..bus_widths[bus] {
+                    bits[k][w] |= ((val >> bit) & 1) << sh;
+                    k += 1;
+                }
+            }
+        }
+        Ok(PackedStimulus {
+            bits,
+            steps: stimulus.len(),
+            bus_widths,
+        })
+    }
+
+    /// `n` uniform-random steps packed directly into lane words —
+    /// bit-identical to `pack(netlist, &uniform_stimulus(netlist, n,
+    /// seed))` (same SplitMix64 draw sequence) without materializing
+    /// the step-major vectors.
+    #[must_use]
+    pub fn uniform(netlist: &Netlist, n: usize, seed: u64) -> Self {
+        let bus_widths: Vec<usize> = netlist.input_buses().iter().map(|(_, b)| b.len()).collect();
+        let total_bits: usize = bus_widths.iter().sum();
+        let mut bits = vec![vec![0u64; n.div_ceil(64)]; total_bits];
+        let mut next = splitmix64(seed);
+        for step in 0..n {
+            let (w, sh) = (step / 64, step % 64);
+            let mut k = 0usize;
+            for &width in &bus_widths {
+                let mask = if width >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << width) - 1
+                };
+                let val = next() & mask;
+                for bit in 0..width {
+                    bits[k][w] |= ((val >> bit) & 1) << sh;
+                    k += 1;
+                }
+            }
+        }
+        PackedStimulus {
+            bits,
+            steps: n,
+            bus_widths,
+        }
+    }
+
+    /// Number of stimulus steps.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+/// Per-net toggle weight under `energy`: constants burn nothing, carry
+/// nodes ride the dedicated low-capacitance chain, everything else is a
+/// LUT output plus fanout interconnect.
+fn net_weights(netlist: &Netlist, energy: &EnergyModel) -> Vec<f64> {
+    let fanouts = netlist.fanouts();
+    netlist
+        .drivers()
+        .iter()
+        .enumerate()
+        .map(|(net, d)| match d {
+            Driver::Const(_) => 0.0,
+            Driver::CarrySum(..) | Driver::CarryCout(..) => {
+                energy.c_carry + energy.c_fanout * f64::from(fanouts[net])
+            }
+            _ => energy.c_lut + energy.c_fanout * f64::from(fanouts[net]),
+        })
+        .collect()
+}
+
+/// The distinct value slots behind the weighted nets, ascending, plus
+/// each net's index into that list (`usize::MAX` for weight-0 nets).
+/// Aliased/CSE-merged nets share a slot, so the simulator readout
+/// touches each distinct value exactly once per pass.
+fn tracked_slots(prog: &CompiledNetlist, weights: &[f64]) -> (Vec<u32>, Vec<usize>) {
+    let mut slots: Vec<u32> = (0..weights.len())
+        .filter(|&net| weights[net] != 0.0)
+        .map(|net| prog.net_slot(crate::NetId::new(net as u32)))
+        .collect();
+    slots.sort_unstable();
+    slots.dedup();
+    let index = (0..weights.len())
+        .map(|net| {
+            if weights[net] == 0.0 {
+                usize::MAX
+            } else {
+                let slot = prog.net_slot(crate::NetId::new(net as u32));
+                slots.binary_search(&slot).expect("slot collected above")
+            }
+        })
+        .collect();
+    (slots, index)
+}
+
+/// Integer toggle counts for the tracked slots over the pass range
+/// `[pass_lo, pass_hi)` of the packed stimulus. A shard starting past
+/// pass 0 replays its predecessor pass first to recover the boundary
+/// lane, so counts depend only on the stimulus — never on how passes
+/// are sharded.
+fn count_shard<const W: usize>(
+    prog: &CompiledNetlist,
+    stim: &PackedStimulus,
+    rows: &[&[u64]],
+    slots: &[u32],
+    pass_lo: usize,
+    pass_hi: usize,
+) -> Vec<u64> {
+    let lanes_per_pass = 64 * W;
+    let mut sim: CompiledSim<'_, W> = prog.simulator();
+    let mut counts = vec![0u64; slots.len()];
+    // Last-lane bit of each tracked slot from the previous pass.
+    let mut carry = vec![0u64; slots.len()];
+    let mut has_carry = false;
+    if pass_lo > 0 {
+        sim.load_packed(rows, (pass_lo - 1) * W)
+            .expect("rows validated by caller");
+        sim.run();
+        // A predecessor pass is always full (only the final pass of the
+        // whole stimulus can be partial).
+        for (c, &slot) in carry.iter_mut().zip(slots) {
+            *c = sim.slot_word(slot)[W - 1] >> 63;
+        }
+        has_carry = true;
+    }
+    for pass in pass_lo..pass_hi {
+        sim.load_packed(rows, pass * W)
+            .expect("rows validated by caller");
+        sim.run();
+        let lanes = (stim.steps - pass * lanes_per_pass).min(lanes_per_pass);
+        for (i, &slot) in slots.iter().enumerate() {
+            let word = sim.slot_word(slot);
+            let mut t = 0u64;
+            let mut prev = carry[i];
+            let mut have_prev = has_carry;
+            let mut remaining = lanes;
+            for &w in &word {
+                if remaining == 0 {
+                    break;
+                }
+                let here = remaining.min(64);
+                if here > 1 {
+                    // Adjacent-lane toggles inside the word.
+                    t += ((w ^ (w >> 1)) & ((1u64 << (here - 1)) - 1)).count_ones() as u64;
+                }
+                if have_prev {
+                    t += prev ^ (w & 1);
+                }
+                prev = (w >> (here - 1)) & 1;
+                have_prev = true;
+                remaining -= here;
+            }
+            counts[i] += t;
+            carry[i] = prev;
+        }
+        has_carry = true;
+    }
+    counts
+}
+
+/// Integer toggle counts for the whole stimulus, sharded over `workers`
+/// scoped threads with a fixed-order merge. Integer sums are exactly
+/// associative, so the result is identical for every worker count.
+fn count_toggles<const W: usize>(
+    prog: &CompiledNetlist,
+    stim: &PackedStimulus,
+    slots: &[u32],
+    workers: usize,
+) -> Vec<u64> {
+    let rows: Vec<&[u64]> = stim.bits.iter().map(Vec::as_slice).collect();
+    let passes = stim.steps.div_ceil(64 * W);
+    let workers = workers.max(1).min(passes.max(1));
+    if workers <= 1 {
+        return count_shard::<W>(prog, stim, &rows, slots, 0, passes);
+    }
+    let per = passes.div_ceil(workers);
+    let shards: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let rows = &rows;
+                let lo = w * per;
+                let hi = ((w + 1) * per).min(passes);
+                scope.spawn(move || count_shard::<W>(prog, stim, rows, slots, lo, hi))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut counts = vec![0u64; slots.len()];
+    for shard in shards {
+        for (c, s) in counts.iter_mut().zip(shard) {
+            *c += s;
+        }
+    }
+    counts
+}
+
+/// The single end-of-run float fold shared by every measurement path:
+/// ascending-net order, weight-0 nets skipped. Keeping this fold (and
+/// only this fold) in floating point is what makes the report
+/// bit-identical across lane widths, batch sizes, and worker counts.
+fn weighted_total(weights: &[f64], count_of_net: impl Fn(usize) -> u64) -> f64 {
+    let mut total = 0.0f64;
+    for (net, &weight) in weights.iter().enumerate() {
+        if weight != 0.0 {
+            total += weight * count_of_net(net) as f64;
+        }
+    }
+    total
+}
+
+fn finish_report(total: f64, steps: usize, critical_path_ns: f64) -> EnergyReport {
+    let transitions = (steps.saturating_sub(1) as u64).max(1);
+    let energy_per_op = total / transitions as f64;
+    EnergyReport {
+        energy_per_op,
+        critical_path_ns,
+        edp: energy_per_op * critical_path_ns,
+        transitions,
+    }
 }
 
 /// Measures the average switching energy of `netlist` over a stimulus
@@ -106,12 +375,8 @@ pub fn measure(
 
 /// [`measure`] over an already-compiled program, for callers that also
 /// sweep the same netlist (e.g. the DSE characterization cache) and
-/// want to compile it exactly once.
-///
-/// `prog` must be the compilation of `netlist` (without faults); the
-/// per-net toggle counts are read through the program's net-to-slot
-/// map, so they are bit-identical to what the interpretive simulator
-/// would have produced.
+/// want to compile it exactly once. Packs the stimulus, runs one STA,
+/// and delegates to [`measure_packed`] with one worker.
 ///
 /// # Errors
 ///
@@ -123,83 +388,101 @@ pub fn measure_with(
     delay: &DelayModel,
     stimulus: &[Vec<u64>],
 ) -> Result<EnergyReport, FabricError> {
-    let n_buses = netlist.input_buses().len();
-    for v in stimulus {
-        if v.len() != n_buses {
-            return Err(FabricError::InputArity {
-                expected: n_buses,
-                got: v.len(),
-            });
-        }
-    }
-    let fanouts = netlist.fanouts();
-    let drivers = netlist.drivers();
-    // Per-net toggle weight.
-    let weights: Vec<f64> = drivers
-        .iter()
-        .enumerate()
-        .map(|(net, d)| match d {
-            Driver::Const(_) => 0.0,
-            Driver::CarrySum(..) | Driver::CarryCout(..) => {
-                energy.c_carry + energy.c_fanout * f64::from(fanouts[net])
-            }
-            _ => energy.c_lut + energy.c_fanout * f64::from(fanouts[net]),
-        })
-        .collect();
-
-    let mut sim: CompiledSim<'_, 1> = prog.simulator();
-    let mut total = 0.0f64;
-    let mut transitions = 0u64;
-    let mut boundary: Option<Vec<bool>> = None;
-
-    // Feed up to 64 consecutive vectors per pass; adjacent lanes are
-    // consecutive stimulus steps, so XOR of adjacent lane bits = toggles.
-    let mut pos = 0usize;
-    while pos < stimulus.len() {
-        let n = (stimulus.len() - pos).min(64);
-        let mut buses: Vec<Vec<u64>> = vec![Vec::with_capacity(n); n_buses];
-        for step in &stimulus[pos..pos + n] {
-            for (bus, &val) in step.iter().enumerate() {
-                buses[bus].push(val);
-            }
-        }
-        let refs: Vec<&[u64]> = buses.iter().map(Vec::as_slice).collect();
-        sim.load(&refs)?;
-        sim.run();
-        for (net, &weight) in weights.iter().enumerate() {
-            if weight == 0.0 {
-                continue;
-            }
-            let word = sim.net_word(NetId::new(net as u32))[0];
-            // Toggles between adjacent lanes within the word.
-            let within = (word ^ (word >> 1)) & ((1u64 << (n - 1)) - 1);
-            let mut t = within.count_ones() as u64;
-            // Toggle across the batch boundary.
-            if let Some(prev) = &boundary {
-                if prev[net] != (word & 1 == 1) {
-                    t += 1;
-                }
-            }
-            total += weight * t as f64;
-        }
-        transitions += (n - 1) as u64 + u64::from(boundary.is_some());
-        boundary = Some(
-            (0..netlist.net_count())
-                .map(|net| (sim.net_word(NetId::new(net as u32))[0] >> (n - 1)) & 1 == 1)
-                .collect::<Vec<bool>>(),
-        );
-        pos += n;
-    }
-
-    let transitions = transitions.max(1);
-    let energy_per_op = total / transitions as f64;
+    let stim = PackedStimulus::pack(netlist, stimulus)?;
     let critical_path_ns = analyze(netlist, delay).critical_path_ns;
-    Ok(EnergyReport {
-        energy_per_op,
-        critical_path_ns,
-        edp: energy_per_op * critical_path_ns,
-        transitions,
-    })
+    measure_packed(netlist, prog, energy, critical_path_ns, &stim, 1)
+}
+
+/// The wide-lane measurement core: evaluates the packed stimulus
+/// `64 * SWEEP_WORDS` consecutive steps per pass, accumulates exact
+/// integer toggle counts per distinct value slot (sharded over
+/// `workers` scoped threads when > 1), and applies the float
+/// [`EnergyModel`] weights exactly once at the end. The report is
+/// bit-identical to [`measure_reference`] on the same step-major
+/// stimulus, for any `workers`.
+///
+/// `prog` must be the compilation of `netlist` (without faults);
+/// `critical_path_ns` is the caller's STA result — hoisted out so
+/// characterization runs `analyze` once, not twice.
+///
+/// # Errors
+///
+/// [`FabricError::InputArity`] if `stim` was packed for a different
+/// input-bus shape than `netlist`.
+pub fn measure_packed(
+    netlist: &Netlist,
+    prog: &CompiledNetlist,
+    energy: &EnergyModel,
+    critical_path_ns: f64,
+    stim: &PackedStimulus,
+    workers: usize,
+) -> Result<EnergyReport, FabricError> {
+    let widths: Vec<usize> = netlist.input_buses().iter().map(|(_, b)| b.len()).collect();
+    if widths != stim.bus_widths {
+        return Err(FabricError::InputArity {
+            expected: widths.iter().sum(),
+            got: stim.bus_widths.iter().sum(),
+        });
+    }
+    let weights = net_weights(netlist, energy);
+    let (slots, index) = tracked_slots(prog, &weights);
+    let counts = if stim.steps < 2 || slots.is_empty() {
+        vec![0u64; slots.len()]
+    } else {
+        count_toggles::<SWEEP_WORDS>(prog, stim, &slots, workers)
+    };
+    let total = weighted_total(&weights, |net| counts[index[net]]);
+    Ok(finish_report(total, stim.steps, critical_path_ns))
+}
+
+/// Scalar single-step reference measurement: the interpretive
+/// [`WideSim`] evaluates one stimulus step per call, toggles are
+/// counted as integers per net, and the same end-of-run weighted fold
+/// as [`measure_packed`] produces the report. This is the ground truth
+/// the wide-lane path is gated bit-identical against (tests and the
+/// `sim-bench` CI gate) — it shares no lane-word machinery with it.
+///
+/// # Errors
+///
+/// Same as [`measure`].
+pub fn measure_reference(
+    netlist: &Netlist,
+    energy: &EnergyModel,
+    delay: &DelayModel,
+    stimulus: &[Vec<u64>],
+) -> Result<EnergyReport, FabricError> {
+    let weights = net_weights(netlist, energy);
+    let mut sim = WideSim::new(netlist);
+    let mut counts = vec![0u64; netlist.net_count()];
+    let mut prev: Vec<u64> = Vec::new();
+    for (step, v) in stimulus.iter().enumerate() {
+        let lanes: Vec<[u64; 1]> = v.iter().map(|&val| [val]).collect();
+        let refs: Vec<&[u64]> = lanes.iter().map(|l| &l[..]).collect();
+        let nets = sim.eval_nets(&refs)?;
+        if step > 0 {
+            for (count, (&now, &was)) in counts.iter_mut().zip(nets.iter().zip(&prev)) {
+                *count += (now ^ was) & 1;
+            }
+        } else {
+            prev = vec![0; nets.len()];
+        }
+        prev.copy_from_slice(nets);
+    }
+    let total = weighted_total(&weights, |net| counts[net]);
+    let critical_path_ns = analyze(netlist, delay).critical_path_ns;
+    Ok(finish_report(total, stimulus.len(), critical_path_ns))
+}
+
+fn splitmix64(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed;
+    move || {
+        // SplitMix64 (public domain, Steele et al.).
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
 }
 
 /// Generates `n` uniform-random stimulus vectors for `netlist` using a
@@ -208,15 +491,7 @@ pub fn measure_with(
 #[must_use]
 pub fn uniform_stimulus(netlist: &Netlist, n: usize, seed: u64) -> Vec<Vec<u64>> {
     let widths: Vec<usize> = netlist.input_buses().iter().map(|(_, b)| b.len()).collect();
-    let mut state = seed;
-    let mut next = move || -> u64 {
-        // SplitMix64 (public domain, Steele et al.).
-        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    };
+    let mut next = splitmix64(seed);
     (0..n)
         .map(|_| {
             widths
@@ -244,6 +519,24 @@ mod tests {
         b.finish().unwrap()
     }
 
+    /// A netlist with some depth, a carry chain, and shared nets so the
+    /// slot-level readout differs from a naive per-net walk.
+    fn adder_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("add");
+        let a = b.inputs("a", 4);
+        let c = b.inputs("b", 4);
+        let mut props = Vec::new();
+        for i in 0..4 {
+            let (o6, _) = b.lut2(Init::XOR2, a[i], c[i]);
+            props.push(o6);
+        }
+        let zero = b.constant(false);
+        let (sums, cout) = b.carry_chain(zero, &props, &[a[0], a[1], a[2], a[3]]);
+        b.output_bus("s", &sums);
+        b.output("cout", cout);
+        b.finish().unwrap()
+    }
+
     #[test]
     fn constant_stimulus_burns_nothing() {
         let nl = xor_netlist();
@@ -263,8 +556,8 @@ mod tests {
 
     #[test]
     fn batch_boundary_toggles_are_counted() {
-        // 65 steps forces two batches; alternate every step so the
-        // boundary transition (step 63 -> 64) matters.
+        // 65 steps crosses the first 64-lane word; alternate every step
+        // so the boundary transition (step 63 -> 64) matters.
         let nl = xor_netlist();
         let stim: Vec<Vec<u64>> = (0..65).map(|i| vec![i & 1, 0]).collect();
         let r = measure(&nl, &EnergyModel::virtex7(), &DelayModel::virtex7(), &stim).unwrap();
@@ -279,6 +572,62 @@ mod tests {
         )
         .unwrap();
         assert!((r.energy_per_op - two.energy_per_op).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wide_path_matches_scalar_reference_bitwise() {
+        let energy = EnergyModel::virtex7();
+        let delay = DelayModel::virtex7();
+        for nl in [xor_netlist(), adder_netlist()] {
+            // Lengths straddle word (64) and pass (256) boundaries.
+            for n in [1usize, 2, 63, 64, 65, 255, 256, 257, 1000] {
+                let stim = uniform_stimulus(&nl, n, 0xF00D + n as u64);
+                let fast = measure(&nl, &energy, &delay, &stim).unwrap();
+                let slow = measure_reference(&nl, &energy, &delay, &stim).unwrap();
+                assert_eq!(
+                    fast.energy_per_op.to_bits(),
+                    slow.energy_per_op.to_bits(),
+                    "{} n={n}",
+                    nl.name()
+                );
+                assert_eq!(
+                    fast.edp.to_bits(),
+                    slow.edp.to_bits(),
+                    "{} n={n}",
+                    nl.name()
+                );
+                assert_eq!(fast.transitions, slow.transitions);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_and_lane_width_do_not_change_counts() {
+        let nl = adder_netlist();
+        let prog = CompiledNetlist::compile(&nl);
+        let weights = net_weights(&nl, &EnergyModel::virtex7());
+        let (slots, _) = tracked_slots(&prog, &weights);
+        // 1000 steps = 16 single-word passes, enough for real sharding.
+        let stim = PackedStimulus::uniform(&nl, 1000, 99);
+        let base = count_toggles::<1>(&prog, &stim, &slots, 1);
+        for workers in 2..=5 {
+            assert_eq!(count_toggles::<1>(&prog, &stim, &slots, workers), base);
+        }
+        for workers in 1..=3 {
+            assert_eq!(count_toggles::<2>(&prog, &stim, &slots, workers), base);
+            assert_eq!(count_toggles::<4>(&prog, &stim, &slots, workers), base);
+        }
+    }
+
+    #[test]
+    fn packed_uniform_matches_packed_stepwise() {
+        for nl in [xor_netlist(), adder_netlist()] {
+            for n in [0usize, 1, 64, 65, 300] {
+                let direct = PackedStimulus::uniform(&nl, n, 0x5EED);
+                let packed = PackedStimulus::pack(&nl, &uniform_stimulus(&nl, n, 0x5EED)).unwrap();
+                assert_eq!(direct, packed, "{} n={n}", nl.name());
+            }
+        }
     }
 
     #[test]
@@ -297,5 +646,10 @@ mod tests {
         let nl = xor_netlist();
         let stim = vec![vec![1]];
         assert!(measure(&nl, &EnergyModel::virtex7(), &DelayModel::virtex7(), &stim).is_err());
+        // A packed stimulus from a different input shape is rejected too.
+        let other = adder_netlist();
+        let packed = PackedStimulus::uniform(&other, 16, 1);
+        let prog = CompiledNetlist::compile(&nl);
+        assert!(measure_packed(&nl, &prog, &EnergyModel::virtex7(), 1.0, &packed, 1).is_err());
     }
 }

@@ -464,6 +464,27 @@ impl Service {
                     ("misses", Value::Num(self.cache.misses() as f64)),
                     ("disk_hits", Value::Num(self.cache.disk_hits() as f64)),
                     ("builds", Value::Num(self.cache.builds() as f64)),
+                    // Wall-clock split of this process's cache builds
+                    // (error sweeps vs packed energy vs STA), so
+                    // operators see where characterization time goes
+                    // without re-profiling.
+                    (
+                        "char_time_s",
+                        Value::obj([
+                            (
+                                "error",
+                                Value::Num(self.cache.time_breakdown().error.as_secs_f64()),
+                            ),
+                            (
+                                "energy",
+                                Value::Num(self.cache.time_breakdown().energy.as_secs_f64()),
+                            ),
+                            (
+                                "sta",
+                                Value::Num(self.cache.time_breakdown().sta.as_secs_f64()),
+                            ),
+                        ]),
+                    ),
                     (
                         "store_failures",
                         Value::Num(self.cache.store_failures() as f64),
@@ -814,6 +835,17 @@ mod tests {
         assert_eq!(reqs.get("errors").and_then(Value::as_u64), Some(1));
         let cache = r.get("cache").unwrap();
         assert_eq!(cache.get("builds").and_then(Value::as_u64), Some(1));
+        // One build happened, so the characterization time split is
+        // present and the energy+STA share is a real, positive number.
+        let split = cache.get("char_time_s").unwrap();
+        for phase in ["error", "energy", "sta"] {
+            assert!(
+                split
+                    .get(phase)
+                    .is_some_and(|v| matches!(v, Value::Num(s) if *s >= 0.0)),
+                "missing char_time_s.{phase}"
+            );
+        }
         assert_eq!(r.get("store"), Some(&Value::Null));
     }
 }

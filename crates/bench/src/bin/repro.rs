@@ -6,6 +6,7 @@
 //! repro serve-bench [--quick] [--json]
 //! repro absint [--quick] [--json]
 //! repro netio [--quick] [--json]
+//! repro sat [--quick] [--json]
 //! repro ext-dse [--json]
 //! repro ext-dse --cache-dir DIR
 //! repro all
@@ -13,11 +14,12 @@
 //! ```
 //!
 //! `--quick` switches experiments that have a smoke variant (currently
-//! `nn`, `sim-bench`, `serve-bench`, `absint` and `netio`) to their
-//! reduced CI-friendly form. `--json` additionally writes `sim-bench`
-//! results to `BENCH_sim.json`, `serve-bench` results to
-//! `BENCH_serve.json`, `absint` results to `BENCH_absint.json` and
-//! `netio` results to `BENCH_netio.json` and `ext-dse` results (with
+//! `nn`, `sim-bench`, `serve-bench`, `absint`, `netio` and `sat`) to
+//! their reduced CI-friendly form. `--json` additionally writes
+//! `sim-bench` results to `BENCH_sim.json`, `serve-bench` results to
+//! `BENCH_serve.json`, `absint` results to `BENCH_absint.json`,
+//! `netio` results to `BENCH_netio.json`, `sat` results to
+//! `BENCH_sat.json` and `ext-dse` results (with
 //! the error/energy/STA wall-clock split) to `BENCH_extdse.json` in
 //! the working directory. `--cache-dir DIR` routes `ext-dse` through
 //! the persistent characterization store rooted at `DIR`, so a second
@@ -140,6 +142,11 @@ const EXPERIMENTS: &[Experiment] = &[
         experiments::netio_report,
         "interchange byte fixpoint + import throughput",
     ),
+    (
+        "sat",
+        experiments::sat_report,
+        "SAT-proven exact wce + equivalence gate",
+    ),
 ];
 
 /// Smoke variants selected by `--quick`.
@@ -150,6 +157,7 @@ const QUICK: &[Smoke] = &[
     ("serve-bench", experiments::serve_bench_quick),
     ("absint", experiments::absint_quick),
     ("netio", experiments::netio_quick),
+    ("sat", experiments::sat_quick),
 ];
 
 fn usage() {
@@ -220,6 +228,15 @@ fn main() -> ExitCode {
                 }
                 print!("{payload}");
                 eprintln!("wrote BENCH_netio.json");
+            }
+            "sat" if json => {
+                let payload = experiments::sat_json(quick);
+                if let Err(e) = std::fs::write("BENCH_sat.json", &payload) {
+                    eprintln!("cannot write BENCH_sat.json: {e}");
+                    return ExitCode::FAILURE;
+                }
+                print!("{payload}");
+                eprintln!("wrote BENCH_sat.json");
             }
             "ext-dse" if json => {
                 let payload = experiments::ext_dse_json();

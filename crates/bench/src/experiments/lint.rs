@@ -3,7 +3,12 @@
 //! Runs the full `axmul-lint` pipeline over every netlist in the Fig. 7
 //! rosters at 4/8/16 bits (with behavioral equivalence wherever a
 //! model exists), the paper-claim checks (Tables 2/3, slice fit), and a
-//! deterministic sample of DSE-generated 8×8 configurations.
+//! deterministic sample of DSE-generated 8×8 configurations. At 16×16
+//! the equivalence claims escalate to SAT — the approximate designs get
+//! their exact worst-case error certified in-line (`equiv-wce-certified`
+//! in the codes column), the functionally exact VivadoIP emulations a
+//! bounded refutation probe — which adds roughly half a minute of
+//! solver time to the release-build run.
 //!
 //! The gate: **zero errors everywhere**, and zero warnings outside the
 //! documented waste allowance of [`expected_waste`] — the proposed
@@ -166,11 +171,14 @@ pub fn lint_roster() -> String {
 mod tests {
     use super::*;
 
-    // Reduced sampling keeps the 16-bit equivalence checks fast in
-    // debug builds; exhaustive widths are unaffected.
+    // Reduced sampling and a zero SAT budget (bounded verdicts instead
+    // of full wce certificates) keep the 16-bit equivalence checks
+    // fast in debug builds; exhaustive widths are unaffected. The
+    // certified path is exercised by the lint crate's own tests.
     fn fast_opts() -> LintOptions {
         LintOptions {
             samples: 512,
+            sat_conflicts: 0,
             ..LintOptions::default()
         }
     }

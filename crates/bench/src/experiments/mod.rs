@@ -10,6 +10,7 @@ mod figures;
 mod lint;
 mod netio;
 mod nn;
+mod sat;
 mod serve;
 mod simbench;
 mod tables;
@@ -22,6 +23,7 @@ pub use figures::{fig1, fig10, fig12, fig7, fig8, fig9};
 pub use lint::{lint_all_reports, lint_roster};
 pub use netio::{netio_json, netio_quick, netio_report};
 pub use nn::{nn_full, nn_quick};
+pub use sat::{sat_json, sat_quick, sat_report};
 pub use serve::{serve_bench, serve_bench_json, serve_bench_quick, serve_smoke};
 pub use simbench::{sim_bench, sim_bench_json, sim_bench_quick};
 pub use tables::{susan_area, table1, table2, table3, table4, table5, table6};
@@ -57,6 +59,7 @@ pub fn all() -> String {
         lint_roster(),
         absint_report(),
         netio_report(),
+        sat_report(),
     ]
     .join("\n")
 }

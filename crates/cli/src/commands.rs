@@ -36,6 +36,12 @@ pub enum CliError {
     Lint(String),
     /// A netlist interchange document failed to import.
     Netio(axmul_netio::NetioError),
+    /// A SAT proof could not be completed (interface mismatch, budget
+    /// exhaustion, or an encode failure on a hostile netlist).
+    Sat(axmul_sat::SatError),
+    /// A SAT verification ran to completion and *refuted* the claim;
+    /// the payload is the rendered verdict with its counterexample.
+    Verify(String),
 }
 
 impl fmt::Display for CliError {
@@ -50,6 +56,8 @@ impl fmt::Display for CliError {
             CliError::Nn(e) => write!(f, "{e}"),
             CliError::Lint(report) => write!(f, "lint gate failed\n{report}"),
             CliError::Netio(e) => write!(f, "import failed [{}]: {e}", e.code()),
+            CliError::Sat(e) => write!(f, "sat proof failed: {e}"),
+            CliError::Verify(report) => write!(f, "verification refuted\n{report}"),
         }
     }
 }
@@ -91,6 +99,11 @@ impl From<axmul_netio::NetioError> for CliError {
         CliError::Netio(e)
     }
 }
+impl From<axmul_sat::SatError> for CliError {
+    fn from(e: axmul_sat::SatError) -> Self {
+        CliError::Sat(e)
+    }
+}
 
 /// Parsed `--key value` options.
 struct Opts(HashMap<String, String>);
@@ -104,6 +117,7 @@ const FLAGS: &[&str] = &[
     "lint",
     "absint",
     "characterize",
+    "verify",
 ];
 
 impl Opts {
@@ -174,6 +188,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         return import(file, &Opts::parse(rest)?);
     }
+    // `verify` also accepts a positional FILE (imported netlist).
+    if cmd == "verify" {
+        if let Some((file, rest)) = rest.split_first() {
+            if !file.starts_with('-') {
+                return verify_file(file, &Opts::parse(rest)?);
+            }
+        }
+        return verify(&Opts::parse(rest)?);
+    }
     let opts = Opts::parse(rest)?;
     match cmd.as_str() {
         "list" => Ok(list()),
@@ -213,8 +236,13 @@ fn usage() -> String {
      \x20             [--workers W] [--duration-s S]\n\
      \x20                                          characterization daemon\n\
      \x20 import      FILE [--format verilog|axnl] [--lint] [--absint]\n\
-     \x20             [--characterize] [--json] [-o FILE]\n\
-     \x20                                          read a netlist back in\n"
+     \x20             [--characterize] [--verify --config KEY] [--json] [-o FILE]\n\
+     \x20                                          read a netlist back in\n\
+     \x20 verify      --config KEY | --arch A [--bits N] [--json]\n\
+     \x20                                          SAT-prove the exact worst-case\n\
+     \x20                                          error vs the absint bracket\n\
+     \x20 verify      FILE [--against FILE2]       SAT equivalence of imported\n\
+     \x20                                          netlists (alone: vs exact)\n"
         .to_string()
 }
 
@@ -679,6 +707,9 @@ fn import(file: &str, opts: &Opts) -> Result<String, CliError> {
         out.push_str(&format!("  output {name}[{}:0]\n", bits.len() - 1));
     }
 
+    if opts.flag("verify") {
+        out.push_str(&verify_imported(&netlist, opts)?);
+    }
     if opts.flag("lint") {
         let report = axmul_lint::Linter::new().lint(&netlist);
         out.push_str(&report.to_string());
@@ -708,6 +739,192 @@ fn import(file: &str, opts: &Opts) -> Result<String, CliError> {
         return Ok(format!("wrote {path}\n"));
     }
     Ok(out)
+}
+
+fn parse_config(key: &str) -> Result<axmul_dse::Config, CliError> {
+    key.parse()
+        .map_err(|e: axmul_dse::ParseConfigError| CliError::Usage(e.to_string()))
+}
+
+/// `import FILE --verify --config KEY`: SAT-proves the imported
+/// netlist semantically equal to the configuration's own elaboration.
+/// Unlike the content fingerprint, this accepts structural variants —
+/// a fingerprint mismatch between semantically-equal netlists is
+/// reported as a note, not a rejection.
+fn verify_imported(netlist: &axmul_fabric::Netlist, opts: &Opts) -> Result<String, CliError> {
+    use axmul_sat::{check_equiv, EquivOutcome, ProofOptions};
+
+    let Some(key) = opts.get("config") else {
+        return Err(CliError::Usage(
+            "--verify needs a --config KEY to verify against".into(),
+        ));
+    };
+    let golden = parse_config(key)?.assemble();
+    let report = check_equiv(netlist, &golden, &ProofOptions::default())?;
+    match report.outcome {
+        EquivOutcome::Equivalent => {
+            let mut out = format!(
+                "  verify: EQUIVALENT to `{key}` for all inputs ({})\n",
+                if report.structural {
+                    "structurally identical".to_string()
+                } else {
+                    format!("UNSAT miter, {} conflicts", report.stats.conflicts)
+                }
+            );
+            if axmul_netio::fingerprint(netlist) != axmul_netio::fingerprint(&golden) {
+                out.push_str(
+                    "  verify: note: content fingerprints differ — structural variants \
+                     of the same function\n",
+                );
+            }
+            Ok(out)
+        }
+        EquivOutcome::NotEquivalent(cex) => {
+            let inputs: Vec<String> = cex.inputs.iter().map(|(n, v)| format!("{n}={v}")).collect();
+            Err(CliError::Verify(format!(
+                "imported netlist differs from `{key}`: at {} it yields {:?} vs {:?} \
+                 (counterexample confirmed by replay)\n",
+                inputs.join(" "),
+                cex.lhs_outputs,
+                cex.rhs_outputs
+            )))
+        }
+    }
+}
+
+/// `verify --config KEY | --arch A [--bits N]`: SAT-proves the design's
+/// *exact* worst-case error and checks the proven value against the
+/// absint bracket — certifying the static analysis (or refuting it,
+/// which would be a soundness bug worth a hard failure).
+fn verify(opts: &Opts) -> Result<String, CliError> {
+    use axmul_sat::{prove_wce, WceOptions};
+
+    let (netlist, name, bracket) = if let Some(key) = opts.get("config") {
+        let cfg = parse_config(key)?;
+        let analysis =
+            axmul_dse::static_bounds(&cfg).map_err(|e| CliError::Usage(e.to_string()))?;
+        let b = &analysis.bound;
+        (
+            cfg.assemble(),
+            analysis.key.clone(),
+            Some((b.wce_lb, b.wce_ub(), b.witness)),
+        )
+    } else {
+        let arch = opts.arch()?;
+        let bits = opts.bits()?;
+        let nl = arch.netlist(bits)?;
+        let a = axmul_absint::analyze_netlist(&nl);
+        let bracket = a.error.as_ref().map(|e| (e.wce_lb, e.wce_ub(), e.witness));
+        (nl, format!("{arch} {bits}x{bits}"), bracket)
+    };
+    let wce_opts = WceOptions {
+        hint: bracket.and_then(|(_, _, w)| w),
+        ..WceOptions::default()
+    };
+    let proof = prove_wce(&netlist, &wce_opts)?;
+    let contained = bracket.is_none_or(|(lb, ub, _)| lb <= proof.wce && proof.wce <= ub);
+    if opts.flag("json") {
+        let (lb, ub) = bracket.map_or((0, u128::MAX), |(lb, ub, _)| (lb, ub));
+        return Ok(format!(
+            "{{\"name\":\"{}\",\"a_bits\":{},\"b_bits\":{},\"wce\":{},\
+             \"witness\":[{},{}],\"absint_lb\":{lb},\"absint_ub\":{ub},\
+             \"contained\":{contained},\"ascent_steps\":{},\"solves\":{},\
+             \"conflicts\":{},\"elapsed_ms\":{:.3}}}\n",
+            name,
+            proof.a_bits,
+            proof.b_bits,
+            proof.wce,
+            proof.witness.0,
+            proof.witness.1,
+            proof.ascent_steps,
+            proof.stats.solves,
+            proof.stats.conflicts,
+            proof.stats.elapsed_ms,
+        ));
+    }
+    let mut out = format!(
+        "SAT worst-case-error proof for {name} at {}x{}\n  \
+         exact wce: {} (witness {} x {}, confirmed by replay)\n  \
+         proof: {} solve(s), {} conflicts, {} ascent step(s), {:.1} ms\n",
+        proof.a_bits,
+        proof.b_bits,
+        proof.wce,
+        proof.witness.0,
+        proof.witness.1,
+        proof.stats.solves,
+        proof.stats.conflicts,
+        proof.ascent_steps,
+        proof.stats.elapsed_ms,
+    );
+    match bracket {
+        Some((lb, ub, _)) => {
+            out.push_str(&format!(
+                "  absint bracket: [{lb}, {ub}] — {}\n",
+                if contained {
+                    "CERTIFIED (proven value inside the sound bracket)"
+                } else {
+                    "REFUTED (static analysis is unsound!)"
+                }
+            ));
+        }
+        None => out.push_str("  absint bracket: unavailable for this shape\n"),
+    }
+    if !contained {
+        return Err(CliError::Verify(out));
+    }
+    Ok(out)
+}
+
+/// `verify FILE [--against FILE2 | --config KEY]`: SAT equivalence of
+/// an imported netlist against a second file, a configuration twin, or
+/// — with no reference — the exact product contract.
+fn verify_file(file: &str, opts: &Opts) -> Result<String, CliError> {
+    use axmul_sat::{check_against_exact, check_equiv, EquivOutcome, ProofOptions};
+
+    let lhs = axmul_netio::import(&std::fs::read_to_string(file)?)?;
+    let popts = ProofOptions::default();
+    let (report, reference) = match (opts.get("against"), opts.get("config")) {
+        (Some(file2), _) => {
+            let rhs = axmul_netio::import(&std::fs::read_to_string(file2)?)?;
+            (
+                check_equiv(&lhs, &rhs, &popts)?,
+                format!("`{}` ({file2})", rhs.name()),
+            )
+        }
+        (None, Some(key)) => {
+            let rhs = parse_config(key)?.assemble();
+            (check_equiv(&lhs, &rhs, &popts)?, format!("`{key}`"))
+        }
+        (None, None) => (
+            check_against_exact(&lhs, &popts)?,
+            "the exact product".to_string(),
+        ),
+    };
+    match report.outcome {
+        EquivOutcome::Equivalent => Ok(format!(
+            "EQUIVALENT: `{}` matches {reference} for all inputs ({})\n",
+            lhs.name(),
+            if report.structural {
+                "structurally identical — discharged without solving".to_string()
+            } else {
+                format!(
+                    "UNSAT miter, {} conflicts in {:.1} ms",
+                    report.stats.conflicts, report.stats.elapsed_ms
+                )
+            }
+        )),
+        EquivOutcome::NotEquivalent(cex) => {
+            let inputs: Vec<String> = cex.inputs.iter().map(|(n, v)| format!("{n}={v}")).collect();
+            Err(CliError::Verify(format!(
+                "NOT EQUIVALENT: `{}` differs from {reference} at {}: {:?} vs {:?} \
+                 (counterexample confirmed by replay)\n",
+                lhs.name(),
+                inputs.join(" "),
+                cex.lhs_outputs,
+                cex.rhs_outputs
+            )))
+        }
+    }
 }
 
 /// Warnings a design is *expected* to carry: the K baseline's deleted
@@ -1134,6 +1351,122 @@ mod tests {
         assert!(out.contains("absint output"), "{out}");
         assert!(out.contains("critical path"), "{out}");
         assert!(out.contains("EDP"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_config_certifies_paper_ca_bracket() {
+        // absint pins (a A A A A) to exactly [2312, 2312]; the SAT
+        // proof must land on the same number and certify it.
+        let out = run_str(&["verify", "--config", "(a A A A A)"]).unwrap();
+        assert!(out.contains("exact wce: 2312"), "{out}");
+        assert!(out.contains("CERTIFIED"), "{out}");
+    }
+
+    #[test]
+    fn verify_arch_json_has_machine_fields() {
+        let out = run_str(&["verify", "--arch", "k", "--bits", "4", "--json"]).unwrap();
+        assert!(out.contains("\"wce\":"), "{out}");
+        assert!(out.contains("\"contained\":true"), "{out}");
+        assert!(out.contains("\"witness\":"), "{out}");
+    }
+
+    #[test]
+    fn verify_file_equivalence_and_refutation() {
+        let dir = std::env::temp_dir().join("axmul_cli_verify_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ca = dir.join("ca8.v");
+        let k = dir.join("k8.v");
+        run_str(&[
+            "generate",
+            "--arch",
+            "ca",
+            "--bits",
+            "8",
+            "-o",
+            ca.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_str(&[
+            "generate",
+            "--arch",
+            "k",
+            "--bits",
+            "8",
+            "-o",
+            k.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        // A file against itself: equivalent, discharged structurally.
+        let out = run_str(&[
+            "verify",
+            ca.to_str().unwrap(),
+            "--against",
+            ca.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("EQUIVALENT"), "{out}");
+        assert!(out.contains("structurally identical"), "{out}");
+
+        // Ca vs K differ; the refutation carries a counterexample.
+        let err = run_str(&[
+            "verify",
+            ca.to_str().unwrap(),
+            "--against",
+            k.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Verify(_)), "{err}");
+        assert!(err.to_string().contains("NOT EQUIVALENT"), "{err}");
+
+        // An approximate multiplier is not the exact product.
+        let err = run_str(&["verify", ca.to_str().unwrap()]).unwrap_err();
+        assert!(matches!(err, CliError::Verify(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn import_verify_proves_config_twin() {
+        let dir = std::env::temp_dir().join("axmul_cli_import_verify_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let vfile = dir.join("ca8.v");
+        run_str(&[
+            "generate",
+            "--arch",
+            "ca",
+            "--bits",
+            "8",
+            "-o",
+            vfile.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_str(&[
+            "import",
+            vfile.to_str().unwrap(),
+            "--verify",
+            "--config",
+            "(a A A A A)",
+        ])
+        .unwrap();
+        assert!(out.contains("verify: EQUIVALENT"), "{out}");
+
+        // The wrong twin is refuted, not fingerprint-rejected.
+        let err = run_str(&[
+            "import",
+            vfile.to_str().unwrap(),
+            "--verify",
+            "--config",
+            "(a X X X X)",
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Verify(_)), "{err}");
+
+        // --verify without a --config twin is a usage error.
+        assert!(matches!(
+            run_str(&["import", vfile.to_str().unwrap(), "--verify"]),
+            Err(CliError::Usage(_))
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

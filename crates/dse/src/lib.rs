@@ -43,6 +43,7 @@ pub mod bounds;
 mod cache;
 mod config;
 mod report;
+pub mod sat_verify;
 mod search;
 pub mod store;
 
@@ -50,6 +51,7 @@ pub use bounds::{abs_tree, static_bounds, PruneOptions, StaticPoint};
 pub use cache::{BlockChar, CharCache, CharTimeBreakdown, ComposedMultiplier};
 pub use config::{Config, Leaf, ParseConfigError, LEAF_BITS};
 pub use report::{text_report, to_csv};
+pub use sat_verify::{sat_verify, SatVerifyReport, SpotCheck};
 pub use search::{
     evaluate, evaluate_on, run, CandidateReport, DseOptions, DseResult, Strategy, WorkerStat,
 };

@@ -30,6 +30,7 @@ pub fn run(netlist: &Netlist, analysis: &NetlistAnalysis, diags: &mut Vec<Diagno
         pass: Pass::Bounds,
         severity: Severity::Info,
         code,
+        engine: "absint",
         locus,
         message,
     };

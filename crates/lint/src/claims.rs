@@ -5,10 +5,18 @@
 //!
 //! * **Equivalence** — a netlist realizes its behavioral model, proved
 //!   exhaustively when the operand space is small enough (every 4×4 and
-//!   8×8 design) and sampled deterministically beyond that. A mismatch
-//!   is reported with a *minimized* counterexample: operand bits are
-//!   greedily cleared while the disagreement persists, so the reported
-//!   pair is a local minimum that isolates the failing cone.
+//!   8×8 design). Beyond that window the check samples deterministically
+//!   and then *escalates to SAT* (`axmul-sat`): a CEGAR search pins the
+//!   netlist's exact worst-case error against the exact product, and the
+//!   model is cross-checked at the extremal witness and against the
+//!   proven ceiling — so wide designs get an engine-tagged verdict, not
+//!   a "skipped" note. Designs whose sampled error floor is zero claim
+//!   full exactness, a multiplier-equivalence UNSAT proof known to
+//!   defeat CDCL at these widths, so they get a bounded refutation probe
+//!   instead (see `docs/equivalence.md`). A mismatch is reported with a
+//!   *minimized* counterexample: operand bits are greedily cleared while
+//!   the disagreement persists, so the reported pair is a local minimum
+//!   that isolates the failing cone.
 //! * **Table 2** — the proposed approximate 4×4 errs on exactly six
 //!   operand pairs, every one by exactly `+8`, on exactly the published
 //!   pairs.
@@ -31,11 +39,17 @@ use axmul_fabric::Netlist;
 use crate::diag::{Diagnostic, Locus, Pass, Severity};
 use crate::LintOptions;
 
-fn diag(severity: Severity, code: &'static str, message: String) -> Diagnostic {
+fn diag(
+    severity: Severity,
+    code: &'static str,
+    engine: &'static str,
+    message: String,
+) -> Diagnostic {
     Diagnostic {
         pass: Pass::Claims,
         severity,
         code,
+        engine,
         locus: Locus::Global,
         message,
     }
@@ -46,8 +60,10 @@ fn diag(severity: Severity, code: &'static str, message: String) -> Diagnostic {
 pub const TABLE2_PAIRS: [(u64, u64); 6] = [(15, 5), (7, 6), (15, 6), (15, 7), (13, 13), (5, 15)];
 
 /// Checks structural-vs-behavioral equivalence of `netlist` against
-/// `model`, appending findings to `diags` (and a note to `skipped` when
-/// the check had to sample instead of exhausting).
+/// `model`, appending findings to `diags`. Past the exhaustive window
+/// the sampled sweep is followed by a SAT escalation
+/// ([`escalate_equivalence_sat`]), so every outcome is a diagnostic
+/// with an engine tag — this pass never records a skip.
 ///
 /// The netlist must expose two input buses (`a`, then `b`) matching the
 /// model's operand widths and a single product output bus.
@@ -56,7 +72,6 @@ pub fn check_equivalence(
     model: &dyn Multiplier,
     opts: &LintOptions,
     diags: &mut Vec<Diagnostic>,
-    skipped: &mut Vec<String>,
 ) {
     let buses = netlist.input_buses();
     if buses.len() != 2
@@ -71,6 +86,7 @@ pub fn check_equivalence(
         diags.push(diag(
             Severity::Error,
             "equiv-interface",
+            "static",
             format!(
                 "netlist interface ({} in, {} out buses: {}) does not match model `{}` ({}x{})",
                 buses.len(),
@@ -99,6 +115,7 @@ pub fn check_equivalence(
             diags.push(diag(
                 Severity::Error,
                 "equiv-sim",
+                "sim",
                 format!("simulation failed during equivalence check: {e}"),
             ));
             return;
@@ -108,6 +125,7 @@ pub fn check_equivalence(
             diags.push(diag(
                 Severity::Error,
                 "equiv-mismatch",
+                "sim",
                 format!(
                     "netlist disagrees with `{}` on {mismatches} of {} operand pairs; \
                      minimized counterexample a={a} b={b}: netlist {} vs model {}",
@@ -121,6 +139,7 @@ pub fn check_equivalence(
             diags.push(diag(
                 Severity::Info,
                 "equiv-verified",
+                "sim",
                 format!(
                     "netlist proven equal to `{}` on all {} operand pairs",
                     model.name(),
@@ -130,18 +149,35 @@ pub fn check_equivalence(
         }
     } else {
         // Deterministic SplitMix64 sampling: same verdict every run.
+        // Alongside agreement, track each side's worst deviation from
+        // the exact product — the netlist's argmax seeds the SAT
+        // ascent, the model's maximum is checked against the proven
+        // ceiling afterwards.
         let mut state = 0x5EED_BA5E_D00Du64 ^ (u64::from(total_bits) << 32);
         let a_mask = (1u64 << model.a_bits()) - 1;
         let b_mask = (1u64 << model.b_bits()) - 1;
+        let mut nl_worst: (u128, (u64, u64)) = (0, (0, 0));
+        let mut model_worst: (u128, (u64, u64)) = (0, (0, 0));
         for _ in 0..opts.samples {
             let r = splitmix64(&mut state);
             let a = r & a_mask;
             let b = (r >> model.a_bits()) & b_mask;
-            if eval_product(netlist, a, b) != model.multiply(a, b) {
+            let got = eval_product(netlist, a, b);
+            let want = model.multiply(a, b);
+            if got != want {
                 mismatches += 1;
                 if witness.is_none() {
                     witness = Some((a, b));
                 }
+            }
+            let exact = u128::from(a) * u128::from(b);
+            let nl_err = u128::from(got).abs_diff(exact);
+            if nl_err > nl_worst.0 {
+                nl_worst = (nl_err, (a, b));
+            }
+            let model_err = u128::from(want).abs_diff(exact);
+            if model_err > model_worst.0 {
+                model_worst = (model_err, (a, b));
             }
         }
         if let Some(w) = witness {
@@ -149,6 +185,7 @@ pub fn check_equivalence(
             diags.push(diag(
                 Severity::Error,
                 "equiv-mismatch",
+                "sim",
                 format!(
                     "netlist disagrees with `{}` on {mismatches} of {} sampled operand pairs; \
                      minimized counterexample a={a} b={b}: netlist {} vs model {}",
@@ -162,6 +199,7 @@ pub fn check_equivalence(
             diags.push(diag(
                 Severity::Info,
                 "equiv-sampled",
+                "sim",
                 format!(
                     "netlist agrees with `{}` on {} deterministically sampled operand pairs \
                      ({total_bits} operand bits exceed the {}-bit exhaustive budget)",
@@ -170,12 +208,135 @@ pub fn check_equivalence(
                     opts.exhaustive_bits
                 ),
             ));
-            skipped.push(format!(
-                "equivalence vs `{}` sampled ({} pairs), not exhaustive",
-                model.name(),
-                opts.samples
+            escalate_equivalence_sat(netlist, model, opts, nl_worst, model_worst, diags);
+        }
+    }
+}
+
+/// SAT escalation of the equivalence claim past the exhaustive window.
+///
+/// Sampling alone cannot *decide* anything, so the pass pins what SAT
+/// can decide exactly at any width: the netlist's worst-case absolute
+/// error against the exact product ([`axmul_sat::prove_wce`], seeded
+/// with the sampled argmax). The behavioral model is then cross-checked
+/// at the proof's extremal witness — the single most adversarial input
+/// a guided search can produce — and against the proven ceiling: a
+/// model that errs more than the netlist's exact maximum anywhere
+/// cannot be equal to it, which upgrades such a divergence from
+/// "unsampled" to a refutation.
+///
+/// Netlists whose sampled error floor is zero are claiming full
+/// exactness; certifying that is a multiplier-equivalence UNSAT proof,
+/// which defeats CDCL at these widths (see `docs/equivalence.md`), so
+/// the search is capped to a bounded refutation probe instead of the
+/// full certification budget. Every outcome — certificate, bounded
+/// search, or refutation — lands as an engine-tagged diagnostic; the
+/// escalation never records a skip.
+fn escalate_equivalence_sat(
+    netlist: &Netlist,
+    model: &dyn Multiplier,
+    opts: &LintOptions,
+    nl_worst: (u128, (u64, u64)),
+    model_worst: (u128, (u64, u64)),
+    diags: &mut Vec<Diagnostic>,
+) {
+    use axmul_sat::{prove_wce, ProofOptions, SatError, WceOptions};
+
+    let exactness_probe = nl_worst.0 == 0;
+    let budget = if exactness_probe {
+        opts.sat_conflicts.min(10_000)
+    } else {
+        opts.sat_conflicts
+    };
+    let wce_opts = WceOptions {
+        // split_depth 0: on budget exhaustion concede immediately with
+        // a typed error instead of fanning into cube-and-conquer —
+        // lint wants a fast bounded verdict, not a marathon.
+        proof: ProofOptions {
+            max_conflicts: budget,
+            split_depth: 0,
+        },
+        samples: 1024,
+        hint: (!exactness_probe).then_some(nl_worst.1),
+    };
+    match prove_wce(netlist, &wce_opts) {
+        Ok(proof) => {
+            let (wa, wb) = proof.witness;
+            let at_witness = eval_product(netlist, wa, wb);
+            let model_at_witness = model.multiply(wa, wb);
+            if at_witness != model_at_witness {
+                diags.push(diag(
+                    Severity::Error,
+                    "equiv-mismatch",
+                    "sat",
+                    format!(
+                        "SAT's extremal witness separates the netlist from `{}`: at a={wa} \
+                         b={wb} the netlist yields {at_witness} vs model {model_at_witness}",
+                        model.name()
+                    ),
+                ));
+            } else if model_worst.0 > proof.wce {
+                let (ma, mb) = model_worst.1;
+                diags.push(diag(
+                    Severity::Error,
+                    "equiv-mismatch",
+                    "sat",
+                    format!(
+                        "`{}` errs by {} at a={ma} b={mb}, above the netlist's SAT-proven \
+                         worst-case error {} — the two cannot be equal",
+                        model.name(),
+                        model_worst.0,
+                        proof.wce
+                    ),
+                ));
+            } else {
+                diags.push(diag(
+                    Severity::Info,
+                    "equiv-wce-certified",
+                    "sat",
+                    format!(
+                        "SAT pinned the netlist's exact worst-case error vs the exact \
+                         product: {} at a={wa} b={wb} ({} ascent step(s), {} conflicts); \
+                         `{}` matches the netlist at that witness and stays within the \
+                         proven ceiling on every sampled pair",
+                        proof.wce,
+                        proof.ascent_steps,
+                        proof.stats.conflicts,
+                        model.name()
+                    ),
+                ));
+            }
+        }
+        Err(SatError::Budget { conflicts }) => {
+            let detail = if exactness_probe {
+                format!(
+                    "the sampled error floor is 0 — a full-exactness claim, whose UNSAT \
+                     certificate is out of CDCL reach at this width — so the search was \
+                     capped to a refutation probe: no deviating operand pair found within \
+                     {conflicts} conflicts"
+                )
+            } else {
+                let (fa, fb) = nl_worst.1;
+                format!(
+                    "the certification budget ran out after {conflicts} conflicts; the \
+                     observed error floor stands at {} (a={fa} b={fb}) with no refutation \
+                     found",
+                    nl_worst.0
+                )
+            };
+            diags.push(diag(
+                Severity::Info,
+                "equiv-sat-bounded",
+                "sat",
+                format!("SAT escalation stayed bounded: {detail}"),
             ));
         }
+        Err(e) => diags.push(diag(
+            Severity::Warning,
+            "equiv-sat-error",
+            "sat",
+            format!("SAT escalation of the equivalence claim failed: {e}"),
+        )),
     }
 }
 
@@ -232,6 +393,7 @@ pub fn check_table2(netlist: &Netlist, diags: &mut Vec<Diagnostic>) {
         diags.push(diag(
             Severity::Error,
             "equiv-sim",
+            "sim",
             format!("simulation failed during Table 2 check: {e}"),
         ));
         return;
@@ -242,6 +404,7 @@ pub fn check_table2(netlist: &Netlist, diags: &mut Vec<Diagnostic>) {
         diags.push(diag(
             Severity::Error,
             "table2-count",
+            "sim",
             format!(
                 "Table 2 claims exactly {} error pairs, netlist has {}",
                 TABLE2_PAIRS.len(),
@@ -255,6 +418,7 @@ pub fn check_table2(netlist: &Netlist, diags: &mut Vec<Diagnostic>) {
             diags.push(diag(
                 Severity::Error,
                 "table2-magnitude",
+                "sim",
                 format!("error at a={a} b={b} is {d}, Table 2 claims every error is +8"),
             ));
         }
@@ -268,6 +432,7 @@ pub fn check_table2(netlist: &Netlist, diags: &mut Vec<Diagnostic>) {
         diags.push(diag(
             Severity::Error,
             "table2-pairs",
+            "sim",
             format!("erroneous pairs {got_pairs:?} differ from Table 2's {want_pairs:?}"),
         ));
     }
@@ -275,6 +440,7 @@ pub fn check_table2(netlist: &Netlist, diags: &mut Vec<Diagnostic>) {
         diags.push(diag(
             Severity::Info,
             "table2-verified",
+            "sim",
             "Table 2 confirmed: exactly 6 error pairs, each of magnitude 8, on the published operands"
                 .to_string(),
         ));
@@ -292,6 +458,7 @@ pub fn check_table3(netlist: &Netlist, diags: &mut Vec<Diagnostic>) {
             diags.push(diag(
                 Severity::Error,
                 "table3-init",
+                "static",
                 format!(
                     "{}: published INIT {} disagrees with the derivation {} on reachable indices",
                     check.name, check.published, check.derived
@@ -315,6 +482,7 @@ pub fn check_table3(netlist: &Netlist, diags: &mut Vec<Diagnostic>) {
             diags.push(diag(
                 Severity::Error,
                 "table3-missing",
+                "static",
                 format!(
                     "netlist contains no (unclaimed) LUT with {}'s published INIT 0x{:016X}",
                     row.name, row.init
@@ -326,6 +494,7 @@ pub fn check_table3(netlist: &Netlist, diags: &mut Vec<Diagnostic>) {
         diags.push(diag(
             Severity::Info,
             "table3-verified",
+            "static",
             format!(
                 "Table 3 confirmed: all 12 published INITs re-derive from the logic equations \
                  and appear in the netlist ({} LUTs)",
@@ -350,6 +519,7 @@ pub fn check_slice_fit(
         diags.push(diag(
             Severity::Error,
             "slice-fit",
+            "static",
             format!(
                 "netlist needs {luts} LUT(s) and {carry4s} CARRY4(s), exceeding the claimed \
                  budget of {max_luts} LUT(s) / {max_carry4s} CARRY4(s)"
@@ -359,6 +529,7 @@ pub fn check_slice_fit(
         diags.push(diag(
             Severity::Info,
             "slice-fit-verified",
+            "static",
             format!(
                 "packing claim confirmed: {luts} LUT(s), {carry4s} CARRY4(s) within \
                  {max_luts}/{max_carry4s}"

@@ -4,14 +4,24 @@
 //! unused `O5` and a discarded final carry-out are idioms every design
 //! in the paper uses, so they are `Info`. A LUT none of whose outputs
 //! drive anything, a routed pin the INIT provably ignores, an output
-//! the truth tables prove constant, and a carry stage that pins the
+//! the engines prove constant, and a carry stage that pins the
 //! chain to a constant all *waste area the design pays for*, so they
 //! are `Warning` — the roster must be free of them for the CI gate's
 //! `--deny warnings` to pass.
+//!
+//! Constant verdicts come from a three-stage escalation, and every
+//! finding records which engine decided it: the exhaustive truth
+//! tables (`"table"`) within [`crate::MAX_TABLE_BITS`] input bits, the
+//! known-bits abstract interpretation (`"known-bits"`) at any width,
+//! and — where the abstract domain is too coarse — a per-netlist
+//! incremental SAT oracle (`"sat"`, [`axmul_sat::NetOracle`]) whose
+//! `Some` answers are UNSAT-certified. Wide netlists therefore get the
+//! same constant coverage as narrow ones instead of a "skipped" note.
 
 use axmul_absint::KnownBits;
 use axmul_fabric::{Cell, Driver};
 use axmul_fabric::{NetId, Netlist};
+use axmul_sat::NetOracle;
 
 use crate::diag::{Diagnostic, Locus, Pass, Severity};
 use crate::tables::NetTables;
@@ -20,34 +30,46 @@ use crate::tables::NetTables;
 ///
 /// `tables` is the truth-table engine's output when the netlist was
 /// small enough to tabulate (exact constant verdicts); `known` is the
-/// known-bits abstract state, available at any width, which keeps the
-/// constant-output checks sound — if incomplete — on netlists the
-/// tables cannot cover.
+/// known-bits abstract state, available at any width; `sat` is the
+/// incremental SAT oracle that settles whatever the abstract domain
+/// leaves open on netlists the tables cannot cover. Each constant
+/// finding records the engine that decided it.
 pub fn run(
     netlist: &Netlist,
     tables: Option<&NetTables>,
     known: &KnownBits,
+    mut sat: Option<&mut NetOracle>,
     diags: &mut Vec<Diagnostic>,
 ) {
     let fanouts = netlist.fanouts();
     let drivers = netlist.drivers();
     let used = |net: NetId| fanouts[net.index()] > 0;
     let is_const = |net: NetId| matches!(drivers[net.index()], Driver::Const(_));
-    // A net's proven constant value: from the driver table for tied
-    // nets, from the exhaustive tables where available, and from the
-    // known-bits propagation otherwise (wide netlists).
-    let const_of = |net: NetId| -> Option<bool> {
+    // A net's proven constant value and the engine that proved it:
+    // from the driver table for tied nets, from the exhaustive tables
+    // where available, then the known-bits propagation, then — on wide
+    // netlists only — an UNSAT certificate from the SAT oracle.
+    let mut const_of = |net: NetId| -> Option<(bool, &'static str)> {
         match drivers[net.index()] {
-            Driver::Const(v) => Some(v),
-            _ => tables
-                .and_then(|t| t.constant_of(net))
-                .or_else(|| known.constant_of(net)),
+            Driver::Const(v) => Some((v, "static")),
+            _ => {
+                if let Some(t) = tables {
+                    return t.constant_of(net).map(|v| (v, "table"));
+                }
+                if let Some(v) = known.constant_of(net) {
+                    return Some((v, "known-bits"));
+                }
+                sat.as_mut()
+                    .and_then(|o| o.constant_of(net))
+                    .map(|v| (v, "sat"))
+            }
         }
     };
-    let diag = |severity, code, k: usize, message: String| Diagnostic {
+    let diag = |severity, code, engine, k: usize, message: String| Diagnostic {
         pass: Pass::DeadLogic,
         severity,
         code,
+        engine,
         locus: Locus::Cell(k),
         message,
     };
@@ -66,6 +88,7 @@ pub fn run(
                     diags.push(diag(
                         Severity::Warning,
                         "dead-lut",
+                        "static",
                         k,
                         format!("LUT c{k} drives nothing: all outputs have zero fanout"),
                     ));
@@ -76,6 +99,7 @@ pub fn run(
                     diags.push(diag(
                         Severity::Info,
                         "dead-o5",
+                        "static",
                         k,
                         format!("LUT c{k} allocates O5 but nothing reads it (unused fracturable capacity)"),
                     ));
@@ -85,6 +109,7 @@ pub fn run(
                     diags.push(diag(
                         Severity::Info,
                         "dead-o6",
+                        "static",
                         k,
                         format!("LUT c{k} is used only through O5; O6 has zero fanout"),
                     ));
@@ -100,6 +125,7 @@ pub fn run(
                         diags.push(diag(
                             Severity::Warning,
                             "ignored-pin",
+                            "static",
                             k,
                             format!(
                                 "LUT c{k} input I{i} carries signal n{} that no used output depends on",
@@ -112,10 +138,11 @@ pub fn run(
                 // provably constant over all inputs.
                 for (name, net, used_flag) in [("O6", Some(*o6), o6_used), ("O5", *o5, o5_used)] {
                     if let (Some(net), true) = (net, used_flag) {
-                        if let Some(v) = const_of(net) {
+                        if let Some((v, engine)) = const_of(net) {
                             diags.push(diag(
                                 Severity::Warning,
                                 "const-lut",
+                                engine,
                                 k,
                                 format!(
                                     "LUT c{k} output {name} is provably constant {} — the cell folds away",
@@ -133,6 +160,7 @@ pub fn run(
                             diags.push(diag(
                                 Severity::Info,
                                 "dead-carry-sum",
+                                "static",
                                 k,
                                 format!("CARRY4 c{k} sum output O[{i}] has zero fanout"),
                             ));
@@ -143,6 +171,7 @@ pub fn run(
                             diags.push(diag(
                                 Severity::Info,
                                 "dead-carry-out",
+                                "static",
                                 k,
                                 format!("CARRY4 c{k} carry output CO[{i}] has zero fanout"),
                             ));
@@ -162,11 +191,12 @@ pub fn run(
                     if !later_used && !here_used {
                         continue;
                     }
-                    if const_of(s[i]) == Some(false) {
-                        if let Some(v) = const_of(di[i]) {
+                    if matches!(const_of(s[i]), Some((false, _))) {
+                        if let Some((v, engine)) = const_of(di[i]) {
                             diags.push(diag(
                                 Severity::Warning,
                                 "stuck-carry",
+                                engine,
                                 k,
                                 format!(
                                     "CARRY4 c{k} stage {i} pins the carry to constant {}: S[{i}] is 0 and DI[{i}] is constant, yet later stages still use the chain",

@@ -115,6 +115,14 @@ pub struct Diagnostic {
     /// Stable machine-readable code (e.g. `comb-loop`, `dead-o5`),
     /// suitable for filtering and for asserting in tests.
     pub code: &'static str,
+    /// Which decision engine produced the verdict: `"static"` for
+    /// purely structural reasoning, `"table"` for the exhaustive
+    /// truth-table engine, `"known-bits"`/`"absint"` for the abstract
+    /// interpretation, `"sim"` for simulation-backed checks, and
+    /// `"sat"` for a CDCL (un)satisfiability proof. Reports record the
+    /// engine per finding so a wide netlist shows *how* each verdict
+    /// was reached instead of a blanket "skipped" note.
+    pub engine: &'static str,
     /// What the finding points at.
     pub locus: Locus,
     /// Human-readable explanation.
@@ -125,8 +133,8 @@ impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "[{}] {}/{} {}: {}",
-            self.severity, self.pass, self.code, self.locus, self.message
+            "[{}] {}/{} {}: {} <{}>",
+            self.severity, self.pass, self.code, self.locus, self.message, self.engine
         )
     }
 }
@@ -228,8 +236,8 @@ impl LintReport {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"pass\":\"{}\",\"severity\":\"{}\",\"code\":\"{}\",",
-                d.pass, d.severity, d.code
+                "{{\"pass\":\"{}\",\"severity\":\"{}\",\"code\":\"{}\",\"engine\":\"{}\",",
+                d.pass, d.severity, d.code, d.engine
             ));
             match d.locus {
                 Locus::Global => s.push_str("\"locus\":null,"),
@@ -304,6 +312,7 @@ mod tests {
                     pass: Pass::DeadLogic,
                     severity: Severity::Info,
                     code: "dead-o5",
+                    engine: "static",
                     locus: Locus::Cell(0),
                     message: "O5 unused".into(),
                 },
@@ -311,6 +320,7 @@ mod tests {
                     pass: Pass::Structure,
                     severity: Severity::Error,
                     code: "comb-loop",
+                    engine: "sat",
                     locus: Locus::Net(3),
                     message: "cycle \"here\"".into(),
                 },
@@ -351,6 +361,8 @@ mod tests {
         assert!(j.contains("\\\"here\\\""), "{j}");
         assert!(j.contains("\"locus\":{\"net\":3}"));
         assert!(j.contains("\"errors\":1"));
+        assert!(j.contains("\"engine\":\"sat\""), "{j}");
+        assert!(j.contains("\"engine\":\"static\""), "{j}");
     }
 
     #[test]

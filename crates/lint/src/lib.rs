@@ -13,20 +13,32 @@
 //!    reachability. Re-proves the builder invariants, and is the real
 //!    gatekeeper for netlists assembled via `Netlist::from_parts`.
 //! 2. [`deadlogic`] — dead cells and outputs, ignored pins,
-//!    constant-foldable LUTs, stuck carry stages, powered by an
-//!    exhaustive per-net truth-table engine ([`tables`]).
+//!    constant-foldable LUTs, stuck carry stages. Constant verdicts
+//!    escalate through three engines — the exhaustive per-net
+//!    truth-table engine ([`tables`]) up to [`MAX_TABLE_BITS`] input
+//!    bits, the known-bits abstract domain at any width, and a
+//!    per-netlist SAT oracle (`axmul-sat`) for whatever the abstract
+//!    domain leaves open — and every finding records which engine
+//!    decided it, so wide netlists get verdicts, not "skipped" notes.
 //! 3. [`packing`] — `LUT6_2` dual-output legality, `CARRY4` cascade
 //!    rules, and an independent stranded-site recount cross-checked
 //!    against [`axmul_fabric::area::AreaReport`].
 //! 4. [`claims`] — structural-vs-behavioral equivalence with
 //!    counterexample minimization, plus the paper's Table 2, Table 3
-//!    and slice-packing claims.
+//!    and slice-packing claims. Past the exhaustive window the
+//!    equivalence claim escalates to SAT: a CEGAR search pins the
+//!    netlist's exact worst-case error against the exact product and
+//!    cross-checks the model at the extremal witness, so 16×16 and
+//!    wider designs get engine-tagged verdicts, not "skipped" notes.
 //! 5. [`bounds`] — static value facts from the `axmul-absint`
 //!    abstract-interpretation engine: proven output ranges, derived
 //!    constant output bits and sound worst-case-error bounds, at any
-//!    width (the truth-table engine stops at [`MAX_TABLE_BITS`] input
-//!    bits; the known-bits domain also backstops the dead-logic pass
-//!    beyond that limit).
+//!    width.
+//!
+//! For golden-model comparison at widths where exhaustive simulation
+//! is out of reach, [`Linter::lint_against_netlist`] proves (or
+//! refutes, with a replayed counterexample) SAT equivalence against a
+//! reference netlist.
 //!
 //! The severity policy: idioms the designs rely on (an unused
 //! fracturable `O5`, a discarded final carry-out) are `Info`; anything
@@ -70,19 +82,32 @@ use axmul_fabric::Netlist;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LintOptions {
     /// Total operand bits up to which equivalence is proved
-    /// exhaustively; beyond it, deterministic sampling is used.
+    /// exhaustively; beyond it, deterministic sampling runs first and
+    /// the claim escalates to SAT.
     pub exhaustive_bits: u32,
     /// Number of operand pairs drawn when sampling.
     pub samples: u64,
+    /// Per-solver-call conflict budget for the SAT escalation of the
+    /// equivalence claim past the exhaustive window. Exceeding it
+    /// downgrades the exact worst-case-error certificate to a bounded
+    /// `equiv-sat-bounded` verdict (never a skip); `0` makes every
+    /// solver call concede at its first conflict, effectively turning
+    /// the escalation into a propagation-only probe — useful to keep
+    /// debug-build test suites fast.
+    pub sat_conflicts: u64,
 }
 
 impl Default for LintOptions {
     fn default() -> Self {
         // 24 bits = 16 M evaluations: exhaustive through 8x16; a 16x16
-        // design falls back to sampling.
+        // design falls back to sampling + SAT. 400 k conflicts covers
+        // the deepest roster certificate (Ca 16x16, ~160 k) with ~2.5×
+        // headroom while bounding the worst case to well under a
+        // minute per design in release builds.
         LintOptions {
             exhaustive_bits: 24,
             samples: 65_536,
+            sat_conflicts: 400_000,
         }
     }
 }
@@ -121,18 +146,80 @@ impl Linter {
     }
 
     /// Runs the structural passes (1–3) plus the equivalence claim
-    /// check against a behavioral model.
+    /// check against a behavioral model: exhaustive inside
+    /// [`LintOptions::exhaustive_bits`], sampled and SAT-escalated
+    /// beyond it (see [`claims::check_equivalence`]).
     #[must_use]
     pub fn lint_against(&self, netlist: &Netlist, model: &dyn Multiplier) -> LintReport {
         let (mut report, sound) = self.base(netlist);
         if sound {
-            claims::check_equivalence(
-                netlist,
-                model,
-                &self.opts,
-                &mut report.diagnostics,
-                &mut report.skipped,
-            );
+            claims::check_equivalence(netlist, model, &self.opts, &mut report.diagnostics);
+        } else {
+            report
+                .skipped
+                .push("equivalence check: netlist is structurally unsound".to_string());
+        }
+        report.sort();
+        report
+    }
+
+    /// Runs the structural passes (1–3) plus a SAT equivalence proof
+    /// against a *golden netlist* — the any-width counterpart of
+    /// [`Linter::lint_against`]: no simulation or sampling is involved,
+    /// so the verdict is exact even at 16×16 and beyond. A mismatch
+    /// carries a counterexample independently replayed through
+    /// `Netlist::eval`.
+    #[must_use]
+    pub fn lint_against_netlist(&self, netlist: &Netlist, golden: &Netlist) -> LintReport {
+        let (mut report, sound) = self.base(netlist);
+        if sound {
+            match axmul_sat::check_equiv(netlist, golden, &axmul_sat::ProofOptions::default()) {
+                Ok(r) => match r.outcome {
+                    axmul_sat::EquivOutcome::Equivalent => {
+                        report.diagnostics.push(Diagnostic {
+                            pass: diag::Pass::Claims,
+                            severity: Severity::Info,
+                            code: "equiv-verified-sat",
+                            engine: "sat",
+                            locus: diag::Locus::Global,
+                            message: format!(
+                                "netlist proven equal to `{}` for all inputs ({})",
+                                golden.name(),
+                                if r.structural {
+                                    "structurally identical — discharged without solving"
+                                        .to_string()
+                                } else {
+                                    format!("UNSAT miter, {} conflicts", r.stats.conflicts)
+                                }
+                            ),
+                        });
+                    }
+                    axmul_sat::EquivOutcome::NotEquivalent(cex) => {
+                        let inputs: Vec<String> =
+                            cex.inputs.iter().map(|(n, v)| format!("{n}={v}")).collect();
+                        report.diagnostics.push(Diagnostic {
+                            pass: diag::Pass::Claims,
+                            severity: Severity::Error,
+                            code: "equiv-mismatch",
+                            engine: "sat",
+                            locus: diag::Locus::Global,
+                            message: format!(
+                                "netlist disagrees with `{}`: at {} it yields {:?} vs {:?} \
+                                 (counterexample confirmed by replay)",
+                                golden.name(),
+                                inputs.join(" "),
+                                cex.lhs_outputs,
+                                cex.rhs_outputs
+                            ),
+                        });
+                    }
+                },
+                Err(e) => {
+                    report
+                        .skipped
+                        .push(format!("SAT equivalence vs `{}`: {e}", golden.name()));
+                }
+            }
         } else {
             report
                 .skipped
@@ -153,26 +240,36 @@ impl Linter {
         let sound = structure::run(netlist, &mut report.diagnostics);
         if sound {
             let tables = match NetTables::build(netlist) {
-                Ok(t) => {
-                    if t.is_none() {
-                        report.skipped.push(format!(
-                            "truth-table engine: more than {MAX_TABLE_BITS} input bits; \
-                             constant-propagation checks fall back to the known-bits \
-                             abstract interpretation (sound, possibly incomplete)"
-                        ));
-                    }
-                    t
-                }
+                Ok(t) => t,
                 Err(e) => {
                     report.skipped.push(format!("truth-table engine: {e}"));
                     None
                 }
+            };
+            // Past MAX_TABLE_BITS the exhaustive tables are unavailable;
+            // instead of recording a skip, constant checks escalate
+            // through the known-bits domain to a SAT oracle, and each
+            // finding records which engine decided it.
+            let mut sat_oracle = if tables.is_none() {
+                match axmul_sat::NetOracle::new(netlist) {
+                    Ok(o) => Some(o),
+                    Err(e) => {
+                        report.skipped.push(format!(
+                            "SAT constant oracle: {e}; constant checks fall back to \
+                             the known-bits abstract interpretation alone"
+                        ));
+                        None
+                    }
+                }
+            } else {
+                None
             };
             let analysis = axmul_absint::analyze_netlist(netlist);
             deadlogic::run(
                 netlist,
                 tables.as_ref(),
                 &analysis.known,
+                sat_oracle.as_mut(),
                 &mut report.diagnostics,
             );
             packing::run(netlist, &mut report.diagnostics);
@@ -233,8 +330,9 @@ mod tests {
     fn wide_netlists_keep_constant_detection() {
         // 16×16 operands (32 input bits) put the netlist far beyond
         // MAX_TABLE_BITS, where the dead-logic pass used to skip every
-        // constant check. The known-bits fallback must still catch a
-        // provably-constant LUT: y = a[0] XOR a[0] ≡ 0.
+        // constant check. The escalation chain must still catch a
+        // provably-constant LUT — y = a[0] XOR a[0] ≡ 0 — with a
+        // per-finding engine record and *zero* skipped entries.
         use axmul_fabric::{Init, NetlistBuilder};
         let mut b = NetlistBuilder::new("wide-const");
         let a = b.inputs("a", 16);
@@ -247,15 +345,171 @@ mod tests {
         assert!(nl.input_bits() > MAX_TABLE_BITS);
 
         let report = Linter::new().lint(&nl);
-        let codes = report.by_code();
+        let konst: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "const-lut")
+            .collect();
         assert!(
-            codes.contains_key("const-lut"),
-            "known-bits fallback must flag the constant LUT: {report}"
+            !konst.is_empty(),
+            "escalation must flag the constant LUT: {report}"
+        );
+        for d in &konst {
+            assert!(
+                d.engine == "known-bits" || d.engine == "sat",
+                "wide-netlist verdicts come from known-bits or SAT, got `{}`",
+                d.engine
+            );
+        }
+        assert!(
+            report.skipped.is_empty(),
+            "wide netlists get engine-tagged verdicts, not skips: {report}"
+        );
+    }
+
+    #[test]
+    fn sat_engine_settles_what_known_bits_cannot() {
+        // Two *separate* LUTs both computing a[0] ^ a[1], XORed
+        // together: constant 0, but only through a cross-cell
+        // correlation the per-net known-bits domain cannot represent.
+        // Past MAX_TABLE_BITS this verdict must come from the SAT
+        // oracle, and the finding must say so.
+        use axmul_fabric::{Init, NetlistBuilder};
+        let mut b = NetlistBuilder::new("wide-twins");
+        let a = b.inputs("a", 9);
+        let c = b.inputs("b", 9);
+        let (x1, _) = b.lut2(Init::XOR2, a[0], a[1]);
+        let (x2, _) = b.lut2(Init::XOR2, a[0], a[1]);
+        let (dead, _) = b.lut2(Init::XOR2, x1, x2);
+        let (live, _) = b.lut2(Init::AND2, a[2], c[2]);
+        let (merged, _) = b.lut2(Init::OR2, dead, live);
+        b.output("y", merged);
+        let nl = b.finish().unwrap();
+        assert!(nl.input_bits() > MAX_TABLE_BITS);
+
+        let report = Linter::new().lint(&nl);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == "const-lut" && d.engine == "sat"),
+            "the cross-LUT constant needs the SAT engine: {report}"
+        );
+        assert!(report.skipped.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn netlist_equivalence_is_sat_backed_at_any_width() {
+        use axmul_baselines::{kulkarni_netlist, rehman_netlist};
+        let k = kulkarni_netlist(16).expect("width");
+        let report = Linter::new().lint_against_netlist(&k, &k);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == "equiv-verified-sat" && d.engine == "sat"),
+            "{report}"
         );
         assert!(
-            report.skipped.iter().any(|s| s.contains("known-bits")),
-            "the skip note should say what the fallback is: {report}"
+            !report.skipped.iter().any(|s| s.contains("equivalence")),
+            "no sampling concession on the SAT path: {report}"
         );
+
+        let w = rehman_netlist(8).expect("width");
+        let k8 = kulkarni_netlist(8).expect("width");
+        let report = Linter::new().lint_against_netlist(&k8, &w);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == "equiv-mismatch" && d.engine == "sat"),
+            "K and W differ at 8x8: {report}"
+        );
+    }
+
+    #[test]
+    fn wide_equivalence_escalates_to_a_sat_certificate() {
+        // Cc 16×16 (32 operand bits) is past the exhaustive window, so
+        // the claim pass samples and then escalates: the SAT ascent
+        // must pin the design's exact worst-case error (a ~3 k-conflict
+        // certificate) and cross-check the behavioral model at the
+        // extremal witness — with zero skipped entries.
+        use axmul_core::behavioral::Cc;
+        use axmul_core::structural::cc_netlist;
+        let nl = cc_netlist(16).expect("width");
+        let model = Cc::new(16).expect("width");
+        let opts = LintOptions {
+            samples: 8_192,
+            ..LintOptions::default()
+        };
+        let report = Linter::with_options(opts).lint_against(&nl, &model);
+        let cert = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "equiv-wce-certified")
+            .unwrap_or_else(|| panic!("expected a SAT wce certificate: {report}"));
+        assert_eq!(cert.engine, "sat", "{report}");
+        assert!(report.by_code().contains_key("equiv-sampled"), "{report}");
+        assert!(
+            report.skipped.is_empty(),
+            "wide equivalence gets SAT-backed verdicts, not skips: {report}"
+        );
+        assert!(report.is_clean(true), "{report}");
+    }
+
+    #[test]
+    fn wce_budget_exhaustion_is_a_bounded_verdict_not_a_skip() {
+        // sat_conflicts = 0: every solver call concedes at its first
+        // conflict, so the escalation must land on the bounded verdict
+        // — still an engine-tagged diagnostic, never a skip.
+        use axmul_core::behavioral::Cc;
+        use axmul_core::structural::cc_netlist;
+        let nl = cc_netlist(16).expect("width");
+        let model = Cc::new(16).expect("width");
+        let opts = LintOptions {
+            samples: 4_096,
+            sat_conflicts: 0,
+            ..LintOptions::default()
+        };
+        let report = Linter::with_options(opts).lint_against(&nl, &model);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == "equiv-sat-bounded" && d.engine == "sat"),
+            "{report}"
+        );
+        assert!(report.skipped.is_empty(), "{report}");
+        assert!(report.is_clean(true), "{report}");
+    }
+
+    #[test]
+    fn exact_wide_designs_get_a_bounded_probe_not_a_skip() {
+        // A functionally exact 16×16 netlist claims wce = 0; that UNSAT
+        // certificate is out of CDCL reach, so the escalation must cap
+        // itself to a bounded refutation probe rather than burning the
+        // full certification budget — and still record no skip.
+        use axmul_baselines::array_mult_netlist;
+        use axmul_core::Exact;
+        let nl = array_mult_netlist(16, 16);
+        let opts = LintOptions {
+            samples: 4_096,
+            sat_conflicts: 500,
+            ..LintOptions::default()
+        };
+        let report = Linter::with_options(opts).lint_against(&nl, &Exact::new(16, 16));
+        let bounded = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "equiv-sat-bounded")
+            .unwrap_or_else(|| panic!("expected a bounded probe verdict: {report}"));
+        assert_eq!(bounded.engine, "sat", "{report}");
+        assert!(
+            bounded.message.contains("error floor is 0"),
+            "the probe must say it was capped by the exactness claim: {}",
+            bounded.message
+        );
+        assert!(report.skipped.is_empty(), "{report}");
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub fn run(netlist: &Netlist, diags: &mut Vec<Diagnostic>) {
                         pass: Pass::Packing,
                         severity: Severity::Error,
                         code: "o5-pairing",
+                        engine: "static",
                         locus: Locus::Cell(k),
                         message: format!(
                             "LUT c{k} uses both O6 and O5 but I5 is not tied to constant 1; \
@@ -58,6 +59,7 @@ pub fn run(netlist: &Netlist, diags: &mut Vec<Diagnostic>) {
                             pass: Pass::Packing,
                             severity: Severity::Error,
                             code: "carry-tap",
+                            engine: "static",
                             locus: Locus::Cell(k),
                             message: format!(
                                 "CARRY4 c{k} CIN taps CO[{stage}] of c{}; only CO[3] has a \
@@ -84,6 +86,7 @@ pub fn run(netlist: &Netlist, diags: &mut Vec<Diagnostic>) {
                 pass: Pass::Packing,
                 severity: Severity::Warning,
                 code: "carry-fanout",
+                engine: "static",
                 locus: Locus::Net(w[0].0),
                 message: format!(
                     "carry-out net n{} cascades into the CIN of both c{} and c{}; the dedicated \
@@ -100,6 +103,7 @@ pub fn run(netlist: &Netlist, diags: &mut Vec<Diagnostic>) {
             pass: Pass::Packing,
             severity: Severity::Error,
             code: "area-mismatch",
+            engine: "static",
             locus: Locus::Global,
             message: format!(
                 "packing pass counts {stranded} stranded LUT site(s) but AreaReport reports {}; \

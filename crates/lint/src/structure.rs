@@ -26,6 +26,7 @@ pub fn run(netlist: &Netlist, diags: &mut Vec<Diagnostic>) -> bool {
         pass: Pass::Structure,
         severity: Severity::Error,
         code,
+        engine: "static",
         locus,
         message,
     };
@@ -271,6 +272,7 @@ pub fn run(netlist: &Netlist, diags: &mut Vec<Diagnostic>) -> bool {
                     pass: Pass::Structure,
                     severity: Severity::Warning,
                     code: "unreachable-cell",
+                    engine: "static",
                     locus: Locus::Cell(k),
                     message: format!(
                         "cell c{k} feeds other cells but its cone never reaches a primary output"

@@ -1,0 +1,175 @@
+//! DIMACS CNF parsing with typed errors.
+//!
+//! Accepts the classic `p cnf <vars> <clauses>` format with `c`
+//! comment lines and zero-terminated clauses. Hostile input — garbage
+//! tokens, absurd variable counts, truncated clauses, numeric
+//! overflow — always comes back as [`SatError::Dimacs`] with a line
+//! number; nothing panics or allocates unboundedly.
+
+use crate::solver::{Lit, Solver};
+use crate::SatError;
+
+/// Hard cap on declared variables/clauses, so a hostile header cannot
+/// drive allocation.
+const MAX_DECL: u64 = 10_000_000;
+
+/// A parsed DIMACS instance.
+#[derive(Debug, Clone)]
+pub struct Dimacs {
+    /// Declared variable count.
+    pub num_vars: u32,
+    /// Clauses, as parsed (no normalization).
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Dimacs {
+    /// Loads the instance into a fresh [`Solver`].
+    ///
+    /// DIMACS variable `i` maps to solver variable `i` (solver
+    /// variable 0 is the reserved constant, so indices line up
+    /// naturally with the 1-based DIMACS convention).
+    #[must_use]
+    pub fn into_solver(&self) -> Solver {
+        let mut s = Solver::new();
+        while s.num_vars() <= self.num_vars {
+            s.new_var();
+        }
+        for c in &self.clauses {
+            s.add_clause(c);
+        }
+        s
+    }
+}
+
+/// Parses DIMACS CNF text.
+///
+/// # Errors
+///
+/// [`SatError::Dimacs`] on any malformed input, with the 1-based line
+/// number where parsing failed.
+pub fn parse_dimacs(text: &str) -> Result<Dimacs, SatError> {
+    let err = |line: usize, msg: &str| SatError::Dimacs {
+        line,
+        msg: msg.to_string(),
+    };
+    let mut num_vars: Option<u64> = None;
+    let mut num_clauses: Option<u64> = None;
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if num_vars.is_some() {
+                return Err(err(lineno, "duplicate problem line"));
+            }
+            let mut it = rest.split_whitespace();
+            if it.next() != Some("cnf") {
+                return Err(err(lineno, "problem line is not `p cnf <vars> <clauses>`"));
+            }
+            let v: u64 = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err(lineno, "missing or non-numeric variable count"))?;
+            let c: u64 = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err(lineno, "missing or non-numeric clause count"))?;
+            if it.next().is_some() {
+                return Err(err(lineno, "trailing tokens on problem line"));
+            }
+            if v > MAX_DECL || c > MAX_DECL {
+                return Err(err(lineno, "declared size exceeds the 10M cap"));
+            }
+            num_vars = Some(v);
+            num_clauses = Some(c);
+            continue;
+        }
+        let Some(nv) = num_vars else {
+            return Err(err(lineno, "clause before the problem line"));
+        };
+        for tok in line.split_whitespace() {
+            let n: i64 = tok
+                .parse()
+                .map_err(|_| err(lineno, "non-numeric literal"))?;
+            if n == 0 {
+                clauses.push(std::mem::take(&mut current));
+                if clauses.len() as u64 > num_clauses.unwrap_or(0) {
+                    return Err(err(lineno, "more clauses than declared"));
+                }
+                continue;
+            }
+            let var = n.unsigned_abs();
+            if var > nv {
+                return Err(err(lineno, "literal references an undeclared variable"));
+            }
+            current.push(Lit::new(var as u32, n < 0));
+        }
+    }
+    if !current.is_empty() {
+        return Err(SatError::Dimacs {
+            line: text.lines().count(),
+            msg: "unterminated clause (missing trailing 0)".to_string(),
+        });
+    }
+    let Some(nv) = num_vars else {
+        return Err(err(0, "missing problem line"));
+    };
+    if clauses.len() as u64 != num_clauses.unwrap_or(0) {
+        return Err(SatError::Dimacs {
+            line: text.lines().count(),
+            msg: format!(
+                "declared {} clauses, found {}",
+                num_clauses.unwrap_or(0),
+                clauses.len()
+            ),
+        });
+    }
+    Ok(Dimacs {
+        num_vars: nv as u32,
+        clauses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn parses_and_solves_a_classic_instance() {
+        let text = "c tiny\np cnf 3 4\n1 2 0\n-1 2 0\n-2 3 0\n-2 -3 0\n";
+        let d = parse_dimacs(text).expect("valid dimacs");
+        assert_eq!(d.num_vars, 3);
+        assert_eq!(d.clauses.len(), 4);
+        let mut s = d.into_solver();
+        assert!(matches!(s.solve(&[], 10_000), SolveResult::Unsat));
+    }
+
+    #[test]
+    fn hostile_inputs_return_typed_errors() {
+        let cases = [
+            "p cnf",                              // truncated header
+            "p cnf x y",                          // non-numeric header
+            "p cnf 99999999999 1\n1 0",           // absurd var count
+            "1 2 0",                              // clause before header
+            "p cnf 2 1\n1 9 0",                   // undeclared variable
+            "p cnf 2 1\n1 zebra 0",               // garbage token
+            "p cnf 2 1\n1 2",                     // unterminated clause
+            "p cnf 2 1\n1 0\n2 0",                // more clauses than declared
+            "p cnf 2 2\n1 0",                     // fewer clauses than declared
+            "p cnf 2 1\np cnf 2 1\n1 0",          // duplicate header
+            "p cnf 2 1\n123456789123456789123 0", // overflow literal
+            "",                                   // empty input
+        ];
+        for text in cases {
+            match parse_dimacs(text) {
+                Err(SatError::Dimacs { .. }) => {}
+                other => panic!("expected Dimacs error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! A per-netlist SAT oracle for net-level constant queries.
+//!
+//! Built for `axmul-lint`'s dead-logic pass on netlists past the
+//! truth-table engine's 16-input-bit cap: the netlist is encoded once,
+//! then `constant_of` answers "is this net stuck?" with at most two
+//! assumption solves per query — and usually zero, because every model
+//! the solver produces is replayed over *all* nets to record which
+//! values each net has been seen to take. A net observed at both 0 and
+//! 1 is refuted as constant without ever touching the solver again.
+
+use axmul_fabric::{NetId, Netlist};
+
+use crate::encode::encode_netlist;
+use crate::gates::Sig;
+use crate::solver::{Model, SolveResult, Solver};
+use crate::SatError;
+
+/// Per-query conflict budget. Constant queries on fabric netlists are
+/// shallow; this is a guard rail, not a tuning knob.
+const QUERY_CONFLICTS: u64 = 200_000;
+
+/// Incremental constant-query oracle over one encoded netlist.
+#[derive(Debug)]
+pub struct NetOracle {
+    solver: Solver,
+    sigs: Vec<Sig>,
+    seen0: Vec<bool>,
+    seen1: Vec<bool>,
+    solves: u64,
+}
+
+impl NetOracle {
+    /// Encodes `netlist` and primes the value cache with one model.
+    ///
+    /// # Errors
+    ///
+    /// [`SatError::Encode`] if the netlist cannot be encoded (only
+    /// possible for hand-assembled, non-topological cell lists).
+    pub fn new(netlist: &Netlist) -> Result<Self, SatError> {
+        let mut solver = Solver::new();
+        let enc = encode_netlist(&mut solver, netlist, None)?;
+        let n = enc.nets.len();
+        let mut oracle = NetOracle {
+            solver,
+            sigs: enc.nets,
+            seen0: vec![false; n],
+            seen1: vec![false; n],
+            solves: 0,
+        };
+        // Prime: any model at all seeds half the refutations for free.
+        if let SolveResult::Sat(m) = oracle.solver.solve(&[], QUERY_CONFLICTS) {
+            oracle.record(&m);
+            oracle.solves += 1;
+        }
+        Ok(oracle)
+    }
+
+    /// Solver calls spent so far (for reporting).
+    #[must_use]
+    pub fn solves(&self) -> u64 {
+        self.solves
+    }
+
+    fn record(&mut self, model: &Model) {
+        for (i, sig) in self.sigs.iter().enumerate() {
+            if sig.value(model) {
+                self.seen1[i] = true;
+            } else {
+                self.seen0[i] = true;
+            }
+        }
+    }
+
+    /// Proves a net constant (`Some(value)`) or refutes it (`None`).
+    ///
+    /// Sound in both directions up to the conflict budget: a `Some` is
+    /// backed by an UNSAT proof of the opposite value; a `None` is
+    /// either a pair of distinguishing models or a budget concession
+    /// (conservative — never claims a constant it can't prove).
+    pub fn constant_of(&mut self, net: NetId) -> Option<bool> {
+        let i = net.index();
+        let l = match *self.sigs.get(i)? {
+            Sig::Const(b) => return Some(b),
+            Sig::Lit(l) => l,
+        };
+        if self.seen0[i] && self.seen1[i] {
+            return None;
+        }
+        if !self.seen1[i] {
+            // Never seen true: candidate constant-false.
+            self.solves += 1;
+            match self.solver.solve(&[l], QUERY_CONFLICTS) {
+                SolveResult::Unsat => return Some(false),
+                SolveResult::Sat(m) => self.record(&m),
+                SolveResult::Unknown => return None,
+            }
+        }
+        if !self.seen0[i] {
+            // Never seen false: candidate constant-true.
+            self.solves += 1;
+            match self.solver.solve(&[!l], QUERY_CONFLICTS) {
+                SolveResult::Unsat => return Some(true),
+                SolveResult::Sat(m) => self.record(&m),
+                SolveResult::Unknown => return None,
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmul_fabric::{Init, NetlistBuilder};
+
+    #[test]
+    fn finds_constants_the_known_bits_domain_cannot() {
+        // y = (a0 ^ a1) XOR (a0 ^ a1) through two *separate* LUTs: a
+        // correlation no per-net interval/known-bits domain sees, but
+        // trivially UNSAT for SAT.
+        let mut b = NetlistBuilder::new("xor-twins");
+        let a = b.inputs("a", 2);
+        let (x1, _) = b.lut2(Init::XOR2, a[0], a[1]);
+        let (x2, _) = b.lut2(Init::XOR2, a[0], a[1]);
+        let (y, _) = b.lut2(Init::XOR2, x1, x2);
+        let (live, _) = b.lut2(Init::AND2, a[0], a[1]);
+        b.output("y", y);
+        b.output("live", live);
+        let nl = b.finish().expect("valid");
+        let mut oracle = NetOracle::new(&nl).expect("encodable");
+        assert_eq!(oracle.constant_of(y), Some(false));
+        assert_eq!(oracle.constant_of(live), None);
+        assert_eq!(oracle.constant_of(a[0]), None, "inputs are free");
+    }
+
+    #[test]
+    fn model_cache_bounds_solver_calls() {
+        let nl = axmul_baselines::kulkarni_netlist(8).expect("width");
+        let mut oracle = NetOracle::new(&nl).expect("encodable");
+        let mut nonconst = 0;
+        for i in 0..nl.net_count() {
+            if oracle.constant_of(NetId::new(i as u32)).is_none() {
+                nonconst += 1;
+            }
+        }
+        assert!(nonconst > 0);
+        // Far fewer solves than 2 * nets: the cache must be working.
+        assert!(
+            oracle.solves() < nl.net_count() as u64 / 2,
+            "{} solves for {} nets",
+            oracle.solves(),
+            nl.net_count()
+        );
+    }
+}

@@ -242,6 +242,22 @@ pub enum Op {
         /// characterization.
         config: Option<String>,
     },
+    /// SAT-based combinational equivalence check between two designs.
+    /// Each side is either a netlist interchange document or a
+    /// configuration key (resolved to its in-process twin); exactly one
+    /// of the two must be given per side. A proven inequivalence is a
+    /// *successful* response carrying the counterexample operand pair
+    /// and both sides' outputs at it.
+    EquivCheck {
+        /// Left-hand interchange document (Verilog or `axnl-v1`).
+        lhs_netlist: Option<String>,
+        /// Left-hand configuration key, e.g. `(a A A A A)`.
+        lhs_config: Option<String>,
+        /// Right-hand interchange document.
+        rhs_netlist: Option<String>,
+        /// Right-hand configuration key.
+        rhs_config: Option<String>,
+    },
     /// Server counters: requests served, cache hits, builds, uptime.
     Stats,
 }
@@ -257,6 +273,7 @@ impl Op {
             Op::DseQuery { .. } => "dse-query",
             Op::AbsintQuery { .. } => "absint-query",
             Op::ImportNetlist { .. } => "import-netlist",
+            Op::EquivCheck { .. } => "equiv-check",
             Op::Stats => "server-stats",
         }
     }
@@ -406,6 +423,50 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, RequestError> {
                 config: opt_str("config")?,
             }
         }
+        "equiv-check" => {
+            let opt_str = |name: &str| -> Result<Option<String>, RequestError> {
+                match params.get(name) {
+                    None | Some(Value::Null) => Ok(None),
+                    Some(Value::Str(s)) => Ok(Some(s.clone())),
+                    Some(_) => Err(RequestError {
+                        id,
+                        code: ErrorCode::BadRequest,
+                        message: format!("`{name}` must be a string or null"),
+                    }),
+                }
+            };
+            let op = Op::EquivCheck {
+                lhs_netlist: opt_str("lhs-netlist")?,
+                lhs_config: opt_str("lhs-config")?,
+                rhs_netlist: opt_str("rhs-netlist")?,
+                rhs_config: opt_str("rhs-config")?,
+            };
+            // Exactly one description per side, caught at the envelope
+            // layer so the service never sees an ambiguous request.
+            if let Op::EquivCheck {
+                lhs_netlist,
+                lhs_config,
+                rhs_netlist,
+                rhs_config,
+            } = &op
+            {
+                for (side, netlist, config) in [
+                    ("lhs", lhs_netlist, lhs_config),
+                    ("rhs", rhs_netlist, rhs_config),
+                ] {
+                    if netlist.is_some() == config.is_some() {
+                        return fail(
+                            id,
+                            ErrorCode::BadRequest,
+                            format!(
+                                "exactly one of `{side}-netlist` and `{side}-config` must be given"
+                            ),
+                        );
+                    }
+                }
+            }
+            op
+        }
         "server-stats" => Op::Stats,
         other => {
             return fail(
@@ -455,6 +516,23 @@ pub fn render_request(req: &Request) -> Vec<u8> {
                 ("text", Value::str(text.clone())),
                 ("format", opt(format)),
                 ("config", opt(config)),
+            ])
+        }
+        Op::EquivCheck {
+            lhs_netlist,
+            lhs_config,
+            rhs_netlist,
+            rhs_config,
+        } => {
+            let opt = |v: &Option<String>| match v {
+                Some(s) => Value::str(s.clone()),
+                None => Value::Null,
+            };
+            Value::obj([
+                ("lhs-netlist", opt(lhs_netlist)),
+                ("lhs-config", opt(lhs_config)),
+                ("rhs-netlist", opt(rhs_netlist)),
+                ("rhs-config", opt(rhs_config)),
             ])
         }
         Op::Stats => Value::obj([]),
@@ -611,6 +689,24 @@ mod tests {
                     config: None,
                 },
             },
+            Request {
+                id: 16,
+                op: Op::EquivCheck {
+                    lhs_netlist: Some("module m (\n  input  wire a\n);\nendmodule\n".into()),
+                    lhs_config: None,
+                    rhs_netlist: None,
+                    rhs_config: Some("(a A A A A)".into()),
+                },
+            },
+            Request {
+                id: 17,
+                op: Op::EquivCheck {
+                    lhs_netlist: None,
+                    lhs_config: Some("(c X X X X)".into()),
+                    rhs_netlist: None,
+                    rhs_config: Some("(a A A A A)".into()),
+                },
+            },
         ];
         for req in reqs {
             let bytes = render_request(&req);
@@ -636,6 +732,23 @@ mod tests {
         let e = parse_request(b"not json at all").unwrap_err();
         assert_eq!(e.id, 0);
         assert_eq!(e.code, ErrorCode::BadJson);
+    }
+
+    #[test]
+    fn equiv_check_requires_exactly_one_description_per_side() {
+        // Neither description on the rhs.
+        let raw = br#"{"id":3,"type":"equiv-check","params":{"lhs-config":"A"}}"#;
+        let e = parse_request(raw).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        assert!(e.message.contains("rhs"), "{}", e.message);
+        // Both descriptions on the lhs.
+        let raw = br#"{"id":3,"type":"equiv-check","params":{"lhs-config":"A","lhs-netlist":"x","rhs-config":"A"}}"#;
+        let e = parse_request(raw).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        assert!(e.message.contains("lhs"), "{}", e.message);
+        // Non-string side.
+        let raw = br#"{"id":3,"type":"equiv-check","params":{"lhs-config":7,"rhs-config":"A"}}"#;
+        assert_eq!(parse_request(raw).unwrap_err().code, ErrorCode::BadRequest);
     }
 
     #[test]

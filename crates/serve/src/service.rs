@@ -14,8 +14,10 @@ use std::time::Instant;
 
 use axmul_dse::{evaluate_on, CharCache, Config, DiskStore, DseResult};
 use axmul_fabric::cost::Characterizer;
+use axmul_fabric::Netlist;
 use axmul_lint::{LintReport, Linter};
 use axmul_nn::{infer_batch, reference_model, ProductTable};
+use axmul_sat::{check_equiv, EquivOutcome, EquivReport, ProofOptions, SatError};
 
 use crate::json::{self, Value};
 use crate::proto::{parse_request, render_err, render_ok, ErrorCode, Op, RequestError};
@@ -40,6 +42,7 @@ struct Counters {
     dse_query: AtomicU64,
     absint_query: AtomicU64,
     import_netlist: AtomicU64,
+    equiv_check: AtomicU64,
     stats: AtomicU64,
     errors: AtomicU64,
 }
@@ -139,6 +142,20 @@ impl Service {
                 self.counters.import_netlist.fetch_add(1, Ordering::Relaxed);
                 self.import_netlist(text, format.as_deref(), config.as_deref())
             }
+            Op::EquivCheck {
+                lhs_netlist,
+                lhs_config,
+                rhs_netlist,
+                rhs_config,
+            } => {
+                self.counters.equiv_check.fetch_add(1, Ordering::Relaxed);
+                self.equiv_check(
+                    lhs_netlist.as_deref(),
+                    lhs_config.as_deref(),
+                    rhs_netlist.as_deref(),
+                    rhs_config.as_deref(),
+                )
+            }
             Op::Stats => {
                 self.counters.stats.fetch_add(1, Ordering::Relaxed);
                 Ok(self.stats())
@@ -231,8 +248,11 @@ impl Service {
 
     /// Imports an external netlist document, lints it, and — when the
     /// client names the configuration it claims to implement — verifies
-    /// fingerprint equality against the in-process twin and answers
-    /// with the (warm-cache) characterization.
+    /// it against the in-process twin and answers with the (warm-cache)
+    /// characterization. Verification is fingerprint equality first;
+    /// on a mismatch the server escalates to a SAT equivalence proof,
+    /// so a structural variant of the claimed configuration is accepted
+    /// with a note instead of rejected.
     fn import_netlist(
         &self,
         text: &str,
@@ -255,19 +275,47 @@ impl Service {
         .map_err(|e| (ErrorCode::InvalidNetlist, format!("{}: {e}", e.code())))?;
         let fp = axmul_netio::fingerprint(&netlist);
         let report = self.linter.lint(&netlist);
+        let mut verify_note = Value::Null;
         let characterization = match config {
             None => Value::Null,
             Some(key) => {
                 let cfg = self.config(key)?;
-                let twin = axmul_netio::fingerprint(&cfg.assemble());
+                let twin_netlist = cfg.assemble();
+                let twin = axmul_netio::fingerprint(&twin_netlist);
                 if twin != fp {
-                    return Err((
-                        ErrorCode::InvalidNetlist,
-                        format!(
-                            "imported netlist (fingerprint {fp:016x}) does not match \
-                             configuration `{key}` (fingerprint {twin:016x})"
-                        ),
-                    ));
+                    // Not byte-identical — but fingerprints hash
+                    // structure, not meaning. Ask the SAT engine
+                    // whether the designs compute the same function
+                    // before rejecting.
+                    match check_equiv(&netlist, &twin_netlist, &ProofOptions::default()) {
+                        Ok(r) if r.is_equivalent() => {
+                            verify_note = Value::str(format!(
+                                "content fingerprints differ ({fp:016x} vs twin {twin:016x}) \
+                                 but SAT proved the designs equivalent — accepted as a \
+                                 structural variant of `{key}`"
+                            ));
+                        }
+                        Ok(r) => {
+                            return Err((
+                                ErrorCode::InvalidNetlist,
+                                format!(
+                                    "imported netlist (fingerprint {fp:016x}) does not \
+                                     implement configuration `{key}`: {}",
+                                    counterexample_text(&r)
+                                ),
+                            ));
+                        }
+                        Err(e) => {
+                            return Err((
+                                ErrorCode::InvalidNetlist,
+                                format!(
+                                    "imported netlist (fingerprint {fp:016x}) does not match \
+                                     configuration `{key}` (fingerprint {twin:016x}) and \
+                                     equivalence could not be proven: {e}"
+                                ),
+                            ));
+                        }
+                    }
                 }
                 self.characterize(key)?
             }
@@ -286,7 +334,113 @@ impl Service {
             ("carry4s", Value::num(netlist.carry4_count() as u32)),
             ("nets", Value::num(netlist.drivers().len() as u32)),
             ("lint", lint_report_value(&report)),
+            ("verify_note", verify_note),
             ("characterization", characterization),
+        ]))
+    }
+
+    /// Resolves one side of an `equiv-check` request into a netlist:
+    /// either an interchange document (width-capped so the proof stays
+    /// interactive) or a configuration key's in-process twin.
+    fn equiv_side(
+        &self,
+        side: &str,
+        netlist: Option<&str>,
+        config: Option<&str>,
+    ) -> Result<Netlist, (ErrorCode, String)> {
+        match (netlist, config) {
+            (Some(text), None) => {
+                let nl = axmul_netio::import(text).map_err(|e| {
+                    (
+                        ErrorCode::InvalidNetlist,
+                        format!("{side}: {}: {e}", e.code()),
+                    )
+                })?;
+                let input_bits: usize = nl.input_buses().iter().map(|(_, nets)| nets.len()).sum();
+                if input_bits > 2 * MAX_SERVE_BITS as usize {
+                    return Err((
+                        ErrorCode::InvalidNetlist,
+                        format!(
+                            "{side}: {input_bits} input bits exceed the {}-bit serving limit",
+                            2 * MAX_SERVE_BITS
+                        ),
+                    ));
+                }
+                Ok(nl)
+            }
+            (None, Some(key)) => Ok(self.config(key)?.assemble()),
+            // The envelope parser enforces exactly-one, but dispatch can
+            // also be reached with a hand-built `Op`.
+            _ => Err((
+                ErrorCode::BadRequest,
+                format!("exactly one of `{side}-netlist` and `{side}-config` must be given"),
+            )),
+        }
+    }
+
+    /// SAT-based combinational equivalence of two designs. Both
+    /// verdicts are successful responses; a proven inequivalence
+    /// carries the counterexample operands and both sides' outputs.
+    fn equiv_check(
+        &self,
+        lhs_netlist: Option<&str>,
+        lhs_config: Option<&str>,
+        rhs_netlist: Option<&str>,
+        rhs_config: Option<&str>,
+    ) -> Result<Value, (ErrorCode, String)> {
+        let lhs = self.equiv_side("lhs", lhs_netlist, lhs_config)?;
+        let rhs = self.equiv_side("rhs", rhs_netlist, rhs_config)?;
+        let report = check_equiv(&lhs, &rhs, &ProofOptions::default()).map_err(|e| match e {
+            SatError::Interface(_) | SatError::Width(_) => (ErrorCode::BadRequest, e.to_string()),
+            other => (
+                ErrorCode::Internal,
+                format!("equivalence check failed: {other}"),
+            ),
+        })?;
+        let counterexample = match &report.outcome {
+            EquivOutcome::Equivalent => Value::Null,
+            EquivOutcome::NotEquivalent(cex) => Value::obj([
+                (
+                    "inputs",
+                    Value::Arr(
+                        cex.inputs
+                            .iter()
+                            .map(|(name, v)| {
+                                Value::Arr(vec![Value::str(name.clone()), Value::Num(*v as f64)])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "lhs_outputs",
+                    Value::Arr(
+                        cex.lhs_outputs
+                            .iter()
+                            .map(|&v| Value::Num(v as f64))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "rhs_outputs",
+                    Value::Arr(
+                        cex.rhs_outputs
+                            .iter()
+                            .map(|&v| Value::Num(v as f64))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        };
+        Ok(Value::obj([
+            ("lhs", Value::str(lhs.name())),
+            ("rhs", Value::str(rhs.name())),
+            ("equivalent", Value::Bool(report.is_equivalent())),
+            ("structural", Value::Bool(report.structural)),
+            ("counterexample", counterexample),
+            ("solves", Value::Num(report.stats.solves as f64)),
+            ("conflicts", Value::Num(report.stats.conflicts as f64)),
+            ("decisions", Value::Num(report.stats.decisions as f64)),
+            ("elapsed_ms", Value::Num(report.stats.elapsed_ms)),
         ]))
     }
 
@@ -448,6 +602,10 @@ impl Service {
                         Value::Num(c.import_netlist.load(Ordering::Relaxed) as f64),
                     ),
                     (
+                        "equiv-check",
+                        Value::Num(c.equiv_check.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
                         "server-stats",
                         Value::Num(c.stats.load(Ordering::Relaxed) as f64),
                     ),
@@ -499,6 +657,26 @@ impl Service {
             ),
             ("store", store.unwrap_or(Value::Null)),
         ])
+    }
+}
+
+/// Renders a proven-inequivalent verdict's counterexample as one
+/// human-readable sentence for error messages.
+fn counterexample_text(report: &EquivReport) -> String {
+    match &report.outcome {
+        EquivOutcome::Equivalent => "the designs are equivalent".into(),
+        EquivOutcome::NotEquivalent(cex) => {
+            let inputs = cex
+                .inputs
+                .iter()
+                .map(|(name, v)| format!("{name}={v}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "SAT counterexample at {inputs} (outputs {:?} vs {:?})",
+                cex.lhs_outputs, cex.rhs_outputs
+            )
+        }
     }
 }
 
@@ -813,6 +991,168 @@ mod tests {
             },
         );
         assert_err(&v, "bad-request");
+    }
+
+    #[test]
+    fn equiv_check_proves_and_refutes_config_pairs() {
+        let svc = Service::new(None);
+        // Same configuration on both sides: the twins are structurally
+        // identical, so the miter folds away without a single solve.
+        let v = response(
+            &svc,
+            Op::EquivCheck {
+                lhs_netlist: None,
+                lhs_config: Some("(a A A A A)".into()),
+                rhs_netlist: None,
+                rhs_config: Some("(a A A A A)".into()),
+            },
+        );
+        let r = assert_ok(&v);
+        assert_eq!(r.get("equivalent"), Some(&Value::Bool(true)), "{r}");
+        assert_eq!(r.get("structural"), Some(&Value::Bool(true)), "{r}");
+        assert_eq!(r.get("counterexample"), Some(&Value::Null));
+
+        // Different multipliers: a successful response carrying the
+        // counterexample operand pair and both sides' outputs.
+        let v = response(
+            &svc,
+            Op::EquivCheck {
+                lhs_netlist: None,
+                lhs_config: Some("(a A A A A)".into()),
+                rhs_netlist: None,
+                rhs_config: Some("(c X X X X)".into()),
+            },
+        );
+        let r = assert_ok(&v);
+        assert_eq!(r.get("equivalent"), Some(&Value::Bool(false)), "{r}");
+        let cex = r.get("counterexample").unwrap();
+        let inputs = cex.get("inputs").and_then(Value::as_arr).unwrap();
+        assert_eq!(inputs.len(), 2, "{r}");
+        let lhs_out = cex.get("lhs_outputs").and_then(Value::as_arr).unwrap();
+        let rhs_out = cex.get("rhs_outputs").and_then(Value::as_arr).unwrap();
+        assert_ne!(lhs_out, rhs_out, "{r}");
+    }
+
+    #[test]
+    fn equiv_check_accepts_netlist_sides_and_rejects_bad_ones() {
+        let svc = Service::new(None);
+        let cfg: axmul_dse::Config = "(a A A A A)".parse().unwrap();
+        let text = axmul_fabric::export::to_verilog(&cfg.assemble());
+        let v = response(
+            &svc,
+            Op::EquivCheck {
+                lhs_netlist: Some(text),
+                lhs_config: None,
+                rhs_netlist: None,
+                rhs_config: Some("(a A A A A)".into()),
+            },
+        );
+        let r = assert_ok(&v);
+        assert_eq!(r.get("equivalent"), Some(&Value::Bool(true)), "{r}");
+
+        // Typed errors: malformed netlist, unparseable config, and a
+        // hand-built op with an ambiguous side.
+        assert_err(
+            &response(
+                &svc,
+                Op::EquivCheck {
+                    lhs_netlist: Some("module broken (".into()),
+                    lhs_config: None,
+                    rhs_netlist: None,
+                    rhs_config: Some("(a A A A A)".into()),
+                },
+            ),
+            "invalid-netlist",
+        );
+        assert_err(
+            &response(
+                &svc,
+                Op::EquivCheck {
+                    lhs_netlist: None,
+                    lhs_config: Some("(a A A".into()),
+                    rhs_netlist: None,
+                    rhs_config: Some("(a A A A A)".into()),
+                },
+            ),
+            "invalid-config",
+        );
+        assert_err(
+            &response(
+                &svc,
+                Op::EquivCheck {
+                    lhs_netlist: None,
+                    lhs_config: None,
+                    rhs_netlist: None,
+                    rhs_config: Some("(a A A A A)".into()),
+                },
+            ),
+            "bad-request",
+        );
+        // Mismatched interfaces (8-bit vs 4-bit operands) are a typed
+        // request error, not an internal failure.
+        assert_err(
+            &response(
+                &svc,
+                Op::EquivCheck {
+                    lhs_netlist: None,
+                    lhs_config: Some("(a A A A A)".into()),
+                    rhs_netlist: None,
+                    rhs_config: Some("A".into()),
+                },
+            ),
+            "bad-request",
+        );
+    }
+
+    #[test]
+    fn import_netlist_accepts_structural_variants_via_sat() {
+        let svc = Service::new(None);
+        let cfg: axmul_dse::Config = "(a A A A A)".parse().unwrap();
+        let twin = cfg.assemble();
+        // Same logic under a different module name: the content
+        // fingerprint differs, but SAT proves equivalence and the
+        // import goes through with a note instead of a rejection.
+        let renamed = axmul_fabric::Netlist::from_parts(
+            "renamed_variant".to_string(),
+            twin.drivers().to_vec(),
+            twin.cells().to_vec(),
+            twin.input_buses().to_vec(),
+            twin.output_buses().to_vec(),
+        );
+        assert_ne!(
+            axmul_netio::fingerprint(&renamed),
+            axmul_netio::fingerprint(&twin)
+        );
+        let v = response(
+            &svc,
+            Op::ImportNetlist {
+                text: axmul_fabric::export::to_verilog(&renamed),
+                format: None,
+                config: Some("(a A A A A)".into()),
+            },
+        );
+        let r = assert_ok(&v);
+        let note = r.get("verify_note").and_then(Value::as_str).unwrap();
+        assert!(note.contains("equivalent"), "{note}");
+        assert!(
+            r.get("characterization")
+                .unwrap()
+                .get("bits")
+                .and_then(Value::as_u64)
+                == Some(8),
+            "{r}"
+        );
+        // A fingerprint match still short-circuits: no note.
+        let v = response(
+            &svc,
+            Op::ImportNetlist {
+                text: axmul_fabric::export::to_verilog(&twin),
+                format: None,
+                config: Some("(a A A A A)".into()),
+            },
+        );
+        let r = assert_ok(&v);
+        assert_eq!(r.get("verify_note"), Some(&Value::Null), "{r}");
     }
 
     #[test]

@@ -81,6 +81,16 @@ fn exercise_every_request_type(client: &mut Client) {
         .unwrap();
     assert_eq!(r.get("reports").and_then(Value::as_arr).unwrap().len(), 2);
 
+    let r = client
+        .call(Op::EquivCheck {
+            lhs_netlist: None,
+            lhs_config: Some("(a A A A A)".into()),
+            rhs_netlist: None,
+            rhs_config: Some("(a A A A A)".into()),
+        })
+        .unwrap();
+    assert_eq!(r.get("equivalent"), Some(&Value::Bool(true)), "{r}");
+
     let r = client.call(Op::Stats).unwrap();
     assert!(r.get("uptime_s").and_then(Value::as_f64).unwrap() >= 0.0);
 }
@@ -350,6 +360,69 @@ fn import_netlist_round_trips_external_verilog_with_warm_witnesses() {
     drop(client);
     warm.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn equiv_check_serves_proofs_and_counterexamples_on_both_transports() {
+    let (handle, socket) = start("equiv", None);
+    let key = "(a A A A A)";
+    let cfg: axmul_dse::Config = key.parse().unwrap();
+    let text = axmul_fabric::export::to_verilog(&cfg.assemble());
+
+    let tcp = Client::connect_tcp(handle.tcp_addr().unwrap()).unwrap();
+    let unix = Client::connect_unix(&socket).unwrap();
+    for mut client in [tcp, unix] {
+        // Imported document vs its in-process twin: proven equivalent.
+        let r = client
+            .call(Op::EquivCheck {
+                lhs_netlist: Some(text.clone()),
+                lhs_config: None,
+                rhs_netlist: None,
+                rhs_config: Some(key.into()),
+            })
+            .unwrap();
+        assert_eq!(r.get("equivalent"), Some(&Value::Bool(true)), "{r}");
+        assert_eq!(r.get("counterexample"), Some(&Value::Null), "{r}");
+
+        // Approximate vs accurate paper multipliers: the typed
+        // not-equivalent response carries the counterexample pair and
+        // both sides' outputs at it.
+        let r = client
+            .call(Op::EquivCheck {
+                lhs_netlist: None,
+                lhs_config: Some("(a X X X X)".into()),
+                rhs_netlist: None,
+                rhs_config: Some(key.into()),
+            })
+            .unwrap();
+        assert_eq!(r.get("equivalent"), Some(&Value::Bool(false)), "{r}");
+        let cex = r.get("counterexample").unwrap();
+        assert_eq!(
+            cex.get("inputs")
+                .and_then(Value::as_arr)
+                .map(<[Value]>::len),
+            Some(2),
+            "{r}"
+        );
+        assert_ne!(
+            cex.get("lhs_outputs").and_then(Value::as_arr),
+            cex.get("rhs_outputs").and_then(Value::as_arr),
+            "{r}"
+        );
+
+        // A malformed side is a typed error on a live connection.
+        match client.call(Op::EquivCheck {
+            lhs_netlist: Some("module broken (".into()),
+            lhs_config: None,
+            rhs_netlist: None,
+            rhs_config: Some(key.into()),
+        }) {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, "invalid-netlist"),
+            other => panic!("expected server error, got {other:?}"),
+        }
+        exercise_every_request_type(&mut client);
+    }
+    handle.shutdown();
 }
 
 #[test]

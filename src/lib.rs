@@ -41,6 +41,12 @@
 //!   multi-threaded server speaking a length-prefixed JSON protocol
 //!   over TCP and Unix sockets, backed by a persistent on-disk
 //!   characterization store for zero-rebuild warm starts.
+//! * [`sat`] — SAT-based formal verification: a dependency-free CDCL
+//!   solver, Tseitin encoding of fabric netlists, combinational
+//!   equivalence checking via miters with replayed counterexamples,
+//!   and exact worst-case-error proofs at any width — certifying (or
+//!   refuting) the [`absint`] brackets where exhaustive simulation
+//!   cannot reach.
 //! * [`netio`] — netlist interchange: a structural-Verilog importer
 //!   for the exported `LUT6_2`/`CARRY4` dialect (export → import →
 //!   export is a byte-level fixpoint) and the versioned `axnl-v1`
@@ -75,5 +81,6 @@ pub use axmul_lint as lint;
 pub use axmul_metrics as metrics;
 pub use axmul_netio as netio;
 pub use axmul_nn as nn;
+pub use axmul_sat as sat;
 pub use axmul_serve as serve;
 pub use axmul_susan as susan;
